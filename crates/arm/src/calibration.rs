@@ -1,0 +1,106 @@
+//! Servo calibration (Sec. IV-A6).
+//!
+//! "Servo motors are calibrated with a CCPM 3-channel tester to ensure
+//! alignment and consistent movement." The CCPM procedure sweeps each servo
+//! to reference points, measures the mechanical error and derives a trim.
+//! Our simulated servos carry a hidden mounting offset; calibration
+//! recovers it.
+
+use crate::servo::Servo;
+use crate::{ArmError, Result};
+
+/// Result of calibrating one servo.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationReport {
+    /// Trim discovered, in degrees.
+    pub trim_deg: f64,
+    /// Residual error at the reference points after applying the trim.
+    pub residual_deg: f64,
+    /// Measured usable range after calibration `(min, max)`.
+    pub range: (f64, f64),
+}
+
+/// Measures a servo whose horn was mounted `mount_offset_deg` away from
+/// true zero (the hidden physical misalignment) and returns the corrective
+/// trim.
+///
+/// The procedure mirrors a CCPM tester's three-position check: command the
+/// low/centre/high reference points, let the servo settle, read back the
+/// horn position, and fit the constant offset.
+///
+/// # Errors
+///
+/// Returns [`ArmError::CalibrationFailed`] if the residual after fitting
+/// exceeds 1°, which indicates a fault (stripped gear, hard obstruction)
+/// rather than misalignment.
+pub fn calibrate(servo: &mut Servo, mount_offset_deg: f64) -> Result<CalibrationReport> {
+    let (lo, hi) = (servo.min_deg, servo.max_deg);
+    let span = hi - lo;
+    let refs = [lo + span * 0.1, lo + span * 0.5, lo + span * 0.9];
+
+    let mut errors = Vec::with_capacity(refs.len());
+    for &r in &refs {
+        servo.set_target_clamped(r);
+        // Settle fully.
+        for _ in 0..1000 {
+            servo.tick(0.01);
+            if servo.settled() {
+                break;
+            }
+        }
+        // The horn reads position + mount offset.
+        let observed = servo.position() + mount_offset_deg;
+        errors.push(observed - r);
+    }
+    let trim = -errors.iter().sum::<f64>() / errors.len() as f64;
+    let residual = errors
+        .iter()
+        .map(|e| (e + trim).abs())
+        .fold(0.0f64, f64::max);
+    if residual > 1.0 {
+        return Err(ArmError::CalibrationFailed {
+            servo: 0,
+            residual,
+        });
+    }
+    servo.trim_deg = trim;
+    Ok(CalibrationReport {
+        trim_deg: trim,
+        residual_deg: residual,
+        range: (lo - trim, hi - trim),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_mount_offset() {
+        let mut servo = Servo::new(0.0, 120.0, 200.0);
+        let report = calibrate(&mut servo, 4.0).unwrap();
+        assert!((report.trim_deg + 4.0).abs() < 0.1, "trim {}", report.trim_deg);
+        assert!(report.residual_deg < 0.1);
+    }
+
+    #[test]
+    fn calibrated_servo_lands_on_commanded_angle() {
+        let offset = -3.5;
+        let mut servo = Servo::new(-90.0, 90.0, 300.0);
+        calibrate(&mut servo, offset).unwrap();
+        servo.set_target_clamped(30.0);
+        for _ in 0..500 {
+            servo.tick(0.01);
+        }
+        // Horn position = shaft + offset; should equal the command.
+        let horn = servo.position() + offset;
+        assert!((horn - 30.0).abs() < 0.3, "horn at {horn}");
+    }
+
+    #[test]
+    fn zero_offset_yields_zero_trim() {
+        let mut servo = Servo::new(0.0, 100.0, 300.0);
+        let report = calibrate(&mut servo, 0.0).unwrap();
+        assert!(report.trim_deg.abs() < 0.05);
+    }
+}

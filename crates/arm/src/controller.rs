@@ -1,0 +1,296 @@
+//! The Jetson-side controller: action labels × voice mode → joint motion
+//! (the multiplexing of Fig. 6).
+//!
+//! | voice mode  | think "left"     | think "right"   | idle |
+//! |-------------|------------------|-----------------|------|
+//! | "arm"       | lower hand       | raise hand      | hold |
+//! | "elbow"     | turn anti-CW     | turn clockwise  | hold |
+//! | "fingers"   | open fingers     | close fingers   | hold |
+//!
+//! Each classified window nudges the active joint by a fixed increment
+//! ("a variable amount of change in the position of the arm" — repeated
+//! labels accumulate), so holding the thought longer moves further.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kinematics::Joint;
+use crate::protocol::{encode, Command};
+use crate::safety::SafetyGate;
+use crate::Result;
+
+/// The EEG action labels, mirrored from the classifier's classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActionLabel {
+    /// Imagined left-hand movement.
+    Left,
+    /// Imagined right-hand movement.
+    Right,
+    /// Idle.
+    Idle,
+}
+
+/// Voice-selected control mode (Sec. III-F1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlMode {
+    /// "arm": raise/lower.
+    Arm,
+    /// "elbow": rotate.
+    Elbow,
+    /// "fingers": grip.
+    Fingers,
+}
+
+impl ControlMode {
+    /// The joint this mode drives.
+    #[must_use]
+    pub fn joint(self) -> Joint {
+        match self {
+            ControlMode::Arm => Joint::Lift,
+            ControlMode::Elbow => Joint::Wrist,
+            ControlMode::Fingers => Joint::Grip,
+        }
+    }
+
+    /// Servo id on the wire for this mode's primary servo.
+    #[must_use]
+    pub fn servo_id(self) -> u8 {
+        match self {
+            ControlMode::Arm => 0,
+            ControlMode::Elbow => 1,
+            ControlMode::Fingers => 2,
+        }
+    }
+}
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Joint increment per classified window, in degrees / grip %.
+    pub step: f64,
+    /// Consecutive identical labels required before acting (debounce
+    /// against classifier flicker; 1 = act immediately).
+    pub debounce: usize,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            step: 4.0,
+            debounce: 2,
+        }
+    }
+}
+
+/// The mode-multiplexed controller.
+#[derive(Debug)]
+pub struct Controller {
+    config: ControllerConfig,
+    mode: ControlMode,
+    gate: SafetyGate,
+    /// Current accumulated joint setpoints.
+    setpoints: [f64; 3],
+    last_label: Option<ActionLabel>,
+    streak: usize,
+}
+
+impl Controller {
+    /// Creates a controller starting in arm mode at mid-range setpoints.
+    #[must_use]
+    pub fn new(config: ControllerConfig, gate: SafetyGate) -> Self {
+        let setpoints = [
+            mid(Joint::Lift.range()),
+            mid(Joint::Wrist.range()),
+            mid(Joint::Grip.range()),
+        ];
+        Self {
+            config,
+            mode: ControlMode::Arm,
+            gate,
+            setpoints,
+            last_label: None,
+            streak: 0,
+        }
+    }
+
+    /// The active voice mode.
+    #[must_use]
+    pub fn mode(&self) -> ControlMode {
+        self.mode
+    }
+
+    /// Switches mode (driven by the ASR path). Resets the debounce streak.
+    pub fn set_mode(&mut self, mode: ControlMode) {
+        self.mode = mode;
+        self.last_label = None;
+        self.streak = 0;
+    }
+
+    /// Current setpoint of a joint.
+    #[must_use]
+    pub fn setpoint(&self, joint: Joint) -> f64 {
+        self.setpoints[joint_index(joint)]
+    }
+
+    /// Mutable access to the safety gate (e-stop etc.).
+    pub fn gate_mut(&mut self) -> &mut SafetyGate {
+        &mut self.gate
+    }
+
+    /// Consumes one classified label; returns the serial bytes to send
+    /// (empty when debouncing, idle, or unchanged).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::ArmError::EmergencyStopped`] from the safety
+    /// gate.
+    pub fn on_label(&mut self, label: ActionLabel) -> Result<Vec<u8>> {
+        // Debounce: require `debounce` consecutive identical labels.
+        if Some(label) == self.last_label {
+            self.streak += 1;
+        } else {
+            self.last_label = Some(label);
+            self.streak = 1;
+        }
+        if self.streak < self.config.debounce {
+            return Ok(Vec::new());
+        }
+        let direction = match label {
+            ActionLabel::Idle => return Ok(Vec::new()),
+            ActionLabel::Right => 1.0,
+            ActionLabel::Left => -1.0,
+        };
+        let joint = self.mode.joint();
+        let idx = joint_index(joint);
+        let desired = self.setpoints[idx] + direction * self.config.step;
+        let safe = self.gate.filter(joint, desired)?;
+        if (safe - self.setpoints[idx]).abs() < 1e-9 {
+            return Ok(Vec::new()); // pinned at a limit
+        }
+        self.setpoints[idx] = safe;
+        Ok(self.emit(joint, safe))
+    }
+
+    fn emit(&self, joint: Joint, value: f64) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        match joint {
+            Joint::Grip => {
+                // All three finger servos move together.
+                for id in 2..=4u8 {
+                    bytes.extend(encode(Command::SetServo {
+                        id,
+                        decideg: Command::encode_angle(value),
+                    }));
+                }
+            }
+            Joint::Lift => bytes.extend(encode(Command::SetServo {
+                id: 0,
+                decideg: Command::encode_angle(value),
+            })),
+            Joint::Wrist => bytes.extend(encode(Command::SetServo {
+                id: 1,
+                decideg: Command::encode_angle(value),
+            })),
+        }
+        bytes
+    }
+}
+
+fn joint_index(j: Joint) -> usize {
+    match j {
+        Joint::Lift => 0,
+        Joint::Wrist => 1,
+        Joint::Grip => 2,
+    }
+}
+
+fn mid((lo, hi): (f64, f64)) -> f64 {
+    (lo + hi) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcu::Mcu;
+    use crate::safety::SafetyConfig;
+
+    fn controller() -> Controller {
+        Controller::new(
+            ControllerConfig {
+                step: 4.0,
+                debounce: 1,
+            },
+            SafetyGate::new(SafetyConfig::default()),
+        )
+    }
+
+    #[test]
+    fn right_raises_in_arm_mode() {
+        let mut c = controller();
+        let start = c.setpoint(Joint::Lift);
+        let bytes = c.on_label(ActionLabel::Right).unwrap();
+        assert!(!bytes.is_empty());
+        assert!(c.setpoint(Joint::Lift) > start);
+    }
+
+    #[test]
+    fn idle_does_nothing() {
+        let mut c = controller();
+        assert!(c.on_label(ActionLabel::Idle).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mode_switch_redirects_motion() {
+        let mut c = controller();
+        c.set_mode(ControlMode::Fingers);
+        let grip_before = c.setpoint(Joint::Grip);
+        let lift_before = c.setpoint(Joint::Lift);
+        c.on_label(ActionLabel::Right).unwrap();
+        assert!(c.setpoint(Joint::Grip) > grip_before, "grip moved");
+        assert_eq!(c.setpoint(Joint::Lift), lift_before, "lift untouched");
+    }
+
+    #[test]
+    fn debounce_swallows_single_flickers() {
+        let mut c = Controller::new(
+            ControllerConfig {
+                step: 4.0,
+                debounce: 2,
+            },
+            SafetyGate::new(SafetyConfig::default()),
+        );
+        assert!(c.on_label(ActionLabel::Right).unwrap().is_empty());
+        assert!(!c.on_label(ActionLabel::Right).unwrap().is_empty());
+    }
+
+    #[test]
+    fn repeated_labels_accumulate_until_limit() {
+        let mut c = controller();
+        for _ in 0..100 {
+            let _ = c.on_label(ActionLabel::Right).unwrap();
+        }
+        assert!((c.setpoint(Joint::Lift) - 120.0).abs() < 1e-9, "pinned at max");
+        // Once pinned, no more bytes are emitted.
+        assert!(c.on_label(ActionLabel::Right).unwrap().is_empty());
+    }
+
+    #[test]
+    fn end_to_end_bytes_drive_the_mcu() {
+        let mut c = controller();
+        let mut mcu = Mcu::new();
+        c.set_mode(ControlMode::Fingers);
+        for _ in 0..5 {
+            let bytes = c.on_label(ActionLabel::Right).unwrap();
+            mcu.receive(&bytes);
+        }
+        for _ in 0..300 {
+            mcu.tick(0.02);
+        }
+        let grip = mcu.arm.joint_value(Joint::Grip);
+        assert!(
+            (grip - c.setpoint(Joint::Grip)).abs() < 0.5,
+            "mcu at {grip}, controller wants {}",
+            c.setpoint(Joint::Grip)
+        );
+        assert_eq!(mcu.decode_errors(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! The 3-DoF joint model and forward kinematics.
+//!
+//! Degrees of freedom per the paper (Sec. IV-A, Fig. 6):
+//!
+//! * **Lift** — raising/lowering the forearm (voice mode "arm"),
+//! * **Wrist** — clockwise/anticlockwise rotation (voice mode "elbow"),
+//! * **Grip** — closing/opening the five fingers (voice mode "fingers");
+//!   one logical DoF actuated by five finger servos.
+
+use serde::{Deserialize, Serialize};
+
+use crate::servo::Servo;
+
+/// The arm's logical degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Joint {
+    /// Forearm lift, 0° (down) to 120° (raised).
+    Lift,
+    /// Wrist rotation, −90° to +90°.
+    Wrist,
+    /// Grip closure, 0 (open) to 100 (closed), in percent.
+    Grip,
+}
+
+impl Joint {
+    /// All joints.
+    pub const ALL: [Joint; 3] = [Joint::Lift, Joint::Wrist, Joint::Grip];
+
+    /// `(min, max)` of the joint's command space.
+    #[must_use]
+    pub fn range(self) -> (f64, f64) {
+        match self {
+            Joint::Lift => (0.0, 120.0),
+            Joint::Wrist => (-90.0, 90.0),
+            Joint::Grip => (0.0, 100.0),
+        }
+    }
+}
+
+impl std::fmt::Display for Joint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Joint::Lift => "lift",
+            Joint::Wrist => "wrist",
+            Joint::Grip => "grip",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The full five-servo arm: lift, wrist, and three finger-group servos
+/// (the thumb and two finger pairs mechanically couple into one grip DoF,
+/// matching the paper's "five embedded servo motors controlling finger
+/// movements").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArmModel {
+    /// Lift servo.
+    pub lift: Servo,
+    /// Wrist rotation servo.
+    pub wrist: Servo,
+    /// Finger servos (thumb, index+middle, ring+pinky).
+    pub fingers: [Servo; 3],
+    /// Upper-arm and forearm segment lengths in metres (for FK).
+    pub segments: (f64, f64),
+}
+
+impl Default for ArmModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArmModel {
+    /// Builds the arm with nominal servo parameters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            lift: Servo::new(0.0, 120.0, 90.0),
+            wrist: Servo::new(-90.0, 90.0, 120.0),
+            fingers: [
+                Servo::new(0.0, 100.0, 150.0),
+                Servo::new(0.0, 100.0, 150.0),
+                Servo::new(0.0, 100.0, 150.0),
+            ],
+            segments: (0.28, 0.26),
+        }
+    }
+
+    /// Commands a joint (clamped, MCU-style).
+    pub fn command(&mut self, joint: Joint, value: f64) {
+        match joint {
+            Joint::Lift => self.lift.set_target_clamped(value),
+            Joint::Wrist => self.wrist.set_target_clamped(value),
+            Joint::Grip => {
+                for f in &mut self.fingers {
+                    f.set_target_clamped(value);
+                }
+            }
+        }
+    }
+
+    /// Current joint value (grip = mean of finger servos).
+    #[must_use]
+    pub fn joint_value(&self, joint: Joint) -> f64 {
+        match joint {
+            Joint::Lift => self.lift.position(),
+            Joint::Wrist => self.wrist.position(),
+            Joint::Grip => {
+                self.fingers.iter().map(Servo::position).sum::<f64>() / self.fingers.len() as f64
+            }
+        }
+    }
+
+    /// Advances all servos by `dt` seconds.
+    pub fn tick(&mut self, dt: f64) {
+        self.lift.tick(dt);
+        self.wrist.tick(dt);
+        for f in &mut self.fingers {
+            f.tick(dt);
+        }
+    }
+
+    /// Whether every servo has settled.
+    #[must_use]
+    pub fn settled(&self) -> bool {
+        self.lift.settled()
+            && self.wrist.settled()
+            && self.fingers.iter().all(Servo::settled)
+    }
+
+    /// Forward kinematics: fingertip position `(x, y, z)` in metres, with
+    /// the shoulder at the origin, x forward, z up. Wrist rotation swings
+    /// the fingertip laterally (y).
+    #[must_use]
+    pub fn fingertip(&self) -> (f64, f64, f64) {
+        let (l1, l2) = self.segments;
+        let lift = self.lift.position().to_radians();
+        let wrist = self.wrist.position().to_radians();
+        // Grip shortens the effective finger reach.
+        let grip = self.joint_value(Joint::Grip) / 100.0;
+        let finger_len = 0.09 * (1.0 - 0.6 * grip);
+        let reach = l2 + finger_len;
+        let x = l1 + reach * lift.cos() * wrist.cos();
+        let y = reach * lift.cos() * wrist.sin();
+        let z = reach * lift.sin();
+        (x, y, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_match_design() {
+        assert_eq!(Joint::Lift.range(), (0.0, 120.0));
+        assert_eq!(Joint::Wrist.range(), (-90.0, 90.0));
+        assert_eq!(Joint::Grip.range(), (0.0, 100.0));
+    }
+
+    #[test]
+    fn grip_command_drives_all_fingers() {
+        let mut arm = ArmModel::new();
+        arm.command(Joint::Grip, 80.0);
+        for _ in 0..100 {
+            arm.tick(0.02);
+        }
+        for f in &arm.fingers {
+            assert!((f.position() - 80.0).abs() < 0.5);
+        }
+        assert!((arm.joint_value(Joint::Grip) - 80.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn raising_lift_raises_fingertip() {
+        let mut arm = ArmModel::new();
+        arm.command(Joint::Lift, 0.0);
+        for _ in 0..200 {
+            arm.tick(0.02);
+        }
+        let (_, _, z_down) = arm.fingertip();
+        arm.command(Joint::Lift, 90.0);
+        for _ in 0..200 {
+            arm.tick(0.02);
+        }
+        let (_, _, z_up) = arm.fingertip();
+        assert!(z_up > z_down + 0.1, "z {z_down} -> {z_up}");
+    }
+
+    #[test]
+    fn wrist_rotation_swings_laterally() {
+        let mut arm = ArmModel::new();
+        arm.command(Joint::Lift, 0.0);
+        arm.command(Joint::Wrist, 60.0);
+        for _ in 0..200 {
+            arm.tick(0.02);
+        }
+        let (_, y, _) = arm.fingertip();
+        assert!(y > 0.05, "y {y}");
+    }
+
+    #[test]
+    fn closing_grip_shortens_reach() {
+        let mut arm = ArmModel::new();
+        arm.command(Joint::Lift, 0.0);
+        arm.command(Joint::Wrist, 0.0);
+        arm.command(Joint::Grip, 0.0);
+        for _ in 0..300 {
+            arm.tick(0.02);
+        }
+        let (x_open, _, _) = arm.fingertip();
+        arm.command(Joint::Grip, 100.0);
+        for _ in 0..300 {
+            arm.tick(0.02);
+        }
+        let (x_closed, _, _) = arm.fingertip();
+        assert!(x_closed < x_open);
+    }
+
+    #[test]
+    fn settled_after_enough_time() {
+        let mut arm = ArmModel::new();
+        arm.command(Joint::Lift, 100.0);
+        arm.command(Joint::Wrist, -45.0);
+        arm.command(Joint::Grip, 50.0);
+        assert!(!arm.settled());
+        for _ in 0..500 {
+            arm.tick(0.02);
+        }
+        assert!(arm.settled());
+    }
+}

@@ -1,0 +1,35 @@
+//! Prosthetic-arm substrate (Sec. IV-A).
+//!
+//! The paper's arm is a 3-DoF 3D-printed prosthesis: five servos driven by
+//! an Arduino that receives action labels from the Jetson over serial. We
+//! reproduce the whole actuation path in simulation:
+//!
+//! * [`servo`] — slew-rate-limited hobby-servo dynamics with per-unit trim.
+//! * [`kinematics`] — the 3-DoF joint model (lift, wrist rotation, grip)
+//!   and a forward-kinematics pose used by tests and the session
+//!   validator.
+//! * [`protocol`] — the byte-level serial protocol between the Jetson half
+//!   and the MCU half (framing, checksum, resync after garbage).
+//! * [`mcu`] — the Arduino-side firmware simulation: parses packets,
+//!   drives servos, answers pings, enforces a command watchdog.
+//! * [`calibration`] — the CCPM-tester-style calibration routine of
+//!   Sec. IV-A6 (finds each servo's trim and verifies range of motion).
+//! * [`controller`] — the Jetson-side mapping from (action label, voice
+//!   mode) to joint commands — the multiplexing of Fig. 6.
+//! * [`safety`] — the joint-limit/velocity clamps and watchdog rules of
+//!   Sec. IV-A8.
+
+pub mod calibration;
+pub mod controller;
+pub mod kinematics;
+pub mod mcu;
+pub mod protocol;
+pub mod safety;
+pub mod servo;
+
+mod error;
+
+pub use error::ArmError;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, ArmError>;

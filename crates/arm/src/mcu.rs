@@ -1,0 +1,194 @@
+//! The Arduino-side firmware simulation (Sec. IV-A4).
+//!
+//! Receives serial bytes, decodes commands, drives the five servos, answers
+//! pings, and relaxes the arm if the Jetson goes silent for longer than the
+//! watchdog period (a safety rule from Sec. IV-A8: no rapid or unexpected
+//! movements, and a dead controller must not leave the arm pushing).
+
+use crate::kinematics::ArmModel;
+use crate::protocol::{encode, Command, Decoder};
+
+/// Watchdog period in seconds.
+pub const WATCHDOG_SECS: f64 = 2.0;
+
+/// The simulated MCU with its attached arm.
+#[derive(Debug)]
+pub struct Mcu {
+    /// The mechanical arm being driven.
+    pub arm: ArmModel,
+    decoder: Decoder,
+    /// Bytes queued for transmission back to the Jetson.
+    tx: Vec<u8>,
+    /// Seconds since the last valid command.
+    silence: f64,
+    /// Whether the watchdog has relaxed the servos.
+    relaxed: bool,
+    /// Valid commands processed.
+    pub commands_handled: u64,
+}
+
+impl Default for Mcu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mcu {
+    /// Boots the MCU with a fresh arm.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            arm: ArmModel::new(),
+            decoder: Decoder::new(),
+            tx: Vec::new(),
+            silence: 0.0,
+            relaxed: false,
+            commands_handled: 0,
+        }
+    }
+
+    /// Feeds received serial bytes (the Jetson's UART TX).
+    pub fn receive(&mut self, bytes: &[u8]) {
+        for cmd in self.decoder.feed(bytes) {
+            self.silence = 0.0;
+            self.relaxed = false;
+            self.commands_handled += 1;
+            match cmd {
+                Command::SetServo { id, decideg } => {
+                    let angle = Command::decode_angle(decideg);
+                    match id {
+                        0 => self.arm.lift.set_target_clamped(angle),
+                        1 => self.arm.wrist.set_target_clamped(angle),
+                        2..=4 => {
+                            self.arm.fingers[usize::from(id) - 2].set_target_clamped(angle);
+                        }
+                        _ => { /* unknown servo: ignore, like real firmware */ }
+                    }
+                }
+                Command::Ping => self.tx.extend(encode(Command::Ack)),
+                Command::Ack => { /* not expected on this side */ }
+                Command::Relax => self.relax(),
+            }
+        }
+    }
+
+    /// Drains bytes the MCU wants to send back.
+    pub fn transmit(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.tx)
+    }
+
+    /// Advances firmware time: servo motion plus the command watchdog.
+    pub fn tick(&mut self, dt: f64) {
+        self.silence += dt;
+        if self.silence > WATCHDOG_SECS && !self.relaxed {
+            self.relax();
+        }
+        self.arm.tick(dt);
+    }
+
+    fn relax(&mut self) {
+        // Hold current positions: target := position for every servo.
+        let lift = self.arm.lift.position();
+        let wrist = self.arm.wrist.position();
+        self.arm.lift.set_target_clamped(lift - self.arm.lift.trim_deg);
+        self.arm
+            .wrist
+            .set_target_clamped(wrist - self.arm.wrist.trim_deg);
+        for f in &mut self.arm.fingers {
+            let p = f.position();
+            let trim = f.trim_deg;
+            f.set_target_clamped(p - trim);
+        }
+        self.relaxed = true;
+    }
+
+    /// Whether the watchdog has tripped.
+    #[must_use]
+    pub fn is_relaxed(&self) -> bool {
+        self.relaxed
+    }
+
+    /// Framing/checksum errors seen so far.
+    #[must_use]
+    pub fn decode_errors(&self) -> u64 {
+        self.decoder.errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinematics::Joint;
+
+    #[test]
+    fn set_servo_moves_the_joint() {
+        let mut mcu = Mcu::new();
+        mcu.receive(&encode(Command::SetServo {
+            id: 0,
+            decideg: Command::encode_angle(100.0),
+        }));
+        for _ in 0..200 {
+            mcu.tick(0.02);
+        }
+        assert!((mcu.arm.joint_value(Joint::Lift) - 100.0).abs() < 0.5);
+        assert_eq!(mcu.commands_handled, 1);
+    }
+
+    #[test]
+    fn ping_gets_ack() {
+        let mut mcu = Mcu::new();
+        mcu.receive(&encode(Command::Ping));
+        let reply = mcu.transmit();
+        let mut dec = Decoder::new();
+        assert_eq!(dec.feed(&reply), vec![Command::Ack]);
+        // TX buffer drains.
+        assert!(mcu.transmit().is_empty());
+    }
+
+    #[test]
+    fn watchdog_trips_after_silence() {
+        let mut mcu = Mcu::new();
+        // Slow the lift down so the watchdog fires mid-travel.
+        mcu.arm.lift.slew_deg_per_s = 10.0;
+        mcu.receive(&encode(Command::SetServo {
+            id: 0,
+            decideg: Command::encode_angle(120.0),
+        }));
+        // Move a little, then go silent past the watchdog.
+        for _ in 0..20 {
+            mcu.tick(0.02);
+        }
+        let mid = mcu.arm.joint_value(Joint::Lift);
+        for _ in 0..200 {
+            mcu.tick(0.02);
+        }
+        assert!(mcu.is_relaxed());
+        // Arm held near where the watchdog tripped, not at the stale target.
+        let held = mcu.arm.joint_value(Joint::Lift);
+        assert!(held < 119.0, "arm kept moving to {held} after watchdog");
+        assert!(held >= mid - 1.0);
+    }
+
+    #[test]
+    fn new_command_clears_watchdog() {
+        let mut mcu = Mcu::new();
+        for _ in 0..200 {
+            mcu.tick(0.02);
+        }
+        assert!(mcu.is_relaxed());
+        mcu.receive(&encode(Command::Ping));
+        assert!(!mcu.is_relaxed());
+    }
+
+    #[test]
+    fn unknown_servo_ids_are_ignored() {
+        let mut mcu = Mcu::new();
+        mcu.receive(&encode(Command::SetServo {
+            id: 9,
+            decideg: 900,
+        }));
+        assert_eq!(mcu.commands_handled, 1);
+        // No panic, no movement.
+        assert!(mcu.arm.settled());
+    }
+}

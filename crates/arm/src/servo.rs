@@ -1,0 +1,165 @@
+//! Hobby-servo dynamics.
+//!
+//! Each of the five servos is a position-commanded actuator with a finite
+//! slew rate, mechanical end stops and a trim offset discovered during
+//! calibration. Time advances explicitly via [`Servo::tick`] so the whole
+//! arm simulation is deterministic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ArmError, Result};
+
+/// One servo channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Servo {
+    /// Mechanical minimum in degrees.
+    pub min_deg: f64,
+    /// Mechanical maximum in degrees.
+    pub max_deg: f64,
+    /// Maximum speed in degrees/second (hobby servos ≈ 60°/0.15 s ≈ 400°/s;
+    /// we default lower for a loaded joint).
+    pub slew_deg_per_s: f64,
+    /// Trim offset applied to commands (set by calibration).
+    pub trim_deg: f64,
+    position: f64,
+    target: f64,
+}
+
+impl Servo {
+    /// Creates a servo resting at the midpoint of its range.
+    #[must_use]
+    pub fn new(min_deg: f64, max_deg: f64, slew_deg_per_s: f64) -> Self {
+        let mid = (min_deg + max_deg) / 2.0;
+        Self {
+            min_deg,
+            max_deg,
+            slew_deg_per_s,
+            trim_deg: 0.0,
+            position: mid,
+            target: mid,
+        }
+    }
+
+    /// Current shaft position in degrees.
+    #[must_use]
+    pub fn position(&self) -> f64 {
+        self.position
+    }
+
+    /// Current target in degrees (after trim and clamping).
+    #[must_use]
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// Commands a new target angle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArmError::AngleOutOfRange`] when the trimmed command is
+    /// outside the mechanical range (the MCU clamps instead; this strict
+    /// variant is used by the Jetson-side safety layer).
+    pub fn set_target(&mut self, angle: f64) -> Result<()> {
+        let trimmed = angle + self.trim_deg;
+        if trimmed < self.min_deg || trimmed > self.max_deg {
+            return Err(ArmError::AngleOutOfRange {
+                servo: 0,
+                angle,
+                range: (self.min_deg - self.trim_deg, self.max_deg - self.trim_deg),
+            });
+        }
+        self.target = trimmed;
+        Ok(())
+    }
+
+    /// Commands a new target, clamping into range (MCU behaviour).
+    pub fn set_target_clamped(&mut self, angle: f64) {
+        self.target = (angle + self.trim_deg).clamp(self.min_deg, self.max_deg);
+    }
+
+    /// Advances the simulation by `dt` seconds; returns the new position.
+    pub fn tick(&mut self, dt: f64) -> f64 {
+        let max_step = self.slew_deg_per_s * dt;
+        let delta = (self.target - self.position).clamp(-max_step, max_step);
+        self.position += delta;
+        self.position
+    }
+
+    /// Whether the shaft has reached its target (within 0.25°).
+    #[must_use]
+    pub fn settled(&self) -> bool {
+        (self.position - self.target).abs() < 0.25
+    }
+
+    /// Seconds needed to travel from the current position to the target at
+    /// the slew limit.
+    #[must_use]
+    pub fn time_to_target(&self) -> f64 {
+        (self.target - self.position).abs() / self.slew_deg_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn servo_slews_toward_target() {
+        let mut s = Servo::new(0.0, 180.0, 100.0);
+        s.set_target(140.0).unwrap();
+        s.tick(0.1); // at most 10°
+        assert!((s.position() - 100.0).abs() < 1e-9);
+        for _ in 0..10 {
+            s.tick(0.1);
+        }
+        assert!(s.settled());
+        assert!((s.position() - 140.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_strict_command_rejected() {
+        let mut s = Servo::new(0.0, 120.0, 100.0);
+        assert!(matches!(
+            s.set_target(130.0),
+            Err(ArmError::AngleOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn clamped_command_saturates() {
+        let mut s = Servo::new(0.0, 120.0, 1000.0);
+        s.set_target_clamped(500.0);
+        s.tick(1.0);
+        assert!((s.position() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trim_shifts_commands() {
+        let mut s = Servo::new(0.0, 180.0, 1000.0);
+        s.trim_deg = 5.0;
+        s.set_target(90.0).unwrap();
+        s.tick(1.0);
+        assert!((s.position() - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_overshoots() {
+        let mut s = Servo::new(0.0, 180.0, 37.0);
+        s.set_target(91.0).unwrap();
+        let mut last = s.position();
+        for _ in 0..100 {
+            let p = s.tick(0.016);
+            assert!(p <= 91.0 + 1e-9);
+            assert!(p >= last - 1e-9, "monotone approach");
+            last = p;
+        }
+        assert!(s.settled());
+    }
+
+    #[test]
+    fn time_to_target_estimates() {
+        let mut s = Servo::new(0.0, 180.0, 50.0);
+        s.set_target(140.0).unwrap();
+        assert!((s.time_to_target() - 1.0).abs() < 1e-9);
+    }
+}

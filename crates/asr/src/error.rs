@@ -1,0 +1,52 @@
+use std::fmt;
+
+/// Errors produced by the voice-command substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AsrError {
+    /// The audio clip is too short for feature extraction.
+    ClipTooShort {
+        /// Samples required.
+        required: usize,
+        /// Samples provided.
+        actual: usize,
+    },
+    /// Training the spotter failed.
+    Train(ml::MlError),
+    /// An underlying DSP operation failed.
+    Dsp(dsp::DspError),
+}
+
+impl fmt::Display for AsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsrError::ClipTooShort { required, actual } => {
+                write!(f, "clip has {actual} samples, need {required}")
+            }
+            AsrError::Train(e) => write!(f, "training failed: {e}"),
+            AsrError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AsrError::Train(e) => Some(e),
+            AsrError::Dsp(e) => Some(e),
+            AsrError::ClipTooShort { .. } => None,
+        }
+    }
+}
+
+impl From<ml::MlError> for AsrError {
+    fn from(e: ml::MlError) -> Self {
+        AsrError::Train(e)
+    }
+}
+
+impl From<dsp::DspError> for AsrError {
+    fn from(e: dsp::DspError) -> Self {
+        AsrError::Dsp(e)
+    }
+}

@@ -1,0 +1,33 @@
+//! Voice-command substrate (Sec. III-F, Fig. 7).
+//!
+//! The paper runs Whisper-small behind a voice-activity detector to switch
+//! the prosthetic's control mode between three degrees of freedom with the
+//! words "arm", "elbow" and "fingers". Whisper itself is out of scope for a
+//! from-scratch reproduction (and unnecessary: only three keywords matter),
+//! so this crate builds the equivalent pipeline end to end:
+//!
+//! * [`audio`] — a synthetic speech generator: each keyword is a distinct
+//!   formant-trajectory "word" embedded in configurable background noise.
+//! * [`vad`] — energy-based voice-activity detection with hangover, used to
+//!   gate recognition exactly like the paper's Sec. III-F2.
+//! * [`mfcc`] — mel-frequency cepstral coefficients over the detected
+//!   segment (the classic ASR front end), built on the `dsp` FFT.
+//! * [`kws`] — a keyword-spotting MLP trained on synthetic utterances.
+//! * [`zoo`] — a family of recognizer configurations spanning the
+//!   tiny→large compute/quality trade-off, measured (PCC score, latency,
+//!   memory) to regenerate Fig. 7's Pareto front and its "pick small, not
+//!   large" conclusion.
+
+pub mod audio;
+pub mod kws;
+pub mod mfcc;
+pub mod vad;
+pub mod zoo;
+
+mod error;
+
+pub use audio::Command;
+pub use error::AsrError;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, AsrError>;

@@ -1,0 +1,223 @@
+//! Mel-frequency cepstral coefficients — the classic ASR front end.
+//!
+//! Pipeline per frame: pre-emphasis → Hamming window → FFT magnitude →
+//! mel filterbank → log → DCT-II. An utterance is summarized as the mean
+//! and standard deviation of each coefficient across frames, yielding a
+//! fixed-length vector for the keyword spotter.
+
+use dsp::fft::rfft;
+
+use crate::audio::AUDIO_RATE;
+use crate::{AsrError, Result};
+
+/// MFCC extraction parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MfccConfig {
+    /// Frame length in samples (512 = 32 ms at 16 kHz; power of two).
+    pub frame: usize,
+    /// Hop between frames in samples.
+    pub hop: usize,
+    /// Number of mel filters.
+    pub n_mels: usize,
+    /// Number of cepstral coefficients kept.
+    pub n_coeffs: usize,
+}
+
+impl Default for MfccConfig {
+    fn default() -> Self {
+        Self {
+            frame: 512,
+            hop: 256,
+            n_mels: 26,
+            n_coeffs: 13,
+        }
+    }
+}
+
+impl MfccConfig {
+    /// Length of the utterance-level feature vector
+    /// (mean + std per coefficient).
+    #[must_use]
+    pub fn feature_len(&self) -> usize {
+        self.n_coeffs * 2
+    }
+}
+
+fn hz_to_mel(hz: f64) -> f64 {
+    2595.0 * (1.0 + hz / 700.0).log10()
+}
+
+fn mel_to_hz(mel: f64) -> f64 {
+    700.0 * (10f64.powf(mel / 2595.0) - 1.0)
+}
+
+/// Triangular mel filterbank: `n_mels` filters over `n_bins` FFT bins.
+fn mel_filterbank(n_mels: usize, n_bins: usize, frame: usize) -> Vec<Vec<(usize, f64)>> {
+    let f_max = AUDIO_RATE / 2.0;
+    let mel_max = hz_to_mel(f_max);
+    let centers: Vec<f64> = (0..n_mels + 2)
+        .map(|i| mel_to_hz(mel_max * i as f64 / (n_mels + 1) as f64))
+        .collect();
+    let bin_of = |hz: f64| (hz * frame as f64 / AUDIO_RATE).round() as usize;
+    let mut filters = Vec::with_capacity(n_mels);
+    for m in 1..=n_mels {
+        let (lo, mid, hi) = (bin_of(centers[m - 1]), bin_of(centers[m]), bin_of(centers[m + 1]));
+        let mut taps = Vec::new();
+        for b in lo..hi.min(n_bins) {
+            let w = if b < mid {
+                (b - lo) as f64 / (mid - lo).max(1) as f64
+            } else {
+                (hi - b) as f64 / (hi - mid).max(1) as f64
+            };
+            if w > 0.0 {
+                taps.push((b, w));
+            }
+        }
+        filters.push(taps);
+    }
+    filters
+}
+
+/// Per-frame MFCC matrix (`frames × n_coeffs`).
+///
+/// # Errors
+///
+/// Returns [`AsrError::ClipTooShort`] when fewer samples than one frame are
+/// given.
+pub fn mfcc_frames(clip: &[f32], config: &MfccConfig) -> Result<Vec<Vec<f32>>> {
+    if clip.len() < config.frame {
+        return Err(AsrError::ClipTooShort {
+            required: config.frame,
+            actual: clip.len(),
+        });
+    }
+    let n_bins = config.frame / 2;
+    let filters = mel_filterbank(config.n_mels, n_bins, config.frame);
+    let hamming: Vec<f64> = (0..config.frame)
+        .map(|i| {
+            0.54 - 0.46 * (2.0 * std::f64::consts::PI * i as f64 / (config.frame - 1) as f64).cos()
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start + config.frame <= clip.len() {
+        let frame = &clip[start..start + config.frame];
+        // Pre-emphasis + window.
+        let mut buf = vec![0.0f32; config.frame];
+        buf[0] = frame[0] * hamming[0] as f32;
+        for i in 1..config.frame {
+            buf[i] = ((f64::from(frame[i]) - 0.97 * f64::from(frame[i - 1])) * hamming[i]) as f32;
+        }
+        let spec = rfft(&buf)?;
+        let power: Vec<f64> = spec[..n_bins].iter().map(|c| c.norm_sqr()).collect();
+        // Mel energies → log.
+        let log_mels: Vec<f64> = filters
+            .iter()
+            .map(|taps| {
+                let e: f64 = taps.iter().map(|&(b, w)| power[b] * w).sum();
+                (e + 1e-10).ln()
+            })
+            .collect();
+        // DCT-II, skipping c0: the 0th coefficient is overall log energy,
+        // which tracks the ambient noise level rather than the word and
+        // destabilizes recognition under train/test noise mismatch.
+        let mut coeffs = Vec::with_capacity(config.n_coeffs);
+        for k in 1..=config.n_coeffs {
+            let mut acc = 0.0f64;
+            for (m, &lm) in log_mels.iter().enumerate() {
+                acc += lm
+                    * (std::f64::consts::PI * k as f64 * (m as f64 + 0.5)
+                        / config.n_mels as f64)
+                        .cos();
+            }
+            coeffs.push(acc as f32);
+        }
+        out.push(coeffs);
+        start += config.hop;
+    }
+    Ok(out)
+}
+
+/// Utterance-level feature: per-coefficient mean and standard deviation
+/// across frames.
+///
+/// # Errors
+///
+/// Propagates [`AsrError::ClipTooShort`].
+pub fn utterance_features(clip: &[f32], config: &MfccConfig) -> Result<Vec<f32>> {
+    let frames = mfcc_frames(clip, config)?;
+    let n = frames.len() as f64;
+    let mut means = vec![0.0f64; config.n_coeffs];
+    for f in &frames {
+        for (m, &c) in means.iter_mut().zip(f) {
+            *m += f64::from(c) / n;
+        }
+    }
+    let mut stds = vec![0.0f64; config.n_coeffs];
+    for f in &frames {
+        for ((s, &c), m) in stds.iter_mut().zip(f).zip(&means) {
+            *s += (f64::from(c) - m).powi(2) / n;
+        }
+    }
+    let mut out = Vec::with_capacity(config.feature_len());
+    out.extend(means.iter().map(|&m| m as f32));
+    out.extend(stds.iter().map(|&s| s.sqrt() as f32));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audio::{synth_utterance, Command};
+
+    #[test]
+    fn feature_vector_has_declared_length() {
+        let cfg = MfccConfig::default();
+        let u = synth_utterance(Command::Arm, 0.02, 1);
+        let f = utterance_features(&u, &cfg).unwrap();
+        assert_eq!(f.len(), cfg.feature_len());
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn different_words_give_different_features() {
+        let cfg = MfccConfig::default();
+        let fa = utterance_features(&synth_utterance(Command::Arm, 0.0, 2), &cfg).unwrap();
+        let ff = utterance_features(&synth_utterance(Command::Fingers, 0.0, 2), &cfg).unwrap();
+        let dist: f32 = fa.iter().zip(&ff).map(|(a, b)| (a - b).powi(2)).sum();
+        assert!(dist > 1.0, "distance {dist}");
+    }
+
+    #[test]
+    fn same_word_different_speakers_are_closer_than_different_words() {
+        let cfg = MfccConfig::default();
+        let d = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+        };
+        let arm1 = utterance_features(&synth_utterance(Command::Arm, 0.02, 3), &cfg).unwrap();
+        let arm2 = utterance_features(&synth_utterance(Command::Arm, 0.02, 4), &cfg).unwrap();
+        let elbow = utterance_features(&synth_utterance(Command::Elbow, 0.02, 3), &cfg).unwrap();
+        assert!(d(&arm1, &arm2) < d(&arm1, &elbow));
+    }
+
+    #[test]
+    fn short_clip_is_rejected() {
+        let cfg = MfccConfig::default();
+        assert!(matches!(
+            mfcc_frames(&[0.0; 100], &cfg),
+            Err(AsrError::ClipTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn mel_scale_is_monotone() {
+        let mut last = 0.0;
+        for hz in [100.0, 500.0, 1000.0, 4000.0, 8000.0] {
+            let mel = hz_to_mel(hz);
+            assert!(mel > last);
+            assert!((mel_to_hz(mel) - hz).abs() < 1e-6);
+            last = mel;
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Energy-based voice-activity detection with hangover (Sec. III-F2).
+//!
+//! "A VAD algorithm was employed to trigger the ASR model only when speech
+//! was detected, minimizing resource consumption and latency." We implement
+//! the standard short-time-energy detector: a noise floor estimated from
+//! the quietest frames, a threshold some dB above it, and a hangover that
+//! bridges short intra-word gaps.
+
+use serde::{Deserialize, Serialize};
+
+/// A detected speech segment, in samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpeechSegment {
+    /// First sample.
+    pub start: usize,
+    /// One past the last sample.
+    pub end: usize,
+}
+
+impl SpeechSegment {
+    /// Segment length in samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the segment is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// VAD configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VadConfig {
+    /// Analysis frame length in samples (default 320 = 20 ms at 16 kHz).
+    pub frame: usize,
+    /// Energy threshold as a multiple of the noise floor (default 4.0).
+    pub threshold_ratio: f64,
+    /// Frames of hangover bridging gaps inside a word (default 12 ≈ 240 ms,
+    /// enough to bridge inter-syllable pauses).
+    pub hangover: usize,
+    /// Minimum speech length in frames to accept (default 5 = 100 ms).
+    pub min_frames: usize,
+}
+
+impl Default for VadConfig {
+    fn default() -> Self {
+        Self {
+            frame: 320,
+            threshold_ratio: 4.0,
+            hangover: 12,
+            min_frames: 5,
+        }
+    }
+}
+
+/// Detects speech segments in a clip.
+#[must_use]
+pub fn detect_speech(clip: &[f32], config: &VadConfig) -> Vec<SpeechSegment> {
+    if clip.len() < config.frame * 4 {
+        return Vec::new();
+    }
+    let energies: Vec<f64> = clip
+        .chunks(config.frame)
+        .map(|f| f.iter().map(|&x| f64::from(x).powi(2)).sum::<f64>() / f.len() as f64)
+        .collect();
+
+    // Noise floor: mean of the quietest 20% of frames.
+    let mut sorted = energies.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite energy"));
+    let k = (sorted.len() / 5).max(1);
+    let floor: f64 = sorted[..k].iter().sum::<f64>() / k as f64;
+    let threshold = (floor * config.threshold_ratio).max(1e-10);
+
+    let mut segments: Vec<SpeechSegment> = Vec::new();
+    let mut active: Option<(usize, usize)> = None; // (start frame, last hot frame)
+    for (i, &e) in energies.iter().enumerate() {
+        if e > threshold {
+            active = match active {
+                Some((s, _)) => Some((s, i)),
+                None => Some((i, i)),
+            };
+        } else if let Some((s, last_hot)) = active {
+            if i - last_hot > config.hangover {
+                push_segment(&mut segments, s, last_hot, config);
+                active = None;
+            }
+        }
+    }
+    if let Some((s, last_hot)) = active {
+        push_segment(&mut segments, s, last_hot, config);
+    }
+    segments
+}
+
+fn push_segment(segments: &mut Vec<SpeechSegment>, start_f: usize, end_f: usize, cfg: &VadConfig) {
+    if end_f - start_f + 1 >= cfg.min_frames {
+        segments.push(SpeechSegment {
+            start: start_f * cfg.frame,
+            end: (end_f + 1) * cfg.frame,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audio::{synth_clip, Command};
+
+    #[test]
+    fn detects_the_utterance() {
+        let (clip, start, end) = synth_clip(Command::Elbow, 0.02, 1);
+        let segments = detect_speech(&clip, &VadConfig::default());
+        assert_eq!(segments.len(), 1, "{segments:?}");
+        let seg = segments[0];
+        // Detected bounds within ~60 ms of ground truth.
+        let tol = 1600;
+        assert!((seg.start as i64 - start as i64).unsigned_abs() < tol);
+        assert!((seg.end as i64 - end as i64).unsigned_abs() < tol * 2);
+    }
+
+    #[test]
+    fn silence_yields_nothing() {
+        let clip = vec![0.001f32; 16000];
+        assert!(detect_speech(&clip, &VadConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn pure_noise_yields_nothing() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0);
+        let clip: Vec<f32> = (0..32000).map(|_| rng.gen_range(-0.05..0.05)).collect();
+        let segments = detect_speech(&clip, &VadConfig::default());
+        assert!(segments.is_empty(), "{segments:?}");
+    }
+
+    #[test]
+    fn hangover_bridges_syllable_gaps() {
+        // "fingers" has two ~30 ms intra-word gaps; it must come out as ONE
+        // segment, not three.
+        let (clip, _, _) = synth_clip(Command::Fingers, 0.01, 2);
+        let segments = detect_speech(&clip, &VadConfig::default());
+        assert_eq!(segments.len(), 1, "{segments:?}");
+    }
+
+    #[test]
+    fn short_clip_is_rejected_gracefully() {
+        let clip = vec![0.5f32; 100];
+        assert!(detect_speech(&clip, &VadConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Criterion micro-benchmarks for the numeric kernels: dense vs CSR vs int8
+//! matmul (the mechanism behind Fig. 12's latency story), the paper's
+//! filters, the FFT, and the compiled per-architecture forward passes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use dsp::butterworth::Butterworth;
+use dsp::fft::rfft;
+use dsp::notch::notch_filter;
+use ml::compress::{prune_global, quantize, QuantMode};
+use ml::infer::{compile_cnn, compile_lstm, compile_transformer, MatRep, QuantMatrix};
+use ml::models::{CnnConfig, LstmConfig, TransformerConfig};
+use ml::sparse::CsrMatrix;
+use ml::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_tensor(shape: Vec<usize>, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::uniform(shape, 1.0, &mut rng)
+}
+
+fn prune_kernels(c: &mut Criterion) {
+    // A 512x512 layer at 70% sparsity: the crossover the paper exploits.
+    let w = random_tensor(vec![512, 512], 1);
+    let x = random_tensor(vec![1, 512], 2);
+    let mut sparse_w = w.clone();
+    let mut rng = StdRng::seed_from_u64(3);
+    for v in sparse_w.data_mut() {
+        if rng.gen_bool(0.7) {
+            *v = 0.0;
+        }
+    }
+    let csr = CsrMatrix::from_dense(&sparse_w);
+    let quant = QuantMatrix::quantize(&w, 0.01, None);
+
+    let mut g = c.benchmark_group("matvec_512");
+    g.bench_function("dense_f32", |b| b.iter(|| black_box(x.matmul(&w))));
+    g.bench_function("csr_70pct", |b| b.iter(|| black_box(csr.left_matmul(&x))));
+    g.bench_function("int8", |b| b.iter(|| black_box(quant.left_matmul(&x))));
+    g.finish();
+}
+
+fn filter_kernels(c: &mut Criterion) {
+    let bp = Butterworth::bandpass(9, 0.5, 45.0, 125.0).expect("designs");
+    let nt = notch_filter(50.0, 30.0, 125.0).expect("designs");
+    let signal: Vec<f32> = (0..1250).map(|i| (i as f32 * 0.37).sin()).collect();
+    let mut g = c.benchmark_group("filters_10s_signal");
+    g.bench_function("butterworth9_bandpass", |b| {
+        b.iter(|| black_box(bp.filter(&signal)))
+    });
+    g.bench_function("notch50_q30", |b| b.iter(|| black_box(nt.filter(&signal))));
+    g.finish();
+}
+
+fn fft_kernels(c: &mut Criterion) {
+    let signal: Vec<f32> = (0..1024).map(|i| (i as f32 * 0.11).sin()).collect();
+    c.bench_function("rfft_1024", |b| {
+        b.iter(|| black_box(rfft(&signal).expect("power of two")))
+    });
+}
+
+fn forward_passes(c: &mut Criterion) {
+    let window: Vec<f32> = {
+        let mut rng = StdRng::seed_from_u64(7);
+        (0..16 * 190).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    };
+    let w130: Vec<f32> = window[..16 * 130].to_vec();
+
+    let cnn = compile_cnn(&CnnConfig::paper_best().build(1).expect("builds"));
+    let lstm = compile_lstm(
+        &LstmConfig {
+            hidden: 128,
+            ..LstmConfig::paper_best()
+        }
+        .build(2)
+        .expect("builds"),
+    );
+    let tf = compile_transformer(&TransformerConfig::paper_best().build(3).expect("builds"));
+
+    let mut g = c.benchmark_group("inference_single_window");
+    g.bench_function("cnn_paper_best", |b| {
+        b.iter(|| black_box(cnn.predict_logits(&window)))
+    });
+    g.bench_function("lstm_128", |b| {
+        // LSTM window is 130 samples.
+        b.iter(|| black_box(lstm.predict_logits(&w130)))
+    });
+    g.bench_function("tf_paper_best", |b| {
+        b.iter(|| black_box(tf.predict_logits(&window)))
+    });
+    g.finish();
+
+    // Compression variants of the CNN (Fig. 12 mechanism).
+    let mut g = c.benchmark_group("cnn_compressed");
+    g.bench_function("dense", |b| b.iter(|| black_box(cnn.predict_logits(&window))));
+    g.bench_function("pruned_70", |b| {
+        b.iter_batched(
+            || {
+                let mut m = cnn.clone();
+                prune_global(&mut m, 0.7);
+                m
+            },
+            |m| black_box(m.predict_logits(&window)),
+            BatchSize::LargeInput,
+        )
+    });
+    let mut quantized = cnn.clone();
+    quantize(&mut quantized, QuantMode::GlobalFaithful);
+    g.bench_function("int8_global", |b| {
+        b.iter(|| black_box(quantized.predict_logits(&window)))
+    });
+    g.finish();
+
+    // Representation sanity: sparse dims preserved.
+    let mut pruned = cnn.clone();
+    prune_global(&mut pruned, 0.7);
+    pruned.visit_weights(|w| {
+        if let MatRep::Sparse(s) = w {
+            assert!(s.sparsity() > 0.0);
+        }
+    });
+}
+
+criterion_group!(
+    benches,
+    prune_kernels,
+    filter_kernels,
+    fft_kernels,
+    forward_passes
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the end-to-end pipeline stages: streaming
+//! preprocessing, windowed ensemble classification, and the closed-loop
+//! label period — the numbers behind the paper's real-time claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cognitive_arm::eval::{train_default_ensemble, DatasetBuilder, TrainBudget};
+use cognitive_arm::pipeline::{CognitiveArm, PipelineConfig};
+use cognitive_arm::preprocess::{FilterSpec, StreamingChain};
+use eeg::dataset::Protocol;
+use eeg::CHANNELS;
+
+fn pipeline_stages(c: &mut Criterion) {
+    let data = DatasetBuilder::new(Protocol::quick(), 1, 5)
+        .build()
+        .expect("dataset builds");
+    let ensemble =
+        train_default_ensemble(&data, &TrainBudget::quick(), 1).expect("ensemble trains");
+    let window: Vec<f32> = data
+        .windows(ensemble.window(), 50)
+        .expect("windows cut")
+        .remove(0)
+        .data;
+
+    c.bench_function("streaming_filter_one_sample_16ch", |b| {
+        let mut chain = StreamingChain::new(&FilterSpec::default()).expect("designs");
+        let mut s = [0.5f32; CHANNELS];
+        b.iter(|| {
+            chain.step(&mut s);
+            black_box(s[0])
+        })
+    });
+
+    c.bench_function("ensemble_classify_window", |b| {
+        b.iter(|| black_box(ensemble.predict(&window, CHANNELS)))
+    });
+
+    c.bench_function("closed_loop_one_second", |b| {
+        let ensemble =
+            train_default_ensemble(&data, &TrainBudget::quick(), 1).expect("ensemble trains");
+        let mut system = CognitiveArm::new(PipelineConfig::default(), ensemble, 5);
+        system.set_normalization(data.zscores[0].clone());
+        b.iter(|| black_box(system.run_for(1.0).expect("runs")))
+    });
+}
+
+criterion_group!(benches, pipeline_stages);
+criterion_main!(benches);

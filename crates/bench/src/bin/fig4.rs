@@ -1,0 +1,61 @@
+//! Fig. 4 — LSL vs UDP protocol comparison.
+//!
+//! Regenerates the radar-plot scores: latency, synchronization, sample
+//! rate, reliability, bandwidth efficiency. Expected shape: LSL wins every
+//! axis except bandwidth efficiency.
+
+use bench::{header, row};
+use stream::compare::compare_protocols;
+
+fn main() {
+    let seed = 42;
+    let seconds = 30.0;
+    println!("# Fig. 4 — LSL vs UDP on identical 16ch/125Hz traffic ({seconds} s, seed {seed})\n");
+    let c = compare_protocols(seconds, seed);
+
+    header(&[
+        "protocol",
+        "mean latency (ms)",
+        "jitter (ms)",
+        "sync RMS error (ms)",
+        "effective rate (%)",
+        "reliability (%)",
+        "bandwidth efficiency (%)",
+    ]);
+    for (name, m) in [("LSL", c.lsl), ("UDP", c.udp)] {
+        row(&[
+            name.to_owned(),
+            format!("{:.2}", m.mean_latency_ms),
+            format!("{:.2}", m.jitter_ms),
+            if m.sync_error_ms.is_finite() {
+                format!("{:.2}", m.sync_error_ms)
+            } else {
+                "n/a (no timestamps)".to_owned()
+            },
+            format!("{:.2}", m.effective_rate_pct),
+            format!("{:.2}", m.reliability_pct),
+            format!("{:.2}", m.bandwidth_efficiency_pct),
+        ]);
+    }
+
+    println!("\n## Radar scores (0-10, higher better; axes as in the paper's figure)\n");
+    header(&["protocol", "latency", "sync", "rate", "reliability", "bandwidth"]);
+    for (name, m) in [("LSL", c.lsl), ("UDP", c.udp)] {
+        let s = m.radar_scores();
+        row(&[
+            name.to_owned(),
+            format!("{:.1}", s[0]),
+            format!("{:.1}", s[1]),
+            format!("{:.1}", s[2]),
+            format!("{:.1}", s[3]),
+            format!("{:.1}", s[4]),
+        ]);
+    }
+    let lsl = c.lsl.radar_scores();
+    let udp = c.udp.radar_scores();
+    let lsl_wins = lsl.iter().zip(&udp).take(4).all(|(a, b)| a >= b);
+    let udp_wins_bw = udp[4] > lsl[4];
+    println!(
+        "\npaper shape check: LSL leads on first four axes: {lsl_wins}; UDP leads bandwidth only: {udp_wins_bw}"
+    );
+}

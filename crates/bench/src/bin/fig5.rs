@@ -1,0 +1,64 @@
+//! Fig. 5 — raw vs filtered EEG for a single channel.
+//!
+//! Prints the time series (decimated) and band-power summary showing the
+//! Butterworth band-pass + 50 Hz notch removing drift and line noise while
+//! preserving in-band rhythms; plus the causal-vs-zero-phase ablation from
+//! DESIGN.md §4.
+
+use cognitive_arm::preprocess::{FilterSpec, OfflineChain};
+use dsp::butterworth::Butterworth;
+use dsp::notch::notch_filter;
+use dsp::welch::welch_psd;
+use eeg::signal::{SignalGenerator, SubjectParams};
+use eeg::types::Action;
+use eeg::SAMPLE_RATE;
+
+fn band_report(label: &str, sig: &[f32]) {
+    let psd = welch_psd(sig, SAMPLE_RATE, 512).expect("signal long enough");
+    println!(
+        "{label:<22} drift(<0.5Hz) {:8.3}  alpha(8-13) {:7.3}  line(49-51) {:7.3}  hf(55-62) {:7.3}",
+        psd.band_power(0.0, 0.5),
+        psd.band_power(8.0, 13.0),
+        psd.band_power(49.0, 51.0),
+        psd.band_power(55.0, 62.0),
+    );
+}
+
+fn main() {
+    println!("# Fig. 5 — original vs filtered EEG (channel FP1, 8 s)\n");
+    let mut params = SubjectParams::sampled(5);
+    params.line_amp = 6.0;
+    params.drift_step = 0.08;
+    let mut generator = SignalGenerator::new(params, 9);
+    let chunk = generator.generate_action(Action::Idle, (8.0 * SAMPLE_RATE) as usize);
+    let raw = chunk.channel(0).to_vec();
+
+    let mut filtered_chunk = chunk.clone();
+    OfflineChain::new(&FilterSpec::default())
+        .expect("default spec designs")
+        .apply(&mut filtered_chunk)
+        .expect("recording long enough");
+    let filtered = filtered_chunk.channel(0);
+
+    println!("## Band powers (µV²)\n");
+    band_report("raw", &raw);
+    band_report("filtered (zero-phase)", filtered);
+
+    // Causal ablation: the real-time loop cannot use filtfilt.
+    let bp = Butterworth::bandpass(9, 0.5, 45.0, SAMPLE_RATE).expect("paper band-pass designs");
+    let nt = notch_filter(50.0, 30.0, SAMPLE_RATE).expect("paper notch designs");
+    let causal = nt.filter(&bp.filter(&raw));
+    band_report("filtered (causal)", &causal[(SAMPLE_RATE as usize)..]);
+
+    println!("\n## Time series (first 2 s, every 5th sample, µV)\n");
+    println!("{:>6} {:>10} {:>10}", "t(s)", "raw", "filtered");
+    for i in (0..(2.0 * SAMPLE_RATE) as usize).step_by(5) {
+        println!(
+            "{:6.3} {:10.3} {:10.3}",
+            i as f64 / SAMPLE_RATE,
+            raw[i],
+            filtered[i]
+        );
+    }
+    println!("\npaper shape check: line noise and drift suppressed, alpha preserved.");
+}

@@ -1,0 +1,43 @@
+//! Fig. 7 — ASR model-zoo Pareto front (PCC vs inference time, marker =
+//! VRAM). Expected shape: quality saturates at "small"; "large" is slower
+//! for no meaningful PCC gain, so the selection rule picks small.
+
+use asr::zoo::{measure_spec, pareto_front, select_model, whisper_family};
+use bench::{header, row, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (noise, n_test) = match scale {
+        Scale::Quick => (0.5, 24),
+        Scale::Default => (0.5, 60),
+        Scale::Full => (0.5, 150),
+    };
+    println!("# Fig. 7 — ASR family trade-off (noise {noise}, {n_test} test utterances)\n");
+
+    let mut points = Vec::new();
+    for spec in whisper_family() {
+        let m = measure_spec(&spec, noise, n_test, 77).expect("zoo member trains");
+        println!(
+            "measured {:<7} pcc {:.3}  latency {:8.2} ms  vram {:5} MiB  params {}",
+            m.name, m.pcc, m.latency_ms, m.vram_mib, m.params
+        );
+        points.push(m);
+    }
+
+    println!("\n## Pareto front (PCC ↑ vs latency ↓)\n");
+    header(&["model", "pcc", "latency (ms)", "vram (MiB)"]);
+    let front = pareto_front(&points);
+    for p in &front {
+        row(&[
+            p.name.to_owned(),
+            format!("{:.3}", p.pcc),
+            format!("{:.2}", p.latency_ms),
+            p.vram_mib.to_string(),
+        ]);
+    }
+    let pick = select_model(&front, 0.05).expect("front non-empty");
+    println!(
+        "\nselected model (within 0.05 PCC of best, fastest): {} — the paper picks whisper-small by the same rule",
+        pick.name
+    );
+}

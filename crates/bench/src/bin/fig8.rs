@@ -1,0 +1,50 @@
+//! Fig. 8 — evolutionary-search results per family (CNN, LSTM,
+//! Transformer): every candidate's (accuracy, params) across generations,
+//! with the family's Pareto-optimal points marked.
+
+use bench::{header, prepared_data, row, Scale};
+use cognitive_arm::eval::EegEvaluator;
+use evo::{Family, EvolutionarySearch, SearchSpace};
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 31;
+    println!("# Fig. 8 — per-family evolutionary search\n");
+    let data = prepared_data(scale, seed);
+
+    for family in [Family::Cnn, Family::Lstm, Family::Transformer] {
+        println!("\n## {family}\n");
+        let evaluator = EegEvaluator::new(data.clone(), scale.budget(), None)
+            .with_flop_budget(scale.flop_budget());
+        let search = EvolutionarySearch::new(
+            SearchSpace::new(family),
+            scale.evo_config(seed + family as u64),
+        );
+        let t0 = std::time::Instant::now();
+        let outcome = search.run(&evaluator);
+        println!(
+            "search finished in {:.1}s ({} candidates)\n",
+            t0.elapsed().as_secs_f64(),
+            outcome.history.len()
+        );
+
+        header(&["gen", "candidate", "val acc", "params", "pareto"]);
+        for (gen, cand) in &outcome.history {
+            let on_front = outcome.front.contains(cand);
+            row(&[
+                gen.to_string(),
+                cand.genome.describe(),
+                format!("{:.3}", cand.accuracy),
+                cand.params.to_string(),
+                if on_front { "*".into() } else { String::new() },
+            ]);
+        }
+        println!(
+            "\nbest ({family}): {} — acc {:.3}, params {}",
+            outcome.best.genome.describe(),
+            outcome.best.accuracy,
+            outcome.best.params
+        );
+    }
+    println!("\npaper reference points: CNN 1x[32,5x5,s2] w190; LSTM 1x512 w130; TF 2L/2H/d128/ff512 w190.");
+}

@@ -1,0 +1,56 @@
+//! Fig. 9 — the combined Pareto front over all four families (accuracy vs
+//! parameter count), including the Random Forest point "D" whose size is
+//! measured in total tree nodes.
+
+use bench::{header, prepared_data, row, Scale};
+use cognitive_arm::eval::EegEvaluator;
+use evo::{pareto_front, Candidate, Family, EvolutionarySearch, SearchSpace};
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 47;
+    println!("# Fig. 9 — combined accuracy-vs-parameters Pareto front\n");
+    let data = prepared_data(scale, seed);
+    let evaluator = EegEvaluator::new(data, scale.budget(), None)
+        .with_flop_budget(scale.flop_budget());
+
+    let mut all: Vec<Candidate> = Vec::new();
+    for family in [
+        Family::Cnn,
+        Family::Lstm,
+        Family::Transformer,
+        Family::Forest,
+    ] {
+        let mut cfg = scale.evo_config(seed + family as u64 * 13);
+        // Forests are cheap; same budget finishes instantly.
+        if family == Family::Forest {
+            cfg.generations = cfg.generations.min(2);
+        }
+        let search = EvolutionarySearch::new(SearchSpace::new(family), cfg);
+        let outcome = search.run(&evaluator);
+        println!(
+            "{family}: {} candidates, family-best acc {:.3}",
+            outcome.history.len(),
+            outcome.best.accuracy
+        );
+        all.extend(outcome.history.into_iter().map(|(_, c)| c));
+    }
+
+    let front = pareto_front(&all);
+    println!("\n## Pareto front (sorted by parameter count)\n");
+    header(&["family", "configuration", "val acc", "params"]);
+    for c in &front {
+        row(&[
+            c.genome.family().to_string(),
+            c.genome.describe(),
+            format!("{:.3}", c.accuracy),
+            c.params.to_string(),
+        ]);
+    }
+    let families: std::collections::HashSet<String> =
+        front.iter().map(|c| c.genome.family().to_string()).collect();
+    println!(
+        "\nfront spans families: {:?} (paper's front shows CNN models achieving high accuracy at low parameter counts)",
+        families
+    );
+}

@@ -1,0 +1,64 @@
+//! Sec. IV-A5 — real-world validation: 20 closed-loop sessions where the
+//! simulated participant drives the arm with intentions alone. The paper
+//! reports 19 of 20 sessions translating intentions successfully.
+
+use bench::Scale;
+use cognitive_arm::eval::{train_default_ensemble, DatasetBuilder, TrainBudget};
+use cognitive_arm::pipeline::{CognitiveArm, PipelineConfig};
+use cognitive_arm::session::{run_validation, SessionConfig};
+use eeg::dataset::Protocol;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 101;
+    println!("# Real-world validation — 20 closed-loop sessions\n");
+
+    // The participant was part of the system's calibration (paper IV-A5:
+    // participants were trained users), so train on this subject's data.
+    let protocol = match scale {
+        Scale::Quick => Protocol::quick(),
+        _ => Protocol {
+            task_secs: 8.0,
+            rest_secs: 8.0,
+            session_secs: 120.0,
+            sessions: 1,
+            transition_secs: 0.6,
+        },
+    };
+    let data = DatasetBuilder::new(protocol, 1, seed).build().expect("dataset builds");
+    let budget = match scale {
+        Scale::Quick => TrainBudget::quick(),
+        _ => TrainBudget::bench(),
+    };
+    let ensemble = train_default_ensemble(&data, &budget, seed).expect("ensemble trains");
+    let zscore = data.zscores[0].clone();
+
+    let mut system = CognitiveArm::new(PipelineConfig::default(), ensemble, seed);
+    system.set_normalization(zscore);
+
+    let report = run_validation(&mut system, &SessionConfig::default()).expect("sessions run");
+    println!("| session | intended | displacement | success |");
+    println!("|---|---|---|---|");
+    for (i, t) in report.trials.iter().enumerate() {
+        println!(
+            "| {} | {} | {:+.1} | {} |",
+            i + 1,
+            t.intended,
+            t.displacement,
+            if t.success { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "\nsuccesses: {}/{} (paper: 19/20)",
+        report.successes(),
+        report.trials.len()
+    );
+    let lat = system.latency();
+    println!(
+        "pipeline latency per label: filter {:.3} ms, inference {:.3} ms, actuation {:.3} ms (end-to-end {:.3} ms)",
+        lat.filter.mean_s() * 1e3,
+        lat.inference.mean_s() * 1e3,
+        lat.actuation.mean_s() * 1e3,
+        lat.end_to_end_s() * 1e3,
+    );
+}

@@ -1,0 +1,70 @@
+//! Table II — comparison of brain-controlled prosthetic arms.
+//!
+//! The literature rows are cited values reprinted verbatim; the
+//! CognitiveArm row's accuracy class is *regenerated* from our LOSO
+//! measurement so the table stays honest about what we reproduce.
+
+use bench::{common_eval_set, eval_accuracy, family_genomes, header, prepared_data, row, train_one, Scale, EEG_CHANNELS};
+use ml::ensemble::{Ensemble, Voting};
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 83;
+    println!("# Table II — brain-controlled prosthetic arm comparison\n");
+
+    // Measure our row.
+    let data = prepared_data(scale, seed);
+    let eval_set = common_eval_set(&data, 300);
+    let genomes = family_genomes(scale);
+    let cnn = train_one(&data, &genomes[0], scale, seed);
+    let tf = train_one(&data, &genomes[2], scale, seed);
+    let ensemble = Ensemble::new(
+        vec![
+            cnn.artifact.into_classifier(),
+            tf.artifact.into_classifier(),
+        ],
+        Voting::Soft,
+    );
+    let acc = eval_accuracy(&eval_set, |w| ensemble.predict(w, EEG_CHANNELS));
+    let acc_class = if acc >= 0.9 {
+        "High"
+    } else if acc >= 0.75 {
+        "Mod."
+    } else {
+        "Low"
+    };
+
+    header(&["solution", "method", "acc.", "cost", "scope"]);
+    let cited = [
+        ("[22]", "EEG-based", "Mod.", "Low", "Limited real-time use"),
+        ("[23]", "EEG-based", "Mod.", "High", "Limited real-time use"),
+        ("[24]", "EEG-based", "Mod.", "High", "Power-intensive, limited use"),
+        ("[25]", "EEG + sEMG", "High", "Mod.", "High resource demand"),
+        ("[26]", "EEG + EoG", "80%", "Mod.", "Simple movements, user-dependent"),
+        ("[27]", "EEG-based", "High", "High", "Invasive solution"),
+        ("[28] MindArm", "EEG-based", "87.5%", "Low", "Affordable, modular"),
+        ("[29] LIBRA NeuroLimb", "EEG + sEMG", "High", "Low", "Designed for developing regions"),
+        ("BeBionic", "sEMG-based", "High", "£30k", "More grips, fine motor control"),
+        ("LUKE Arm", "sEMG-based", "High", "$50k+", "Powered joints, fine motor control"),
+        ("i-Limb", "sEMG-based", "High", "$40-50k", "Multi-articulating, customizable"),
+        ("Michelangelo", "sEMG-based", "High", "$50k+", "Advanced control, multiple grips"),
+        ("Shadow Hand", "sEMG-based", "High", "$65k+", "High dexterity, advanced robotics"),
+    ];
+    for (solution, method, a, cost, scope) in cited {
+        row(&[
+            solution.to_owned(),
+            method.to_owned(),
+            a.to_owned(),
+            cost.to_owned(),
+            scope.to_owned(),
+        ]);
+    }
+    row(&[
+        "CognitiveArm (this repro)".to_owned(),
+        "EEG-based".to_owned(),
+        format!("{acc_class} ({:.0}% measured)", acc * 100.0),
+        "$500 (BoM, paper)".to_owned(),
+        "3 DoF, efficient implementation".to_owned(),
+    ]);
+    println!("\nnote: literature rows are cited values from the paper; only the CognitiveArm accuracy is measured here.");
+}

@@ -1,0 +1,134 @@
+//! The VAD-gated voice-command path (Sec. III-F).
+//!
+//! Audio flows in as clips; the VAD finds speech; only then does the
+//! keyword spotter run ("triggering the ASR model only when speech was
+//! detected, minimizing resource consumption"); a recognized keyword maps
+//! to the prosthetic's control mode.
+
+use arm::controller::ControlMode;
+use asr::kws::KeywordSpotter;
+use asr::vad::{detect_speech, VadConfig};
+use asr::Command;
+
+use crate::Result;
+
+/// Maps a recognized keyword to the control mode it selects.
+#[must_use]
+pub fn mode_of(cmd: Command) -> ControlMode {
+    match cmd {
+        Command::Arm => ControlMode::Arm,
+        Command::Elbow => ControlMode::Elbow,
+        Command::Fingers => ControlMode::Fingers,
+    }
+}
+
+/// Statistics of the voice path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MuxStats {
+    /// Clips processed.
+    pub clips: u64,
+    /// Clips where the VAD found no speech (spotter skipped).
+    pub gated_out: u64,
+    /// Successful recognitions.
+    pub recognized: u64,
+}
+
+/// The voice-mode multiplexer.
+#[derive(Debug)]
+pub struct VoiceMux {
+    spotter: KeywordSpotter,
+    vad: VadConfig,
+    stats: MuxStats,
+}
+
+impl VoiceMux {
+    /// Wraps a trained spotter with default VAD settings.
+    #[must_use]
+    pub fn new(spotter: KeywordSpotter) -> Self {
+        Self {
+            spotter,
+            vad: VadConfig::default(),
+            stats: MuxStats::default(),
+        }
+    }
+
+    /// Processing statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> MuxStats {
+        self.stats
+    }
+
+    /// Processes one microphone clip. Returns the newly selected mode, or
+    /// `None` when the VAD gated the clip out or nothing was recognized.
+    ///
+    /// # Errors
+    ///
+    /// Propagates recognition failures on degenerate segments.
+    pub fn process_clip(&mut self, clip: &[f32]) -> Result<Option<ControlMode>> {
+        self.stats.clips += 1;
+        let segments = detect_speech(clip, &self.vad);
+        let Some(seg) = segments.iter().max_by_key(|s| s.len()) else {
+            self.stats.gated_out += 1;
+            return Ok(None);
+        };
+        let cmd = self.spotter.recognize(&clip[seg.start..seg.end])?;
+        self.stats.recognized += 1;
+        Ok(Some(mode_of(cmd)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr::audio::synth_clip;
+    use asr::kws::KwsConfig;
+
+    fn mux() -> VoiceMux {
+        let spotter = KeywordSpotter::train(
+            KwsConfig {
+                hidden: 32,
+                train_per_class: 20,
+                epochs: 40,
+                ..KwsConfig::default()
+            },
+            1,
+        )
+        .unwrap();
+        VoiceMux::new(spotter)
+    }
+
+    #[test]
+    fn keyword_switches_mode() {
+        let mut m = mux();
+        let mut hits = 0;
+        for (cmd, expected) in [
+            (Command::Arm, ControlMode::Arm),
+            (Command::Elbow, ControlMode::Elbow),
+            (Command::Fingers, ControlMode::Fingers),
+        ] {
+            for seed in 50..55 {
+                let (clip, _, _) = synth_clip(cmd, 0.03, seed);
+                if m.process_clip(&clip).unwrap() == Some(expected) {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits >= 12, "only {hits}/15 clips recognized correctly");
+    }
+
+    #[test]
+    fn silence_is_gated_out() {
+        let mut m = mux();
+        let silence = vec![0.001f32; 16000];
+        assert_eq!(m.process_clip(&silence).unwrap(), None);
+        assert_eq!(m.stats().gated_out, 1);
+        assert_eq!(m.stats().recognized, 0);
+    }
+
+    #[test]
+    fn mode_mapping_is_total() {
+        assert_eq!(mode_of(Command::Arm), ControlMode::Arm);
+        assert_eq!(mode_of(Command::Elbow), ControlMode::Elbow);
+        assert_eq!(mode_of(Command::Fingers), ControlMode::Fingers);
+    }
+}

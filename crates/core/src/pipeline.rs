@@ -1,0 +1,362 @@
+//! The real-time control loop (Sec. IV-A).
+//!
+//! Samples stream from the (simulated) headset at 125 Hz, pass through the
+//! causal filter chain, and fill a sliding window; every `label_every`
+//! samples the compiled ensemble classifies the window into an action label
+//! (8 samples ≈ 15.6 Hz, the paper's "15 Hz" label rate); labels pass
+//! through the voice-mode multiplexer's active mode into the controller,
+//! whose serial bytes drive the MCU and its servos. Per-stage wall-clock
+//! latency is recorded for the paper's end-to-end timing story.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use arm::controller::{ActionLabel, Controller, ControllerConfig, ControlMode};
+use arm::kinematics::Joint;
+use arm::mcu::Mcu;
+use arm::safety::{SafetyConfig, SafetyGate};
+use eeg::board::{Board, SimulatedBoard};
+use eeg::signal::SubjectParams;
+use eeg::types::Action;
+use eeg::{CHANNELS, SAMPLE_RATE};
+use ml::ensemble::Ensemble;
+use serde::{Deserialize, Serialize};
+
+use crate::preprocess::{FilterSpec, StreamingChain};
+use crate::{CoreError, Result};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Samples between classifications (8 → 15.6 Hz at 125 Hz).
+    pub label_every: usize,
+    /// Filter design.
+    pub filter: FilterSpec,
+    /// Controller behaviour.
+    pub controller: ControllerConfig,
+    /// Safety limits.
+    pub safety: SafetyConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            label_every: 8,
+            filter: FilterSpec::default(),
+            controller: ControllerConfig::default(),
+            safety: SafetyConfig::default(),
+        }
+    }
+}
+
+/// Accumulating mean/max statistics for one pipeline stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Invocations measured.
+    pub count: u64,
+    sum_s: f64,
+    /// Worst-case seconds observed.
+    pub max_s: f64,
+}
+
+impl StageStats {
+    fn record(&mut self, seconds: f64) {
+        self.count += 1;
+        self.sum_s += seconds;
+        self.max_s = self.max_s.max(seconds);
+    }
+
+    /// Mean seconds per invocation.
+    #[must_use]
+    pub fn mean_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_s / self.count as f64
+        }
+    }
+}
+
+/// Per-stage latency accounting (Sec. IV's timing claims).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyReport {
+    /// Filtering cost per label period.
+    pub filter: StageStats,
+    /// Ensemble inference per label.
+    pub inference: StageStats,
+    /// Controller + serial encode + MCU parse per label.
+    pub actuation: StageStats,
+}
+
+impl LatencyReport {
+    /// Mean end-to-end compute latency per label, in seconds.
+    #[must_use]
+    pub fn end_to_end_s(&self) -> f64 {
+        self.filter.mean_s() + self.inference.mean_s() + self.actuation.mean_s()
+    }
+}
+
+/// One emitted label with its timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LabelEvent {
+    /// Simulated time in seconds.
+    pub t: f64,
+    /// Predicted class index.
+    pub label: usize,
+}
+
+/// Trace of a pipeline run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SessionTrace {
+    /// Every label emitted.
+    pub labels: Vec<LabelEvent>,
+    /// Joint positions sampled at each label instant
+    /// `(t, lift, wrist, grip)`.
+    pub joints: Vec<(f64, f64, f64, f64)>,
+}
+
+/// The assembled CognitiveArm system.
+pub struct CognitiveArm {
+    config: PipelineConfig,
+    board: SimulatedBoard,
+    chain: StreamingChain,
+    ensemble: Ensemble,
+    controller: Controller,
+    mcu: Mcu,
+    /// Per-channel sliding window of filtered samples.
+    window: Vec<VecDeque<f32>>,
+    window_len: usize,
+    elapsed_samples: u64,
+    latency: LatencyReport,
+}
+
+impl std::fmt::Debug for CognitiveArm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CognitiveArm")
+            .field("ensemble", &self.ensemble.name())
+            .field("window_len", &self.window_len)
+            .field("elapsed_samples", &self.elapsed_samples)
+            .finish()
+    }
+}
+
+impl CognitiveArm {
+    /// Assembles the system for one simulated subject.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the filter design fails (the default spec never does).
+    #[must_use]
+    pub fn new(config: PipelineConfig, ensemble: Ensemble, subject_seed: u64) -> Self {
+        let params = SubjectParams::sampled(subject_seed);
+        let mut board = SimulatedBoard::new(params, subject_seed ^ 0xB0A7D);
+        board.start_stream().expect("fresh board starts");
+        let chain = StreamingChain::new(&config.filter).expect("default filter spec is valid");
+        let controller = Controller::new(config.controller, SafetyGate::new(config.safety));
+        let window_len = ensemble.window();
+        Self {
+            config,
+            board,
+            chain,
+            ensemble,
+            controller,
+            mcu: Mcu::new(),
+            window: (0..CHANNELS)
+                .map(|_| VecDeque::with_capacity(window_len))
+                .collect(),
+            window_len,
+            elapsed_samples: 0,
+            latency: LatencyReport::default(),
+        }
+    }
+
+    /// Installs the frozen per-subject normalization fitted during training
+    /// (Sec. V-A). Without it the classifier sees raw µV while it was
+    /// trained on z-scored data, and accuracy collapses — call this with
+    /// the subject's statistics from
+    /// [`crate::eval::PreparedData::zscores`].
+    pub fn set_normalization(&mut self, zscore: dsp::normalize::Zscore) {
+        self.chain.set_normalization(zscore);
+    }
+
+    /// Sets the mental task the simulated user performs.
+    pub fn set_subject_action(&mut self, action: Action) {
+        self.board.set_action(action);
+    }
+
+    /// Switches the voice-selected control mode (wired from
+    /// [`crate::mux::VoiceMux`] by the caller, keeping the audio thread
+    /// separate from the EEG loop as in Sec. III-F3).
+    pub fn set_mode(&mut self, mode: ControlMode) {
+        self.controller.set_mode(mode);
+    }
+
+    /// The active control mode.
+    #[must_use]
+    pub fn mode(&self) -> ControlMode {
+        self.controller.mode()
+    }
+
+    /// Current value of a joint on the physical (simulated) arm.
+    #[must_use]
+    pub fn joint(&self, joint: Joint) -> f64 {
+        self.mcu.arm.joint_value(joint)
+    }
+
+    /// Latency accounting so far.
+    #[must_use]
+    pub fn latency(&self) -> &LatencyReport {
+        &self.latency
+    }
+
+    /// Simulated seconds elapsed.
+    #[must_use]
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_samples as f64 / SAMPLE_RATE
+    }
+
+    /// Runs the loop for `seconds` of simulated time, returning the trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates board and actuation failures.
+    pub fn run_for(&mut self, seconds: f64) -> Result<SessionTrace> {
+        if seconds <= 0.0 {
+            return Err(CoreError::BadConfig("non-positive run duration".into()));
+        }
+        let total = (seconds * SAMPLE_RATE) as usize;
+        let mut trace = SessionTrace::default();
+        let step = self.config.label_every;
+        let mut done = 0usize;
+        while done < total {
+            let n = step.min(total - done);
+            self.board.advance(n)?;
+            let chunk = self.board.drain()?;
+
+            let t0 = Instant::now();
+            for i in 0..chunk.samples {
+                let mut s = [0.0f32; CHANNELS];
+                for ch in 0..CHANNELS {
+                    s[ch] = chunk.data[ch * chunk.samples + i];
+                }
+                self.chain.step(&mut s);
+                for ch in 0..CHANNELS {
+                    if self.window[ch].len() == self.window_len {
+                        self.window[ch].pop_front();
+                    }
+                    self.window[ch].push_back(s[ch]);
+                }
+            }
+            self.latency.filter.record(t0.elapsed().as_secs_f64());
+            done += n;
+            self.elapsed_samples += n as u64;
+
+            if self.window[0].len() < self.window_len {
+                continue; // window not yet full
+            }
+
+            // Classification.
+            let t1 = Instant::now();
+            let mut flat = Vec::with_capacity(CHANNELS * self.window_len);
+            for ch in 0..CHANNELS {
+                flat.extend(self.window[ch].iter().copied());
+            }
+            let label = self.ensemble.predict(&flat, CHANNELS);
+            self.latency.inference.record(t1.elapsed().as_secs_f64());
+
+            // Actuation.
+            let t2 = Instant::now();
+            let action = match label {
+                0 => ActionLabel::Left,
+                1 => ActionLabel::Right,
+                _ => ActionLabel::Idle,
+            };
+            let bytes = self.controller.on_label(action)?;
+            if !bytes.is_empty() {
+                self.mcu.receive(&bytes);
+            }
+            self.mcu.tick(n as f64 / SAMPLE_RATE);
+            self.latency.actuation.record(t2.elapsed().as_secs_f64());
+
+            let t = self.elapsed_s();
+            trace.labels.push(LabelEvent { t, label });
+            trace.joints.push((
+                t,
+                self.mcu.arm.joint_value(Joint::Lift),
+                self.mcu.arm.joint_value(Joint::Wrist),
+                self.mcu.arm.joint_value(Joint::Grip),
+            ));
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{train_default_ensemble, DatasetBuilder, TrainBudget};
+    use eeg::dataset::Protocol;
+
+    fn quick_system() -> CognitiveArm {
+        let data = DatasetBuilder::new(Protocol::quick(), 1, 21)
+            .build()
+            .unwrap();
+        let ensemble = train_default_ensemble(&data, &TrainBudget::quick(), 3).unwrap();
+        CognitiveArm::new(PipelineConfig::default(), ensemble, 21)
+    }
+
+    #[test]
+    fn pipeline_emits_labels_at_the_configured_rate() {
+        let mut sys = quick_system();
+        sys.set_subject_action(Action::Idle);
+        let trace = sys.run_for(3.0).unwrap();
+        // Window fills after `window` samples (100 at quick config = 0.8 s),
+        // then one label per 8 samples.
+        let expected = ((3.0 * SAMPLE_RATE) as usize - 100) / 8;
+        assert!(
+            (trace.labels.len() as i64 - expected as i64).abs() <= 2,
+            "{} labels vs expected {expected}",
+            trace.labels.len()
+        );
+        // Label cadence ≈ 15 Hz.
+        let rate = trace.labels.len() as f64 / (3.0 - 0.8);
+        assert!(rate > 13.0 && rate < 17.0, "label rate {rate} Hz");
+    }
+
+    #[test]
+    fn latency_is_recorded_for_every_stage() {
+        let mut sys = quick_system();
+        let _ = sys.run_for(2.0).unwrap();
+        let lat = sys.latency();
+        assert!(lat.inference.count > 0);
+        assert!(lat.filter.mean_s() > 0.0);
+        assert!(lat.end_to_end_s() > 0.0);
+        assert!(lat.inference.max_s >= lat.inference.mean_s());
+    }
+
+    #[test]
+    fn mode_switch_changes_driven_joint() {
+        let mut sys = quick_system();
+        assert_eq!(sys.mode(), ControlMode::Arm);
+        sys.set_mode(ControlMode::Fingers);
+        assert_eq!(sys.mode(), ControlMode::Fingers);
+    }
+
+    #[test]
+    fn zero_duration_is_rejected() {
+        let mut sys = quick_system();
+        assert!(matches!(
+            sys.run_for(0.0),
+            Err(CoreError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn trace_joints_track_the_mcu() {
+        let mut sys = quick_system();
+        sys.set_subject_action(Action::Right);
+        let trace = sys.run_for(2.0).unwrap();
+        let last = trace.joints.last().unwrap();
+        assert!((last.1 - sys.joint(Joint::Lift)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,260 @@
+//! Artifact detection and repair (Sec. III-A3).
+//!
+//! The paper relies on "standard signal cleaning techniques provided by
+//! BrainFlow" for eye blinks and muscle (EMG) activity. We reproduce the two
+//! mechanisms such toolkits actually apply:
+//!
+//! * **amplitude-threshold detection** — eye blinks appear as large, slow
+//!   deflections (hundreds of µV) mostly over frontal channels; samples whose
+//!   moving z-score exceeds a threshold are flagged, and
+//! * **repair by clamping or interpolation** — flagged spans are either
+//!   linearly interpolated from clean neighbours or the whole window is
+//!   rejected, depending on severity.
+
+use serde::{Deserialize, Serialize};
+
+/// A contiguous run of samples flagged as artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArtifactSpan {
+    /// First flagged sample index.
+    pub start: usize,
+    /// One past the last flagged sample index.
+    pub end: usize,
+}
+
+impl ArtifactSpan {
+    /// Span length in samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Configuration of the artifact detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArtifactConfig {
+    /// Z-score above which a sample is flagged (default 4.0).
+    pub z_threshold: f32,
+    /// Samples of margin added around each detection (default 8, ≈64 ms at
+    /// 125 Hz) to catch blink shoulders.
+    pub margin: usize,
+    /// Fraction of flagged samples beyond which a window should be rejected
+    /// rather than repaired (default 0.3).
+    pub reject_fraction: f32,
+}
+
+impl Default for ArtifactConfig {
+    fn default() -> Self {
+        Self {
+            z_threshold: 4.0,
+            margin: 8,
+            reject_fraction: 0.3,
+        }
+    }
+}
+
+/// Outcome of [`clean_channel`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CleanOutcome {
+    /// Signal was already clean; nothing changed.
+    Clean,
+    /// Artifact spans were repaired in place by linear interpolation.
+    Repaired(Vec<ArtifactSpan>),
+    /// Too much of the signal was contaminated; caller should drop it.
+    Rejected {
+        /// Fraction of samples flagged.
+        contaminated: f32,
+    },
+}
+
+/// Flags samples whose amplitude deviates more than `z_threshold` standard
+/// deviations from the channel's robust baseline.
+///
+/// The baseline uses the median and the median absolute deviation (scaled to
+/// σ) so the blink itself does not inflate the threshold.
+#[must_use]
+pub fn detect_artifacts(samples: &[f32], config: &ArtifactConfig) -> Vec<ArtifactSpan> {
+    if samples.len() < 4 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f32> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    let median = sorted[sorted.len() / 2];
+    let mut devs: Vec<f32> = samples.iter().map(|&x| (x - median).abs()).collect();
+    devs.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    let mad = devs[devs.len() / 2];
+    // 1.4826 converts MAD to a Gaussian sigma estimate.
+    let sigma = (mad * 1.4826).max(1e-6);
+
+    let mut spans: Vec<ArtifactSpan> = Vec::new();
+    let mut current: Option<ArtifactSpan> = None;
+    for (i, &x) in samples.iter().enumerate() {
+        let z = (x - median).abs() / sigma;
+        if z > config.z_threshold {
+            match &mut current {
+                Some(span) => span.end = i + 1,
+                None => {
+                    current = Some(ArtifactSpan {
+                        start: i,
+                        end: i + 1,
+                    });
+                }
+            }
+        } else if let Some(mut span) = current.take() {
+            // Close the span with margin.
+            span.start = span.start.saturating_sub(config.margin);
+            span.end = (span.end + config.margin).min(samples.len());
+            merge_push(&mut spans, span);
+        }
+    }
+    if let Some(mut span) = current.take() {
+        span.start = span.start.saturating_sub(config.margin);
+        span.end = (span.end + config.margin).min(samples.len());
+        merge_push(&mut spans, span);
+    }
+    spans
+}
+
+fn merge_push(spans: &mut Vec<ArtifactSpan>, span: ArtifactSpan) {
+    if let Some(last) = spans.last_mut() {
+        if span.start <= last.end {
+            last.end = last.end.max(span.end);
+            return;
+        }
+    }
+    spans.push(span);
+}
+
+/// Detects and repairs artifacts on one channel in place.
+///
+/// Spans are linearly interpolated between the nearest clean samples; if the
+/// total contamination exceeds `config.reject_fraction` the signal is left
+/// untouched and [`CleanOutcome::Rejected`] is returned so the caller can
+/// drop the window.
+pub fn clean_channel(samples: &mut [f32], config: &ArtifactConfig) -> CleanOutcome {
+    let spans = detect_artifacts(samples, config);
+    if spans.is_empty() {
+        return CleanOutcome::Clean;
+    }
+    let flagged: usize = spans.iter().map(ArtifactSpan::len).sum();
+    let fraction = flagged as f32 / samples.len() as f32;
+    if fraction > config.reject_fraction {
+        return CleanOutcome::Rejected {
+            contaminated: fraction,
+        };
+    }
+    for span in &spans {
+        interpolate_span(samples, span);
+    }
+    CleanOutcome::Repaired(spans)
+}
+
+fn interpolate_span(samples: &mut [f32], span: &ArtifactSpan) {
+    let left_idx = span.start.checked_sub(1);
+    let right_idx = if span.end < samples.len() {
+        Some(span.end)
+    } else {
+        None
+    };
+    let (left, right) = match (left_idx, right_idx) {
+        (Some(l), Some(r)) => (samples[l], samples[r]),
+        (Some(l), None) => (samples[l], samples[l]),
+        (None, Some(r)) => (samples[r], samples[r]),
+        (None, None) => (0.0, 0.0),
+    };
+    let n = span.len() as f32 + 1.0;
+    for (k, i) in (span.start..span.end).enumerate() {
+        let t = (k as f32 + 1.0) / n;
+        samples[i] = left + (right - left) * t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alpha_background(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 10.0 * i as f64 / 125.0).sin() as f32)
+            .collect()
+    }
+
+    #[test]
+    fn clean_signal_has_no_artifacts() {
+        let sig = alpha_background(500);
+        let spans = detect_artifacts(&sig, &ArtifactConfig::default());
+        assert!(spans.is_empty(), "false positives: {spans:?}");
+    }
+
+    #[test]
+    fn blink_is_detected_and_covers_the_deflection() {
+        let mut sig = alpha_background(500);
+        // A blink: large slow bump over samples 200..230.
+        for i in 200..230 {
+            sig[i] += 40.0;
+        }
+        let spans = detect_artifacts(&sig, &ArtifactConfig::default());
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0].start <= 200 && spans[0].end >= 230);
+    }
+
+    #[test]
+    fn repair_restores_plausible_amplitude() {
+        let mut sig = alpha_background(500);
+        for i in 250..270 {
+            sig[i] += 50.0;
+        }
+        let outcome = clean_channel(&mut sig, &ArtifactConfig::default());
+        assert!(matches!(outcome, CleanOutcome::Repaired(_)));
+        let peak = sig.iter().fold(0.0_f32, |m, &x| m.max(x.abs()));
+        assert!(peak < 3.0, "residual peak {peak}");
+    }
+
+    #[test]
+    fn heavy_contamination_is_rejected_not_repaired() {
+        let mut sig = alpha_background(200);
+        // 40% contamination: above reject_fraction but below the 50% where
+        // the median itself would break down.
+        for i in 60..140 {
+            sig[i] += 80.0;
+        }
+        let before = sig.clone();
+        let outcome = clean_channel(&mut sig, &ArtifactConfig::default());
+        assert!(matches!(outcome, CleanOutcome::Rejected { .. }));
+        assert_eq!(sig, before, "rejected signal must be untouched");
+    }
+
+    #[test]
+    fn adjacent_spans_merge() {
+        let mut sig = alpha_background(400);
+        for i in 100..110 {
+            sig[i] += 60.0;
+        }
+        for i in 118..128 {
+            sig[i] -= 60.0;
+        }
+        // Margin 8 makes the two spans touch.
+        let spans = detect_artifacts(&sig, &ArtifactConfig::default());
+        assert_eq!(spans.len(), 1, "{spans:?}");
+    }
+
+    #[test]
+    fn span_len_and_empty() {
+        let s = ArtifactSpan { start: 3, end: 7 };
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert!(ArtifactSpan { start: 5, end: 5 }.is_empty());
+    }
+
+    #[test]
+    fn short_input_is_ignored() {
+        let spans = detect_artifacts(&[1.0, 2.0], &ArtifactConfig::default());
+        assert!(spans.is_empty());
+    }
+}

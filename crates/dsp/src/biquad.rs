@@ -1,0 +1,336 @@
+//! Second-order IIR sections (biquads) and cascades.
+//!
+//! All designed filters in this crate are represented as a cascade of
+//! [`Biquad`] sections evaluated in direct-form-II-transposed, which is the
+//! numerically preferred realization for audio-rate and biosignal IIR
+//! filtering. Coefficients and state are kept in `f64` even though the public
+//! sample type is `f32`; a 9th-order Butterworth at a 125 Hz rate has poles
+//! close to the unit circle and single precision state is not reliable there.
+
+use serde::{Deserialize, Serialize};
+
+/// One second-order section `H(z) = (b0 + b1 z^-1 + b2 z^-2) / (1 + a1 z^-1 + a2 z^-2)`.
+///
+/// The denominator is stored normalized (`a0 == 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Biquad {
+    /// Numerator coefficients `b0, b1, b2`.
+    pub b: [f64; 3],
+    /// Denominator coefficients `a1, a2` (with implicit `a0 = 1`).
+    pub a: [f64; 2],
+}
+
+impl Biquad {
+    /// Creates a section from raw transfer-function coefficients.
+    ///
+    /// `a` is the full denominator `[a0, a1, a2]`; all coefficients are
+    /// normalized by `a0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a[0]` is zero.
+    #[must_use]
+    pub fn new(b: [f64; 3], a: [f64; 3]) -> Self {
+        assert!(a[0] != 0.0, "a0 coefficient must be non-zero");
+        Self {
+            b: [b[0] / a[0], b[1] / a[0], b[2] / a[0]],
+            a: [a[1] / a[0], a[2] / a[0]],
+        }
+    }
+
+    /// The identity (pass-through) section.
+    #[must_use]
+    pub fn identity() -> Self {
+        Self {
+            b: [1.0, 0.0, 0.0],
+            a: [0.0, 0.0],
+        }
+    }
+
+    /// Evaluates the complex frequency response at normalized angular
+    /// frequency `omega` (radians/sample). Returns `(re, im)`.
+    #[must_use]
+    pub fn response_at(&self, omega: f64) -> (f64, f64) {
+        // e^{-j w k} terms for k = 0, 1, 2.
+        let (c1, s1) = (omega.cos(), -omega.sin());
+        let (c2, s2) = ((2.0 * omega).cos(), -(2.0 * omega).sin());
+        let num_re = self.b[0] + self.b[1] * c1 + self.b[2] * c2;
+        let num_im = self.b[1] * s1 + self.b[2] * s2;
+        let den_re = 1.0 + self.a[0] * c1 + self.a[1] * c2;
+        let den_im = self.a[0] * s1 + self.a[1] * s2;
+        let mag2 = den_re * den_re + den_im * den_im;
+        (
+            (num_re * den_re + num_im * den_im) / mag2,
+            (num_im * den_re - num_re * den_im) / mag2,
+        )
+    }
+
+    /// Magnitude of the frequency response at normalized angular frequency.
+    #[must_use]
+    pub fn magnitude_at(&self, omega: f64) -> f64 {
+        let (re, im) = self.response_at(omega);
+        re.hypot(im)
+    }
+
+    /// Returns `true` when both poles are strictly inside the unit circle.
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        // Jury criterion for a quadratic 1 + a1 z^-1 + a2 z^-2.
+        let (a1, a2) = (self.a[0], self.a[1]);
+        a2.abs() < 1.0 && (a1.abs()) < 1.0 + a2
+    }
+}
+
+/// Running state for one biquad (direct form II transposed).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct BiquadState {
+    z1: f64,
+    z2: f64,
+}
+
+impl BiquadState {
+    #[inline]
+    fn step(&mut self, coeff: &Biquad, x: f64) -> f64 {
+        let y = coeff.b[0] * x + self.z1;
+        self.z1 = coeff.b[1] * x - coeff.a[0] * y + self.z2;
+        self.z2 = coeff.b[2] * x - coeff.a[1] * y;
+        y
+    }
+}
+
+/// A cascade of second-order sections forming one higher-order filter.
+///
+/// The cascade is immutable once designed; running it allocates transient
+/// state internally (see [`SosFilter::filter`]) or explicitly through
+/// [`SosFilter::runner`] for streaming use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SosFilter {
+    sections: Vec<Biquad>,
+}
+
+impl SosFilter {
+    /// Builds a cascade from individual sections.
+    #[must_use]
+    pub fn new(sections: Vec<Biquad>) -> Self {
+        Self { sections }
+    }
+
+    /// The second-order sections of this filter.
+    #[must_use]
+    pub fn sections(&self) -> &[Biquad] {
+        &self.sections
+    }
+
+    /// Total filter order (2 per section).
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.sections.len() * 2
+    }
+
+    /// Magnitude response at frequency `f` Hz for sampling rate `fs` Hz.
+    #[must_use]
+    pub fn magnitude_at(&self, f: f64, fs: f64) -> f64 {
+        let omega = 2.0 * std::f64::consts::PI * f / fs;
+        self.sections
+            .iter()
+            .map(|s| s.magnitude_at(omega))
+            .product()
+    }
+
+    /// Returns `true` when every section is stable.
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        self.sections.iter().all(Biquad::is_stable)
+    }
+
+    /// Scales the overall gain by multiplying the first section's numerator.
+    pub fn scale_gain(&mut self, g: f64) {
+        if let Some(first) = self.sections.first_mut() {
+            for b in &mut first.b {
+                *b *= g;
+            }
+        }
+    }
+
+    /// Causally filters a signal, returning a new vector of the same length.
+    ///
+    /// The filter starts from zero state; for streaming use across chunk
+    /// boundaries use [`SosFilter::runner`] which preserves state.
+    #[must_use]
+    pub fn filter(&self, signal: &[f32]) -> Vec<f32> {
+        let mut runner = self.runner();
+        signal.iter().map(|&x| runner.step(x)).collect()
+    }
+
+    /// Creates a stateful runner for sample-by-sample streaming.
+    #[must_use]
+    pub fn runner(&self) -> SosRunner<'_> {
+        SosRunner {
+            filter: self,
+            state: vec![BiquadState::default(); self.sections.len()],
+        }
+    }
+}
+
+/// Stateful executor for an [`SosFilter`], suitable for real-time streaming.
+///
+/// Keeps per-section delay state so consecutive chunks filter identically to
+/// one contiguous signal.
+#[derive(Debug, Clone)]
+pub struct SosRunner<'a> {
+    filter: &'a SosFilter,
+    state: Vec<BiquadState>,
+}
+
+impl SosRunner<'_> {
+    /// Processes one input sample and returns the filtered output sample.
+    #[inline]
+    pub fn step(&mut self, x: f32) -> f32 {
+        let mut acc = f64::from(x);
+        for (coeff, state) in self.filter.sections.iter().zip(self.state.iter_mut()) {
+            acc = state.step(coeff, acc);
+        }
+        acc as f32
+    }
+
+    /// Processes a chunk in place.
+    pub fn process(&mut self, chunk: &mut [f32]) {
+        for x in chunk {
+            *x = self.step(*x);
+        }
+    }
+
+    /// Resets all delay state to zero.
+    pub fn reset(&mut self) {
+        for s in &mut self.state {
+            *s = BiquadState::default();
+        }
+    }
+}
+
+/// An owned filter + state pair for long-lived streaming use (e.g. one per
+/// EEG channel inside the real-time pipeline), where the borrowing
+/// [`SosRunner`] is inconvenient.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingFilter {
+    filter: SosFilter,
+    #[serde(skip)]
+    state: Vec<BiquadState>,
+}
+
+impl StreamingFilter {
+    /// Wraps a designed filter with fresh state.
+    #[must_use]
+    pub fn new(filter: SosFilter) -> Self {
+        let state = vec![BiquadState::default(); filter.sections().len()];
+        Self { filter, state }
+    }
+
+    /// The wrapped cascade.
+    #[must_use]
+    pub fn filter(&self) -> &SosFilter {
+        &self.filter
+    }
+
+    /// Processes one sample, preserving state across calls.
+    #[inline]
+    pub fn step(&mut self, x: f32) -> f32 {
+        if self.state.len() != self.filter.sections().len() {
+            // Restores state after deserialization.
+            self.state = vec![BiquadState::default(); self.filter.sections().len()];
+        }
+        let mut acc = f64::from(x);
+        for (coeff, state) in self.filter.sections.iter().zip(self.state.iter_mut()) {
+            acc = state.step(coeff, acc);
+        }
+        acc as f32
+    }
+
+    /// Resets the delay state.
+    pub fn reset(&mut self) {
+        for s in &mut self.state {
+            *s = BiquadState::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_passes_signal_through() {
+        let f = SosFilter::new(vec![Biquad::identity()]);
+        let x = vec![1.0_f32, -2.0, 3.5, 0.0];
+        assert_eq!(f.filter(&x), x);
+    }
+
+    #[test]
+    fn normalization_divides_by_a0() {
+        let b = Biquad::new([2.0, 0.0, 0.0], [2.0, 0.0, 0.0]);
+        assert_eq!(b.b, [1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "a0")]
+    fn zero_a0_panics() {
+        let _ = Biquad::new([1.0, 0.0, 0.0], [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn stability_check_detects_unstable_pole() {
+        // Pole at z = 1.1 -> unstable.
+        let unstable = Biquad::new([1.0, 0.0, 0.0], [1.0, -2.2, 1.21]);
+        assert!(!unstable.is_stable());
+        // Poles at 0.5 -> stable.
+        let stable = Biquad::new([1.0, 0.0, 0.0], [1.0, -1.0, 0.25]);
+        assert!(stable.is_stable());
+    }
+
+    #[test]
+    fn runner_matches_batch_across_chunks() {
+        // A simple stable lowpass-ish section.
+        let f = SosFilter::new(vec![Biquad::new([0.2, 0.4, 0.2], [1.0, -0.5, 0.2])]);
+        let x: Vec<f32> = (0..64).map(|i| ((i * 7) % 13) as f32 - 6.0).collect();
+        let batch = f.filter(&x);
+
+        let mut runner = f.runner();
+        let mut chunked = Vec::new();
+        for chunk in x.chunks(5) {
+            for &s in chunk {
+                chunked.push(runner.step(s));
+            }
+        }
+        for (a, b) in batch.iter().zip(&chunked) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn magnitude_at_dc_for_unity_gain_section() {
+        let f = SosFilter::new(vec![Biquad::identity()]);
+        assert!((f.magnitude_at(0.0, 125.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_filter_matches_batch() {
+        let f = SosFilter::new(vec![Biquad::new([0.2, 0.4, 0.2], [1.0, -0.5, 0.2])]);
+        let x: Vec<f32> = (0..64).map(|i| ((i * 11) % 7) as f32 - 3.0).collect();
+        let batch = f.filter(&x);
+        let mut s = StreamingFilter::new(f);
+        let streamed: Vec<f32> = x.iter().map(|&v| s.step(v)).collect();
+        for (a, b) in batch.iter().zip(&streamed) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let f = SosFilter::new(vec![Biquad::new([0.2, 0.4, 0.2], [1.0, -0.5, 0.2])]);
+        let mut r = f.runner();
+        let first = r.step(1.0);
+        r.reset();
+        let second = r.step(1.0);
+        assert!((first - second).abs() < 1e-9);
+    }
+}

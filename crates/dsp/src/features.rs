@@ -1,0 +1,232 @@
+//! Feature extraction for the classical-ML path.
+//!
+//! The paper's Random Forest consumes per-channel statistical features
+//! (Table III: mean, std, min, max, var); the spectral helpers additionally
+//! expose canonical EEG band powers used for analysis and the artifact
+//! detector.
+
+use serde::{Deserialize, Serialize};
+
+use crate::welch::welch_psd;
+use crate::Result;
+
+/// The five statistical features of Table III, for one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// Arithmetic mean.
+    pub mean: f32,
+    /// Standard deviation (population).
+    pub std: f32,
+    /// Minimum value.
+    pub min: f32,
+    /// Maximum value.
+    pub max: f32,
+    /// Variance (population).
+    pub var: f32,
+}
+
+impl ChannelStats {
+    /// Computes statistics over one channel of samples.
+    ///
+    /// Returns all-zero stats for an empty slice.
+    #[must_use]
+    pub fn compute(samples: &[f32]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().map(|&x| f64::from(x)).sum::<f64>() / n;
+        let var = samples
+            .iter()
+            .map(|&x| (f64::from(x) - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for &x in samples {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Self {
+            mean: mean as f32,
+            std: var.sqrt() as f32,
+            min,
+            max,
+            var: var as f32,
+        }
+    }
+
+    /// Flattens to the fixed feature order `[mean, std, min, max, var]`.
+    #[must_use]
+    pub fn to_vec(self) -> Vec<f32> {
+        vec![self.mean, self.std, self.min, self.max, self.var]
+    }
+
+    /// Number of features per channel.
+    pub const LEN: usize = 5;
+}
+
+/// Extracts the Table III statistical feature vector from a multichannel
+/// window laid out as `channels` rows of `window_len` contiguous samples.
+///
+/// Output length is `channels * ChannelStats::LEN`.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `channels`.
+#[must_use]
+pub fn stat_features(data: &[f32], channels: usize) -> Vec<f32> {
+    assert!(
+        channels > 0 && data.len() % channels == 0,
+        "data length {} not divisible by channel count {channels}",
+        data.len()
+    );
+    let per = data.len() / channels;
+    let mut out = Vec::with_capacity(channels * ChannelStats::LEN);
+    for ch in 0..channels {
+        let stats = ChannelStats::compute(&data[ch * per..(ch + 1) * per]);
+        out.extend(stats.to_vec());
+    }
+    out
+}
+
+/// Canonical EEG frequency bands, in Hz.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Band {
+    /// 0.5–4 Hz.
+    Delta,
+    /// 4–8 Hz.
+    Theta,
+    /// 8–13 Hz (the mu rhythm over motor cortex lives here).
+    Alpha,
+    /// 13–30 Hz.
+    Beta,
+    /// 30–45 Hz (upper limit set by the paper's band-pass).
+    Gamma,
+}
+
+impl Band {
+    /// All bands in ascending frequency order.
+    pub const ALL: [Band; 5] = [Band::Delta, Band::Theta, Band::Alpha, Band::Beta, Band::Gamma];
+
+    /// The `(low, high)` edges of this band in Hz.
+    #[must_use]
+    pub fn edges(self) -> (f64, f64) {
+        match self {
+            Band::Delta => (0.5, 4.0),
+            Band::Theta => (4.0, 8.0),
+            Band::Alpha => (8.0, 13.0),
+            Band::Beta => (13.0, 30.0),
+            Band::Gamma => (30.0, 45.0),
+        }
+    }
+}
+
+impl std::fmt::Display for Band {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Band::Delta => "delta",
+            Band::Theta => "theta",
+            Band::Alpha => "alpha",
+            Band::Beta => "beta",
+            Band::Gamma => "gamma",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Per-band absolute powers for one channel.
+///
+/// # Errors
+///
+/// Propagates the PSD estimation error for signals shorter than one Welch
+/// segment.
+pub fn band_powers(samples: &[f32], fs: f64, segment_len: usize) -> Result<[f64; 5]> {
+    let psd = welch_psd(samples, fs, segment_len)?;
+    let mut out = [0.0; 5];
+    for (i, band) in Band::ALL.iter().enumerate() {
+        let (lo, hi) = band.edges();
+        out[i] = psd.band_power(lo, hi);
+    }
+    Ok(out)
+}
+
+/// Relative band powers (each band divided by total power in 0.5–45 Hz).
+///
+/// # Errors
+///
+/// Propagates the PSD estimation error for signals shorter than one Welch
+/// segment.
+pub fn relative_band_powers(samples: &[f32], fs: f64, segment_len: usize) -> Result<[f64; 5]> {
+    let mut powers = band_powers(samples, fs, segment_len)?;
+    let total: f64 = powers.iter().sum();
+    if total > 0.0 {
+        for p in &mut powers {
+            *p /= total;
+        }
+    }
+    Ok(powers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_sequence() {
+        let s = ChannelStats::compute(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-6);
+        assert!((s.var - 1.25).abs() < 1e-6);
+        assert!((s.std - 1.25_f32.sqrt()).abs() < 1e-6);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn empty_input_gives_default() {
+        assert_eq!(ChannelStats::compute(&[]), ChannelStats::default());
+    }
+
+    #[test]
+    fn stat_features_layout_is_channel_major() {
+        // 2 channels x 3 samples.
+        let data = [1.0, 1.0, 1.0, 5.0, 5.0, 5.0];
+        let f = stat_features(&data, 2);
+        assert_eq!(f.len(), 10);
+        assert_eq!(f[0], 1.0); // mean of channel 0
+        assert_eq!(f[5], 5.0); // mean of channel 1
+        assert_eq!(f[1], 0.0); // std of constant channel
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn ragged_input_panics() {
+        let _ = stat_features(&[1.0, 2.0, 3.0], 2);
+    }
+
+    #[test]
+    fn band_edges_are_contiguous() {
+        for w in Band::ALL.windows(2) {
+            assert_eq!(w[0].edges().1, w[1].edges().0);
+        }
+    }
+
+    #[test]
+    fn alpha_tone_dominates_relative_power() {
+        let fs = 125.0;
+        let sig: Vec<f32> = (0..4000)
+            .map(|i| (2.0 * std::f64::consts::PI * 10.0 * i as f64 / fs).sin() as f32)
+            .collect();
+        let rel = relative_band_powers(&sig, fs, 256).unwrap();
+        let alpha_idx = 2;
+        assert!(rel[alpha_idx] > 0.9, "alpha fraction {}", rel[alpha_idx]);
+        let sum: f64 = rel.iter().sum();
+        assert!((sum - 1.0).abs() < 0.05, "relative powers sum to {sum}");
+    }
+
+    #[test]
+    fn band_display_names() {
+        assert_eq!(Band::Alpha.to_string(), "alpha");
+        assert_eq!(Band::Gamma.to_string(), "gamma");
+    }
+}

@@ -1,0 +1,303 @@
+//! Iterative radix-2 fast Fourier transform.
+//!
+//! Implemented from scratch (no external FFT crates are permitted in this
+//! reproduction). The transform is the classic Cooley–Tukey decimation in
+//! time with an explicit bit-reversal permutation; lengths must be powers of
+//! two. Helpers for real input and for the inverse transform are provided.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DspError, Result};
+
+/// A complex number in double precision.
+///
+/// Deliberately minimal: only the operations the DSP stack needs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Creates a complex number from parts.
+    #[must_use]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Zero.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self { re: 0.0, im: 0.0 }
+    }
+
+    /// `e^{i theta}`.
+    #[must_use]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Magnitude `|z|`.
+    #[must_use]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|^2`.
+    #[must_use]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex square root (principal branch).
+    #[must_use]
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        let re = ((r + self.re) / 2.0).max(0.0).sqrt();
+        let im_mag = ((r - self.re) / 2.0).max(0.0).sqrt();
+        Self {
+            re,
+            im: if self.im < 0.0 { -im_mag } else { im_mag },
+        }
+    }
+
+    /// Scales by a real factor.
+    #[must_use]
+    pub fn scale(self, k: f64) -> Self {
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl std::ops::Add for Complex64 {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex64 {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for Complex64 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl std::ops::Div for Complex64 {
+    type Output = Self;
+    fn div(self, rhs: Self) -> Self {
+        let d = rhs.norm_sqr();
+        Self::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl std::ops::Neg for Complex64 {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+/// In-place forward FFT.
+///
+/// # Errors
+///
+/// Returns [`DspError::NotPowerOfTwo`] if `buf.len()` is not a power of two
+/// (zero-length input is accepted and is a no-op).
+pub fn fft_in_place(buf: &mut [Complex64]) -> Result<()> {
+    transform(buf, false)
+}
+
+/// In-place inverse FFT (includes the `1/N` scaling).
+///
+/// # Errors
+///
+/// Returns [`DspError::NotPowerOfTwo`] if `buf.len()` is not a power of two.
+pub fn ifft_in_place(buf: &mut [Complex64]) -> Result<()> {
+    transform(buf, true)?;
+    let n = buf.len() as f64;
+    for v in buf.iter_mut() {
+        *v = v.scale(1.0 / n);
+    }
+    Ok(())
+}
+
+fn transform(buf: &mut [Complex64], inverse: bool) -> Result<()> {
+    let n = buf.len();
+    if n == 0 {
+        return Ok(());
+    }
+    if !n.is_power_of_two() {
+        return Err(DspError::NotPowerOfTwo(n));
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::from_polar(1.0, ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex64::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[start + k];
+                let v = buf[start + k + len / 2] * w;
+                buf[start + k] = u + v;
+                buf[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+///
+/// Returns the full complex spectrum of length `signal.len().next_power_of_two()`.
+///
+/// # Errors
+///
+/// Returns [`DspError::SignalTooShort`] if the input is empty.
+pub fn rfft(signal: &[f32]) -> Result<Vec<Complex64>> {
+    if signal.is_empty() {
+        return Err(DspError::SignalTooShort {
+            required: 1,
+            actual: 0,
+        });
+    }
+    let n = signal.len().next_power_of_two();
+    let mut buf = vec![Complex64::zero(); n];
+    for (b, &s) in buf.iter_mut().zip(signal) {
+        b.re = f64::from(s);
+    }
+    fft_in_place(&mut buf)?;
+    Ok(buf)
+}
+
+/// Frequency in Hz of FFT bin `k` for an `n`-point transform at rate `fs`.
+#[must_use]
+pub fn bin_frequency(k: usize, n: usize, fs: f64) -> f64 {
+    k as f64 * fs / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![Complex64::zero(); 8];
+        buf[0] = Complex64::new(1.0, 0.0);
+        fft_in_place(&mut buf).unwrap();
+        for v in buf {
+            assert_close(v.re, 1.0, 1e-12);
+            assert_close(v.im, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_then_ifft_roundtrips() {
+        let mut buf: Vec<Complex64> = (0..64)
+            .map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let orig = buf.clone();
+        fft_in_place(&mut buf).unwrap();
+        ifft_in_place(&mut buf).unwrap();
+        for (a, b) in buf.iter().zip(&orig) {
+            assert_close(a.re, b.re, 1e-9);
+            assert_close(a.im, b.im, 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_one_bin() {
+        let n = 256;
+        let fs = 125.0;
+        let f0 = fs * 16.0 / n as f64; // exactly bin 16
+        let signal: Vec<f32> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f0 * i as f64 / fs).sin() as f32)
+            .collect();
+        let spec = rfft(&signal).unwrap();
+        let mags: Vec<f64> = spec.iter().take(n / 2).map(|c| c.abs()).collect();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 16);
+        assert_close(bin_frequency(peak, n, fs), f0, 1e-9);
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        let mut buf = vec![Complex64::zero(); 12];
+        assert_eq!(
+            fft_in_place(&mut buf).unwrap_err(),
+            DspError::NotPowerOfTwo(12)
+        );
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let signal: Vec<f32> = (0..128).map(|i| ((i * 31 + 7) % 17) as f32 - 8.0).collect();
+        let time_energy: f64 = signal.iter().map(|&x| f64::from(x).powi(2)).sum();
+        let spec = rfft(&signal).unwrap();
+        let freq_energy: f64 =
+            spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / spec.len() as f64;
+        assert_close(time_energy, freq_energy, 1e-6);
+    }
+
+    #[test]
+    fn complex_sqrt_squares_back() {
+        for (re, im) in [(3.0, 4.0), (-2.0, 1.0), (0.0, -9.0), (5.0, 0.0)] {
+            let z = Complex64::new(re, im);
+            let r = z.sqrt();
+            let back = r * r;
+            assert_close(back.re, re, 1e-9);
+            assert_close(back.im, im, 1e-9);
+        }
+    }
+}

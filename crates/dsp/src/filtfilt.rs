@@ -1,0 +1,142 @@
+//! Zero-phase (forward-backward) filtering.
+//!
+//! Offline dataset preparation can afford non-causal filtering, which removes
+//! the phase distortion a causal IIR pass introduces. `filtfilt` runs the
+//! cascade forward, reverses, runs it again and reverses back, with odd
+//! reflection padding at both ends to suppress edge transients (the same
+//! strategy as scipy's `filtfilt`).
+//!
+//! The real-time control loop must use the causal [`SosRunner`] instead; the
+//! ablation bench `fig5` quantifies the difference.
+//!
+//! [`SosRunner`]: crate::biquad::SosRunner
+
+use crate::biquad::SosFilter;
+use crate::{DspError, Result};
+
+/// Applies `filter` with zero phase distortion.
+///
+/// The effective magnitude response is the square of the cascade's, so the
+/// -3 dB point moves slightly inward; this matches standard practice.
+///
+/// # Errors
+///
+/// Returns [`DspError::SignalTooShort`] when the signal is shorter than the
+/// reflection pad (3 × filter order + 3 samples).
+pub fn filtfilt(filter: &SosFilter, signal: &[f32]) -> Result<Vec<f32>> {
+    let pad = 3 * (filter.order() + 1);
+    if signal.len() <= pad {
+        return Err(DspError::SignalTooShort {
+            required: pad + 1,
+            actual: signal.len(),
+        });
+    }
+
+    // Odd reflection about the first/last sample: 2*edge - x.
+    let mut extended = Vec::with_capacity(signal.len() + 2 * pad);
+    let first = signal[0];
+    let last = signal[signal.len() - 1];
+    for i in (1..=pad).rev() {
+        extended.push(2.0 * first - signal[i]);
+    }
+    extended.extend_from_slice(signal);
+    for i in (signal.len() - pad - 1..signal.len() - 1).rev() {
+        extended.push(2.0 * last - signal[i]);
+    }
+
+    let mut fwd = filter.filter(&extended);
+    fwd.reverse();
+    let mut back = filter.filter(&fwd);
+    back.reverse();
+
+    Ok(back[pad..pad + signal.len()].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::butterworth::Butterworth;
+
+    const FS: f64 = 125.0;
+
+    fn tone(f: f64, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / FS).sin() as f32)
+            .collect()
+    }
+
+    #[test]
+    fn preserves_length() {
+        let f = Butterworth::bandpass(4, 0.5, 45.0, FS).unwrap();
+        let x = tone(10.0, 500);
+        let y = filtfilt(&f, &x).unwrap();
+        assert_eq!(y.len(), x.len());
+    }
+
+    #[test]
+    fn zero_phase_on_in_band_tone() {
+        // A 10 Hz tone through a 0.5-45 Hz bandpass should come back nearly
+        // unchanged AND phase-aligned (cross-correlation peak at lag 0).
+        let f = Butterworth::bandpass(4, 0.5, 45.0, FS).unwrap();
+        let x = tone(10.0, 1000);
+        let y = filtfilt(&f, &x).unwrap();
+
+        let corr_at = |lag: i64| -> f64 {
+            let mut s = 0.0;
+            for i in 0..x.len() {
+                let j = i as i64 + lag;
+                if j >= 0 && (j as usize) < y.len() {
+                    s += f64::from(x[i]) * f64::from(y[j as usize]);
+                }
+            }
+            s
+        };
+        let c0 = corr_at(0);
+        for lag in [-3, -2, -1, 1, 2, 3] {
+            assert!(c0 > corr_at(lag), "lag {lag} beats zero lag");
+        }
+    }
+
+    #[test]
+    fn causal_filter_does_have_phase_lag() {
+        // Sanity check that the zero-phase property above is non-trivial: the
+        // causal pass of the same filter shifts the tone.
+        let f = Butterworth::bandpass(4, 2.0, 30.0, FS).unwrap();
+        let x = tone(10.0, 1000);
+        let y = f.filter(&x);
+        let dot: f64 = x
+            .iter()
+            .zip(&y)
+            .skip(200)
+            .map(|(&a, &b)| f64::from(a) * f64::from(b))
+            .sum();
+        let xx: f64 = x.iter().skip(200).map(|&a| f64::from(a).powi(2)).sum();
+        // Normalized in-phase component well below 1 -> phase lag exists.
+        assert!(dot / xx < 0.995);
+    }
+
+    #[test]
+    fn too_short_signal_is_rejected() {
+        let f = Butterworth::bandpass(9, 0.5, 45.0, FS).unwrap();
+        let x = vec![0.0_f32; 20];
+        assert!(matches!(
+            filtfilt(&f, &x),
+            Err(DspError::SignalTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn suppresses_out_of_band_better_than_single_pass() {
+        let f = Butterworth::bandpass(2, 0.5, 20.0, FS).unwrap();
+        let x = tone(25.0, 2000);
+        let zero_phase = filtfilt(&f, &x).unwrap();
+        let causal = f.filter(&x);
+        let rms = |v: &[f32]| {
+            (v.iter().skip(500).map(|&s| f64::from(s).powi(2)).sum::<f64>()
+                / (v.len() - 500) as f64)
+                .sqrt()
+        };
+        // Two passes double the stop-band attenuation in dB.
+        assert!(rms(&zero_phase) < rms(&causal));
+    }
+}

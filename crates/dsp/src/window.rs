@@ -1,0 +1,199 @@
+//! Sliding-window segmentation (Sec. III-B3).
+//!
+//! The preprocessed recording is cut into overlapping windows of 100–200
+//! samples (0.8–1.6 s at 125 Hz) advanced by 25 samples (0.2 s). Each window
+//! inherits the label of the mental-task block it was cut from; windows that
+//! straddle a block boundary are dropped by the dataset builder (transition
+//! handling lives in `eeg::dataset`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DspError, Result};
+
+/// Configuration of the sliding-window segmenter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowConfig {
+    /// Window length in samples (paper sweeps 100–200).
+    pub size: usize,
+    /// Hop between consecutive windows in samples (paper: 25).
+    pub step: usize,
+}
+
+impl WindowConfig {
+    /// Creates a config, validating both values are non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidWindow`] if `size == 0` or `step == 0`.
+    pub fn new(size: usize, step: usize) -> Result<Self> {
+        if size == 0 || step == 0 {
+            return Err(DspError::InvalidWindow { size, step });
+        }
+        Ok(Self { size, step })
+    }
+
+    /// The paper's default: 0.2 s hop at 125 Hz.
+    pub const PAPER_STEP: usize = 25;
+
+    /// Number of windows produced from `n` samples.
+    #[must_use]
+    pub fn count(&self, n: usize) -> usize {
+        if n < self.size {
+            0
+        } else {
+            (n - self.size) / self.step + 1
+        }
+    }
+
+    /// Start indices of every window over `n` samples.
+    pub fn starts(&self, n: usize) -> impl Iterator<Item = usize> + '_ {
+        let count = self.count(n);
+        (0..count).map(move |i| i * self.step)
+    }
+}
+
+/// Iterator over multichannel sliding windows.
+///
+/// Input layout is channel-major: `channels` rows of `samples_per_channel`
+/// contiguous values. Each yielded window is a freshly allocated channel-major
+/// buffer of `channels * size` values.
+#[derive(Debug, Clone)]
+pub struct Windows<'a> {
+    data: &'a [f32],
+    channels: usize,
+    per_channel: usize,
+    config: WindowConfig,
+    next: usize,
+}
+
+impl<'a> Windows<'a> {
+    /// Creates the window iterator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::SignalTooShort`] when fewer samples than one
+    /// window are available, or [`DspError::InvalidWindow`] for a degenerate
+    /// config or data length not divisible by `channels`.
+    pub fn new(data: &'a [f32], channels: usize, config: WindowConfig) -> Result<Self> {
+        if channels == 0 || data.len() % channels != 0 {
+            return Err(DspError::InvalidWindow {
+                size: config.size,
+                step: config.step,
+            });
+        }
+        let per_channel = data.len() / channels;
+        if per_channel < config.size {
+            return Err(DspError::SignalTooShort {
+                required: config.size,
+                actual: per_channel,
+            });
+        }
+        Ok(Self {
+            data,
+            channels,
+            per_channel,
+            config,
+            next: 0,
+        })
+    }
+
+    /// Number of windows this iterator will yield in total.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.config.count(self.per_channel)
+    }
+}
+
+impl Iterator for Windows<'_> {
+    /// `(start_sample, channel-major window buffer)`.
+    type Item = (usize, Vec<f32>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let start = self.next;
+        if start + self.config.size > self.per_channel {
+            return None;
+        }
+        self.next += self.config.step;
+        let mut buf = Vec::with_capacity(self.channels * self.config.size);
+        for ch in 0..self.channels {
+            let base = ch * self.per_channel + start;
+            buf.extend_from_slice(&self.data[base..base + self.config.size]);
+        }
+        Some((start, buf))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = if self.next + self.config.size > self.per_channel {
+            0
+        } else {
+            (self.per_channel - self.config.size - self.next) / self.config.step + 1
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_window_counts() {
+        // 5 minutes at 125 Hz = 37500 samples; window 190, step 25.
+        let cfg = WindowConfig::new(190, 25).unwrap();
+        assert_eq!(cfg.count(37_500), (37_500 - 190) / 25 + 1);
+        // Shorter than one window -> zero.
+        assert_eq!(cfg.count(100), 0);
+    }
+
+    #[test]
+    fn windows_are_channel_major_and_overlapping() {
+        // 2 channels, 10 samples each; window 4, step 2.
+        let mut data = Vec::new();
+        data.extend((0..10).map(|i| i as f32)); // channel 0: 0..10
+        data.extend((0..10).map(|i| 100.0 + i as f32)); // channel 1
+        let cfg = WindowConfig::new(4, 2).unwrap();
+        let wins: Vec<_> = Windows::new(&data, 2, cfg).unwrap().collect();
+        assert_eq!(wins.len(), 4);
+        let (start, first) = &wins[0];
+        assert_eq!(*start, 0);
+        assert_eq!(first[..4], [0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(first[4..], [100.0, 101.0, 102.0, 103.0]);
+        let (s1, second) = &wins[1];
+        assert_eq!(*s1, 2);
+        assert_eq!(second[..4], [2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn size_hint_matches_actual() {
+        let data = vec![0.0_f32; 3 * 100];
+        let cfg = WindowConfig::new(30, 7).unwrap();
+        let it = Windows::new(&data, 3, cfg).unwrap();
+        let hinted = it.size_hint().0;
+        assert_eq!(hinted, it.count());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(WindowConfig::new(0, 25).is_err());
+        assert!(WindowConfig::new(100, 0).is_err());
+        let data = vec![0.0_f32; 50];
+        let cfg = WindowConfig::new(100, 25).unwrap();
+        assert!(matches!(
+            Windows::new(&data, 1, cfg),
+            Err(DspError::SignalTooShort { .. })
+        ));
+        assert!(Windows::new(&data, 3, cfg).is_err()); // 50 % 3 != 0
+    }
+
+    #[test]
+    fn starts_iterator_matches_windows() {
+        let data = vec![0.0_f32; 200];
+        let cfg = WindowConfig::new(50, 25).unwrap();
+        let starts: Vec<usize> = cfg.starts(200).collect();
+        let wins: Vec<usize> = Windows::new(&data, 1, cfg)
+            .unwrap()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(starts, wins);
+    }
+}

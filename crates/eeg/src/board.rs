@@ -1,0 +1,309 @@
+//! Board-agnostic acquisition API (BrainFlow's role, Sec. III-A1).
+//!
+//! BrainFlow exposes boards behind a uniform prepare/start/poll/stop API
+//! with an internal ring buffer. We reproduce that contract so the rest of
+//! the pipeline is written exactly as it would be against real hardware; the
+//! only difference is that our [`SimulatedBoard`] advances simulated time
+//! explicitly (deterministically) instead of being driven by a radio.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::signal::{SignalGenerator, SubjectParams};
+use crate::types::{Action, Chunk, CHANNELS, SAMPLE_RATE};
+use crate::{EegError, Result};
+
+/// Static description of a board, mirroring BrainFlow's board descriptors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoardDescriptor {
+    /// Human-readable board name.
+    pub name: String,
+    /// Number of EEG channels.
+    pub eeg_channels: usize,
+    /// Sampling rate in Hz.
+    pub sample_rate: f64,
+    /// Ring-buffer capacity in samples.
+    pub buffer_size: usize,
+}
+
+impl BoardDescriptor {
+    /// The Cyton + Daisy stack used by the paper.
+    #[must_use]
+    pub fn cyton_daisy() -> Self {
+        Self {
+            name: "OpenBCI Cyton+Daisy (simulated)".to_owned(),
+            eeg_channels: CHANNELS,
+            sample_rate: SAMPLE_RATE,
+            buffer_size: 45_000, // 6 minutes at 125 Hz
+        }
+    }
+}
+
+/// The uniform acquisition interface the pipeline is written against.
+///
+/// Mirrors the subset of BrainFlow's `BoardShim` that CognitiveArm uses:
+/// session preparation, stream control, and the two polling flavours
+/// (drain everything vs. peek at the latest `n`).
+pub trait Board {
+    /// Board metadata.
+    fn descriptor(&self) -> &BoardDescriptor;
+
+    /// Starts the data stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EegError::AlreadyStreaming`] when called twice.
+    fn start_stream(&mut self) -> Result<()>;
+
+    /// Stops the data stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EegError::NotStreaming`] when the stream is not running.
+    fn stop_stream(&mut self) -> Result<()>;
+
+    /// Whether the stream is currently running.
+    fn is_streaming(&self) -> bool;
+
+    /// Removes and returns all buffered data (BrainFlow `get_board_data`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EegError::NotStreaming`] when the stream is not running.
+    fn drain(&mut self) -> Result<Chunk>;
+
+    /// Returns the newest `n` samples without removing them
+    /// (BrainFlow `get_current_board_data`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EegError::NotStreaming`] when the stream is not running.
+    fn peek_latest(&self, n: usize) -> Result<Chunk>;
+}
+
+/// Ring buffer of multichannel samples.
+#[derive(Debug)]
+struct RingBuffer {
+    /// Sample-major storage: each entry is one 16-channel frame.
+    frames: Vec<[f32; CHANNELS]>,
+    capacity: usize,
+    /// Index of the oldest frame.
+    head: usize,
+    len: usize,
+}
+
+impl RingBuffer {
+    fn new(capacity: usize) -> Self {
+        Self {
+            frames: vec![[0.0; CHANNELS]; capacity],
+            capacity,
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, frame: [f32; CHANNELS]) {
+        let idx = (self.head + self.len) % self.capacity;
+        self.frames[idx] = frame;
+        if self.len < self.capacity {
+            self.len += 1;
+        } else {
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    fn to_chunk(&self, take_last: Option<usize>) -> Chunk {
+        let n = take_last.map_or(self.len, |k| k.min(self.len));
+        let skip = self.len - n;
+        let mut chunk = Chunk::zeros(CHANNELS, n);
+        for i in 0..n {
+            let idx = (self.head + skip + i) % self.capacity;
+            for ch in 0..CHANNELS {
+                chunk.data[ch * n + i] = self.frames[idx][ch];
+            }
+        }
+        chunk
+    }
+
+    fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+/// A simulated Cyton + Daisy board backed by the [`SignalGenerator`].
+///
+/// Time does not flow on its own: call [`SimulatedBoard::advance`] to
+/// simulate the radio delivering `n` new samples (a real-time runner calls
+/// this from its clock; tests call it directly).
+#[derive(Debug)]
+pub struct SimulatedBoard {
+    descriptor: BoardDescriptor,
+    generator: Mutex<SignalGenerator>,
+    buffer: Mutex<RingBuffer>,
+    streaming: bool,
+    total_samples: u64,
+}
+
+impl SimulatedBoard {
+    /// Creates a board simulating the given subject.
+    #[must_use]
+    pub fn new(params: SubjectParams, seed: u64) -> Self {
+        let descriptor = BoardDescriptor::cyton_daisy();
+        let buffer = RingBuffer::new(descriptor.buffer_size);
+        Self {
+            descriptor,
+            generator: Mutex::new(SignalGenerator::new(params, seed)),
+            buffer: Mutex::new(buffer),
+            streaming: false,
+            total_samples: 0,
+        }
+    }
+
+    /// Changes the mental task the simulated subject performs.
+    pub fn set_action(&self, action: Action) {
+        self.generator.lock().set_action(action);
+    }
+
+    /// Simulates the arrival of `n` new samples from the headset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EegError::NotStreaming`] when the stream is not running.
+    pub fn advance(&mut self, n: usize) -> Result<()> {
+        if !self.streaming {
+            return Err(EegError::NotStreaming);
+        }
+        let mut generator = self.generator.lock();
+        let mut buffer = self.buffer.lock();
+        for _ in 0..n {
+            buffer.push(generator.next_sample());
+        }
+        self.total_samples += n as u64;
+        Ok(())
+    }
+
+    /// Total samples produced since construction.
+    #[must_use]
+    pub fn total_samples(&self) -> u64 {
+        self.total_samples
+    }
+}
+
+impl Board for SimulatedBoard {
+    fn descriptor(&self) -> &BoardDescriptor {
+        &self.descriptor
+    }
+
+    fn start_stream(&mut self) -> Result<()> {
+        if self.streaming {
+            return Err(EegError::AlreadyStreaming);
+        }
+        self.streaming = true;
+        Ok(())
+    }
+
+    fn stop_stream(&mut self) -> Result<()> {
+        if !self.streaming {
+            return Err(EegError::NotStreaming);
+        }
+        self.streaming = false;
+        Ok(())
+    }
+
+    fn is_streaming(&self) -> bool {
+        self.streaming
+    }
+
+    fn drain(&mut self) -> Result<Chunk> {
+        if !self.streaming {
+            return Err(EegError::NotStreaming);
+        }
+        let mut buffer = self.buffer.lock();
+        let chunk = buffer.to_chunk(None);
+        buffer.clear();
+        Ok(chunk)
+    }
+
+    fn peek_latest(&self, n: usize) -> Result<Chunk> {
+        if !self.streaming {
+            return Err(EegError::NotStreaming);
+        }
+        Ok(self.buffer.lock().to_chunk(Some(n)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn board() -> SimulatedBoard {
+        SimulatedBoard::new(SubjectParams::sampled(1), 42)
+    }
+
+    #[test]
+    fn stream_lifecycle_is_enforced() {
+        let mut b = board();
+        assert!(!b.is_streaming());
+        assert!(matches!(b.advance(10), Err(EegError::NotStreaming)));
+        assert!(matches!(b.drain(), Err(EegError::NotStreaming)));
+        b.start_stream().unwrap();
+        assert!(matches!(b.start_stream(), Err(EegError::AlreadyStreaming)));
+        b.stop_stream().unwrap();
+        assert!(matches!(b.stop_stream(), Err(EegError::NotStreaming)));
+    }
+
+    #[test]
+    fn drain_empties_the_buffer() {
+        let mut b = board();
+        b.start_stream().unwrap();
+        b.advance(100).unwrap();
+        let first = b.drain().unwrap();
+        assert_eq!(first.samples, 100);
+        let second = b.drain().unwrap();
+        assert_eq!(second.samples, 0);
+    }
+
+    #[test]
+    fn peek_keeps_data_and_returns_newest() {
+        let mut b = board();
+        b.start_stream().unwrap();
+        b.advance(50).unwrap();
+        let peek1 = b.peek_latest(20).unwrap();
+        assert_eq!(peek1.samples, 20);
+        // Peeking again returns the same data.
+        let peek2 = b.peek_latest(20).unwrap();
+        assert_eq!(peek1, peek2);
+        // Draining still returns all 50.
+        assert_eq!(b.drain().unwrap().samples, 50);
+    }
+
+    #[test]
+    fn peek_more_than_available_clamps() {
+        let mut b = board();
+        b.start_stream().unwrap();
+        b.advance(10).unwrap();
+        assert_eq!(b.peek_latest(100).unwrap().samples, 10);
+    }
+
+    #[test]
+    fn ring_buffer_overwrites_oldest() {
+        let mut rb = RingBuffer::new(4);
+        for i in 0..6 {
+            let mut f = [0.0; CHANNELS];
+            f[0] = i as f32;
+            rb.push(f);
+        }
+        let c = rb.to_chunk(None);
+        assert_eq!(c.samples, 4);
+        // Oldest two were dropped.
+        assert_eq!(c.channel(0), &[2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn descriptor_matches_paper_hardware() {
+        let b = board();
+        assert_eq!(b.descriptor().eeg_channels, 16);
+        assert!((b.descriptor().sample_rate - 125.0).abs() < f64::EPSILON);
+    }
+}

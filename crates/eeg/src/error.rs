@@ -1,0 +1,66 @@
+use std::fmt;
+
+/// Errors produced by the EEG substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EegError {
+    /// The board must be streaming for this operation.
+    NotStreaming,
+    /// The board is already streaming.
+    AlreadyStreaming,
+    /// A protocol was configured with no task blocks.
+    EmptyProtocol,
+    /// Window parameters yield no windows for the recording length.
+    BadWindowing {
+        /// Window size in samples.
+        size: usize,
+        /// Step in samples.
+        step: usize,
+    },
+    /// An underlying DSP operation failed.
+    Dsp(dsp::DspError),
+    /// Requested subject index does not exist in the study.
+    UnknownSubject(usize),
+}
+
+impl fmt::Display for EegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EegError::NotStreaming => write!(f, "board is not streaming"),
+            EegError::AlreadyStreaming => write!(f, "board is already streaming"),
+            EegError::EmptyProtocol => write!(f, "protocol contains no task blocks"),
+            EegError::BadWindowing { size, step } => {
+                write!(f, "window size {size} / step {step} produce no windows")
+            }
+            EegError::Dsp(e) => write!(f, "dsp error: {e}"),
+            EegError::UnknownSubject(i) => write!(f, "subject index {i} is out of range"),
+        }
+    }
+}
+
+impl std::error::Error for EegError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EegError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dsp::DspError> for EegError {
+    fn from(e: dsp::DspError) -> Self {
+        EegError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsp_error_converts_and_chains() {
+        let e: EegError = dsp::DspError::ZeroOrder.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("dsp"));
+    }
+}

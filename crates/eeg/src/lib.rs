@@ -1,0 +1,51 @@
+//! Synthetic EEG acquisition substrate for the CognitiveArm reproduction.
+//!
+//! The paper acquires 16-channel EEG at 125 Hz from an OpenBCI UltraCortex
+//! Mark IV (Cyton + Daisy) headset through BrainFlow (Sec. III-A). We do not
+//! have that hardware, so this crate provides the closest synthetic
+//! equivalent that exercises the same downstream code paths:
+//!
+//! * [`montage`] — the 10-20 electrode layout of Fig. 3, with scalp
+//!   coordinates used to couple sources to channels.
+//! * [`signal`] — a physiologically-motivated generative model of
+//!   motor-imagery EEG: 1/f background, per-subject alpha (mu) rhythm with
+//!   event-related desynchronization (ERD) contralateral to the imagined
+//!   hand, eye-blink and EMG artifacts, 50 Hz line noise and slow drift.
+//! * [`board`] — a board-agnostic acquisition API playing BrainFlow's role:
+//!   a ring-buffered streaming board you start, poll and stop.
+//! * [`dataset`] — the experimental protocol of Sec. III-B: cue-based
+//!   recording blocks, annotation with transition periods, sliding-window
+//!   segmentation, class balancing and leave-one-subject-out splits.
+//!
+//! # Examples
+//!
+//! Generate one subject's labelled dataset exactly like the paper's
+//! collection protocol:
+//!
+//! ```
+//! use eeg::dataset::{Protocol, SubjectRecording};
+//! use eeg::signal::SubjectParams;
+//!
+//! # fn main() -> Result<(), eeg::EegError> {
+//! let protocol = Protocol::paper_default();
+//! let subject = SubjectParams::sampled(42);
+//! let recording = SubjectRecording::generate(&protocol, &subject, 7)?;
+//! let windows = recording.windowed(190, 25)?;
+//! assert!(windows.len() > 100);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod board;
+pub mod dataset;
+pub mod montage;
+pub mod signal;
+pub mod types;
+
+mod error;
+
+pub use error::EegError;
+pub use types::{Action, CHANNELS, SAMPLE_RATE};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, EegError>;

@@ -1,0 +1,245 @@
+//! The 16-electrode 10-20 montage of Fig. 3.
+//!
+//! Electrode coordinates are given in a simple 2-D head-top projection
+//! (nasion at +y, inion at −y, left ear −x). They are used by the signal
+//! model to compute how strongly each cortical source (motor ERD over C3/C4,
+//! frontal blink dipole, temporal EMG) couples into each channel.
+
+use serde::{Deserialize, Serialize};
+
+/// One electrode of the UltraCortex Mark IV 16-channel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // the variants are standard 10-20 site names
+pub enum Electrode {
+    Fp1,
+    Fp2,
+    F7,
+    F3,
+    F4,
+    F8,
+    T7,
+    C3,
+    C4,
+    T8,
+    P7,
+    P3,
+    P4,
+    P8,
+    O1,
+    O2,
+}
+
+impl Electrode {
+    /// All 16 electrodes in board channel order (Cyton channels 1–8 then
+    /// Daisy channels 9–16, front to back, left before right).
+    pub const ALL: [Electrode; 16] = [
+        Electrode::Fp1,
+        Electrode::Fp2,
+        Electrode::F7,
+        Electrode::F3,
+        Electrode::F4,
+        Electrode::F8,
+        Electrode::T7,
+        Electrode::C3,
+        Electrode::C4,
+        Electrode::T8,
+        Electrode::P7,
+        Electrode::P3,
+        Electrode::P4,
+        Electrode::P8,
+        Electrode::O1,
+        Electrode::O2,
+    ];
+
+    /// Board channel index (0-based) of this electrode.
+    #[must_use]
+    pub fn channel(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&e| e == self)
+            .expect("electrode is in ALL")
+    }
+
+    /// 2-D head-top position `(x, y)`; unit head radius, +y toward nasion,
+    /// +x toward the right ear.
+    #[must_use]
+    pub fn position(self) -> (f64, f64) {
+        match self {
+            Electrode::Fp1 => (-0.31, 0.95),
+            Electrode::Fp2 => (0.31, 0.95),
+            Electrode::F7 => (-0.81, 0.59),
+            Electrode::F3 => (-0.40, 0.52),
+            Electrode::F4 => (0.40, 0.52),
+            Electrode::F8 => (0.81, 0.59),
+            Electrode::T7 => (-1.0, 0.0),
+            Electrode::C3 => (-0.50, 0.0),
+            Electrode::C4 => (0.50, 0.0),
+            Electrode::T8 => (1.0, 0.0),
+            Electrode::P7 => (-0.81, -0.59),
+            Electrode::P3 => (-0.40, -0.52),
+            Electrode::P4 => (0.40, -0.52),
+            Electrode::P8 => (0.81, -0.59),
+            Electrode::O1 => (-0.31, -0.95),
+            Electrode::O2 => (0.31, -0.95),
+        }
+    }
+
+    /// 10-20 site name, e.g. `"C3"`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Electrode::Fp1 => "FP1",
+            Electrode::Fp2 => "FP2",
+            Electrode::F7 => "F7",
+            Electrode::F3 => "F3",
+            Electrode::F4 => "F4",
+            Electrode::F8 => "F8",
+            Electrode::T7 => "T7",
+            Electrode::C3 => "C3",
+            Electrode::C4 => "C4",
+            Electrode::T8 => "T8",
+            Electrode::P7 => "P7",
+            Electrode::P3 => "P3",
+            Electrode::P4 => "P4",
+            Electrode::P8 => "P8",
+            Electrode::O1 => "O1",
+            Electrode::O2 => "O2",
+        }
+    }
+}
+
+impl std::fmt::Display for Electrode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Gaussian spatial coupling of a point source at `(sx, sy)` into every
+/// channel; `spread` is the Gaussian σ in head-radius units.
+#[must_use]
+pub fn coupling_from(sx: f64, sy: f64, spread: f64) -> [f64; 16] {
+    let mut out = [0.0; 16];
+    for (i, e) in Electrode::ALL.iter().enumerate() {
+        let (x, y) = e.position();
+        let d2 = (x - sx).powi(2) + (y - sy).powi(2);
+        out[i] = (-d2 / (2.0 * spread * spread)).exp();
+    }
+    out
+}
+
+/// Coupling of the left-hemisphere hand-area source (under C3).
+#[must_use]
+pub fn left_motor_coupling() -> [f64; 16] {
+    let (x, y) = Electrode::C3.position();
+    coupling_from(x, y, 0.45)
+}
+
+/// Coupling of the right-hemisphere hand-area source (under C4).
+#[must_use]
+pub fn right_motor_coupling() -> [f64; 16] {
+    let (x, y) = Electrode::C4.position();
+    coupling_from(x, y, 0.45)
+}
+
+/// Coupling of the ocular (blink) dipole just above the eyes.
+#[must_use]
+pub fn blink_coupling() -> [f64; 16] {
+    coupling_from(0.0, 1.15, 0.5)
+}
+
+/// Coupling of temporal muscle (EMG) sources, symmetric over T7/T8.
+#[must_use]
+pub fn emg_coupling() -> [f64; 16] {
+    let l = coupling_from(-1.05, 0.0, 0.4);
+    let r = coupling_from(1.05, 0.0, 0.4);
+    let mut out = [0.0; 16];
+    for i in 0..16 {
+        out[i] = l[i].max(r[i]);
+    }
+    out
+}
+
+/// Coupling of the occipital alpha generator (visual idle rhythm).
+#[must_use]
+pub fn occipital_coupling() -> [f64; 16] {
+    coupling_from(0.0, -0.9, 0.6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_unique_electrodes() {
+        let mut names: Vec<&str> = Electrode::ALL.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16);
+    }
+
+    #[test]
+    fn channel_index_roundtrips() {
+        for (i, e) in Electrode::ALL.iter().enumerate() {
+            assert_eq!(e.channel(), i);
+        }
+    }
+
+    #[test]
+    fn montage_is_left_right_symmetric() {
+        let pairs = [
+            (Electrode::Fp1, Electrode::Fp2),
+            (Electrode::C3, Electrode::C4),
+            (Electrode::O1, Electrode::O2),
+            (Electrode::T7, Electrode::T8),
+        ];
+        for (l, r) in pairs {
+            let (lx, ly) = l.position();
+            let (rx, ry) = r.position();
+            assert!((lx + rx).abs() < 1e-9, "{l} vs {r}");
+            assert!((ly - ry).abs() < 1e-9, "{l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn motor_coupling_peaks_at_the_right_site() {
+        let left = left_motor_coupling();
+        let strongest = left
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(strongest, Electrode::C3.channel());
+
+        let right = right_motor_coupling();
+        let strongest = right
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(strongest, Electrode::C4.channel());
+    }
+
+    #[test]
+    fn blink_hits_frontal_channels_hardest() {
+        let b = blink_coupling();
+        assert!(b[Electrode::Fp1.channel()] > b[Electrode::O1.channel()] * 5.0);
+        assert!(b[Electrode::Fp2.channel()] > b[Electrode::P3.channel()] * 3.0);
+    }
+
+    #[test]
+    fn couplings_are_normalized_to_at_most_one() {
+        for c in [
+            left_motor_coupling(),
+            right_motor_coupling(),
+            blink_coupling(),
+            emg_coupling(),
+            occipital_coupling(),
+        ] {
+            for v in c {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

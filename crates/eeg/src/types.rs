@@ -1,0 +1,181 @@
+//! Core types shared across the EEG substrate.
+
+use serde::{Deserialize, Serialize};
+
+/// Sampling rate of the Cyton + Daisy configuration, in Hz (Sec. III-A2).
+pub const SAMPLE_RATE: f64 = 125.0;
+
+/// Number of EEG channels on the Cyton + Daisy stack (Sec. III-A1).
+pub const CHANNELS: usize = 16;
+
+/// The three core mental-task classes (Sec. III-B1).
+///
+/// Class indices are stable and used as labels by every model:
+/// `Left = 0`, `Right = 1`, `Idle = 2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Action {
+    /// Imagined movement of the left hand to the left.
+    Left,
+    /// Imagined movement of the right hand to the right.
+    Right,
+    /// Calm, unfocused state.
+    Idle,
+}
+
+impl Action {
+    /// All classes in label order.
+    pub const ALL: [Action; 3] = [Action::Left, Action::Right, Action::Idle];
+
+    /// Number of classes.
+    pub const COUNT: usize = 3;
+
+    /// Stable class index used as the training label.
+    #[must_use]
+    pub fn label(self) -> usize {
+        match self {
+            Action::Left => 0,
+            Action::Right => 1,
+            Action::Idle => 2,
+        }
+    }
+
+    /// Inverse of [`Action::label`].
+    #[must_use]
+    pub fn from_label(label: usize) -> Option<Action> {
+        match label {
+            0 => Some(Action::Left),
+            1 => Some(Action::Right),
+            2 => Some(Action::Idle),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Action::Left => "left",
+            Action::Right => "right",
+            Action::Idle => "idle",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A multichannel chunk of EEG laid out channel-major:
+/// `channels` rows of `samples` contiguous values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chunk {
+    /// Number of channels.
+    pub channels: usize,
+    /// Samples per channel.
+    pub samples: usize,
+    /// Channel-major data, `channels * samples` long.
+    pub data: Vec<f32>,
+}
+
+impl Chunk {
+    /// Creates an all-zero chunk.
+    #[must_use]
+    pub fn zeros(channels: usize, samples: usize) -> Self {
+        Self {
+            channels,
+            samples,
+            data: vec![0.0; channels * samples],
+        }
+    }
+
+    /// Borrow of one channel's samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch >= self.channels`.
+    #[must_use]
+    pub fn channel(&self, ch: usize) -> &[f32] {
+        assert!(ch < self.channels, "channel {ch} out of range");
+        &self.data[ch * self.samples..(ch + 1) * self.samples]
+    }
+
+    /// Mutable borrow of one channel's samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch >= self.channels`.
+    pub fn channel_mut(&mut self, ch: usize) -> &mut [f32] {
+        assert!(ch < self.channels, "channel {ch} out of range");
+        &mut self.data[ch * self.samples..(ch + 1) * self.samples]
+    }
+
+    /// Appends another chunk with the same channel count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if channel counts differ.
+    pub fn append(&mut self, other: &Chunk) {
+        assert_eq!(self.channels, other.channels, "channel count mismatch");
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        for ch in 0..self.channels {
+            data.extend_from_slice(self.channel(ch));
+            data.extend_from_slice(other.channel(ch));
+        }
+        self.samples += other.samples;
+        self.data = data;
+    }
+}
+
+/// One labelled training window: channel-major samples plus its class and
+/// originating subject.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledWindow {
+    /// Channel-major window data (`CHANNELS * window_size`).
+    pub data: Vec<f32>,
+    /// Ground-truth class.
+    pub label: Action,
+    /// Index of the subject the window came from.
+    pub subject: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        for a in Action::ALL {
+            assert_eq!(Action::from_label(a.label()), Some(a));
+        }
+        assert_eq!(Action::from_label(3), None);
+    }
+
+    #[test]
+    fn chunk_channel_views() {
+        let mut c = Chunk::zeros(2, 3);
+        c.channel_mut(1).copy_from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(c.channel(0), &[0.0, 0.0, 0.0]);
+        assert_eq!(c.channel(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn chunk_append_preserves_channel_major_layout() {
+        let mut a = Chunk {
+            channels: 2,
+            samples: 2,
+            data: vec![1.0, 2.0, 10.0, 20.0],
+        };
+        let b = Chunk {
+            channels: 2,
+            samples: 1,
+            data: vec![3.0, 30.0],
+        };
+        a.append(&b);
+        assert_eq!(a.samples, 3);
+        assert_eq!(a.channel(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.channel(1), &[10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Action::Left.to_string(), "left");
+        assert_eq!(Action::Idle.to_string(), "idle");
+    }
+}

@@ -1,0 +1,621 @@
+//! Genomes over the Table III search space.
+
+use ml::forest::ForestConfig;
+use ml::models::{CnnConfig, ConvSpec, LstmConfig, PoolKind, TransformerConfig};
+use ml::optim::OptimizerKind;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Model family being searched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// Convolutional networks.
+    Cnn,
+    /// Recurrent networks.
+    Lstm,
+    /// Transformer encoders.
+    Transformer,
+    /// Random forests.
+    Forest,
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Family::Cnn => "cnn",
+            Family::Lstm => "lstm",
+            Family::Transformer => "transformer",
+            Family::Forest => "forest",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One candidate configuration: architecture plus its optimizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Genome {
+    /// CNN candidate.
+    Cnn {
+        /// Architecture.
+        config: CnnConfig,
+        /// Training optimizer (Table III: Adam or SGD).
+        optimizer: OptimizerKind,
+    },
+    /// LSTM candidate.
+    Lstm {
+        /// Architecture.
+        config: LstmConfig,
+        /// Training optimizer (Table III: Adam or RMSProp).
+        optimizer: OptimizerKind,
+    },
+    /// Transformer candidate.
+    Transformer {
+        /// Architecture.
+        config: TransformerConfig,
+        /// Training optimizer (Table III: AdamW).
+        optimizer: OptimizerKind,
+    },
+    /// Random-forest candidate (window length is the RF's upstream window).
+    Forest {
+        /// Hyperparameters.
+        config: ForestConfig,
+        /// Window length in samples.
+        window: usize,
+    },
+}
+
+impl Genome {
+    /// The candidate's family.
+    #[must_use]
+    pub fn family(&self) -> Family {
+        match self {
+            Genome::Cnn { .. } => Family::Cnn,
+            Genome::Lstm { .. } => Family::Lstm,
+            Genome::Transformer { .. } => Family::Transformer,
+            Genome::Forest { .. } => Family::Forest,
+        }
+    }
+
+    /// The window length this candidate consumes.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        match self {
+            Genome::Cnn { config, .. } => config.window,
+            Genome::Lstm { config, .. } => config.window,
+            Genome::Transformer { config, .. } => config.window,
+            Genome::Forest { window, .. } => *window,
+        }
+    }
+
+    /// Short description, e.g. `cnn 32@5x5s2 w190 adam`.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            Genome::Cnn { config, optimizer } => {
+                let convs: Vec<String> = config
+                    .convs
+                    .iter()
+                    .map(|c| format!("{}@{}x{}s{}", c.filters, c.kernel, c.kernel, c.stride))
+                    .collect();
+                format!("cnn {} w{} {}", convs.join(","), config.window, optimizer.name())
+            }
+            Genome::Lstm { config, optimizer } => format!(
+                "lstm {}x{} w{} {}",
+                config.layers,
+                config.hidden,
+                config.window,
+                optimizer.name()
+            ),
+            Genome::Transformer { config, optimizer } => format!(
+                "tf {}L{}H d{} ff{} w{} {}",
+                config.layers,
+                config.heads,
+                config.d_model,
+                config.dim_ff,
+                config.window,
+                optimizer.name()
+            ),
+            Genome::Forest { config, window } => format!(
+                "rf {}est d{:?} w{}",
+                config.n_estimators, config.max_depth, window
+            ),
+        }
+    }
+}
+
+/// The Table III search space for one family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Family to sample.
+    pub family: Family,
+    /// EEG channels (fixed, 16).
+    pub channels: usize,
+    /// Temporal stride for sequence models (reproduction knob).
+    pub time_stride: usize,
+}
+
+impl SearchSpace {
+    /// Creates the space for a family with the paper's fixed I/O shape.
+    #[must_use]
+    pub fn new(family: Family) -> Self {
+        Self {
+            family,
+            channels: 16,
+            time_stride: 4,
+        }
+    }
+
+    const WINDOWS: [usize; 5] = [100, 130, 160, 190, 200];
+    const LR: [f32; 3] = [1e-3, 1e-4, 1e-5];
+
+    /// Samples a random genome from the space.
+    #[must_use]
+    pub fn sample(&self, rng: &mut StdRng) -> Genome {
+        let window = *Self::WINDOWS.choose(rng).expect("non-empty");
+        match self.family {
+            Family::Cnn => {
+                let n_layers = rng.gen_range(1..=3);
+                let pool = *[PoolKind::Max, PoolKind::Avg, PoolKind::None]
+                    .choose(rng)
+                    .expect("non-empty");
+                // Track feature-map dims so deeper stacks stay valid for the
+                // smallest window in the space (width) and 16 channels
+                // (height).
+                let (mut h, mut w) = (self.channels, Self::WINDOWS[0]);
+                let mut convs = Vec::with_capacity(n_layers);
+                for _ in 0..n_layers {
+                    let kernels: Vec<usize> = [3usize, 5]
+                        .iter()
+                        .copied()
+                        .filter(|&k| k <= h && k <= w)
+                        .collect();
+                    let Some(&kernel) = kernels.as_slice().choose(rng) else {
+                        break;
+                    };
+                    let stride = rng.gen_range(1..=2);
+                    let spec = ConvSpec {
+                        filters: *[8usize, 16, 32, 64].choose(rng).expect("non-empty"),
+                        kernel,
+                        stride,
+                    };
+                    h = (h - kernel) / stride + 1;
+                    w = (w - kernel) / stride + 1;
+                    if pool != PoolKind::None && h >= 2 && w >= 2 {
+                        h /= 2;
+                        w /= 2;
+                    }
+                    convs.push(spec);
+                    if h < 3 || w < 3 {
+                        break;
+                    }
+                }
+                let lr = *Self::LR.choose(rng).expect("non-empty");
+                Genome::Cnn {
+                    config: CnnConfig {
+                        convs,
+                        pool,
+                        window,
+                        channels: self.channels,
+                        dropout: rng.gen_range(0.1..0.5),
+                    },
+                    optimizer: if rng.gen_bool(0.5) {
+                        OptimizerKind::Adam { lr }
+                    } else {
+                        OptimizerKind::Sgd {
+                            lr: lr * 10.0,
+                            momentum: 0.9,
+                        }
+                    },
+                }
+            }
+            Family::Lstm => {
+                let lr = *Self::LR.choose(rng).expect("non-empty");
+                Genome::Lstm {
+                    config: LstmConfig {
+                        hidden: *[64usize, 128, 256, 512].choose(rng).expect("non-empty"),
+                        layers: rng.gen_range(1..=3),
+                        dropout: rng.gen_range(0.1..0.5),
+                        window,
+                        channels: self.channels,
+                        time_stride: self.time_stride,
+                    },
+                    optimizer: if rng.gen_bool(0.5) {
+                        OptimizerKind::Adam { lr }
+                    } else {
+                        OptimizerKind::RmsProp { lr, decay: 0.9 }
+                    },
+                }
+            }
+            Family::Transformer => {
+                let d_model = *[64usize, 128, 256].choose(rng).expect("non-empty");
+                let heads = *[2usize, 4, 8]
+                    .iter()
+                    .filter(|&&h| d_model % h == 0)
+                    .copied()
+                    .collect::<Vec<_>>()
+                    .choose(rng)
+                    .expect("some head count divides");
+                Genome::Transformer {
+                    config: TransformerConfig {
+                        layers: rng.gen_range(2..=6),
+                        heads,
+                        d_model,
+                        dim_ff: *[128usize, 256, 512].choose(rng).expect("non-empty"),
+                        dropout: rng.gen_range(0.1..0.5),
+                        window,
+                        channels: self.channels,
+                        time_stride: self.time_stride,
+                    },
+                    optimizer: OptimizerKind::AdamW {
+                        lr: *Self::LR.choose(rng).expect("non-empty"),
+                        weight_decay: *[1e-4f32, 1e-5, 1e-6].choose(rng).expect("non-empty"),
+                    },
+                }
+            }
+            Family::Forest => Genome::Forest {
+                config: ForestConfig {
+                    n_estimators: *[100usize, 200, 300, 400, 500].choose(rng).expect("non-empty"),
+                    max_depth: *[Some(10), Some(20), Some(30), None].choose(rng).expect("non-empty"),
+                    min_samples_split: 4,
+                    classes: 3,
+                    seed: rng.gen(),
+                },
+                window: *[80usize, 90, 100, 130, 160].choose(rng).expect("non-empty"),
+            },
+        }
+    }
+
+    /// Mutates one gene of `genome` in place with probability `p_m` each.
+    pub fn mutate(&self, genome: &mut Genome, p_m: f64, rng: &mut StdRng) {
+        // Re-sampling individual genes from the space keeps everything in
+        // range; each gene flips independently.
+        let fresh = self.sample(rng);
+        match (genome, fresh) {
+            (
+                Genome::Cnn { config, optimizer },
+                Genome::Cnn {
+                    config: fc,
+                    optimizer: fo,
+                },
+            ) => {
+                if rng.gen_bool(p_m) {
+                    config.window = fc.window;
+                }
+                if rng.gen_bool(p_m) {
+                    config.convs = fc.convs;
+                }
+                if rng.gen_bool(p_m) {
+                    config.pool = fc.pool;
+                }
+                if rng.gen_bool(p_m) {
+                    config.dropout = fc.dropout;
+                }
+                if rng.gen_bool(p_m) {
+                    *optimizer = fo;
+                }
+                repair_cnn(config);
+            }
+            (
+                Genome::Lstm { config, optimizer },
+                Genome::Lstm {
+                    config: fc,
+                    optimizer: fo,
+                },
+            ) => {
+                if rng.gen_bool(p_m) {
+                    config.hidden = fc.hidden;
+                }
+                if rng.gen_bool(p_m) {
+                    config.layers = fc.layers;
+                }
+                if rng.gen_bool(p_m) {
+                    config.window = fc.window;
+                }
+                if rng.gen_bool(p_m) {
+                    config.dropout = fc.dropout;
+                }
+                if rng.gen_bool(p_m) {
+                    *optimizer = fo;
+                }
+            }
+            (
+                Genome::Transformer { config, optimizer },
+                Genome::Transformer {
+                    config: fc,
+                    optimizer: fo,
+                },
+            ) => {
+                if rng.gen_bool(p_m) {
+                    config.layers = fc.layers;
+                }
+                if rng.gen_bool(p_m) {
+                    // Heads and d_model must stay compatible: take both.
+                    config.heads = fc.heads;
+                    config.d_model = fc.d_model;
+                }
+                if rng.gen_bool(p_m) {
+                    config.dim_ff = fc.dim_ff;
+                }
+                if rng.gen_bool(p_m) {
+                    config.window = fc.window;
+                }
+                if rng.gen_bool(p_m) {
+                    *optimizer = fo;
+                }
+            }
+            (
+                Genome::Forest { config, window },
+                Genome::Forest {
+                    config: fc,
+                    window: fw,
+                },
+            ) => {
+                if rng.gen_bool(p_m) {
+                    config.n_estimators = fc.n_estimators;
+                }
+                if rng.gen_bool(p_m) {
+                    config.max_depth = fc.max_depth;
+                }
+                if rng.gen_bool(p_m) {
+                    *window = fw;
+                }
+            }
+            _ => unreachable!("sample() returns the space's own family"),
+        }
+    }
+
+    /// One-point-per-gene uniform crossover between two parents of this
+    /// family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parents are from different families.
+    #[must_use]
+    pub fn crossover(&self, a: &Genome, b: &Genome, rng: &mut StdRng) -> Genome {
+        assert_eq!(a.family(), b.family(), "crossover needs same family");
+        let mut child = a.clone();
+        match (&mut child, b) {
+            (
+                Genome::Cnn { config, optimizer },
+                Genome::Cnn {
+                    config: bc,
+                    optimizer: bo,
+                },
+            ) => {
+                if rng.gen_bool(0.5) {
+                    config.convs = bc.convs.clone();
+                }
+                if rng.gen_bool(0.5) {
+                    config.window = bc.window;
+                }
+                if rng.gen_bool(0.5) {
+                    config.pool = bc.pool;
+                }
+                if rng.gen_bool(0.5) {
+                    config.dropout = bc.dropout;
+                }
+                if rng.gen_bool(0.5) {
+                    *optimizer = *bo;
+                }
+                repair_cnn(config);
+            }
+            (
+                Genome::Lstm { config, optimizer },
+                Genome::Lstm {
+                    config: bc,
+                    optimizer: bo,
+                },
+            ) => {
+                if rng.gen_bool(0.5) {
+                    config.hidden = bc.hidden;
+                }
+                if rng.gen_bool(0.5) {
+                    config.layers = bc.layers;
+                }
+                if rng.gen_bool(0.5) {
+                    config.window = bc.window;
+                }
+                if rng.gen_bool(0.5) {
+                    config.dropout = bc.dropout;
+                }
+                if rng.gen_bool(0.5) {
+                    *optimizer = *bo;
+                }
+            }
+            (
+                Genome::Transformer { config, optimizer },
+                Genome::Transformer {
+                    config: bc,
+                    optimizer: bo,
+                },
+            ) => {
+                if rng.gen_bool(0.5) {
+                    config.layers = bc.layers;
+                }
+                if rng.gen_bool(0.5) {
+                    config.heads = bc.heads;
+                    config.d_model = bc.d_model;
+                }
+                if rng.gen_bool(0.5) {
+                    config.dim_ff = bc.dim_ff;
+                }
+                if rng.gen_bool(0.5) {
+                    config.window = bc.window;
+                }
+                if rng.gen_bool(0.5) {
+                    *optimizer = *bo;
+                }
+            }
+            (
+                Genome::Forest { config, window },
+                Genome::Forest {
+                    config: bc,
+                    window: bw,
+                },
+            ) => {
+                if rng.gen_bool(0.5) {
+                    config.n_estimators = bc.n_estimators;
+                }
+                if rng.gen_bool(0.5) {
+                    config.max_depth = bc.max_depth;
+                }
+                if rng.gen_bool(0.5) {
+                    *window = *bw;
+                }
+            }
+            _ => unreachable!("families checked above"),
+        }
+        child
+    }
+}
+
+/// Checks the conv stack fits the input dims layer by layer.
+fn cnn_dims_ok(c: &CnnConfig) -> bool {
+    let (mut h, mut w) = (c.channels, c.window);
+    for s in &c.convs {
+        if s.kernel > h || s.kernel > w || s.stride == 0 {
+            return false;
+        }
+        h = (h - s.kernel) / s.stride + 1;
+        w = (w - s.kernel) / s.stride + 1;
+        if c.pool != PoolKind::None && h >= 2 && w >= 2 {
+            h /= 2;
+            w /= 2;
+        }
+        if h == 0 || w == 0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Makes a CNN config valid again after gene edits, by truncating the stack
+/// and, as a last resort, shrinking the first kernel and dropping pooling.
+fn repair_cnn(config: &mut CnnConfig) {
+    while !cnn_dims_ok(config) {
+        if config.convs.len() > 1 {
+            config.convs.pop();
+        } else {
+            let first = &mut config.convs[0];
+            first.kernel = 3;
+            first.stride = 1;
+            if !cnn_dims_ok(config) {
+                config.pool = PoolKind::None;
+            }
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_family_and_are_buildable() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for family in [Family::Cnn, Family::Lstm, Family::Transformer, Family::Forest] {
+            let space = SearchSpace::new(family);
+            for _ in 0..20 {
+                let g = space.sample(&mut rng);
+                assert_eq!(g.family(), family);
+                match &g {
+                    Genome::Cnn { config, .. } => {
+                        config.build(0).expect("sampled cnn builds");
+                    }
+                    Genome::Lstm { config, .. } => {
+                        config.build(0).expect("sampled lstm builds");
+                    }
+                    Genome::Transformer { config, .. } => {
+                        config.build(0).expect("sampled transformer builds");
+                    }
+                    Genome::Forest { config, .. } => {
+                        assert!(config.n_estimators >= 100);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_changes_something_at_high_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let space = SearchSpace::new(Family::Lstm);
+        let original = space.sample(&mut rng);
+        let mut any_changed = false;
+        for _ in 0..10 {
+            let mut g = original.clone();
+            space.mutate(&mut g, 0.9, &mut rng);
+            if g != original {
+                any_changed = true;
+            }
+        }
+        assert!(any_changed);
+    }
+
+    #[test]
+    fn zero_rate_mutation_is_identity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let space = SearchSpace::new(Family::Cnn);
+        let original = space.sample(&mut rng);
+        let mut g = original.clone();
+        space.mutate(&mut g, 0.0, &mut rng);
+        assert_eq!(g, original);
+    }
+
+    #[test]
+    fn crossover_child_genes_come_from_parents() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let space = SearchSpace::new(Family::Forest);
+        let a = space.sample(&mut rng);
+        let b = space.sample(&mut rng);
+        for _ in 0..10 {
+            let child = space.crossover(&a, &b, &mut rng);
+            if let (
+                Genome::Forest { config: cc, window: cw },
+                Genome::Forest { config: ac, window: aw },
+                Genome::Forest { config: bc, window: bw },
+            ) = (&child, &a, &b)
+            {
+                assert!(cc.n_estimators == ac.n_estimators || cc.n_estimators == bc.n_estimators);
+                assert!(cw == aw || cw == bw);
+            } else {
+                panic!("family changed");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same family")]
+    fn cross_family_crossover_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = SearchSpace::new(Family::Cnn).sample(&mut rng);
+        let b = SearchSpace::new(Family::Lstm).sample(&mut rng);
+        let _ = SearchSpace::new(Family::Cnn).crossover(&a, &b, &mut rng);
+    }
+
+    #[test]
+    fn transformer_heads_always_divide_d_model() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let space = SearchSpace::new(Family::Transformer);
+        for _ in 0..50 {
+            let mut g = space.sample(&mut rng);
+            space.mutate(&mut g, 0.5, &mut rng);
+            if let Genome::Transformer { config, .. } = &g {
+                assert_eq!(config.d_model % config.heads, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = SearchSpace::new(Family::Lstm).sample(&mut rng);
+        let d = g.describe();
+        assert!(d.starts_with("lstm"));
+        assert!(d.contains('w'));
+    }
+}

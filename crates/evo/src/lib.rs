@@ -1,0 +1,19 @@
+//! Evolutionary design-space exploration (Sec. III-C2, Algorithm 1).
+//!
+//! The paper evolves a population of model configurations over the Table III
+//! search space, scoring each candidate by a normalized weighted combination
+//! of validation accuracy and parameter count, selecting parents by
+//! tournament, applying crossover and per-gene mutation, and finally
+//! extracting the Pareto front and the accuracy-threshold best model.
+//!
+//! The crate is dataset-agnostic: callers supply an [`Evaluator`] that
+//! trains/evaluates a [`Genome`] (the bench harness trains on synthetic EEG;
+//! the unit tests use a fast analytic proxy).
+
+pub mod genome;
+pub mod pareto;
+pub mod search;
+
+pub use genome::{Family, Genome, SearchSpace};
+pub use pareto::{best_model, pareto_front, Candidate};
+pub use search::{EvalResult, Evaluator, EvolutionConfig, EvolutionOutcome, EvolutionarySearch};

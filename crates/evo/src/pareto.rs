@@ -1,0 +1,136 @@
+//! Pareto-front extraction and the best-model selection rule.
+
+use serde::{Deserialize, Serialize};
+
+use crate::genome::Genome;
+
+/// An evaluated candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The configuration.
+    pub genome: Genome,
+    /// Validation accuracy `A(m)` in `[0, 1]`.
+    pub accuracy: f64,
+    /// Parameter count `P(m)`.
+    pub params: usize,
+}
+
+/// Extracts the Pareto front per the paper's criterion:
+/// `F = { m_i | ¬∃ m_j : A(m_j) > A(m_i) ∧ P(m_j) ≤ P(m_i) }`.
+///
+/// Returned candidates are sorted by ascending parameter count.
+#[must_use]
+pub fn pareto_front(candidates: &[Candidate]) -> Vec<Candidate> {
+    let mut front: Vec<Candidate> = candidates
+        .iter()
+        .filter(|mi| {
+            !candidates
+                .iter()
+                .any(|mj| mj.accuracy > mi.accuracy && mj.params <= mi.params)
+        })
+        .cloned()
+        .collect();
+    front.sort_by(|a, b| a.params.cmp(&b.params));
+    front.dedup_by(|a, b| a.genome == b.genome);
+    front
+}
+
+/// The best-model rule of Algorithm 1 (lines 15–19): the smallest model on
+/// the front meeting the accuracy threshold `alpha`, else the most accurate
+/// model overall.
+///
+/// Returns `None` only for an empty front.
+#[must_use]
+pub fn best_model(front: &[Candidate], alpha: f64) -> Option<&Candidate> {
+    let meeting: Option<&Candidate> = front
+        .iter()
+        .filter(|c| c.accuracy >= alpha)
+        .min_by_key(|c| c.params);
+    match meeting {
+        Some(c) => Some(c),
+        None => front.iter().max_by(|a, b| {
+            a.accuracy
+                .partial_cmp(&b.accuracy)
+                .expect("finite accuracy")
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::{Family, SearchSpace};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn candidate(accuracy: f64, params: usize, seed: u64) -> Candidate {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Candidate {
+            genome: SearchSpace::new(Family::Cnn).sample(&mut rng),
+            accuracy,
+            params,
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_excluded() {
+        let cands = vec![
+            candidate(0.9, 1000, 0),  // on front
+            candidate(0.8, 2000, 1),  // dominated by the first
+            candidate(0.95, 5000, 2), // on front (more accurate, bigger)
+            candidate(0.7, 500, 3),   // on front (smallest)
+        ];
+        let front = pareto_front(&cands);
+        let accs: Vec<f64> = front.iter().map(|c| c.accuracy).collect();
+        assert_eq!(front.len(), 3);
+        assert!(accs.contains(&0.9) && accs.contains(&0.95) && accs.contains(&0.7));
+        // Sorted by params.
+        assert!(front.windows(2).all(|w| w[0].params <= w[1].params));
+    }
+
+    #[test]
+    fn front_accuracy_increases_with_params() {
+        let cands = vec![
+            candidate(0.7, 500, 0),
+            candidate(0.9, 1000, 1),
+            candidate(0.95, 5000, 2),
+        ];
+        let front = pareto_front(&cands);
+        assert!(front
+            .windows(2)
+            .all(|w| w[0].accuracy <= w[1].accuracy));
+    }
+
+    #[test]
+    fn best_model_prefers_smallest_above_threshold() {
+        let cands = vec![
+            candidate(0.7, 500, 0),
+            candidate(0.91, 1000, 1),
+            candidate(0.96, 5000, 2),
+        ];
+        let front = pareto_front(&cands);
+        let best = best_model(&front, 0.9).unwrap();
+        assert_eq!(best.params, 1000);
+    }
+
+    #[test]
+    fn best_model_falls_back_to_max_accuracy() {
+        let cands = vec![candidate(0.6, 500, 0), candidate(0.75, 5000, 1)];
+        let front = pareto_front(&cands);
+        let best = best_model(&front, 0.9).unwrap();
+        assert!((best.accuracy - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_front_gives_none() {
+        assert!(best_model(&[], 0.9).is_none());
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_candidate_is_its_own_front() {
+        let cands = vec![candidate(0.5, 100, 0)];
+        let front = pareto_front(&cands);
+        assert_eq!(front.len(), 1);
+    }
+}

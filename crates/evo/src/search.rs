@@ -1,0 +1,355 @@
+//! Algorithm 1: the generational loop.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::genome::{Genome, SearchSpace};
+use crate::pareto::{best_model, pareto_front, Candidate};
+
+/// Result of evaluating one genome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// Validation accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Parameter count.
+    pub params: usize,
+}
+
+/// Trains/evaluates genomes. Implementations must be thread-safe: the
+/// search evaluates a generation's candidates in parallel.
+pub trait Evaluator: Sync {
+    /// Evaluates `genome`; `seed` varies per candidate for init/shuffling.
+    fn evaluate(&self, genome: &Genome, seed: u64) -> EvalResult;
+}
+
+/// Algorithm 1's inputs (line 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvolutionConfig {
+    /// Population size N.
+    pub population: usize,
+    /// Generations G.
+    pub generations: usize,
+    /// Accuracy threshold α for best-model selection.
+    pub accuracy_threshold: f64,
+    /// Mutation rate p_m.
+    pub mutation_rate: f64,
+    /// Crossover rate p_c.
+    pub crossover_rate: f64,
+    /// Tournament size.
+    pub tournament: usize,
+    /// Fitness weight on accuracy (w_A).
+    pub weight_accuracy: f64,
+    /// Fitness weight on parameter count (w_P).
+    pub weight_params: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> Self {
+        Self {
+            population: 10,
+            generations: 5,
+            accuracy_threshold: 0.85,
+            mutation_rate: 0.25,
+            crossover_rate: 0.7,
+            tournament: 3,
+            weight_accuracy: 0.8,
+            weight_params: 0.2,
+            seed: 0,
+        }
+    }
+}
+
+/// Everything the search produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvolutionOutcome {
+    /// Every candidate ever evaluated, tagged with its generation.
+    pub history: Vec<(usize, Candidate)>,
+    /// The final generation's candidates.
+    pub final_population: Vec<Candidate>,
+    /// Pareto front of the final generation.
+    pub front: Vec<Candidate>,
+    /// Best model per the threshold rule.
+    pub best: Candidate,
+}
+
+/// The evolutionary search driver.
+#[derive(Debug, Clone)]
+pub struct EvolutionarySearch {
+    space: SearchSpace,
+    config: EvolutionConfig,
+}
+
+impl EvolutionarySearch {
+    /// Creates a search over `space` with `config`.
+    #[must_use]
+    pub fn new(space: SearchSpace, config: EvolutionConfig) -> Self {
+        Self { space, config }
+    }
+
+    /// Normalized weighted fitness `S(m)` over the current generation
+    /// (Sec. III-C2b). Public so benches can report it.
+    #[must_use]
+    pub fn fitness(&self, cands: &[Candidate]) -> Vec<f64> {
+        let (min_a, max_a) = min_max(cands.iter().map(|c| c.accuracy));
+        let (min_p, max_p) = min_max(cands.iter().map(|c| c.params as f64));
+        cands
+            .iter()
+            .map(|c| {
+                let na = normalize(c.accuracy, min_a, max_a);
+                let np = normalize(c.params as f64, min_p, max_p);
+                self.config.weight_accuracy * na - self.config.weight_params * np
+            })
+            .collect()
+    }
+
+    /// Runs Algorithm 1 to completion.
+    ///
+    /// Candidate evaluations within a generation run on scoped threads (the
+    /// paper trains its population on an external GPU farm; we parallelize
+    /// across cores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population or generations are zero.
+    pub fn run(&self, evaluator: &dyn Evaluator) -> EvolutionOutcome {
+        let cfg = &self.config;
+        assert!(cfg.population > 0 && cfg.generations > 0, "degenerate config");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Line 3: initialize P0.
+        let mut population: Vec<Genome> =
+            (0..cfg.population).map(|_| self.space.sample(&mut rng)).collect();
+
+        let mut history: Vec<(usize, Candidate)> = Vec::new();
+        let mut evaluated: Vec<Candidate> = Vec::new();
+
+        for generation in 0..cfg.generations {
+            // Lines 5-8: evaluate and score.
+            evaluated = self.evaluate_generation(evaluator, &population, generation);
+            for c in &evaluated {
+                history.push((generation, c.clone()));
+            }
+            if generation + 1 == cfg.generations {
+                break;
+            }
+            let fitness = self.fitness(&evaluated);
+
+            // Lines 9-12: selection, crossover, mutation → next population.
+            let mut next: Vec<Genome> = Vec::with_capacity(cfg.population);
+            // Elitism: carry over the single fittest genome unchanged.
+            if let Some(best_idx) = argmax(&fitness) {
+                next.push(evaluated[best_idx].genome.clone());
+            }
+            while next.len() < cfg.population {
+                let pa = self.tournament_pick(&evaluated, &fitness, &mut rng);
+                let pb = self.tournament_pick(&evaluated, &fitness, &mut rng);
+                let mut child = if rng.gen_bool(cfg.crossover_rate) {
+                    self.space.crossover(pa, pb, &mut rng)
+                } else {
+                    pa.clone()
+                };
+                self.space.mutate(&mut child, cfg.mutation_rate, &mut rng);
+                next.push(child);
+            }
+            population = next;
+        }
+
+        // Lines 14-19: Pareto front + best-model rule.
+        let front = pareto_front(&evaluated);
+        let best = best_model(&front, cfg.accuracy_threshold)
+            .expect("non-empty population has a front")
+            .clone();
+        EvolutionOutcome {
+            history,
+            final_population: evaluated,
+            front,
+            best,
+        }
+    }
+
+    fn evaluate_generation(
+        &self,
+        evaluator: &dyn Evaluator,
+        population: &[Genome],
+        generation: usize,
+    ) -> Vec<Candidate> {
+        let base = self
+            .config
+            .seed
+            .wrapping_add(generation as u64 * 104_729);
+        let results: Vec<EvalResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = population
+                .iter()
+                .enumerate()
+                .map(|(i, genome)| {
+                    let seed = base.wrapping_add(i as u64);
+                    scope.spawn(move || evaluator.evaluate(genome, seed))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("evaluator panicked"))
+                .collect()
+        });
+        population
+            .iter()
+            .zip(results)
+            .map(|(genome, r)| Candidate {
+                genome: genome.clone(),
+                accuracy: r.accuracy,
+                params: r.params,
+            })
+            .collect()
+    }
+
+    fn tournament_pick<'a>(
+        &self,
+        cands: &'a [Candidate],
+        fitness: &[f64],
+        rng: &mut StdRng,
+    ) -> &'a Genome {
+        let mut best: Option<usize> = None;
+        for _ in 0..self.config.tournament.max(1) {
+            let i = rng.gen_range(0..cands.len());
+            if best.map_or(true, |b| fitness[i] > fitness[b]) {
+                best = Some(i);
+            }
+        }
+        &cands[best.expect("tournament ran")].genome
+    }
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+fn normalize(v: f64, lo: f64, hi: f64) -> f64 {
+    if hi - lo < 1e-12 {
+        0.0
+    } else {
+        (v - lo) / (hi - lo)
+    }
+}
+
+fn argmax(values: &[f64]) -> Option<usize> {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite fitness"))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::Family;
+
+    /// Analytic proxy: accuracy grows with hidden size but saturates;
+    /// params follow the real count. This makes "small but big enough"
+    /// optimal — exactly the trade-off the search must find.
+    struct Proxy;
+
+    impl Evaluator for Proxy {
+        fn evaluate(&self, genome: &Genome, _seed: u64) -> EvalResult {
+            match genome {
+                Genome::Lstm { config, .. } => {
+                    let h = config.hidden as f64;
+                    let accuracy = 0.6 + 0.35 * (1.0 - (-h / 120.0).exp());
+                    let params = (config.channels + config.hidden + 1)
+                        * 4
+                        * config.hidden
+                        * config.layers;
+                    EvalResult { accuracy, params }
+                }
+                _ => EvalResult {
+                    accuracy: 0.5,
+                    params: 1000,
+                },
+            }
+        }
+    }
+
+    fn search() -> EvolutionarySearch {
+        EvolutionarySearch::new(
+            SearchSpace::new(Family::Lstm),
+            EvolutionConfig {
+                population: 12,
+                generations: 6,
+                accuracy_threshold: 0.9,
+                seed: 3,
+                ..EvolutionConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn search_finds_threshold_meeting_small_model() {
+        let outcome = search().run(&Proxy);
+        assert!(outcome.best.accuracy >= 0.9, "{:?}", outcome.best);
+        // With the proxy's saturation, hidden 128 reaches ~0.92; the best
+        // model should not be the 512-unit monster.
+        if let Genome::Lstm { config, .. } = &outcome.best.genome {
+            assert!(config.hidden <= 256, "picked hidden {}", config.hidden);
+        } else {
+            panic!("family drifted");
+        }
+    }
+
+    #[test]
+    fn front_is_subset_of_final_population() {
+        let outcome = search().run(&Proxy);
+        for c in &outcome.front {
+            assert!(outcome.final_population.contains(c));
+        }
+        assert!(!outcome.front.is_empty());
+    }
+
+    #[test]
+    fn history_covers_all_generations() {
+        let outcome = search().run(&Proxy);
+        let gens: std::collections::HashSet<usize> =
+            outcome.history.iter().map(|(g, _)| *g).collect();
+        assert_eq!(gens.len(), 6);
+        assert_eq!(outcome.history.len(), 12 * 6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = search().run(&Proxy);
+        let b = search().run(&Proxy);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.front, b.front);
+    }
+
+    #[test]
+    fn fitness_prefers_accuracy_and_penalizes_params() {
+        let s = search();
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = SearchSpace::new(Family::Lstm).sample(&mut rng);
+        let cands = vec![
+            Candidate {
+                genome: g.clone(),
+                accuracy: 0.9,
+                params: 1000,
+            },
+            Candidate {
+                genome: g.clone(),
+                accuracy: 0.9,
+                params: 100_000,
+            },
+            Candidate {
+                genome: g,
+                accuracy: 0.6,
+                params: 1000,
+            },
+        ];
+        let f = s.fitness(&cands);
+        assert!(f[0] > f[1], "same accuracy, fewer params wins");
+        assert!(f[0] > f[2], "same params, higher accuracy wins");
+    }
+}

@@ -1,0 +1,332 @@
+//! Ensembles of heterogeneous classifiers (Fig. 11).
+//!
+//! The paper trains "ensemble combinations" of the four families and finds
+//! CNN + Transformer best. Members may expect different window lengths (the
+//! CNN wants 190 samples, the RF 90), so the ensemble holds a window long
+//! enough for everyone and hands each member the most recent slice it needs.
+
+use crate::forest::{window_stat_features, RandomForest};
+use crate::infer::InferModel;
+use crate::models::CLASSES;
+
+/// Anything that can classify a channel-major EEG window.
+pub trait Classifier: Send + Sync {
+    /// Class probabilities for the trailing `self.window()` samples of the
+    /// given window.
+    fn predict_proba_window(&self, window: &[f32], channels: usize, win_len: usize) -> Vec<f32>;
+
+    /// Window length in samples this classifier wants.
+    fn window(&self) -> usize;
+
+    /// Human-readable name.
+    fn name(&self) -> String;
+
+    /// Effective parameter count.
+    fn param_count(&self) -> usize;
+}
+
+/// Extracts the channel-major tail of length `target` from a longer
+/// channel-major window.
+///
+/// # Panics
+///
+/// Panics if `target > win_len` or the layout is inconsistent.
+#[must_use]
+pub fn tail_window(window: &[f32], channels: usize, win_len: usize, target: usize) -> Vec<f32> {
+    assert_eq!(window.len(), channels * win_len, "window layout");
+    assert!(target <= win_len, "target {target} > window {win_len}");
+    let mut out = Vec::with_capacity(channels * target);
+    for ch in 0..channels {
+        let row = &window[ch * win_len..(ch + 1) * win_len];
+        out.extend_from_slice(&row[win_len - target..]);
+    }
+    out
+}
+
+impl Classifier for InferModel {
+    fn predict_proba_window(&self, window: &[f32], channels: usize, win_len: usize) -> Vec<f32> {
+        let tail = tail_window(window, channels, win_len, self.window());
+        self.predict_proba(&tail)
+    }
+
+    fn window(&self) -> usize {
+        InferModel::window(self)
+    }
+
+    fn name(&self) -> String {
+        self.kind().to_owned()
+    }
+
+    fn param_count(&self) -> usize {
+        InferModel::param_count(self)
+    }
+}
+
+/// Random forest adapted to raw windows: computes the Table III statistical
+/// features internally.
+#[derive(Debug, Clone)]
+pub struct ForestClassifier {
+    forest: RandomForest,
+    window: usize,
+}
+
+impl ForestClassifier {
+    /// Wraps a fitted forest with its expected window length.
+    #[must_use]
+    pub fn new(forest: RandomForest, window: usize) -> Self {
+        Self { forest, window }
+    }
+
+    /// The wrapped forest.
+    #[must_use]
+    pub fn forest(&self) -> &RandomForest {
+        &self.forest
+    }
+}
+
+impl Classifier for ForestClassifier {
+    fn predict_proba_window(&self, window: &[f32], channels: usize, win_len: usize) -> Vec<f32> {
+        let tail = tail_window(window, channels, win_len, self.window);
+        let features = window_stat_features(&tail, channels);
+        self.forest.predict_proba(&features)
+    }
+
+    fn window(&self) -> usize {
+        self.window
+    }
+
+    fn name(&self) -> String {
+        format!("rf[{} trees]", self.forest.config().n_estimators)
+    }
+
+    fn param_count(&self) -> usize {
+        self.forest.total_nodes()
+    }
+}
+
+/// Voting strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Voting {
+    /// Average the members' probability vectors (the paper's ensembles
+    /// aggregate predictions to reduce variance, Sec. III-D3).
+    Soft,
+    /// One vote per member's argmax.
+    Hard,
+}
+
+/// A voting ensemble over heterogeneous classifiers.
+pub struct Ensemble {
+    members: Vec<Box<dyn Classifier>>,
+    voting: Voting,
+}
+
+impl std::fmt::Debug for Ensemble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ensemble")
+            .field("members", &self.name())
+            .field("voting", &self.voting)
+            .finish()
+    }
+}
+
+impl Ensemble {
+    /// Creates an ensemble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    #[must_use]
+    pub fn new(members: Vec<Box<dyn Classifier>>, voting: Voting) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        Self { members, voting }
+    }
+
+    /// Longest member window — the buffer length the ensemble needs.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.members.iter().map(|m| m.window()).max().unwrap_or(0)
+    }
+
+    /// Member names joined with `+`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        self.members
+            .iter()
+            .map(|m| m.name())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// Combined parameter count.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.members.iter().map(|m| m.param_count()).sum()
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ensemble has no members (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Combined class probabilities for a window of the ensemble's length.
+    #[must_use]
+    pub fn predict_proba(&self, window: &[f32], channels: usize) -> Vec<f32> {
+        let win_len = window.len() / channels;
+        let mut acc = vec![0.0f32; CLASSES];
+        match self.voting {
+            Voting::Soft => {
+                for m in &self.members {
+                    let p = m.predict_proba_window(window, channels, win_len);
+                    for (a, v) in acc.iter_mut().zip(&p) {
+                        *a += v;
+                    }
+                }
+                let n = self.members.len() as f32;
+                for a in &mut acc {
+                    *a /= n;
+                }
+            }
+            Voting::Hard => {
+                for m in &self.members {
+                    let p = m.predict_proba_window(window, channels, win_len);
+                    let arg = p
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    acc[arg] += 1.0;
+                }
+                let n = self.members.len() as f32;
+                for a in &mut acc {
+                    *a /= n;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Combined class prediction.
+    #[must_use]
+    pub fn predict(&self, window: &[f32], channels: usize) -> usize {
+        let p = self.predict_proba(window, channels);
+        p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A stub classifier that always answers one class.
+    struct Fixed {
+        class: usize,
+        window: usize,
+    }
+
+    impl Classifier for Fixed {
+        fn predict_proba_window(
+            &self,
+            _window: &[f32],
+            _channels: usize,
+            _win_len: usize,
+        ) -> Vec<f32> {
+            let mut p = vec![0.05f32; CLASSES];
+            p[self.class] = 0.9;
+            p
+        }
+
+        fn window(&self) -> usize {
+            self.window
+        }
+
+        fn name(&self) -> String {
+            format!("fixed{}", self.class)
+        }
+
+        fn param_count(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn tail_window_takes_most_recent_samples() {
+        // 2 channels x 5 samples.
+        let w = [1., 2., 3., 4., 5., 10., 20., 30., 40., 50.];
+        let tail = tail_window(&w, 2, 5, 2);
+        assert_eq!(tail, vec![4., 5., 40., 50.]);
+    }
+
+    #[test]
+    fn soft_voting_averages() {
+        let e = Ensemble::new(
+            vec![
+                Box::new(Fixed { class: 0, window: 4 }),
+                Box::new(Fixed { class: 1, window: 4 }),
+                Box::new(Fixed { class: 1, window: 4 }),
+            ],
+            Voting::Soft,
+        );
+        let w = vec![0.0f32; 2 * 4];
+        assert_eq!(e.predict(&w, 2), 1);
+        let p = e.predict_proba(&w, 2);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn hard_voting_counts_majority() {
+        let e = Ensemble::new(
+            vec![
+                Box::new(Fixed { class: 2, window: 4 }),
+                Box::new(Fixed { class: 2, window: 4 }),
+                Box::new(Fixed { class: 0, window: 4 }),
+            ],
+            Voting::Hard,
+        );
+        let w = vec![0.0f32; 2 * 4];
+        assert_eq!(e.predict(&w, 2), 2);
+    }
+
+    #[test]
+    fn ensemble_window_is_longest_member() {
+        let e = Ensemble::new(
+            vec![
+                Box::new(Fixed { class: 0, window: 90 }),
+                Box::new(Fixed { class: 0, window: 190 }),
+            ],
+            Voting::Soft,
+        );
+        assert_eq!(e.window(), 190);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.param_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_rejected() {
+        let _ = Ensemble::new(vec![], Voting::Soft);
+    }
+
+    #[test]
+    fn name_joins_members() {
+        let e = Ensemble::new(
+            vec![
+                Box::new(Fixed { class: 0, window: 4 }),
+                Box::new(Fixed { class: 1, window: 4 }),
+            ],
+            Voting::Soft,
+        );
+        assert_eq!(e.name(), "fixed0+fixed1");
+    }
+}

@@ -1,0 +1,985 @@
+//! The deployment runtime (the Jetson-side engine).
+//!
+//! Training uses the autodiff graph; deployment compiles a trained model
+//! into a forward-only network whose weight matrices can be stored dense,
+//! pruned-sparse (CSR) or int8-quantized. This split mirrors real embedded
+//! stacks (PyTorch → TensorRT) and is what makes Fig. 12 honest: the pruned
+//! and quantized variants run *different kernels*, not masked dense math.
+//!
+//! All predictors classify one window at a time — exactly the 15 Hz
+//! real-time loop of Sec. IV-A3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::models::{
+    CnnModel, LstmModel, Model, PoolKind, TransformerModel,
+};
+use crate::sparse::CsrMatrix;
+use crate::tensor::Tensor;
+
+/// How a weight matrix is stored and multiplied.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MatRep {
+    /// Plain dense `f32` matrix `[k, n]`.
+    Dense(Tensor),
+    /// Pruned CSR matrix (zeros skipped).
+    Sparse(CsrMatrix),
+    /// 8-bit integer matrix with a dequantization scale.
+    Int8(QuantMatrix),
+}
+
+impl MatRep {
+    /// `x [m, k] × W [k, n]`, dispatching on the representation.
+    #[must_use]
+    pub fn left_matmul(&self, x: &Tensor) -> Tensor {
+        match self {
+            MatRep::Dense(w) => x.matmul(w),
+            MatRep::Sparse(w) => w.left_matmul(x),
+            MatRep::Int8(w) => w.left_matmul(x),
+        }
+    }
+
+    /// `(k, n)` dimensions.
+    #[must_use]
+    pub fn dims(&self) -> (usize, usize) {
+        match self {
+            MatRep::Dense(w) => (w.rows(), w.cols()),
+            MatRep::Sparse(w) => (w.rows, w.cols),
+            MatRep::Int8(w) => (w.rows, w.cols),
+        }
+    }
+
+    /// Effective parameter count (non-zeros for sparse).
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        match self {
+            MatRep::Dense(w) => w.numel(),
+            MatRep::Sparse(w) => w.nnz(),
+            MatRep::Int8(w) => w.data.len(),
+        }
+    }
+
+    /// Bytes of weight storage (f32 dense, CSR overhead, i8 quantized).
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        match self {
+            MatRep::Dense(w) => w.numel() * 4,
+            MatRep::Sparse(w) => w.nnz() * (4 + 4) + (w.rows + 1) * 8,
+            MatRep::Int8(w) => w.data.len(),
+        }
+    }
+}
+
+/// Int8 weight matrix with dynamic activation quantization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantMatrix {
+    /// Row count (input width).
+    pub rows: usize,
+    /// Column count (output width).
+    pub cols: usize,
+    /// Quantized weights, row-major `[rows, cols]`.
+    pub data: Vec<i8>,
+    /// Dequantization scale: `w ≈ q * scale`.
+    pub scale: f32,
+    /// Fixed activation scale; `None` computes a dynamic per-call scale
+    /// (calibrated mode), `Some(s)` clips activations at `±127 s`
+    /// (the paper-faithful global mode that collapses accuracy).
+    pub act_scale: Option<f32>,
+}
+
+impl QuantMatrix {
+    /// Quantizes a dense matrix with the given weight scale.
+    ///
+    /// Values beyond `±127 * scale` saturate — that clipping is the whole
+    /// story of Fig. 12's accuracy collapse.
+    #[must_use]
+    pub fn quantize(dense: &Tensor, scale: f32, act_scale: Option<f32>) -> Self {
+        let (rows, cols) = (dense.rows(), dense.cols());
+        let data = dense
+            .data()
+            .iter()
+            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        Self {
+            rows,
+            cols,
+            data,
+            scale,
+            act_scale,
+        }
+    }
+
+    /// Integer matmul `x [m, rows] × W -> [m, cols]` with i32 accumulation.
+    #[must_use]
+    pub fn left_matmul(&self, x: &Tensor) -> Tensor {
+        let (m, k) = (x.rows(), x.cols());
+        assert_eq!(k, self.rows, "quant matmul dims {k} vs {}", self.rows);
+        let n = self.cols;
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let xrow = &x.data()[i * k..(i + 1) * k];
+            // Quantize the activation row.
+            let ax = self.act_scale.unwrap_or_else(|| {
+                let max = xrow.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                if max == 0.0 {
+                    1.0
+                } else {
+                    max / 127.0
+                }
+            });
+            let xq: Vec<i8> = xrow
+                .iter()
+                .map(|&v| (v / ax).round().clamp(-127.0, 127.0) as i8)
+                .collect();
+            let orow = &mut out[i * n..(i + 1) * n];
+            let mut acc = vec![0i32; n];
+            for (p, &xv) in xq.iter().enumerate() {
+                if xv == 0 {
+                    continue;
+                }
+                let wrow = &self.data[p * n..(p + 1) * n];
+                for (a, &wv) in acc.iter_mut().zip(wrow) {
+                    *a += i32::from(xv) * i32::from(wv);
+                }
+            }
+            let deq = ax * self.scale;
+            for (o, a) in orow.iter_mut().zip(&acc) {
+                *o = *a as f32 * deq;
+            }
+        }
+        Tensor::new(vec![m, n], out)
+    }
+}
+
+/// Activation applied after a linear stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity.
+    None,
+    /// Rectifier.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    fn apply(self, t: &mut Tensor) {
+        match self {
+            Activation::None => {}
+            Activation::Relu => {
+                for v in t.data_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            Activation::Tanh => {
+                for v in t.data_mut() {
+                    *v = v.tanh();
+                }
+            }
+        }
+    }
+}
+
+/// A linear stage `y = act(x W + b)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearInfer {
+    /// Weight representation.
+    pub w: MatRep,
+    /// Bias, length = output width.
+    pub bias: Vec<f32>,
+    /// Post-activation.
+    pub act: Activation,
+}
+
+impl LinearInfer {
+    /// Applies the stage to `x [m, k]`.
+    #[must_use]
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut y = self.w.left_matmul(x);
+        let n = y.cols();
+        for i in 0..y.rows() {
+            for j in 0..n {
+                y.data_mut()[i * n + j] += self.bias[j];
+            }
+        }
+        self.act.apply(&mut y);
+        y
+    }
+}
+
+/// One compiled CNN stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvInfer {
+    /// Kernel `[cout, cin*kh*kw]`.
+    pub w: MatRep,
+    /// Per-map bias.
+    pub bias: Vec<f32>,
+    /// Input channels.
+    pub cin: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub wdim: usize,
+    /// Kernel size (square).
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Pooling applied after (2×2) if any.
+    pub pool: PoolKind,
+}
+
+impl ConvInfer {
+    /// Output dims after conv (before pooling).
+    #[must_use]
+    pub fn conv_out(&self) -> (usize, usize) {
+        ((self.h - self.k) / self.stride + 1, (self.wdim - self.k) / self.stride + 1)
+    }
+
+    /// Applies conv + ReLU + optional pool to one image `[cin*h*w]`.
+    #[must_use]
+    pub fn forward(&self, img: &[f32]) -> Vec<f32> {
+        let (ho, wo) = self.conv_out();
+        let patch = self.cin * self.k * self.k;
+        let spots = ho * wo;
+        let cout = self.bias.len();
+        // im2col
+        let mut cols = vec![0.0f32; spots * patch];
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let spot = oy * wo + ox;
+                let base = spot * patch;
+                let mut idx = 0;
+                for c in 0..self.cin {
+                    for dy in 0..self.k {
+                        let iy = oy * self.stride + dy;
+                        for dx in 0..self.k {
+                            let ix = ox * self.stride + dx;
+                            cols[base + idx] =
+                                img[c * self.h * self.wdim + iy * self.wdim + ix];
+                            idx += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let cols = Tensor::new(vec![spots, patch], cols);
+        // The kernel is stored [cout, patch]; we need cols × W^T. Represent
+        // via transposing cost only once at compile time would be better; we
+        // store w as [patch, cout] at compile time, so left_matmul applies.
+        let flat = self.w.left_matmul(&cols); // [spots, cout]
+        let mut out = vec![0.0f32; cout * spots];
+        for s in 0..spots {
+            for c in 0..cout {
+                let v = flat.data()[s * cout + c] + self.bias[c];
+                out[c * spots + s] = v.max(0.0); // fused ReLU
+            }
+        }
+        match self.pool {
+            PoolKind::None => out,
+            PoolKind::Max | PoolKind::Avg if ho < 2 || wo < 2 => out,
+            PoolKind::Max => pool2(&out, cout, ho, wo, true),
+            PoolKind::Avg => pool2(&out, cout, ho, wo, false),
+        }
+    }
+
+    /// Output dims after conv and pooling.
+    #[must_use]
+    pub fn out_dims(&self) -> (usize, usize) {
+        let (ho, wo) = self.conv_out();
+        match self.pool {
+            PoolKind::None => (ho, wo),
+            _ if ho < 2 || wo < 2 => (ho, wo),
+            _ => (ho / 2, wo / 2),
+        }
+    }
+}
+
+fn pool2(x: &[f32], c: usize, h: usize, w: usize, max: bool) -> Vec<f32> {
+    let ho = h / 2;
+    let wo = w / 2;
+    let mut out = vec![0.0f32; c * ho * wo];
+    for ch in 0..c {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut vals = [0.0f32; 4];
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        vals[dy * 2 + dx] = x[ch * h * w + (oy * 2 + dy) * w + ox * 2 + dx];
+                    }
+                }
+                out[ch * ho * wo + oy * wo + ox] = if max {
+                    vals.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+                } else {
+                    vals.iter().sum::<f32>() / 4.0
+                };
+            }
+        }
+    }
+    out
+}
+
+/// Compiled CNN.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CnnInfer {
+    /// Conv stages.
+    pub convs: Vec<ConvInfer>,
+    /// Classification head.
+    pub head: LinearInfer,
+    /// Expected channels.
+    pub channels: usize,
+    /// Expected window length.
+    pub window: usize,
+}
+
+/// Compiled LSTM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LstmInfer {
+    /// Per-layer fused gate weights `[in+h, 4h]` and biases.
+    pub cells: Vec<LinearInfer>,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Classification head.
+    pub head: LinearInfer,
+    /// Expected channels.
+    pub channels: usize,
+    /// Expected window length.
+    pub window: usize,
+    /// Temporal subsampling.
+    pub time_stride: usize,
+}
+
+/// One compiled transformer encoder block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TfBlockInfer {
+    /// Q/K/V/O projections.
+    pub wq: LinearInfer,
+    /// Key projection.
+    pub wk: LinearInfer,
+    /// Value projection.
+    pub wv: LinearInfer,
+    /// Output projection.
+    pub wo: LinearInfer,
+    /// Post-attention LayerNorm `(gamma, beta)`.
+    pub ln1: (Vec<f32>, Vec<f32>),
+    /// Feed-forward stage 1 (ReLU fused).
+    pub ff1: LinearInfer,
+    /// Feed-forward stage 2.
+    pub ff2: LinearInfer,
+    /// Post-FF LayerNorm.
+    pub ln2: (Vec<f32>, Vec<f32>),
+}
+
+/// Compiled transformer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TfInfer {
+    /// Input projection 16 → d_model.
+    pub input_proj: LinearInfer,
+    /// Encoder blocks.
+    pub blocks: Vec<TfBlockInfer>,
+    /// Classification head.
+    pub head: LinearInfer,
+    /// Positional encodings `[seq_len, d_model]`.
+    pub pos: Tensor,
+    /// Attention heads.
+    pub heads: usize,
+    /// Model width.
+    pub d_model: usize,
+    /// Expected channels.
+    pub channels: usize,
+    /// Expected window length.
+    pub window: usize,
+    /// Temporal subsampling.
+    pub time_stride: usize,
+}
+
+/// A compiled, deployable classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InferModel {
+    /// Convolutional network.
+    Cnn(CnnInfer),
+    /// Recurrent network.
+    Lstm(LstmInfer),
+    /// Transformer encoder.
+    Transformer(TfInfer),
+}
+
+impl InferModel {
+    /// Expected channel count.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        match self {
+            InferModel::Cnn(m) => m.channels,
+            InferModel::Lstm(m) => m.channels,
+            InferModel::Transformer(m) => m.channels,
+        }
+    }
+
+    /// Expected window length in samples.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        match self {
+            InferModel::Cnn(m) => m.window,
+            InferModel::Lstm(m) => m.window,
+            InferModel::Transformer(m) => m.window,
+        }
+    }
+
+    /// Architecture label.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            InferModel::Cnn(_) => "cnn",
+            InferModel::Lstm(_) => "lstm",
+            InferModel::Transformer(_) => "transformer",
+        }
+    }
+
+    /// Logits for one channel-major window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window length differs from
+    /// `channels() * window()`.
+    #[must_use]
+    pub fn predict_logits(&self, window: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            window.len(),
+            self.channels() * self.window(),
+            "window size mismatch"
+        );
+        match self {
+            InferModel::Cnn(m) => {
+                let mut cur = window.to_vec();
+                for conv in &m.convs {
+                    cur = conv.forward(&cur);
+                }
+                let x = Tensor::new(vec![1, cur.len()], cur);
+                m.head.forward(&x).into_data()
+            }
+            InferModel::Lstm(m) => {
+                let t_len = m.window.div_ceil(m.time_stride);
+                let chans = m.channels;
+                let mut h_layers = vec![vec![0.0f32; m.hidden]; m.cells.len()];
+                let mut c_layers = vec![vec![0.0f32; m.hidden]; m.cells.len()];
+                for ti in 0..t_len {
+                    let t_src = ti * m.time_stride;
+                    let mut input: Vec<f32> =
+                        (0..chans).map(|ch| window[ch * m.window + t_src]).collect();
+                    for (li, cell) in m.cells.iter().enumerate() {
+                        let mut z_in = input.clone();
+                        z_in.extend_from_slice(&h_layers[li]);
+                        let x = Tensor::new(vec![1, z_in.len()], z_in);
+                        let z = cell.forward(&x);
+                        let zd = z.data();
+                        let hid = m.hidden;
+                        let mut h_new = vec![0.0f32; hid];
+                        for j in 0..hid {
+                            let i_g = sigmoid(zd[j]);
+                            let f_g = sigmoid(zd[hid + j]);
+                            let g_g = zd[2 * hid + j].tanh();
+                            let o_g = sigmoid(zd[3 * hid + j]);
+                            c_layers[li][j] = f_g * c_layers[li][j] + i_g * g_g;
+                            h_new[j] = o_g * c_layers[li][j].tanh();
+                        }
+                        h_layers[li] = h_new;
+                        input = h_layers[li].clone();
+                    }
+                }
+                let x = Tensor::new(vec![1, m.hidden], h_layers.last().expect("cells").clone());
+                m.head.forward(&x).into_data()
+            }
+            InferModel::Transformer(m) => {
+                let t_len = m.window.div_ceil(m.time_stride);
+                let chans = m.channels;
+                let mut rows = vec![0.0f32; t_len * chans];
+                for (ti, t_src) in (0..m.window).step_by(m.time_stride).enumerate() {
+                    for ch in 0..chans {
+                        rows[ti * chans + ch] = window[ch * m.window + t_src];
+                    }
+                }
+                let x = Tensor::new(vec![t_len, chans], rows);
+                let mut cur = m.input_proj.forward(&x);
+                cur.add_assign(&m.pos);
+                let dh = m.d_model / m.heads;
+                let scale = 1.0 / (dh as f32).sqrt();
+                for block in &m.blocks {
+                    let q = block.wq.forward(&cur);
+                    let k = block.wk.forward(&cur);
+                    let v = block.wv.forward(&cur);
+                    let mut merged = vec![0.0f32; t_len * m.d_model];
+                    for hidx in 0..m.heads {
+                        let qs = slice_cols(&q, hidx * dh, dh);
+                        let ks = slice_cols(&k, hidx * dh, dh);
+                        let vs = slice_cols(&v, hidx * dh, dh);
+                        let mut scores = qs.matmul_t(&ks);
+                        scores.scale_assign(scale);
+                        softmax_rows_inplace(&mut scores);
+                        let ho = scores.matmul(&vs); // [t, dh]
+                        for t in 0..t_len {
+                            merged[t * m.d_model + hidx * dh..t * m.d_model + (hidx + 1) * dh]
+                                .copy_from_slice(&ho.data()[t * dh..(t + 1) * dh]);
+                        }
+                    }
+                    let merged = Tensor::new(vec![t_len, m.d_model], merged);
+                    let attn = block.wo.forward(&merged);
+                    let mut res = cur.clone();
+                    res.add_assign(&attn);
+                    layer_norm_inplace(&mut res, &block.ln1.0, &block.ln1.1);
+                    let ff = block.ff1.forward(&res);
+                    let ff = block.ff2.forward(&ff);
+                    let mut res2 = res;
+                    res2.add_assign(&ff);
+                    layer_norm_inplace(&mut res2, &block.ln2.0, &block.ln2.1);
+                    cur = res2;
+                }
+                // Mean pool over time.
+                let mut pooled = vec![0.0f32; m.d_model];
+                for t in 0..t_len {
+                    for j in 0..m.d_model {
+                        pooled[j] += cur.data()[t * m.d_model + j] / t_len as f32;
+                    }
+                }
+                let x = Tensor::new(vec![1, m.d_model], pooled);
+                m.head.forward(&x).into_data()
+            }
+        }
+    }
+
+    /// Softmax probabilities for one window.
+    #[must_use]
+    pub fn predict_proba(&self, window: &[f32]) -> Vec<f32> {
+        let logits = self.predict_logits(window);
+        let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
+    }
+
+    /// Predicted class index for one window.
+    #[must_use]
+    pub fn predict(&self, window: &[f32]) -> usize {
+        let logits = self.predict_logits(window);
+        logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Effective parameter count (non-zeros for pruned weights).
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        let mut total = 0usize;
+        self.visit_weights(|w| total += w.param_count());
+        total + self.bias_count()
+    }
+
+    fn bias_count(&self) -> usize {
+        let mut total = 0usize;
+        match self {
+            InferModel::Cnn(m) => {
+                for c in &m.convs {
+                    total += c.bias.len();
+                }
+                total += m.head.bias.len();
+            }
+            InferModel::Lstm(m) => {
+                for c in &m.cells {
+                    total += c.bias.len();
+                }
+                total += m.head.bias.len();
+            }
+            InferModel::Transformer(m) => {
+                total += m.input_proj.bias.len() + m.head.bias.len();
+                for b in &m.blocks {
+                    total += b.wq.bias.len()
+                        + b.wk.bias.len()
+                        + b.wv.bias.len()
+                        + b.wo.bias.len()
+                        + b.ff1.bias.len()
+                        + b.ff2.bias.len()
+                        + b.ln1.0.len() * 2
+                        + b.ln2.0.len() * 2;
+                }
+            }
+        }
+        total
+    }
+
+    /// Visits every weight matrix immutably.
+    pub fn visit_weights(&self, mut f: impl FnMut(&MatRep)) {
+        match self {
+            InferModel::Cnn(m) => {
+                for c in &m.convs {
+                    f(&c.w);
+                }
+                f(&m.head.w);
+            }
+            InferModel::Lstm(m) => {
+                for c in &m.cells {
+                    f(&c.w);
+                }
+                f(&m.head.w);
+            }
+            InferModel::Transformer(m) => {
+                f(&m.input_proj.w);
+                for b in &m.blocks {
+                    f(&b.wq.w);
+                    f(&b.wk.w);
+                    f(&b.wv.w);
+                    f(&b.wo.w);
+                    f(&b.ff1.w);
+                    f(&b.ff2.w);
+                }
+                f(&m.head.w);
+            }
+        }
+    }
+
+    /// Visits every weight matrix mutably (used by the compressors).
+    pub fn visit_weights_mut(&mut self, mut f: impl FnMut(&mut MatRep)) {
+        match self {
+            InferModel::Cnn(m) => {
+                for c in &mut m.convs {
+                    f(&mut c.w);
+                }
+                f(&mut m.head.w);
+            }
+            InferModel::Lstm(m) => {
+                for c in &mut m.cells {
+                    f(&mut c.w);
+                }
+                f(&mut m.head.w);
+            }
+            InferModel::Transformer(m) => {
+                f(&mut m.input_proj.w);
+                for b in &mut m.blocks {
+                    f(&mut b.wq.w);
+                    f(&mut b.wk.w);
+                    f(&mut b.wv.w);
+                    f(&mut b.wo.w);
+                    f(&mut b.ff1.w);
+                    f(&mut b.ff2.w);
+                }
+                f(&mut m.head.w);
+            }
+        }
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+fn slice_cols(t: &Tensor, from: usize, width: usize) -> Tensor {
+    let (m, n) = (t.rows(), t.cols());
+    let mut data = vec![0.0f32; m * width];
+    for i in 0..m {
+        data[i * width..(i + 1) * width]
+            .copy_from_slice(&t.data()[i * n + from..i * n + from + width]);
+    }
+    Tensor::new(vec![m, width], data)
+}
+
+fn softmax_rows_inplace(t: &mut Tensor) {
+    let (m, n) = (t.rows(), t.cols());
+    for i in 0..m {
+        let row = &mut t.data_mut()[i * n..(i + 1) * n];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+fn layer_norm_inplace(t: &mut Tensor, gamma: &[f32], beta: &[f32]) {
+    const EPS: f32 = 1e-5;
+    let (m, n) = (t.rows(), t.cols());
+    for i in 0..m {
+        let row = &mut t.data_mut()[i * n..(i + 1) * n];
+        let mean: f32 = row.iter().sum::<f32>() / n as f32;
+        let var: f32 = row.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        let inv = 1.0 / (var + EPS).sqrt();
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = (*v - mean) * inv * gamma[j] + beta[j];
+        }
+    }
+}
+
+// --- compilers ---------------------------------------------------------------
+
+/// Compiles a trained CNN into the deployment representation.
+#[must_use]
+pub fn compile_cnn(model: &CnnModel) -> InferModel {
+    let (convs, dims, head, _final) = model.stages();
+    let store = model.store();
+    let compiled: Vec<ConvInfer> = convs
+        .iter()
+        .zip(dims)
+        .map(|(conv, &(h, w))| ConvInfer {
+            // Stored transposed ([patch, cout]) so inference multiplies
+            // cols × W directly.
+            w: MatRep::Dense(store.get(conv.weight_slot()).transposed()),
+            bias: store.get(conv.bias_slot()).data().to_vec(),
+            cin: conv.cin,
+            h,
+            wdim: w,
+            k: conv.kh,
+            stride: conv.stride,
+            pool: model.pool(),
+        })
+        .collect();
+    InferModel::Cnn(CnnInfer {
+        convs: compiled,
+        head: LinearInfer {
+            w: MatRep::Dense(store.get(head.weight_slot()).clone()),
+            bias: store.get(head.bias_slot()).data().to_vec(),
+            act: Activation::None,
+        },
+        channels: model.channels(),
+        window: model.window(),
+    })
+}
+
+/// Compiles a trained LSTM into the deployment representation.
+#[must_use]
+pub fn compile_lstm(model: &LstmModel) -> InferModel {
+    let (cells, head) = model.parts();
+    let store = model.store();
+    let compiled = cells
+        .iter()
+        .map(|cell| LinearInfer {
+            w: MatRep::Dense(store.get(cell.weight_slot()).clone()),
+            bias: store.get(cell.bias_slot()).data().to_vec(),
+            act: Activation::None,
+        })
+        .collect();
+    let cfg = model.config();
+    InferModel::Lstm(LstmInfer {
+        cells: compiled,
+        hidden: cfg.hidden,
+        head: LinearInfer {
+            w: MatRep::Dense(store.get(head.weight_slot()).clone()),
+            bias: store.get(head.bias_slot()).data().to_vec(),
+            act: Activation::None,
+        },
+        channels: cfg.channels,
+        window: cfg.window,
+        time_stride: cfg.time_stride,
+    })
+}
+
+/// Compiles a trained transformer into the deployment representation.
+#[must_use]
+pub fn compile_transformer(model: &TransformerModel) -> InferModel {
+    let (input_proj, blocks, head, pos) = model.parts();
+    let store = model.store();
+    let lin = |d: &crate::layers::Dense, act: Activation| LinearInfer {
+        w: MatRep::Dense(store.get(d.weight_slot()).clone()),
+        bias: store.get(d.bias_slot()).data().to_vec(),
+        act,
+    };
+    let compiled = blocks
+        .iter()
+        .map(|b| {
+            let (wq, wk, wv, wo) = b.attn.projections();
+            let (g1, b1) = b.norm1.slots();
+            let (g2, b2) = b.norm2.slots();
+            TfBlockInfer {
+                wq: lin(wq, Activation::None),
+                wk: lin(wk, Activation::None),
+                wv: lin(wv, Activation::None),
+                wo: lin(wo, Activation::None),
+                ln1: (
+                    store.get(g1).data().to_vec(),
+                    store.get(b1).data().to_vec(),
+                ),
+                ff1: lin(&b.ff1, Activation::Relu),
+                ff2: lin(&b.ff2, Activation::None),
+                ln2: (
+                    store.get(g2).data().to_vec(),
+                    store.get(b2).data().to_vec(),
+                ),
+            }
+        })
+        .collect();
+    let cfg = model.config();
+    InferModel::Transformer(TfInfer {
+        input_proj: lin(input_proj, Activation::None),
+        blocks: compiled,
+        head: lin(head, Activation::None),
+        pos: pos.clone(),
+        heads: cfg.heads,
+        d_model: cfg.d_model,
+        channels: cfg.channels,
+        window: cfg.window,
+        time_stride: cfg.time_stride,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::models::{CnnConfig, ConvSpec, LstmConfig, TransformerConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_window(channels: usize, win: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..channels * win).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    /// Training-graph logits for a single window.
+    fn graph_logits(model: &dyn crate::models::Model, window: &[f32]) -> Vec<f32> {
+        let x = model.prepare_batch(&[window]);
+        let mut g = Graph::new();
+        let xi = g.input(x);
+        let mut rng = StdRng::seed_from_u64(0);
+        let logits = model.forward(&mut g, xi, 1, false, &mut rng);
+        g.value(logits).data().to_vec()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn compiled_cnn_matches_training_graph() {
+        let cfg = CnnConfig {
+            convs: vec![
+                ConvSpec {
+                    filters: 6,
+                    kernel: 3,
+                    stride: 2,
+                },
+                ConvSpec {
+                    filters: 4,
+                    kernel: 3,
+                    stride: 1,
+                },
+            ],
+            pool: crate::models::PoolKind::Max,
+            window: 40,
+            channels: 16,
+            dropout: 0.0,
+        };
+        let model = cfg.build(3).unwrap();
+        let window = random_window(16, 40, 1);
+        let compiled = compile_cnn(&model);
+        assert_close(
+            &compiled.predict_logits(&window),
+            &graph_logits(&model, &window),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn compiled_lstm_matches_training_graph() {
+        let cfg = LstmConfig {
+            hidden: 12,
+            layers: 2,
+            dropout: 0.0,
+            window: 32,
+            channels: 16,
+            time_stride: 4,
+        };
+        let model = cfg.build(4).unwrap();
+        let window = random_window(16, 32, 2);
+        let compiled = compile_lstm(&model);
+        assert_close(
+            &compiled.predict_logits(&window),
+            &graph_logits(&model, &window),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn compiled_transformer_matches_training_graph() {
+        let cfg = TransformerConfig {
+            layers: 2,
+            heads: 2,
+            d_model: 16,
+            dim_ff: 32,
+            dropout: 0.0,
+            window: 32,
+            channels: 16,
+            time_stride: 4,
+        };
+        let model = cfg.build(5).unwrap();
+        let window = random_window(16, 32, 3);
+        let compiled = compile_transformer(&model);
+        assert_close(
+            &compiled.predict_logits(&window),
+            &graph_logits(&model, &window),
+            1e-3,
+        );
+    }
+
+    #[test]
+    fn quant_matmul_approximates_dense() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let w = Tensor::uniform(vec![10, 8], 0.5, &mut rng);
+        let x = Tensor::uniform(vec![3, 10], 1.0, &mut rng);
+        let max = w.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let q = QuantMatrix::quantize(&w, max / 127.0, None);
+        let qy = q.left_matmul(&x);
+        let dy = x.matmul(&w);
+        for (a, b) in qy.data().iter().zip(dy.data()) {
+            assert!((a - b).abs() < 0.1, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn bad_global_scale_clips_weights() {
+        let w = Tensor::new(vec![1, 4], vec![0.01, 2.0, -3.0, 0.5]);
+        // Scale chosen far too small: big weights saturate at ±127*scale.
+        let q = QuantMatrix::quantize(&w, 0.001, None);
+        assert_eq!(q.data[1], 127); // 2.0 clipped
+        assert_eq!(q.data[2], -127); // -3.0 clipped
+    }
+
+    #[test]
+    fn param_count_drops_with_sparsity() {
+        let model = CnnConfig::paper_best().build(1).unwrap();
+        let mut compiled = compile_cnn(&model);
+        let dense_count = compiled.param_count();
+        compiled.visit_weights_mut(|w| {
+            if let MatRep::Dense(d) = w {
+                let mut zeroed = d.clone();
+                for v in zeroed.data_mut().iter_mut().take(d.numel() / 2) {
+                    *v = 0.0;
+                }
+                *w = MatRep::Sparse(crate::sparse::CsrMatrix::from_dense(&zeroed));
+            }
+        });
+        assert!(compiled.param_count() < dense_count);
+    }
+
+    #[test]
+    fn predict_and_proba_are_consistent() {
+        let model = CnnConfig::paper_best().build(2).unwrap();
+        let compiled = compile_cnn(&model);
+        let window = random_window(16, 190, 7);
+        let proba = compiled.predict_proba(&window);
+        let pred = compiled.predict(&window);
+        let argmax = proba
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(pred, argmax);
+        assert!((proba.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert_eq!(proba.len(), crate::models::CLASSES);
+    }
+}

@@ -1,0 +1,252 @@
+//! Evaluation metrics and the statistical tests of Sec. V-A.
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of predictions equal to labels.
+///
+/// # Panics
+///
+/// Panics if lengths differ; returns 0 for empty inputs.
+#[must_use]
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// A square confusion matrix; `counts[true][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Row-major counts, `classes × classes`.
+    pub counts: Vec<Vec<u64>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel prediction/label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or out-of-range entries.
+    #[must_use]
+    pub fn from_predictions(predictions: &[usize], labels: &[usize], classes: usize) -> Self {
+        assert_eq!(predictions.len(), labels.len(), "length mismatch");
+        let mut counts = vec![vec![0u64; classes]; classes];
+        for (&p, &l) in predictions.iter().zip(labels) {
+            assert!(p < classes && l < classes, "class out of range");
+            counts[l][p] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Overall accuracy from the diagonal.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let total: u64 = self.counts.iter().flatten().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Per-class recall (diagonal over row sum).
+    #[must_use]
+    pub fn recalls(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let s: u64 = row.iter().sum();
+                if s == 0 {
+                    0.0
+                } else {
+                    self.counts[i][i] as f64 / s as f64
+                }
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for row in &self.counts {
+            for c in row {
+                write!(f, "{c:>6} ")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Sample mean and (n−1) standard deviation — the "mean accuracy and
+/// standard deviation across different test subjects" of Sec. III-D2.
+#[must_use]
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (f64::NAN, f64::NAN);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+/// Two-sided paired t-test; returns `(t statistic, degrees of freedom)`.
+///
+/// The paper reports paired t-tests comparing model performances across
+/// subjects (Sec. V-A). p-value lookup is left to the caller's table; for
+/// df = 4 (five subjects), |t| > 2.776 is significant at α = 0.05.
+///
+/// # Panics
+///
+/// Panics if slices differ in length or have fewer than two pairs.
+#[must_use]
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> (f64, usize) {
+    assert_eq!(a.len(), b.len(), "paired test needs equal lengths");
+    assert!(a.len() >= 2, "need at least two pairs");
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let (mean, std) = mean_std(&diffs);
+    let n = diffs.len() as f64;
+    let se = std / n.sqrt();
+    let t = if se == 0.0 {
+        // Constant difference: infinitely significant unless it is zero.
+        match mean.partial_cmp(&0.0) {
+            Some(std::cmp::Ordering::Greater) => f64::INFINITY,
+            Some(std::cmp::Ordering::Less) => f64::NEG_INFINITY,
+            _ => 0.0,
+        }
+    } else {
+        mean / se
+    };
+    (t, diffs.len() - 1)
+}
+
+/// Normal-approximation confidence interval at the given level for a set of
+/// per-subject accuracies (the paper quotes 91% confidence intervals).
+///
+/// Returns `(low, high)`.
+#[must_use]
+pub fn confidence_interval(values: &[f64], level: f64) -> (f64, f64) {
+    let (mean, std) = mean_std(values);
+    let n = values.len() as f64;
+    // z for the two-sided level; inverse-normal via rational approximation.
+    let z = inverse_normal_cdf(0.5 + level / 2.0);
+    let half = z * std / n.sqrt();
+    (mean - half, mean + half)
+}
+
+/// Acklam's rational approximation of the standard normal quantile.
+fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p), "p in (0,1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let plow = 0.02425;
+    if p < plow {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - plow {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -inverse_normal_cdf(1.0 - p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert!((accuracy(&[0, 1, 2, 1], &[0, 1, 1, 1]) - 0.75).abs() < 1e-12);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_diagonal() {
+        let cm = ConfusionMatrix::from_predictions(&[0, 1, 2, 2], &[0, 1, 2, 1], 3);
+        assert_eq!(cm.counts[1][2], 1);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+        let recalls = cm.recalls();
+        assert!((recalls[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_std_known_values() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - (32.0f64 / 7.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paired_t_detects_consistent_difference() {
+        let a = [0.90, 0.88, 0.91, 0.89, 0.92];
+        let b = [0.85, 0.83, 0.86, 0.84, 0.87];
+        let (t, df) = paired_t_test(&a, &b);
+        assert_eq!(df, 4);
+        assert!(t > 2.776, "t = {t} should be significant at df=4");
+    }
+
+    #[test]
+    fn paired_t_near_zero_for_identical() {
+        let a = [0.9, 0.8, 0.85];
+        let (t, _) = paired_t_test(&a, &a);
+        assert!(t.abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_normal_is_sane() {
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.975) - 1.9599).abs() < 1e-3);
+        assert!((inverse_normal_cdf(0.025) + 1.9599).abs() < 1e-3);
+    }
+
+    #[test]
+    fn confidence_interval_brackets_mean() {
+        let vals = [0.88, 0.90, 0.92, 0.89, 0.91];
+        let (lo, hi) = confidence_interval(&vals, 0.91);
+        let (mean, _) = mean_std(&vals);
+        assert!(lo < mean && mean < hi);
+    }
+}

@@ -1,0 +1,796 @@
+//! The paper's trainable architectures behind one [`Model`] trait.
+//!
+//! Table III defines the search space each family exposes; Sec. V names the
+//! winners ([`CnnConfig::paper_best`], [`LstmConfig::paper_best`],
+//! [`TransformerConfig::paper_best`]). Every model consumes channel-major
+//! EEG windows (`channels × window` f32) and emits 3-class logits.
+//!
+//! Reproduction note: the recurrent and attention models subsample the
+//! window in time (`time_stride`, default 4 → ≈31 Hz) before sequencing.
+//! The authors train on an RTX A6000; our CPU autodiff needs the shorter
+//! sequences to keep the evolutionary search tractable. The stride is part
+//! of the config so the ablation benches can sweep it.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{Graph, NodeId};
+use crate::layers::{Conv2d, Dense, LayerNorm, Lstm, MultiHeadAttention, ParamStore};
+use crate::tensor::Tensor;
+use crate::{MlError, Result};
+
+/// Number of output classes (left / right / idle).
+pub const CLASSES: usize = 3;
+
+/// A trainable window classifier.
+pub trait Model: Send {
+    /// Human-readable architecture summary.
+    fn name(&self) -> String;
+
+    /// Number of EEG channels expected per window.
+    fn channels(&self) -> usize;
+
+    /// Window length in samples expected per window.
+    fn window(&self) -> usize;
+
+    /// Packs raw channel-major windows into this model's input layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any window's length differs from
+    /// `channels() * window()`.
+    fn prepare_batch(&self, windows: &[&[f32]]) -> Tensor;
+
+    /// Builds the forward graph from a prepared batch, returning logits
+    /// `[batch, CLASSES]`.
+    fn forward(
+        &self,
+        g: &mut Graph,
+        x: NodeId,
+        batch: usize,
+        train: bool,
+        rng: &mut StdRng,
+    ) -> NodeId;
+
+    /// The parameter store backing this model.
+    fn store(&self) -> &ParamStore;
+
+    /// Mutable access to the parameter store (for optimizers).
+    fn store_mut(&mut self) -> &mut ParamStore;
+
+    /// Total scalar parameter count — the paper's efficiency objective
+    /// `P(m)`.
+    fn param_count(&self) -> usize {
+        self.store().scalar_count()
+    }
+}
+
+/// Pooling variant tested by the search (Table III: Max/Avg).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// 2×2 max pooling after the conv stack.
+    Max,
+    /// 2×2 average pooling after the conv stack.
+    Avg,
+    /// No pooling.
+    None,
+}
+
+/// One convolutional stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvSpec {
+    /// Output feature maps.
+    pub filters: usize,
+    /// Square kernel size (3 or 5 in Table III).
+    pub kernel: usize,
+    /// Stride (1 or 2).
+    pub stride: usize,
+}
+
+/// CNN configuration (Table III row "CNN").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CnnConfig {
+    /// Convolution stack, outermost first (2–4 layers in the search space;
+    /// the paper's winner uses one).
+    pub convs: Vec<ConvSpec>,
+    /// Pooling applied after each conv stage when spatial dims allow.
+    pub pool: PoolKind,
+    /// Window length in samples (100–200).
+    pub window: usize,
+    /// EEG channel count.
+    pub channels: usize,
+    /// Dropout before the classification head.
+    pub dropout: f32,
+}
+
+impl CnnConfig {
+    /// Sec. V winner: one layer, 32 maps, 5×5 kernel, stride 2, window 190.
+    #[must_use]
+    pub fn paper_best() -> Self {
+        Self {
+            convs: vec![ConvSpec {
+                filters: 32,
+                kernel: 5,
+                stride: 2,
+            }],
+            pool: PoolKind::None,
+            window: 190,
+            channels: 16,
+            dropout: 0.2,
+        }
+    }
+
+    /// Validates and instantiates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::BadConfig`] for empty stacks, oversized kernels or
+    /// zero dims.
+    pub fn build(&self, seed: u64) -> Result<CnnModel> {
+        if self.convs.is_empty() {
+            return Err(MlError::BadConfig("cnn needs at least one conv".into()));
+        }
+        if self.window == 0 || self.channels == 0 {
+            return Err(MlError::BadConfig("zero input dims".into()));
+        }
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(self.convs.len());
+        let (mut c, mut h, mut w) = (1usize, self.channels, self.window);
+        let mut dims = Vec::with_capacity(self.convs.len());
+        for spec in &self.convs {
+            if spec.kernel > h || spec.kernel > w {
+                return Err(MlError::BadConfig(format!(
+                    "kernel {} exceeds feature map {h}x{w}",
+                    spec.kernel
+                )));
+            }
+            if spec.stride == 0 || spec.filters == 0 {
+                return Err(MlError::BadConfig("zero stride or filters".into()));
+            }
+            let conv = Conv2d::new(&mut store, c, spec.filters, spec.kernel, spec.kernel, spec.stride, &mut rng);
+            dims.push((h, w));
+            let (ho, wo) = conv.out_dims(h, w);
+            c = spec.filters;
+            h = ho;
+            w = wo;
+            if self.pool != PoolKind::None && h >= 2 && w >= 2 {
+                h /= 2;
+                w /= 2;
+            }
+            layers.push(conv);
+        }
+        let head = Dense::new(&mut store, c * h * w, CLASSES, &mut rng);
+        Ok(CnnModel {
+            config: self.clone(),
+            layers,
+            input_dims: dims,
+            final_dims: (c, h, w),
+            head,
+            store,
+        })
+    }
+}
+
+/// Instantiated CNN classifier.
+#[derive(Debug, Clone)]
+pub struct CnnModel {
+    config: CnnConfig,
+    layers: Vec<Conv2d>,
+    /// `(h, w)` feeding each conv stage.
+    input_dims: Vec<(usize, usize)>,
+    final_dims: (usize, usize, usize),
+    head: Dense,
+    store: ParamStore,
+}
+
+impl CnnModel {
+    /// The configuration this model was built from.
+    #[must_use]
+    pub fn config(&self) -> &CnnConfig {
+        &self.config
+    }
+
+    /// Conv stages with their input dims (for the inference compiler).
+    #[must_use]
+    pub fn stages(&self) -> (&[Conv2d], &[(usize, usize)], &Dense, (usize, usize, usize)) {
+        (&self.layers, &self.input_dims, &self.head, self.final_dims)
+    }
+
+    /// Pooling kind used between stages.
+    #[must_use]
+    pub fn pool(&self) -> PoolKind {
+        self.config.pool
+    }
+}
+
+impl Model for CnnModel {
+    fn name(&self) -> String {
+        let convs: Vec<String> = self
+            .config
+            .convs
+            .iter()
+            .map(|c| format!("{}@{}x{}s{}", c.filters, c.kernel, c.kernel, c.stride))
+            .collect();
+        format!("cnn[{}]w{}", convs.join(","), self.config.window)
+    }
+
+    fn channels(&self) -> usize {
+        self.config.channels
+    }
+
+    fn window(&self) -> usize {
+        self.config.window
+    }
+
+    fn prepare_batch(&self, windows: &[&[f32]]) -> Tensor {
+        let width = self.config.channels * self.config.window;
+        let mut data = Vec::with_capacity(windows.len() * width);
+        for w in windows {
+            assert_eq!(w.len(), width, "window size mismatch");
+            data.extend_from_slice(w);
+        }
+        Tensor::new(vec![windows.len(), width], data)
+    }
+
+    fn forward(
+        &self,
+        g: &mut Graph,
+        x: NodeId,
+        _batch: usize,
+        train: bool,
+        rng: &mut StdRng,
+    ) -> NodeId {
+        let mut cur = x;
+        for (conv, &(h, w)) in self.layers.iter().zip(&self.input_dims) {
+            cur = conv.forward(g, &self.store, cur, h, w);
+            cur = g.relu(cur);
+            let (ho, wo) = conv.out_dims(h, w);
+            let c = conv.cout;
+            if self.config.pool != PoolKind::None && ho >= 2 && wo >= 2 {
+                cur = match self.config.pool {
+                    PoolKind::Max => g.max_pool2d(cur, c, ho, wo, 2),
+                    PoolKind::Avg => g.avg_pool2d(cur, c, ho, wo, 2),
+                    PoolKind::None => cur,
+                };
+            }
+        }
+        if train {
+            cur = g.dropout(cur, self.config.dropout, rng);
+        }
+        self.head.forward(g, &self.store, cur)
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+}
+
+/// LSTM configuration (Table III row "LSTM").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LstmConfig {
+    /// Hidden units per layer (64–512).
+    pub hidden: usize,
+    /// Stacked layers (1–3).
+    pub layers: usize,
+    /// Dropout before the head (0.1–0.5).
+    pub dropout: f32,
+    /// Window length in samples (100–200).
+    pub window: usize,
+    /// EEG channel count.
+    pub channels: usize,
+    /// Temporal subsampling of the window before sequencing (see module
+    /// docs).
+    pub time_stride: usize,
+}
+
+impl LstmConfig {
+    /// Sec. V winner: one layer, 512 hidden units, window 130.
+    #[must_use]
+    pub fn paper_best() -> Self {
+        Self {
+            hidden: 512,
+            layers: 1,
+            dropout: 0.2,
+            window: 130,
+            channels: 16,
+            time_stride: 4,
+        }
+    }
+
+    /// Sequence length after temporal subsampling.
+    #[must_use]
+    pub fn seq_len(&self) -> usize {
+        self.window.div_ceil(self.time_stride)
+    }
+
+    /// Validates and instantiates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::BadConfig`] on zero dims.
+    pub fn build(&self, seed: u64) -> Result<LstmModel> {
+        if self.hidden == 0 || self.layers == 0 || self.window == 0 || self.time_stride == 0 {
+            return Err(MlError::BadConfig("zero lstm dims".into()));
+        }
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cells = Vec::with_capacity(self.layers);
+        let mut in_dim = self.channels;
+        for _ in 0..self.layers {
+            cells.push(Lstm::new(&mut store, in_dim, self.hidden, &mut rng));
+            in_dim = self.hidden;
+        }
+        let head = Dense::new(&mut store, self.hidden, CLASSES, &mut rng);
+        Ok(LstmModel {
+            config: self.clone(),
+            cells,
+            head,
+            store,
+        })
+    }
+}
+
+/// Instantiated LSTM classifier.
+#[derive(Debug, Clone)]
+pub struct LstmModel {
+    config: LstmConfig,
+    cells: Vec<Lstm>,
+    head: Dense,
+    store: ParamStore,
+}
+
+impl LstmModel {
+    /// The configuration this model was built from.
+    #[must_use]
+    pub fn config(&self) -> &LstmConfig {
+        &self.config
+    }
+
+    /// The stacked cells and head (for the inference compiler).
+    #[must_use]
+    pub fn parts(&self) -> (&[Lstm], &Dense) {
+        (&self.cells, &self.head)
+    }
+}
+
+impl Model for LstmModel {
+    fn name(&self) -> String {
+        format!(
+            "lstm[{}x{}]w{}",
+            self.config.layers, self.config.hidden, self.config.window
+        )
+    }
+
+    fn channels(&self) -> usize {
+        self.config.channels
+    }
+
+    fn window(&self) -> usize {
+        self.config.window
+    }
+
+    /// Packs windows time-major: row `t * batch + b` holds the 16 channel
+    /// values of window `b` at (subsampled) time `t`.
+    fn prepare_batch(&self, windows: &[&[f32]]) -> Tensor {
+        let chans = self.config.channels;
+        let win = self.config.window;
+        let t_len = self.config.seq_len();
+        let batch = windows.len();
+        let mut data = vec![0.0f32; t_len * batch * chans];
+        for (b, w) in windows.iter().enumerate() {
+            assert_eq!(w.len(), chans * win, "window size mismatch");
+            for (ti, t_src) in (0..win).step_by(self.config.time_stride).enumerate() {
+                for ch in 0..chans {
+                    data[(ti * batch + b) * chans + ch] = w[ch * win + t_src];
+                }
+            }
+        }
+        Tensor::new(vec![t_len * batch, chans], data)
+    }
+
+    fn forward(
+        &self,
+        g: &mut Graph,
+        x: NodeId,
+        batch: usize,
+        train: bool,
+        rng: &mut StdRng,
+    ) -> NodeId {
+        let mut cur = x;
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i + 1 == self.cells.len() {
+                cur = cell.forward_last(g, &self.store, cur, batch);
+            } else {
+                cur = cell.forward_sequence(g, &self.store, cur, batch);
+            }
+        }
+        if train {
+            cur = g.dropout(cur, self.config.dropout, rng);
+        }
+        self.head.forward(g, &self.store, cur)
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+}
+
+/// Transformer configuration (Table III row "Transformer").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    /// Encoder layers (2–6).
+    pub layers: usize,
+    /// Attention heads (2–8).
+    pub heads: usize,
+    /// Model width (64–256).
+    pub d_model: usize,
+    /// Feed-forward width.
+    pub dim_ff: usize,
+    /// Dropout (0.1–0.5).
+    pub dropout: f32,
+    /// Window length in samples.
+    pub window: usize,
+    /// EEG channel count.
+    pub channels: usize,
+    /// Temporal subsampling before sequencing.
+    pub time_stride: usize,
+}
+
+impl TransformerConfig {
+    /// Sec. V winner: 2 layers, 2 heads, d_model 128, dim_ff 512, window 190.
+    #[must_use]
+    pub fn paper_best() -> Self {
+        Self {
+            layers: 2,
+            heads: 2,
+            d_model: 128,
+            dim_ff: 512,
+            dropout: 0.2,
+            window: 190,
+            channels: 16,
+            time_stride: 4,
+        }
+    }
+
+    /// Sequence length after temporal subsampling.
+    #[must_use]
+    pub fn seq_len(&self) -> usize {
+        self.window.div_ceil(self.time_stride)
+    }
+
+    /// Validates and instantiates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::BadConfig`] for indivisible heads or zero dims.
+    pub fn build(&self, seed: u64) -> Result<TransformerModel> {
+        if self.layers == 0 || self.d_model == 0 || self.dim_ff == 0 || self.time_stride == 0 {
+            return Err(MlError::BadConfig("zero transformer dims".into()));
+        }
+        if self.heads == 0 || self.d_model % self.heads != 0 {
+            return Err(MlError::BadConfig(format!(
+                "d_model {} not divisible by heads {}",
+                self.d_model, self.heads
+            )));
+        }
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input_proj = Dense::new(&mut store, self.channels, self.d_model, &mut rng);
+        let mut blocks = Vec::with_capacity(self.layers);
+        for _ in 0..self.layers {
+            blocks.push(EncoderBlock {
+                attn: MultiHeadAttention::new(&mut store, self.d_model, self.heads, &mut rng),
+                norm1: LayerNorm::new(&mut store, self.d_model),
+                ff1: Dense::new(&mut store, self.d_model, self.dim_ff, &mut rng),
+                ff2: Dense::new(&mut store, self.dim_ff, self.d_model, &mut rng),
+                norm2: LayerNorm::new(&mut store, self.d_model),
+            });
+        }
+        let head = Dense::new(&mut store, self.d_model, CLASSES, &mut rng);
+        let pos = positional_encoding(self.seq_len(), self.d_model);
+        Ok(TransformerModel {
+            config: self.clone(),
+            input_proj,
+            blocks,
+            head,
+            store,
+            pos,
+        })
+    }
+}
+
+/// One pre-built encoder block.
+#[derive(Debug, Clone)]
+pub struct EncoderBlock {
+    /// Self-attention sublayer.
+    pub attn: MultiHeadAttention,
+    /// Post-attention LayerNorm.
+    pub norm1: LayerNorm,
+    /// Feed-forward expansion.
+    pub ff1: Dense,
+    /// Feed-forward projection.
+    pub ff2: Dense,
+    /// Post-FF LayerNorm.
+    pub norm2: LayerNorm,
+}
+
+/// Sinusoidal positional encodings `[seq_len, d_model]`.
+#[must_use]
+pub fn positional_encoding(seq_len: usize, d_model: usize) -> Tensor {
+    let mut data = vec![0.0f32; seq_len * d_model];
+    for t in 0..seq_len {
+        for i in 0..d_model {
+            let angle =
+                t as f64 / 10000f64.powf((2 * (i / 2)) as f64 / d_model as f64);
+            data[t * d_model + i] = if i % 2 == 0 {
+                angle.sin() as f32
+            } else {
+                angle.cos() as f32
+            };
+        }
+    }
+    Tensor::new(vec![seq_len, d_model], data)
+}
+
+/// Instantiated Transformer encoder classifier.
+#[derive(Debug, Clone)]
+pub struct TransformerModel {
+    config: TransformerConfig,
+    input_proj: Dense,
+    blocks: Vec<EncoderBlock>,
+    head: Dense,
+    store: ParamStore,
+    pos: Tensor,
+}
+
+impl TransformerModel {
+    /// The configuration this model was built from.
+    #[must_use]
+    pub fn config(&self) -> &TransformerConfig {
+        &self.config
+    }
+
+    /// `(input projection, encoder blocks, head, positional encodings)`.
+    #[must_use]
+    pub fn parts(&self) -> (&Dense, &[EncoderBlock], &Dense, &Tensor) {
+        (&self.input_proj, &self.blocks, &self.head, &self.pos)
+    }
+}
+
+impl Model for TransformerModel {
+    fn name(&self) -> String {
+        format!(
+            "tf[{}L{}H d{} ff{}]w{}",
+            self.config.layers,
+            self.config.heads,
+            self.config.d_model,
+            self.config.dim_ff,
+            self.config.window
+        )
+    }
+
+    fn channels(&self) -> usize {
+        self.config.channels
+    }
+
+    fn window(&self) -> usize {
+        self.config.window
+    }
+
+    /// Packs windows batch-major: each window's `seq_len` rows contiguous.
+    fn prepare_batch(&self, windows: &[&[f32]]) -> Tensor {
+        let chans = self.config.channels;
+        let win = self.config.window;
+        let t_len = self.config.seq_len();
+        let mut data = vec![0.0f32; windows.len() * t_len * chans];
+        for (b, w) in windows.iter().enumerate() {
+            assert_eq!(w.len(), chans * win, "window size mismatch");
+            for (ti, t_src) in (0..win).step_by(self.config.time_stride).enumerate() {
+                for ch in 0..chans {
+                    data[(b * t_len + ti) * chans + ch] = w[ch * win + t_src];
+                }
+            }
+        }
+        Tensor::new(vec![windows.len() * t_len, chans], data)
+    }
+
+    fn forward(
+        &self,
+        g: &mut Graph,
+        x: NodeId,
+        batch: usize,
+        train: bool,
+        rng: &mut StdRng,
+    ) -> NodeId {
+        let t_len = self.config.seq_len();
+        let d = self.config.d_model;
+        let mut cur = self.input_proj.forward(g, &self.store, x);
+        // Add positional encodings, tiled over the batch.
+        let mut tiled = vec![0.0f32; batch * t_len * d];
+        for b in 0..batch {
+            tiled[b * t_len * d..(b + 1) * t_len * d].copy_from_slice(self.pos.data());
+        }
+        let pos = g.input(Tensor::new(vec![batch * t_len, d], tiled));
+        cur = g.add(cur, pos);
+
+        for block in &self.blocks {
+            let attn_out = block.attn.forward(g, &self.store, cur, t_len);
+            let attn_out = if train {
+                g.dropout(attn_out, self.config.dropout, rng)
+            } else {
+                attn_out
+            };
+            let res = g.add(cur, attn_out);
+            cur = block.norm1.forward(g, &self.store, res);
+
+            let ff = block.ff1.forward(g, &self.store, cur);
+            let ff = g.relu(ff);
+            let ff = block.ff2.forward(g, &self.store, ff);
+            let ff = if train {
+                g.dropout(ff, self.config.dropout, rng)
+            } else {
+                ff
+            };
+            let res2 = g.add(cur, ff);
+            cur = block.norm2.forward(g, &self.store, res2);
+        }
+        let pooled = g.mean_pool_rows(cur, t_len);
+        let pooled = if train {
+            g.dropout(pooled, self.config.dropout, rng)
+        } else {
+            pooled
+        };
+        self.head.forward(g, &self.store, pooled)
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_windows(n: usize, channels: usize, win: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                (0..channels * win)
+                    .map(|j| ((i * 31 + j * 7) % 13) as f32 / 13.0 - 0.5)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn logits_shape_of(model: &dyn Model, batch: usize) -> Vec<usize> {
+        let windows = fake_windows(batch, model.channels(), model.window());
+        let refs: Vec<&[f32]> = windows.iter().map(Vec::as_slice).collect();
+        let x = model.prepare_batch(&refs);
+        let mut g = Graph::new();
+        let xi = g.input(x);
+        let mut rng = StdRng::seed_from_u64(0);
+        let logits = model.forward(&mut g, xi, batch, false, &mut rng);
+        g.value(logits).shape().to_vec()
+    }
+
+    #[test]
+    fn cnn_paper_best_builds_and_runs() {
+        let model = CnnConfig::paper_best().build(1).unwrap();
+        assert_eq!(logits_shape_of(&model, 3), vec![3, CLASSES]);
+        // 32 * 25 + 32 kernel params + head.
+        assert!(model.param_count() > 800);
+        assert!(model.name().contains("32@5x5s2"));
+    }
+
+    #[test]
+    fn small_lstm_builds_and_runs() {
+        let cfg = LstmConfig {
+            hidden: 16,
+            layers: 2,
+            dropout: 0.1,
+            window: 40,
+            channels: 16,
+            time_stride: 4,
+        };
+        let model = cfg.build(2).unwrap();
+        assert_eq!(logits_shape_of(&model, 2), vec![2, CLASSES]);
+    }
+
+    #[test]
+    fn small_transformer_builds_and_runs() {
+        let cfg = TransformerConfig {
+            layers: 1,
+            heads: 2,
+            d_model: 16,
+            dim_ff: 32,
+            dropout: 0.1,
+            window: 40,
+            channels: 16,
+            time_stride: 4,
+        };
+        let model = cfg.build(3).unwrap();
+        assert_eq!(logits_shape_of(&model, 2), vec![2, CLASSES]);
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        assert!(CnnConfig {
+            convs: vec![],
+            ..CnnConfig::paper_best()
+        }
+        .build(0)
+        .is_err());
+        assert!(LstmConfig {
+            hidden: 0,
+            ..LstmConfig::paper_best()
+        }
+        .build(0)
+        .is_err());
+        assert!(TransformerConfig {
+            heads: 3,
+            d_model: 128,
+            ..TransformerConfig::paper_best()
+        }
+        .build(0)
+        .is_err());
+    }
+
+    #[test]
+    fn param_counts_scale_with_config() {
+        let small = LstmConfig {
+            hidden: 32,
+            layers: 1,
+            dropout: 0.1,
+            window: 100,
+            channels: 16,
+            time_stride: 4,
+        }
+        .build(0)
+        .unwrap();
+        let big = LstmConfig {
+            hidden: 128,
+            layers: 1,
+            dropout: 0.1,
+            window: 100,
+            channels: 16,
+            time_stride: 4,
+        }
+        .build(0)
+        .unwrap();
+        assert!(big.param_count() > small.param_count() * 4);
+    }
+
+    #[test]
+    fn positional_encoding_shapes_and_range() {
+        let pe = positional_encoding(10, 8);
+        assert_eq!(pe.shape(), &[10, 8]);
+        assert!(pe.data().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        // Row 0: sin(0)=0 on even dims, cos(0)=1 on odd dims.
+        assert_eq!(pe.data()[0], 0.0);
+        assert_eq!(pe.data()[1], 1.0);
+    }
+
+    #[test]
+    fn deterministic_build_for_same_seed() {
+        let a = CnnConfig::paper_best().build(7).unwrap();
+        let b = CnnConfig::paper_best().build(7).unwrap();
+        assert_eq!(
+            a.store().get(0).data(),
+            b.store().get(0).data()
+        );
+    }
+}

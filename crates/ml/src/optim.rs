@@ -1,0 +1,294 @@
+//! Optimizers: SGD (with momentum), Adam, RMSProp and AdamW.
+//!
+//! Table III ties each architecture to its optimizer pool (CNN: Adam/SGD,
+//! LSTM: Adam/RMSProp, Transformer: AdamW with weight decay). All four are
+//! implemented over the [`ParamStore`], with per-slot state allocated
+//! lazily.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layers::ParamStore;
+use crate::tensor::Tensor;
+
+/// Which optimizer to run, with its hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Stochastic gradient descent with classical momentum.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient (0 disables).
+        momentum: f32,
+    },
+    /// Adam (Kingma & Ba).
+    Adam {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// RMSProp (Tieleman & Hinton).
+    RmsProp {
+        /// Learning rate.
+        lr: f32,
+        /// Squared-gradient decay.
+        decay: f32,
+    },
+    /// AdamW: Adam with decoupled weight decay.
+    AdamW {
+        /// Learning rate.
+        lr: f32,
+        /// Decoupled weight-decay coefficient.
+        weight_decay: f32,
+    },
+}
+
+impl OptimizerKind {
+    /// Short name used in reports ("adam", "sgd", …).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            OptimizerKind::Sgd { .. } => "sgd",
+            OptimizerKind::Adam { .. } => "adam",
+            OptimizerKind::RmsProp { .. } => "rmsprop",
+            OptimizerKind::AdamW { .. } => "adamw",
+        }
+    }
+
+    /// The configured learning rate.
+    #[must_use]
+    pub fn learning_rate(&self) -> f32 {
+        match *self {
+            OptimizerKind::Sgd { lr, .. }
+            | OptimizerKind::Adam { lr }
+            | OptimizerKind::RmsProp { lr, .. }
+            | OptimizerKind::AdamW { lr, .. } => lr,
+        }
+    }
+}
+
+impl std::fmt::Display for OptimizerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(lr={})", self.name(), self.learning_rate())
+    }
+}
+
+const B1: f32 = 0.9;
+const B2: f32 = 0.999;
+const EPS: f32 = 1e-8;
+
+/// Stateful optimizer over a parameter store.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    kind: OptimizerKind,
+    /// First-moment / momentum buffers per slot.
+    m: Vec<Option<Vec<f32>>>,
+    /// Second-moment buffers per slot.
+    v: Vec<Option<Vec<f32>>>,
+    /// Step counter (for Adam bias correction).
+    t: u64,
+}
+
+impl Optimizer {
+    /// Creates an optimizer of the given kind.
+    #[must_use]
+    pub fn new(kind: OptimizerKind) -> Self {
+        Self {
+            kind,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// The optimizer's configuration.
+    #[must_use]
+    pub fn kind(&self) -> OptimizerKind {
+        self.kind
+    }
+
+    /// Applies one update given gradients per slot (`None` = no gradient).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gradient's size differs from its parameter's.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &[Option<Tensor>]) {
+        self.t += 1;
+        if self.m.len() < store.len() {
+            self.m.resize(store.len(), None);
+            self.v.resize(store.len(), None);
+        }
+        for (slot, grad) in grads.iter().enumerate() {
+            let Some(grad) = grad else { continue };
+            let p = store.get_mut(slot);
+            assert_eq!(p.numel(), grad.numel(), "grad size mismatch at {slot}");
+            match self.kind {
+                OptimizerKind::Sgd { lr, momentum } => {
+                    if momentum == 0.0 {
+                        for (w, g) in p.data_mut().iter_mut().zip(grad.data()) {
+                            *w -= lr * g;
+                        }
+                    } else {
+                        let m = self.m[slot].get_or_insert_with(|| vec![0.0; p.numel()]);
+                        for ((w, g), mv) in
+                            p.data_mut().iter_mut().zip(grad.data()).zip(m.iter_mut())
+                        {
+                            *mv = momentum * *mv + g;
+                            *w -= lr * *mv;
+                        }
+                    }
+                }
+                OptimizerKind::Adam { lr } => {
+                    let m = self.m[slot].get_or_insert_with(|| vec![0.0; p.numel()]);
+                    let v = self.v[slot].get_or_insert_with(|| vec![0.0; p.numel()]);
+                    let bc1 = 1.0 - B1.powi(self.t as i32);
+                    let bc2 = 1.0 - B2.powi(self.t as i32);
+                    for (((w, g), mv), vv) in p
+                        .data_mut()
+                        .iter_mut()
+                        .zip(grad.data())
+                        .zip(m.iter_mut())
+                        .zip(v.iter_mut())
+                    {
+                        *mv = B1 * *mv + (1.0 - B1) * g;
+                        *vv = B2 * *vv + (1.0 - B2) * g * g;
+                        let mh = *mv / bc1;
+                        let vh = *vv / bc2;
+                        *w -= lr * mh / (vh.sqrt() + EPS);
+                    }
+                }
+                OptimizerKind::RmsProp { lr, decay } => {
+                    let v = self.v[slot].get_or_insert_with(|| vec![0.0; p.numel()]);
+                    for ((w, g), vv) in
+                        p.data_mut().iter_mut().zip(grad.data()).zip(v.iter_mut())
+                    {
+                        *vv = decay * *vv + (1.0 - decay) * g * g;
+                        *w -= lr * g / (vv.sqrt() + EPS);
+                    }
+                }
+                OptimizerKind::AdamW { lr, weight_decay } => {
+                    let m = self.m[slot].get_or_insert_with(|| vec![0.0; p.numel()]);
+                    let v = self.v[slot].get_or_insert_with(|| vec![0.0; p.numel()]);
+                    let bc1 = 1.0 - B1.powi(self.t as i32);
+                    let bc2 = 1.0 - B2.powi(self.t as i32);
+                    for (((w, g), mv), vv) in p
+                        .data_mut()
+                        .iter_mut()
+                        .zip(grad.data())
+                        .zip(m.iter_mut())
+                        .zip(v.iter_mut())
+                    {
+                        *mv = B1 * *mv + (1.0 - B1) * g;
+                        *vv = B2 * *vv + (1.0 - B2) * g * g;
+                        let mh = *mv / bc1;
+                        let vh = *vv / bc2;
+                        *w -= lr * (mh / (vh.sqrt() + EPS) + weight_decay * *w);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(w) = (w - 3)^2 with each optimizer; all must converge.
+    fn converges(kind: OptimizerKind, steps: usize, tol: f32) {
+        let mut store = ParamStore::new();
+        let slot = store.alloc(Tensor::new(vec![1], vec![-2.0]));
+        let mut opt = Optimizer::new(kind);
+        for _ in 0..steps {
+            let w = store.get(slot).data()[0];
+            let grad = Tensor::new(vec![1], vec![2.0 * (w - 3.0)]);
+            opt.step(&mut store, &[Some(grad)]);
+        }
+        let w = store.get(slot).data()[0];
+        assert!((w - 3.0).abs() < tol, "{kind}: w = {w}");
+    }
+
+    #[test]
+    fn sgd_converges() {
+        converges(
+            OptimizerKind::Sgd {
+                lr: 0.1,
+                momentum: 0.0,
+            },
+            100,
+            1e-3,
+        );
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        converges(
+            OptimizerKind::Sgd {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            200,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn adam_converges() {
+        converges(OptimizerKind::Adam { lr: 0.1 }, 300, 1e-2);
+    }
+
+    #[test]
+    fn rmsprop_converges() {
+        converges(
+            OptimizerKind::RmsProp {
+                lr: 0.05,
+                decay: 0.9,
+            },
+            400,
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn adamw_converges_near_minimum() {
+        // Weight decay pulls slightly toward zero; allow a looser tolerance.
+        converges(
+            OptimizerKind::AdamW {
+                lr: 0.1,
+                weight_decay: 1e-3,
+            },
+            300,
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn adamw_decays_unused_weights_toward_zero() {
+        let mut store = ParamStore::new();
+        let slot = store.alloc(Tensor::new(vec![1], vec![5.0]));
+        let mut opt = Optimizer::new(OptimizerKind::AdamW {
+            lr: 0.01,
+            weight_decay: 0.1,
+        });
+        for _ in 0..100 {
+            // Zero task gradient: only decay acts.
+            opt.step(&mut store, &[Some(Tensor::new(vec![1], vec![0.0]))]);
+        }
+        let w = store.get(slot).data()[0];
+        assert!(w.abs() < 5.0 * 0.95, "decayed w = {w}");
+    }
+
+    #[test]
+    fn missing_gradients_leave_params_untouched() {
+        let mut store = ParamStore::new();
+        let slot = store.alloc(Tensor::new(vec![2], vec![1.0, 2.0]));
+        let mut opt = Optimizer::new(OptimizerKind::Adam { lr: 0.1 });
+        opt.step(&mut store, &[None]);
+        assert_eq!(store.get(slot).data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn names_and_display() {
+        let k = OptimizerKind::Adam { lr: 0.001 };
+        assert_eq!(k.name(), "adam");
+        assert!(k.to_string().contains("adam"));
+    }
+}

@@ -1,0 +1,343 @@
+//! Dense `f32` tensors and the numeric kernels everything else builds on.
+//!
+//! Deliberately simple: contiguous row-major storage, explicit shapes, and
+//! a blocked `matmul` that is fast enough for the model sizes the paper
+//! deploys on a Jetson-class device. No views/strides — clarity over
+//! generality, since the autodiff layer above composes whole-tensor ops.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major tensor of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from shape and data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the shape's element count.
+    #[must_use]
+    pub fn new(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        let numel: usize = shape.iter().product();
+        assert_eq!(
+            numel,
+            data.len(),
+            "shape {shape:?} implies {numel} elements, got {}",
+            data.len()
+        );
+        Self { shape, data }
+    }
+
+    /// All-zero tensor.
+    #[must_use]
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let numel = shape.iter().product();
+        Self {
+            shape,
+            data: vec![0.0; numel],
+        }
+    }
+
+    /// Tensor filled with a constant.
+    #[must_use]
+    pub fn full(shape: Vec<usize>, value: f32) -> Self {
+        let numel = shape.iter().product();
+        Self {
+            shape,
+            data: vec![value; numel],
+        }
+    }
+
+    /// Uniform init in `[-limit, limit]` (used for Glorot/He scaling by the
+    /// layers).
+    #[must_use]
+    pub fn uniform(shape: Vec<usize>, limit: f32, rng: &mut StdRng) -> Self {
+        let numel: usize = shape.iter().product();
+        let data = (0..numel).map(|_| rng.gen_range(-limit..=limit)).collect();
+        Self { shape, data }
+    }
+
+    /// The tensor's shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable view of the underlying data.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data buffer.
+    #[must_use]
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterprets the data with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if element counts differ.
+    #[must_use]
+    pub fn reshaped(mut self, shape: Vec<usize>) -> Self {
+        let numel: usize = shape.iter().product();
+        assert_eq!(numel, self.data.len(), "reshape to {shape:?} changes size");
+        self.shape = shape;
+        self
+    }
+
+    /// Number of rows when interpreted as a matrix `[rows, cols]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "not a matrix: {:?}", self.shape);
+        self.shape[0]
+    }
+
+    /// Number of columns when interpreted as a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "not a matrix: {:?}", self.shape);
+        self.shape[1]
+    }
+
+    /// Matrix multiply `self [m,k] × rhs [k,n] -> [m,n]`.
+    ///
+    /// Uses the ikj loop order so the inner loop streams both operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or inner dimensions differ.
+    #[must_use]
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        let (k2, n) = (rhs.rows(), rhs.cols());
+        assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        let a = &self.data;
+        let b = &rhs.data;
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::new(vec![m, n], out)
+    }
+
+    /// Matrix multiply with the right operand transposed:
+    /// `self [m,k] × rhs^T where rhs is [n,k] -> [m,n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-2-D operands or mismatched inner dimensions.
+    #[must_use]
+    pub fn matmul_t(&self, rhs: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        let (n, k2) = (rhs.rows(), rhs.cols());
+        assert_eq!(k, k2, "matmul_t inner dims: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &rhs.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::new(vec![m, n], out)
+    }
+
+    /// Transpose of a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    #[must_use]
+    pub fn transposed(&self) -> Tensor {
+        let (m, n) = (self.rows(), self.cols());
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::new(vec![n, m], out)
+    }
+
+    /// Elementwise in-place addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, rhs: &Tensor) {
+        assert_eq!(self.shape, rhs.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise in-place scaling.
+    pub fn scale_assign(&mut self, k: f32) {
+        for a in &mut self.data {
+            *a *= k;
+        }
+    }
+
+    /// Returns a new tensor mapped elementwise.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Sum of all elements.
+    #[must_use]
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Index of the maximum element in each row of a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    #[must_use]
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        let (m, n) = (self.rows(), self.cols());
+        (0..m)
+            .map(|i| {
+                let row = &self.data[i * n..(i + 1) * n];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(j, _)| j)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// True if any element is NaN or infinite.
+    #[must_use]
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::new(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::new(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_t_equals_matmul_of_transpose() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Tensor::uniform(vec![4, 6], 1.0, &mut rng);
+        let b = Tensor::uniform(vec![5, 6], 1.0, &mut rng);
+        let direct = a.matmul_t(&b);
+        let via_transpose = a.matmul(&b.transposed());
+        for (x, y) in direct.data().iter().zip(via_transpose.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::uniform(vec![3, 7], 1.0, &mut rng);
+        assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dims")]
+    fn matmul_rejects_bad_dims() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![4, 2]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn argmax_rows_picks_largest() {
+        let t = Tensor::new(vec![2, 3], vec![0.1, 0.9, 0.0, 0.5, 0.2, 0.8]);
+        assert_eq!(t.argmax_rows(), vec![1, 2]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::new(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let r = t.clone().reshaped(vec![3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.shape(), &[3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "changes size")]
+    fn reshape_rejects_size_change() {
+        let _ = Tensor::zeros(vec![2, 3]).reshaped(vec![2, 2]);
+    }
+
+    #[test]
+    fn uniform_respects_limit_and_seed() {
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let a = Tensor::uniform(vec![100], 0.5, &mut rng1);
+        let b = Tensor::uniform(vec![100], 0.5, &mut rng2);
+        assert_eq!(a, b);
+        assert!(a.data().iter().all(|&x| (-0.5..=0.5).contains(&x)));
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut t = Tensor::zeros(vec![3]);
+        assert!(!t.has_non_finite());
+        t.data_mut()[1] = f32::NAN;
+        assert!(t.has_non_finite());
+    }
+}

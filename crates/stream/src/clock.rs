@@ -1,0 +1,193 @@
+//! Simulated clocks and LSL-style clock-offset estimation.
+//!
+//! LSL's headline feature for EEG work is synchronized time-stamping: each
+//! host has its own clock, and inlets estimate the sender→receiver clock
+//! offset with round-trip pings (the same math as NTP). We model two hosts
+//! whose clocks differ by a fixed offset plus slow drift, and reproduce the
+//! estimator so Fig. 4's "synchronization" axis is measured, not assumed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, StreamError};
+
+/// A simulated host clock: monotone simulated seconds with an offset and a
+/// constant drift rate relative to the global simulation timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimClock {
+    /// Offset from global simulation time, in seconds.
+    pub offset: f64,
+    /// Drift in seconds per second (e.g. `2e-5` = 20 ppm).
+    pub drift: f64,
+}
+
+impl SimClock {
+    /// A clock perfectly aligned with the simulation timeline.
+    #[must_use]
+    pub fn aligned() -> Self {
+        Self {
+            offset: 0.0,
+            drift: 0.0,
+        }
+    }
+
+    /// Creates a clock with the given offset and drift.
+    #[must_use]
+    pub fn new(offset: f64, drift: f64) -> Self {
+        Self { offset, drift }
+    }
+
+    /// This host's local reading at global simulation time `t`.
+    #[must_use]
+    pub fn local_time(&self, t: f64) -> f64 {
+        t + self.offset + self.drift * t
+    }
+}
+
+/// One completed round-trip ping measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PingSample {
+    /// Requester's local send time (t0).
+    pub t0: f64,
+    /// Responder's local receive time (t1).
+    pub t1: f64,
+    /// Responder's local reply time (t2).
+    pub t2: f64,
+    /// Requester's local receive time (t3).
+    pub t3: f64,
+}
+
+impl PingSample {
+    /// NTP-style offset estimate of responder clock minus requester clock.
+    #[must_use]
+    pub fn offset(&self) -> f64 {
+        ((self.t1 - self.t0) + (self.t2 - self.t3)) / 2.0
+    }
+
+    /// Round-trip time excluding responder processing.
+    #[must_use]
+    pub fn rtt(&self) -> f64 {
+        (self.t3 - self.t0) - (self.t2 - self.t1)
+    }
+}
+
+/// LSL-style clock synchronizer: keeps a window of pings and reports the
+/// offset from the ping with the smallest RTT (minimum-filter, the same
+/// heuristic liblsl uses to reject queueing delay).
+#[derive(Debug, Clone, Default)]
+pub struct ClockSync {
+    pings: Vec<PingSample>,
+    capacity: usize,
+}
+
+impl ClockSync {
+    /// Creates a synchronizer keeping up to `capacity` recent pings.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            pings: Vec::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Records a completed ping.
+    pub fn push(&mut self, ping: PingSample) {
+        if self.pings.len() == self.capacity {
+            self.pings.remove(0);
+        }
+        self.pings.push(ping);
+    }
+
+    /// Number of pings currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pings.len()
+    }
+
+    /// Whether no pings have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pings.is_empty()
+    }
+
+    /// Best current offset estimate (responder minus requester).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::NoSyncData`] before the first ping completes.
+    pub fn offset(&self) -> Result<f64> {
+        self.pings
+            .iter()
+            .min_by(|a, b| a.rtt().partial_cmp(&b.rtt()).expect("finite rtt"))
+            .map(PingSample::offset)
+            .ok_or(StreamError::NoSyncData)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_applies_offset_and_drift() {
+        let c = SimClock::new(1.5, 1e-3);
+        assert!((c.local_time(0.0) - 1.5).abs() < 1e-12);
+        assert!((c.local_time(100.0) - 101.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric_ping_recovers_exact_offset() {
+        // Responder clock is +0.25 s; both legs take 4 ms.
+        let requester = SimClock::aligned();
+        let responder = SimClock::new(0.25, 0.0);
+        let ping = PingSample {
+            t0: requester.local_time(1.000),
+            t1: responder.local_time(1.004),
+            t2: responder.local_time(1.005),
+            t3: requester.local_time(1.009),
+        };
+        assert!((ping.offset() - 0.25).abs() < 1e-12);
+        assert!((ping.rtt() - 0.008).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_rtt_filter_rejects_queueing_spike() {
+        let mut sync = ClockSync::new(8);
+        // Clean ping: true offset 0.1.
+        sync.push(PingSample {
+            t0: 0.0,
+            t1: 0.102,
+            t2: 0.103,
+            t3: 0.005,
+        });
+        // Asymmetric congested ping: biased offset.
+        sync.push(PingSample {
+            t0: 1.0,
+            t1: 1.202,
+            t2: 1.203,
+            t3: 1.010,
+        });
+        let est = sync.offset().unwrap();
+        assert!((est - 0.1).abs() < 0.01, "estimate {est}");
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut sync = ClockSync::new(2);
+        for i in 0..5 {
+            sync.push(PingSample {
+                t0: f64::from(i),
+                t1: f64::from(i) + 0.1,
+                t2: f64::from(i) + 0.11,
+                t3: f64::from(i) + 0.01,
+            });
+        }
+        assert_eq!(sync.len(), 2);
+    }
+
+    #[test]
+    fn empty_sync_errors() {
+        let sync = ClockSync::new(4);
+        assert!(sync.is_empty());
+        assert_eq!(sync.offset().unwrap_err(), StreamError::NoSyncData);
+    }
+}

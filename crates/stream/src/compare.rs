@@ -1,0 +1,216 @@
+//! The LSL-vs-UDP protocol comparison behind Fig. 4.
+//!
+//! Identical 16-channel 125 Hz traffic is driven through both transports;
+//! we measure the five axes the figure plots. The paper's conclusion — LSL
+//! ahead on everything except bandwidth efficiency — falls out of the
+//! protocol semantics and is asserted by this module's tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::clock::{PingSample, SimClock};
+use crate::inlet::Inlet;
+use crate::outlet::{Outlet, StreamInfo};
+use crate::transport::{Transport, TransportParams};
+
+/// Measured properties of one protocol under the benchmark workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolMetrics {
+    /// Mean one-way delivery latency in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Latency jitter (standard deviation) in milliseconds.
+    pub jitter_ms: f64,
+    /// RMS error of corrected timestamps vs. true emission times, in
+    /// milliseconds; `f64::INFINITY` when the protocol cannot synchronize.
+    pub sync_error_ms: f64,
+    /// Delivered sample rate as a fraction of the nominal rate, in percent.
+    pub effective_rate_pct: f64,
+    /// Fraction of sent samples delivered, in percent.
+    pub reliability_pct: f64,
+    /// Useful payload bytes as a fraction of bytes on the wire, in percent.
+    pub bandwidth_efficiency_pct: f64,
+}
+
+impl ProtocolMetrics {
+    /// Scores for the radar plot of Fig. 4, each mapped to `[0, 10]` where
+    /// higher is better: latency, synchronization, sample rate, reliability,
+    /// bandwidth efficiency.
+    #[must_use]
+    pub fn radar_scores(&self) -> [f64; 5] {
+        let latency = (10.0 - self.mean_latency_ms).clamp(0.0, 10.0);
+        let sync = if self.sync_error_ms.is_finite() {
+            (10.0 - self.sync_error_ms * 2.0).clamp(0.0, 10.0)
+        } else {
+            0.0
+        };
+        let rate = self.effective_rate_pct / 10.0;
+        let reliability = self.reliability_pct / 10.0;
+        let bandwidth = self.bandwidth_efficiency_pct / 10.0;
+        [latency, sync, rate, reliability, bandwidth]
+    }
+}
+
+/// Result of [`compare_protocols`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Metrics for the LSL-role transport.
+    pub lsl: ProtocolMetrics,
+    /// Metrics for the UDP-role transport.
+    pub udp: ProtocolMetrics,
+}
+
+/// Drives `seconds` of 16-channel 125 Hz EEG traffic through both protocols
+/// and measures Fig. 4's axes. Deterministic in `seed`.
+#[must_use]
+pub fn compare_protocols(seconds: f64, seed: u64) -> Comparison {
+    Comparison {
+        lsl: run_protocol(TransportParams::lsl(), seconds, seed),
+        udp: run_protocol(TransportParams::udp(), seconds, seed ^ 0xDEAD_BEEF),
+    }
+}
+
+fn run_protocol(params: TransportParams, seconds: f64, seed: u64) -> ProtocolMetrics {
+    let info = StreamInfo::eeg_default();
+    let fs = info.nominal_rate;
+    let dt = 1.0 / fs;
+    let n = (seconds * fs) as usize;
+
+    // Sender clock offset +1.7 s with 20 ppm drift: realistic two-host setup.
+    let sender_clock = SimClock::new(1.7, 2e-5);
+    let receiver_clock = SimClock::aligned();
+
+    let mut transport = Transport::new(params, seed);
+    let mut outlet = Outlet::new(info, sender_clock);
+    let mut inlet = Inlet::new(receiver_clock);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51);
+
+    // Periodic clock-sync pings for timestamped protocols (every 0.5 s).
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(n);
+    let mut sync_errs_ms: Vec<f64> = Vec::new();
+    let mut emission: Vec<f64> = Vec::with_capacity(n);
+
+    let mut now = 0.0;
+    for i in 0..n {
+        now = i as f64 * dt;
+        if params.timestamps && i % 62 == 0 {
+            // Simulate a symmetric ping with small random leg latency.
+            let leg = 0.002 + rng.gen_range(0.0..0.002);
+            inlet.record_ping(PingSample {
+                t0: receiver_clock.local_time(now),
+                t1: sender_clock.local_time(now + leg),
+                t2: sender_clock.local_time(now + leg + 0.0005),
+                t3: receiver_clock.local_time(now + 2.0 * leg + 0.0005),
+            });
+        }
+        emission.push(now);
+        outlet
+            .push(&mut transport, vec![0.0; 16], now)
+            .expect("outlet open and width correct");
+
+        // Poll at the sample cadence, like the real-time loop does.
+        for s in inlet.pull(&mut transport, now) {
+            let emitted = emission[s.seq as usize];
+            latencies_ms.push((now - emitted) * 1e3);
+            if let Some(ts) = s.corrected_timestamp {
+                // Corrected timestamp is in receiver local time == global.
+                sync_errs_ms.push((ts - emitted) * 1e3);
+            }
+        }
+    }
+    // Final drain shortly after the stream ends; the true arrival time is
+    // each packet's own latency, so poll densely to avoid quantization
+    // inflating the tail measurements.
+    let mut t = now;
+    while t < now + 0.2 {
+        t += dt;
+        for s in inlet.pull(&mut transport, t) {
+            let emitted = emission[s.seq as usize];
+            latencies_ms.push((t - emitted) * 1e3);
+            if let Some(ts) = s.corrected_timestamp {
+                sync_errs_ms.push((ts - emitted) * 1e3);
+            }
+        }
+    }
+
+    let delivered = inlet.received();
+    let mean = mean(&latencies_ms);
+    let jitter = std_dev(&latencies_ms, mean);
+    let sync_error_ms = if sync_errs_ms.is_empty() {
+        f64::INFINITY
+    } else {
+        (sync_errs_ms.iter().map(|e| e * e).sum::<f64>() / sync_errs_ms.len() as f64).sqrt()
+    };
+
+    ProtocolMetrics {
+        mean_latency_ms: mean,
+        jitter_ms: jitter,
+        sync_error_ms,
+        effective_rate_pct: 100.0 * delivered as f64 / n as f64,
+        reliability_pct: 100.0 * delivered as f64 / transport.sent() as f64,
+        bandwidth_efficiency_pct: 100.0 * transport.payload_bytes() as f64
+            / transport.bytes_on_wire() as f64,
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn std_dev(v: &[f64], mean: f64) -> f64 {
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    (v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comparison() -> Comparison {
+        compare_protocols(20.0, 42)
+    }
+
+    #[test]
+    fn lsl_synchronizes_udp_cannot() {
+        let c = comparison();
+        assert!(c.lsl.sync_error_ms.is_finite());
+        assert!(c.lsl.sync_error_ms < 5.0, "{}", c.lsl.sync_error_ms);
+        assert!(c.udp.sync_error_ms.is_infinite());
+    }
+
+    #[test]
+    fn lsl_is_fully_reliable_udp_is_not() {
+        let c = comparison();
+        assert!((c.lsl.reliability_pct - 100.0).abs() < 1e-9);
+        assert!(c.udp.reliability_pct < 100.0);
+        assert!(c.udp.reliability_pct > 95.0);
+    }
+
+    #[test]
+    fn udp_wins_bandwidth_efficiency_only() {
+        let c = comparison();
+        assert!(c.udp.bandwidth_efficiency_pct > c.lsl.bandwidth_efficiency_pct);
+        // ...and loses or ties everywhere else (paper Fig. 4 shape).
+        assert!(c.lsl.reliability_pct >= c.udp.reliability_pct);
+        assert!(c.lsl.effective_rate_pct >= c.udp.effective_rate_pct);
+        assert!(c.lsl.sync_error_ms < c.udp.sync_error_ms);
+    }
+
+    #[test]
+    fn radar_scores_are_bounded() {
+        let c = comparison();
+        for s in c.lsl.radar_scores().iter().chain(&c.udp.radar_scores()) {
+            assert!((0.0..=10.0).contains(s), "score {s}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(compare_protocols(5.0, 9), compare_protocols(5.0, 9));
+    }
+}

@@ -1,0 +1,44 @@
+use std::fmt;
+
+/// Errors produced by the streaming substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StreamError {
+    /// The outlet was closed before this operation.
+    OutletClosed,
+    /// A stream was declared with zero channels.
+    ZeroChannels,
+    /// A sample's channel count does not match the stream declaration.
+    ChannelMismatch {
+        /// Declared channel count.
+        expected: usize,
+        /// Provided channel count.
+        actual: usize,
+    },
+    /// Clock synchronization needs at least one completed ping.
+    NoSyncData,
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::OutletClosed => write!(f, "outlet is closed"),
+            StreamError::ZeroChannels => write!(f, "stream must have at least one channel"),
+            StreamError::ChannelMismatch { expected, actual } => {
+                write!(f, "sample has {actual} channels, stream declares {expected}")
+            }
+            StreamError::NoSyncData => write!(f, "no clock synchronization pings completed"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<super::StreamError>();
+    }
+}

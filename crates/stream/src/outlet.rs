@@ -1,0 +1,173 @@
+//! Stream outlets: the sender half of an LSL-style stream.
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::SimClock;
+use crate::transport::Transport;
+use crate::{Result, StreamError};
+
+/// Static description of a stream, mirroring LSL's `StreamInfo`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamInfo {
+    /// Stream name, e.g. `"CognitiveArm-EEG"`.
+    pub name: String,
+    /// Content type, e.g. `"EEG"`.
+    pub content_type: String,
+    /// Channel count per sample.
+    pub channels: usize,
+    /// Nominal sampling rate in Hz.
+    pub nominal_rate: f64,
+}
+
+impl StreamInfo {
+    /// Creates a stream description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::ZeroChannels`] when `channels == 0`.
+    pub fn new(
+        name: impl Into<String>,
+        content_type: impl Into<String>,
+        channels: usize,
+        nominal_rate: f64,
+    ) -> Result<Self> {
+        if channels == 0 {
+            return Err(StreamError::ZeroChannels);
+        }
+        Ok(Self {
+            name: name.into(),
+            content_type: content_type.into(),
+            channels,
+            nominal_rate,
+        })
+    }
+
+    /// The paper's EEG stream: 16 channels at 125 Hz.
+    #[must_use]
+    pub fn eeg_default() -> Self {
+        Self {
+            name: "CognitiveArm-EEG".to_owned(),
+            content_type: "EEG".to_owned(),
+            channels: 16,
+            nominal_rate: 125.0,
+        }
+    }
+}
+
+/// The sender half of a stream: stamps samples with the sender's local
+/// clock and pushes them into a transport.
+#[derive(Debug)]
+pub struct Outlet {
+    info: StreamInfo,
+    clock: SimClock,
+    open: bool,
+    pushed: u64,
+}
+
+impl Outlet {
+    /// Creates an outlet for `info` on a host with the given clock.
+    #[must_use]
+    pub fn new(info: StreamInfo, clock: SimClock) -> Self {
+        Self {
+            info,
+            clock,
+            open: true,
+            pushed: 0,
+        }
+    }
+
+    /// Stream metadata.
+    #[must_use]
+    pub fn info(&self) -> &StreamInfo {
+        &self.info
+    }
+
+    /// The sender's clock.
+    #[must_use]
+    pub fn clock(&self) -> SimClock {
+        self.clock
+    }
+
+    /// Number of samples pushed so far.
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Pushes one sample at global simulation time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::OutletClosed`] after [`Outlet::close`], and
+    /// [`StreamError::ChannelMismatch`] when the sample width differs from
+    /// the stream declaration.
+    pub fn push(&mut self, transport: &mut Transport, sample: Vec<f32>, now: f64) -> Result<()> {
+        if !self.open {
+            return Err(StreamError::OutletClosed);
+        }
+        if sample.len() != self.info.channels {
+            return Err(StreamError::ChannelMismatch {
+                expected: self.info.channels,
+                actual: sample.len(),
+            });
+        }
+        let sender_ts = self.clock.local_time(now);
+        transport.send(sample, now, sender_ts);
+        self.pushed += 1;
+        Ok(())
+    }
+
+    /// Closes the outlet; further pushes fail.
+    pub fn close(&mut self) {
+        self.open = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::TransportParams;
+
+    #[test]
+    fn push_stamps_with_sender_clock() {
+        let mut transport = Transport::new(TransportParams::lsl(), 1);
+        let clock = SimClock::new(5.0, 0.0);
+        let mut outlet = Outlet::new(StreamInfo::eeg_default(), clock);
+        outlet.push(&mut transport, vec![0.0; 16], 1.0).unwrap();
+        let got = transport.poll(f64::INFINITY);
+        assert_eq!(got[0].source_timestamp, Some(6.0));
+    }
+
+    #[test]
+    fn channel_mismatch_rejected() {
+        let mut transport = Transport::new(TransportParams::lsl(), 1);
+        let mut outlet = Outlet::new(StreamInfo::eeg_default(), SimClock::aligned());
+        let err = outlet.push(&mut transport, vec![0.0; 4], 0.0).unwrap_err();
+        assert_eq!(
+            err,
+            StreamError::ChannelMismatch {
+                expected: 16,
+                actual: 4
+            }
+        );
+    }
+
+    #[test]
+    fn closed_outlet_rejects_pushes() {
+        let mut transport = Transport::new(TransportParams::lsl(), 1);
+        let mut outlet = Outlet::new(StreamInfo::eeg_default(), SimClock::aligned());
+        outlet.close();
+        assert_eq!(
+            outlet.push(&mut transport, vec![0.0; 16], 0.0),
+            Err(StreamError::OutletClosed)
+        );
+    }
+
+    #[test]
+    fn zero_channels_rejected_at_declaration() {
+        assert_eq!(
+            StreamInfo::new("x", "EEG", 0, 125.0).unwrap_err(),
+            StreamError::ZeroChannels
+        );
+    }
+}

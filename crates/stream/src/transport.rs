@@ -1,0 +1,276 @@
+//! Event-queue transport models for the LSL-vs-UDP comparison (Fig. 4).
+//!
+//! Both transports move timestamped packets from an outlet to an inlet
+//! across simulated time. Their parameters encode the protocol differences
+//! that matter for EEG streaming:
+//!
+//! | property            | LSL-role (TCP-like)             | UDP-role          |
+//! |---------------------|---------------------------------|-------------------|
+//! | loss                | retransmitted (latency penalty) | silent drop       |
+//! | ordering            | guaranteed                      | best effort       |
+//! | timestamps          | per-sample source timestamps    | none              |
+//! | per-packet overhead | higher (framing + timestamps)   | minimal           |
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A packet carrying one multichannel sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Monotone sequence number assigned by the outlet.
+    pub seq: u64,
+    /// Source timestamp in the *sender's* clock, if the protocol carries
+    /// timestamps (LSL does, UDP payload here does not).
+    pub source_timestamp: Option<f64>,
+    /// Sample payload (one value per channel).
+    pub payload: Vec<f32>,
+    /// Global simulation time at which the packet becomes available at the
+    /// receiver (set by the transport).
+    pub arrival: f64,
+    /// Size on the wire in bytes (payload + protocol overhead).
+    pub wire_bytes: usize,
+}
+
+/// Behavioural parameters of a transport.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransportParams {
+    /// Base one-way latency in seconds.
+    pub base_latency: f64,
+    /// Uniform jitter added on top, in seconds (`0..jitter`).
+    pub jitter: f64,
+    /// Probability that a packet is lost on first transmission.
+    pub loss_prob: f64,
+    /// Whether lost packets are retransmitted (adds one RTT of latency) or
+    /// silently dropped.
+    pub retransmit: bool,
+    /// Whether per-sample source timestamps are carried.
+    pub timestamps: bool,
+    /// Protocol overhead per packet in bytes (headers, framing, timestamp).
+    pub overhead_bytes: usize,
+}
+
+impl TransportParams {
+    /// LSL-role parameters: TCP framing + timestamping, reliable.
+    #[must_use]
+    pub fn lsl() -> Self {
+        Self {
+            base_latency: 0.004,
+            jitter: 0.002,
+            loss_prob: 0.01,
+            retransmit: true,
+            timestamps: true,
+            overhead_bytes: 66, // TCP/IP headers + LSL framing + f64 timestamp
+        }
+    }
+
+    /// UDP-role parameters: minimal overhead, silent loss. Base latency is
+    /// slightly above the LSL role's: LSL coalesces samples into chunked
+    /// writes on a hot connection, while each datagram pays full per-packet
+    /// socket overhead (the paper's Fig. 4 likewise scores LSL ahead on
+    /// latency).
+    #[must_use]
+    pub fn udp() -> Self {
+        Self {
+            base_latency: 0.005,
+            jitter: 0.004,
+            loss_prob: 0.01,
+            retransmit: false,
+            timestamps: false,
+            overhead_bytes: 28, // UDP/IP headers only
+        }
+    }
+}
+
+/// An in-flight packet queue with protocol semantics applied at send time.
+#[derive(Debug)]
+pub struct Transport {
+    params: TransportParams,
+    rng: StdRng,
+    in_flight: Vec<Packet>,
+    next_seq: u64,
+    /// Running statistics.
+    sent: u64,
+    delivered: u64,
+    bytes_on_wire: u64,
+    payload_bytes: u64,
+}
+
+impl Transport {
+    /// Creates a transport with the given behaviour, deterministically
+    /// seeded.
+    #[must_use]
+    pub fn new(params: TransportParams, seed: u64) -> Self {
+        Self {
+            params,
+            rng: StdRng::seed_from_u64(seed),
+            in_flight: Vec::new(),
+            next_seq: 0,
+            sent: 0,
+            delivered: 0,
+            bytes_on_wire: 0,
+            payload_bytes: 0,
+        }
+    }
+
+    /// The transport's behavioural parameters.
+    #[must_use]
+    pub fn params(&self) -> &TransportParams {
+        &self.params
+    }
+
+    /// Sends one sample at global time `now`, stamping it with the sender's
+    /// local clock time `sender_ts` when the protocol carries timestamps.
+    pub fn send(&mut self, payload: Vec<f32>, now: f64, sender_ts: f64) {
+        let payload_bytes = payload.len() * std::mem::size_of::<f32>();
+        let lost = self.rng.gen_bool(self.params.loss_prob);
+        let latency = self.params.base_latency + self.rng.gen_range(0.0..=self.params.jitter);
+
+        let (arrival, transmissions) = if lost {
+            if self.params.retransmit {
+                // One full extra round trip to detect + resend.
+                let retry = self.params.base_latency * 2.0
+                    + self.rng.gen_range(0.0..=self.params.jitter);
+                (Some(now + latency + retry), 2)
+            } else {
+                (None, 1)
+            }
+        } else {
+            (Some(now + latency), 1)
+        };
+
+        self.sent += 1;
+        self.bytes_on_wire +=
+            (transmissions * (payload_bytes + self.params.overhead_bytes)) as u64;
+        self.payload_bytes += payload_bytes as u64;
+
+        if let Some(arrival) = arrival {
+            self.in_flight.push(Packet {
+                seq: self.next_seq,
+                source_timestamp: self.params.timestamps.then_some(sender_ts),
+                payload,
+                arrival,
+                wire_bytes: payload_bytes + self.params.overhead_bytes,
+            });
+        }
+        self.next_seq += 1;
+    }
+
+    /// Delivers every packet that has arrived by global time `now`, in
+    /// arrival order (which for the UDP role may differ from send order).
+    pub fn poll(&mut self, now: f64) -> Vec<Packet> {
+        let mut ready: Vec<Packet> = Vec::new();
+        let mut keep = Vec::with_capacity(self.in_flight.len());
+        for p in self.in_flight.drain(..) {
+            if p.arrival <= now {
+                ready.push(p);
+            } else {
+                keep.push(p);
+            }
+        }
+        self.in_flight = keep;
+        ready.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite arrival"));
+        self.delivered += ready.len() as u64;
+        ready
+    }
+
+    /// Packets sent so far (including ones that were dropped).
+    #[must_use]
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Packets delivered to the receiver so far.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Total bytes put on the wire, including retransmissions and headers.
+    #[must_use]
+    pub fn bytes_on_wire(&self) -> u64 {
+        self.bytes_on_wire
+    }
+
+    /// Total useful payload bytes offered by the application.
+    #[must_use]
+    pub fn payload_bytes(&self) -> u64 {
+        self.payload_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all(t: &mut Transport) -> Vec<Packet> {
+        t.poll(f64::INFINITY)
+    }
+
+    #[test]
+    fn lsl_delivers_everything_eventually() {
+        let mut t = Transport::new(TransportParams::lsl(), 7);
+        for i in 0..1000 {
+            t.send(vec![i as f32], f64::from(i) * 0.008, f64::from(i) * 0.008);
+        }
+        let got = drain_all(&mut t);
+        assert_eq!(got.len(), 1000, "reliable transport must not lose data");
+    }
+
+    #[test]
+    fn udp_drops_some_packets() {
+        let mut t = Transport::new(TransportParams::udp(), 7);
+        for i in 0..2000 {
+            t.send(vec![i as f32], f64::from(i) * 0.008, f64::from(i) * 0.008);
+        }
+        let got = drain_all(&mut t);
+        assert!(got.len() < 2000, "expected silent losses");
+        assert!(got.len() > 1900, "loss rate should be ~1%");
+    }
+
+    #[test]
+    fn packets_not_delivered_before_arrival_time() {
+        let mut t = Transport::new(TransportParams::lsl(), 3);
+        t.send(vec![1.0], 0.0, 0.0);
+        assert!(t.poll(0.001).is_empty(), "base latency is 4 ms");
+        assert_eq!(t.poll(1.0).len(), 1);
+    }
+
+    #[test]
+    fn lsl_carries_timestamps_udp_does_not() {
+        let mut lsl = Transport::new(TransportParams::lsl(), 1);
+        lsl.send(vec![0.0], 0.0, 123.456);
+        assert_eq!(drain_all(&mut lsl)[0].source_timestamp, Some(123.456));
+
+        let mut udp = Transport::new(TransportParams::udp(), 1);
+        udp.send(vec![0.0], 0.0, 123.456);
+        let got = drain_all(&mut udp);
+        if let Some(p) = got.first() {
+            assert_eq!(p.source_timestamp, None);
+        }
+    }
+
+    #[test]
+    fn udp_wire_overhead_is_lower() {
+        let mut lsl = Transport::new(TransportParams::lsl(), 1);
+        let mut udp = Transport::new(TransportParams::udp(), 1);
+        for i in 0..100 {
+            lsl.send(vec![0.0; 16], f64::from(i), f64::from(i));
+            udp.send(vec![0.0; 16], f64::from(i), f64::from(i));
+        }
+        assert!(udp.bytes_on_wire() < lsl.bytes_on_wire());
+        assert_eq!(udp.payload_bytes(), lsl.payload_bytes());
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let run = |seed| {
+            let mut t = Transport::new(TransportParams::udp(), seed);
+            for i in 0..500 {
+                t.send(vec![i as f32], f64::from(i) * 0.008, 0.0);
+            }
+            drain_all(&mut t).len()
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

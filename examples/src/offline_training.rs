@@ -1,0 +1,55 @@
+//! Offline model development: the paper's evolutionary design-space
+//! exploration (Algorithm 1) driving real training on the synthetic study,
+//! ending with the Pareto front and the accuracy-threshold best model.
+//!
+//! ```text
+//! cargo run --release -p cognitive-arm-examples --bin offline_training
+//! ```
+
+use cognitive_arm::eval::{DatasetBuilder, EegEvaluator, TrainBudget};
+use eeg::dataset::Protocol;
+use evo::{EvolutionConfig, EvolutionarySearch, Family, SearchSpace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Evolutionary search over the CNN family (Table III space)");
+    println!("==========================================================\n");
+
+    let data = DatasetBuilder::new(Protocol::quick(), 2, 9).build()?;
+    let evaluator =
+        EegEvaluator::new(data, TrainBudget::quick(), None).with_flop_budget(2e9);
+
+    let search = EvolutionarySearch::new(
+        SearchSpace::new(Family::Cnn),
+        EvolutionConfig {
+            population: 6,
+            generations: 3,
+            accuracy_threshold: 0.85,
+            seed: 3,
+            ..EvolutionConfig::default()
+        },
+    );
+    let outcome = search.run(&evaluator);
+
+    println!("generation | candidate                        | acc   | params");
+    println!("-----------|----------------------------------|-------|-------");
+    for (gen, cand) in &outcome.history {
+        println!(
+            "{gen:^10} | {:<32} | {:.3} | {}",
+            cand.genome.describe(),
+            cand.accuracy,
+            cand.params
+        );
+    }
+
+    println!("\nPareto front:");
+    for c in &outcome.front {
+        println!("  {} -> acc {:.3}, params {}", c.genome.describe(), c.accuracy, c.params);
+    }
+    println!(
+        "\nbest model (alpha = 0.85): {} (acc {:.3}, {} params)",
+        outcome.best.genome.describe(),
+        outcome.best.accuracy,
+        outcome.best.params
+    );
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! Cross-crate integration tests for the CognitiveArm workspace.
+//!
+//! The actual tests live in `tests/` (Cargo integration-test targets); this
+//! library only hosts shared fixtures.
+
+use cognitive_arm::eval::{DatasetBuilder, PreparedData};
+use eeg::dataset::Protocol;
+
+/// A small two-subject prepared dataset shared by the integration tests.
+///
+/// # Panics
+///
+/// Panics if generation fails (it cannot for the quick protocol).
+#[must_use]
+pub fn quick_data(seed: u64) -> PreparedData {
+    DatasetBuilder::new(Protocol::quick(), 2, seed)
+        .build()
+        .expect("quick dataset builds")
+}

@@ -1,0 +1,97 @@
+//! End-to-end integration: synthetic subject → preprocessing → trained
+//! ensemble → real-time loop → arm motion.
+
+use arm::kinematics::Joint;
+use cognitive_arm::eval::{train_default_ensemble, DatasetBuilder, TrainBudget};
+use cognitive_arm::pipeline::{CognitiveArm, PipelineConfig};
+use cognitive_arm::session::{run_validation, SessionConfig};
+use eeg::dataset::Protocol;
+use eeg::types::Action;
+
+fn trained_system(seed: u64) -> CognitiveArm {
+    let data = DatasetBuilder::new(Protocol::quick(), 1, seed)
+        .build()
+        .expect("dataset builds");
+    let ensemble =
+        train_default_ensemble(&data, &TrainBudget::quick(), seed).expect("ensemble trains");
+    let mut system = CognitiveArm::new(PipelineConfig::default(), ensemble, seed);
+    system.set_normalization(data.zscores[0].clone());
+    system
+}
+
+#[test]
+fn intentions_move_the_arm_in_the_right_direction() {
+    let mut system = trained_system(42);
+    system.set_subject_action(Action::Idle);
+    system.run_for(2.0).expect("pre-roll runs");
+
+    let before = system.joint(Joint::Lift);
+    system.set_subject_action(Action::Right);
+    system.run_for(4.0).expect("right phase runs");
+    let after_right = system.joint(Joint::Lift);
+    assert!(
+        after_right > before + 1.0,
+        "thinking right should raise the lift: {before} -> {after_right}"
+    );
+
+    system.set_subject_action(Action::Left);
+    system.run_for(5.0).expect("left phase runs");
+    let after_left = system.joint(Joint::Lift);
+    assert!(
+        after_left < after_right - 1.0,
+        "thinking left should lower the lift: {after_right} -> {after_left}"
+    );
+}
+
+#[test]
+fn closed_loop_validation_is_mostly_successful() {
+    let mut system = trained_system(42);
+    let report = run_validation(
+        &mut system,
+        &SessionConfig {
+            trials: 10,
+            trial_secs: 3.5,
+            rest_secs: 1.2,
+            min_move: 1.5,
+        },
+    )
+    .expect("sessions run");
+    // The paper reports 19/20; demand at least 7/10 from the quick-trained
+    // system so the test is robust to budget noise.
+    assert!(
+        report.successes() >= 7,
+        "only {}/{} sessions succeeded: {:?}",
+        report.successes(),
+        report.trials.len(),
+        report.trials
+    );
+}
+
+#[test]
+fn label_rate_is_realtime_capable() {
+    let mut system = trained_system(7);
+    system.set_subject_action(Action::Idle);
+    let trace = system.run_for(3.0).expect("runs");
+    // 15 Hz labels require < 66 ms compute per label.
+    let lat = system.latency();
+    assert!(
+        lat.end_to_end_s() < 0.066,
+        "compute per label {:.1} ms exceeds the 15 Hz budget",
+        lat.end_to_end_s() * 1e3
+    );
+    assert!(!trace.labels.is_empty());
+}
+
+#[test]
+fn idle_holds_the_arm_still() {
+    let mut system = trained_system(42);
+    system.set_subject_action(Action::Idle);
+    system.run_for(2.0).expect("pre-roll");
+    let before = system.joint(Joint::Lift);
+    system.run_for(4.0).expect("idle phase");
+    let after = system.joint(Joint::Lift);
+    assert!(
+        (after - before).abs() < 8.0,
+        "idle drifted the lift {before} -> {after}"
+    );
+}

@@ -1,0 +1,79 @@
+//! Integration: voice path (audio → VAD → spotter → mode) steering the
+//! real-time EEG pipeline.
+
+use arm::controller::ControlMode;
+use arm::kinematics::Joint;
+use asr::audio::{synth_clip, Command};
+use asr::kws::{KeywordSpotter, KwsConfig};
+use cognitive_arm::eval::{train_default_ensemble, DatasetBuilder, TrainBudget};
+use cognitive_arm::mux::VoiceMux;
+use cognitive_arm::pipeline::{CognitiveArm, PipelineConfig};
+use eeg::dataset::Protocol;
+use eeg::types::Action;
+
+#[test]
+fn spoken_fingers_redirects_intentions_to_the_grip() {
+    // Voice side.
+    let spotter = KeywordSpotter::train(
+        KwsConfig {
+            hidden: 32,
+            train_per_class: 20,
+            epochs: 40,
+            ..KwsConfig::default()
+        },
+        3,
+    )
+    .expect("spotter trains");
+    let mut mux = VoiceMux::new(spotter);
+
+    // EEG side.
+    let data = DatasetBuilder::new(Protocol::quick(), 1, 55)
+        .build()
+        .expect("dataset builds");
+    let ensemble = train_default_ensemble(&data, &TrainBudget::quick(), 4).expect("trains");
+    let mut system = CognitiveArm::new(PipelineConfig::default(), ensemble, 55);
+    system.set_normalization(data.zscores[0].clone());
+    system.set_subject_action(Action::Idle);
+    system.run_for(2.0).expect("pre-roll");
+
+    // Speak "fingers", wire the recognized mode into the pipeline (the
+    // paper runs ASR in a parallel thread; the wiring point is the same).
+    let (clip, _, _) = synth_clip(Command::Fingers, 0.03, 404);
+    let mode = mux
+        .process_clip(&clip)
+        .expect("clip processes")
+        .expect("keyword recognized");
+    assert_eq!(mode, ControlMode::Fingers);
+    system.set_mode(mode);
+
+    let grip_before = system.joint(Joint::Grip);
+    let lift_before = system.joint(Joint::Lift);
+    system.set_subject_action(Action::Right);
+    system.run_for(4.0).expect("control phase");
+    let grip_moved = (system.joint(Joint::Grip) - grip_before).abs();
+    let lift_moved = (system.joint(Joint::Lift) - lift_before).abs();
+    assert!(grip_moved > 1.0, "grip should move, moved {grip_moved}");
+    assert!(
+        lift_moved < 1e-6,
+        "lift must be untouched in fingers mode, moved {lift_moved}"
+    );
+}
+
+#[test]
+fn noise_does_not_switch_modes() {
+    let spotter = KeywordSpotter::train(
+        KwsConfig {
+            hidden: 32,
+            train_per_class: 15,
+            epochs: 30,
+            ..KwsConfig::default()
+        },
+        5,
+    )
+    .expect("spotter trains");
+    let mut mux = VoiceMux::new(spotter);
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(6);
+    let noise: Vec<f32> = (0..24000).map(|_| rng.gen_range(-0.04f32..0.04)).collect();
+    assert_eq!(mux.process_clip(&noise).expect("processes"), None);
+}
