@@ -149,7 +149,7 @@ pub fn synth_utterance(cmd: Command, noise_amp: f32, seed: u64) -> Vec<f32> {
         }
         // Short inter-syllable gap.
         let gap = (0.03 * AUDIO_RATE) as usize;
-        samples.extend(std::iter::repeat(0.0).take(gap));
+        samples.extend(std::iter::repeat_n(0.0, gap));
     }
     for s in &mut samples {
         *s += rng.gen_range(-noise_amp..=noise_amp);

@@ -53,7 +53,7 @@ fn main() {
             // Prefer accuracy, break ties on fewer nodes.
             if best
                 .as_ref()
-                .map_or(true, |(ba, bn, _)| acc > *ba || (acc == *ba && nodes < *bn))
+                .is_none_or(|(ba, bn, _)| acc > *ba || (acc == *ba && nodes < *bn))
             {
                 best = Some((acc, nodes, key));
             }

@@ -67,7 +67,7 @@ fn main() {
                 ensemble.param_count().to_string(),
             ]);
             let score = acc - lat * 2.0; // accuracy minus a latency penalty
-            if best.as_ref().map_or(true, |(s, _, _)| score > *s) {
+            if best.as_ref().is_none_or(|(s, _, _)| score > *s) {
                 best = Some((score, acc, label));
             }
         }

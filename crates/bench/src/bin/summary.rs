@@ -64,7 +64,7 @@ fn main() {
     };
 
     header(&["variant", "accuracy", "inference (ms)"]);
-    let mut report = |label: &str, a: &ml::infer::InferModel, b: &ml::infer::InferModel| {
+    let report = |label: &str, a: &ml::infer::InferModel, b: &ml::infer::InferModel| {
         let e = Ensemble::new(
             vec![Box::new(a.clone()) as _, Box::new(b.clone()) as _],
             Voting::Soft,

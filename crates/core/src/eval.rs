@@ -244,6 +244,9 @@ pub fn fair_budget(genome: &Genome, base: &TrainBudget, flop_budget: f64) -> Tra
 }
 
 /// A trained, deployable artifact.
+// A handful of these exist at a time, so the Net/Forest size gap is
+// irrelevant and boxing would complicate every destructuring site.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone)]
 pub enum TrainedArtifact {
     /// A compiled neural network.

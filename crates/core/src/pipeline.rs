@@ -236,15 +236,15 @@ impl CognitiveArm {
             let t0 = Instant::now();
             for i in 0..chunk.samples {
                 let mut s = [0.0f32; CHANNELS];
-                for ch in 0..CHANNELS {
-                    s[ch] = chunk.data[ch * chunk.samples + i];
+                for (ch, v) in s.iter_mut().enumerate() {
+                    *v = chunk.data[ch * chunk.samples + i];
                 }
                 self.chain.step(&mut s);
-                for ch in 0..CHANNELS {
-                    if self.window[ch].len() == self.window_len {
-                        self.window[ch].pop_front();
+                for (win, &v) in self.window.iter_mut().zip(&s) {
+                    if win.len() == self.window_len {
+                        win.pop_front();
                     }
-                    self.window[ch].push_back(s[ch]);
+                    win.push_back(v);
                 }
             }
             self.latency.filter.record(t0.elapsed().as_secs_f64());

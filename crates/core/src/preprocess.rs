@@ -171,12 +171,12 @@ mod tests {
         let mut filtered = vec![0.0f32; CHANNELS * per];
         for i in 0..per {
             let mut s = [0.0f32; CHANNELS];
-            for ch in 0..CHANNELS {
-                s[ch] = chunk.data[ch * per + i];
+            for (ch, v) in s.iter_mut().enumerate() {
+                *v = chunk.data[ch * per + i];
             }
             chain.step(&mut s);
-            for ch in 0..CHANNELS {
-                filtered[ch * per + i] = s[ch];
+            for (ch, &v) in s.iter().enumerate() {
+                filtered[ch * per + i] = v;
             }
         }
         // After settling, 50 Hz is gone (check the second half).

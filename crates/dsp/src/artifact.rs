@@ -196,8 +196,8 @@ mod tests {
     fn blink_is_detected_and_covers_the_deflection() {
         let mut sig = alpha_background(500);
         // A blink: large slow bump over samples 200..230.
-        for i in 200..230 {
-            sig[i] += 40.0;
+        for v in &mut sig[200..230] {
+            *v += 40.0;
         }
         let spans = detect_artifacts(&sig, &ArtifactConfig::default());
         assert_eq!(spans.len(), 1);
@@ -207,8 +207,8 @@ mod tests {
     #[test]
     fn repair_restores_plausible_amplitude() {
         let mut sig = alpha_background(500);
-        for i in 250..270 {
-            sig[i] += 50.0;
+        for v in &mut sig[250..270] {
+            *v += 50.0;
         }
         let outcome = clean_channel(&mut sig, &ArtifactConfig::default());
         assert!(matches!(outcome, CleanOutcome::Repaired(_)));
@@ -221,8 +221,8 @@ mod tests {
         let mut sig = alpha_background(200);
         // 40% contamination: above reject_fraction but below the 50% where
         // the median itself would break down.
-        for i in 60..140 {
-            sig[i] += 80.0;
+        for v in &mut sig[60..140] {
+            *v += 80.0;
         }
         let before = sig.clone();
         let outcome = clean_channel(&mut sig, &ArtifactConfig::default());
@@ -233,11 +233,11 @@ mod tests {
     #[test]
     fn adjacent_spans_merge() {
         let mut sig = alpha_background(400);
-        for i in 100..110 {
-            sig[i] += 60.0;
+        for v in &mut sig[100..110] {
+            *v += 60.0;
         }
-        for i in 118..128 {
-            sig[i] -= 60.0;
+        for v in &mut sig[118..128] {
+            *v -= 60.0;
         }
         // Margin 8 makes the two spans touch.
         let spans = detect_artifacts(&sig, &ArtifactConfig::default());

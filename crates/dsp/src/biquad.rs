@@ -325,6 +325,43 @@ mod tests {
     }
 
     #[test]
+    fn impulse_response_matches_difference_equation() {
+        // Feed a unit impulse and check the first outputs against the
+        // difference equation y[n] = b0 x[n] + b1 x[n-1] + b2 x[n-2]
+        //                          - a1 y[n-1] - a2 y[n-2].
+        let (b, a) = ([0.3, -0.1, 0.05], [1.0, -0.6, 0.25]);
+        let f = SosFilter::new(vec![Biquad::new(b, a)]);
+        let mut x = vec![0.0_f32; 16];
+        x[0] = 1.0;
+        let h = f.filter(&x);
+
+        let mut expect = vec![0.0_f64; 16];
+        for n in 0..16 {
+            let xv = |k: i64| if k == 0 { 1.0 } else { 0.0 };
+            let yv = |k: i64, e: &[f64]| if k < 0 { 0.0 } else { e[k as usize] };
+            let n_i = n as i64;
+            expect[n] = b[0] * xv(n_i) + b[1] * xv(n_i - 1) + b[2] * xv(n_i - 2)
+                - a[1] * yv(n_i - 1, &expect)
+                - a[2] * yv(n_i - 2, &expect);
+        }
+        for (got, want) in h.iter().zip(&expect) {
+            assert!((f64::from(*got) - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn stable_impulse_response_decays() {
+        let f = SosFilter::new(vec![Biquad::new([0.2, 0.4, 0.2], [1.0, -0.9, 0.3])]);
+        let mut x = vec![0.0_f32; 256];
+        x[0] = 1.0;
+        let h = f.filter(&x);
+        let head: f32 = h[..32].iter().map(|v| v.abs()).sum();
+        let tail: f32 = h[224..].iter().map(|v| v.abs()).sum();
+        assert!(head > 0.0);
+        assert!(tail < 1e-12, "stable section's impulse tail {tail} did not die out");
+    }
+
+    #[test]
     fn reset_clears_state() {
         let f = SosFilter::new(vec![Biquad::new([0.2, 0.4, 0.2], [1.0, -0.5, 0.2])]);
         let mut r = f.runner();

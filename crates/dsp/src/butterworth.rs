@@ -328,6 +328,25 @@ mod tests {
     }
 
     #[test]
+    fn paper_bandpass_impulse_response_is_sane() {
+        // Impulse-response sanity for the paper's 9th-order 0.5–45 Hz design:
+        // finite everywhere, energy concentrated early, tail decayed.
+        let f = Butterworth::bandpass(9, 0.5, 45.0, FS).unwrap();
+        let mut x = vec![0.0_f32; 4096];
+        x[0] = 1.0;
+        let h = f.filter(&x);
+        assert!(h.iter().all(|v| v.is_finite()));
+        let energy = |s: &[f32]| s.iter().map(|&v| f64::from(v).powi(2)).sum::<f64>();
+        let total = energy(&h);
+        assert!(total > 0.0);
+        // The band-pass has a slow 0.5 Hz edge (multi-second settling), but
+        // at 125 Hz the first ~8 s must hold nearly all the energy…
+        assert!(energy(&h[..1024]) / total > 0.99, "impulse energy arrives late");
+        // …and the final second must be essentially silent.
+        assert!(energy(&h[3968..]) / total < 1e-6, "impulse tail never decays");
+    }
+
+    #[test]
     fn bandpass_monotone_rolloff_outside_band() {
         let f = Butterworth::bandpass(4, 8.0, 13.0, FS).unwrap();
         let g20 = f.magnitude_at(20.0, FS);

@@ -77,7 +77,7 @@ impl ChannelStats {
 #[must_use]
 pub fn stat_features(data: &[f32], channels: usize) -> Vec<f32> {
     assert!(
-        channels > 0 && data.len() % channels == 0,
+        channels > 0 && data.len().is_multiple_of(channels),
         "data length {} not divisible by channel count {channels}",
         data.len()
     );

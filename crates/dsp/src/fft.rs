@@ -291,6 +291,54 @@ mod tests {
     }
 
     #[test]
+    fn rfft_roundtrips_through_ifft_within_1e9() {
+        // Real signal -> rfft -> inverse transform recovers the signal to
+        // 1e-9, and the spectrum of a real signal is conjugate-symmetric.
+        let n = 512;
+        let signal: Vec<f32> = (0..n)
+            .map(|i| {
+                let t = i as f64 / 125.0;
+                ((2.0 * std::f64::consts::PI * 10.0 * t).sin()
+                    + 0.5 * (2.0 * std::f64::consts::PI * 23.0 * t).cos()) as f32
+            })
+            .collect();
+        let spec = rfft(&signal).unwrap();
+        assert_eq!(spec.len(), n);
+        for k in 1..n / 2 {
+            let a = spec[k];
+            let b = spec[n - k].conj();
+            assert_close(a.re, b.re, 1e-9);
+            assert_close(a.im, b.im, 1e-9);
+        }
+        let mut buf = spec;
+        ifft_in_place(&mut buf).unwrap();
+        for (got, want) in buf.iter().zip(&signal) {
+            assert_close(got.re, f64::from(*want), 1e-9);
+            assert_close(got.im, 0.0, 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_is_linear() {
+        let n = 128;
+        let xa: Vec<Complex64> = (0..n).map(|i| Complex64::new((i as f64).sin(), 0.0)).collect();
+        let xb: Vec<Complex64> = (0..n).map(|i| Complex64::new(0.0, (i as f64 * 0.5).cos())).collect();
+        let fft_of = |v: &[Complex64]| {
+            let mut b = v.to_vec();
+            fft_in_place(&mut b).unwrap();
+            b
+        };
+        let fa = fft_of(&xa);
+        let fb = fft_of(&xb);
+        let sum: Vec<Complex64> = xa.iter().zip(&xb).map(|(&a, &b)| a + b).collect();
+        let fsum = fft_of(&sum);
+        for k in 0..n {
+            assert_close(fsum[k].re, fa[k].re + fb[k].re, 1e-9);
+            assert_close(fsum[k].im, fa[k].im + fb[k].im, 1e-9);
+        }
+    }
+
+    #[test]
     fn complex_sqrt_squares_back() {
         for (re, im) in [(3.0, 4.0), (-2.0, 1.0), (0.0, -9.0), (5.0, 0.0)] {
             let z = Complex64::new(re, im);

@@ -83,10 +83,10 @@ mod tests {
 
         let corr_at = |lag: i64| -> f64 {
             let mut s = 0.0;
-            for i in 0..x.len() {
+            for (i, &xi) in x.iter().enumerate() {
                 let j = i as i64 + lag;
                 if j >= 0 && (j as usize) < y.len() {
-                    s += f64::from(x[i]) * f64::from(y[j as usize]);
+                    s += f64::from(xi) * f64::from(y[j as usize]);
                 }
             }
             s

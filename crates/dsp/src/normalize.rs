@@ -35,7 +35,7 @@ impl Zscore {
                 actual: 0,
             });
         }
-        if channels == 0 || data.len() % channels != 0 {
+        if channels == 0 || !data.len().is_multiple_of(channels) {
             return Err(DspError::InvalidWindow {
                 size: channels,
                 step: 0,
@@ -86,7 +86,7 @@ impl Zscore {
     /// divisible by the fitted channel count.
     pub fn apply(&self, data: &mut [f32]) -> Result<()> {
         let channels = self.channels();
-        if channels == 0 || data.len() % channels != 0 {
+        if channels == 0 || !data.len().is_multiple_of(channels) {
             return Err(DspError::InvalidWindow {
                 size: channels,
                 step: 0,

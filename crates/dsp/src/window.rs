@@ -75,7 +75,7 @@ impl<'a> Windows<'a> {
     /// window are available, or [`DspError::InvalidWindow`] for a degenerate
     /// config or data length not divisible by `channels`.
     pub fn new(data: &'a [f32], channels: usize, config: WindowConfig) -> Result<Self> {
-        if channels == 0 || data.len() % channels != 0 {
+        if channels == 0 || !data.len().is_multiple_of(channels) {
             return Err(DspError::InvalidWindow {
                 size: config.size,
                 step: config.step,

@@ -232,7 +232,7 @@ impl SearchSpace {
                 let d_model = *[64usize, 128, 256].choose(rng).expect("non-empty");
                 let heads = *[2usize, 4, 8]
                     .iter()
-                    .filter(|&&h| d_model % h == 0)
+                    .filter(|&&h| d_model.is_multiple_of(h))
                     .copied()
                     .collect::<Vec<_>>()
                     .choose(rng)

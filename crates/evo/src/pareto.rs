@@ -30,7 +30,7 @@ pub fn pareto_front(candidates: &[Candidate]) -> Vec<Candidate> {
         })
         .cloned()
         .collect();
-    front.sort_by(|a, b| a.params.cmp(&b.params));
+    front.sort_by_key(|c| c.params);
     front.dedup_by(|a, b| a.genome == b.genome);
     front
 }

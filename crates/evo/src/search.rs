@@ -214,7 +214,7 @@ impl EvolutionarySearch {
         let mut best: Option<usize> = None;
         for _ in 0..self.config.tournament.max(1) {
             let i = rng.gen_range(0..cands.len());
-            if best.map_or(true, |b| fitness[i] > fitness[b]) {
+            if best.is_none_or(|b| fitness[i] > fitness[b]) {
                 best = Some(i);
             }
         }

@@ -51,7 +51,7 @@ impl ForestConfig {
 #[must_use]
 pub fn window_stat_features(window: &[f32], channels: usize) -> Vec<f32> {
     assert!(
-        channels > 0 && window.len() % channels == 0,
+        channels > 0 && window.len().is_multiple_of(channels),
         "window {} not divisible by {channels}",
         window.len()
     );
@@ -257,7 +257,7 @@ impl TreeBuilder<'_> {
     fn build(&mut self, indices: Vec<usize>, depth: usize) -> usize {
         let counts = self.class_counts(&indices);
         let total: usize = counts.iter().sum();
-        let pure = counts.iter().any(|&c| c == total);
+        let pure = counts.contains(&total);
         let depth_capped = self
             .config
             .max_depth
@@ -356,7 +356,7 @@ impl TreeBuilder<'_> {
                 let gain = parent_gini
                     - (nl / n) * Self::gini(&left)
                     - (nr / n) * Self::gini(&right);
-                if best.map_or(true, |(_, _, g)| gain > g) && gain > 1e-9 {
+                if best.is_none_or(|(_, _, g)| gain > g) && gain > 1e-9 {
                     let threshold = (vals[w].0 + vals[w + 1].0) / 2.0;
                     best = Some((feature, threshold, gain));
                 }

@@ -155,8 +155,8 @@ impl Graph {
             Some(Box::new(move |_, g| {
                 let mut db = vec![0.0f32; n];
                 for i in 0..m {
-                    for j in 0..n {
-                        db[j] += g.data()[i * n + j];
+                    for (j, db_j) in db.iter_mut().enumerate() {
+                        *db_j += g.data()[i * n + j];
                     }
                 }
                 vec![g.clone(), Tensor::new(vec![n], db)]
@@ -1044,8 +1044,8 @@ mod tests {
     #[test]
     fn conv_weight_grads_are_correct() {
         let mut rng = StdRng::seed_from_u64(6);
-        let x = Tensor::uniform(vec![2, 1 * 5 * 5], 1.0, &mut rng);
-        let w = Tensor::uniform(vec![2, 1 * 3 * 3], 0.5, &mut rng);
+        let x = Tensor::uniform(vec![2, 5 * 5], 1.0, &mut rng);
+        let w = Tensor::uniform(vec![2, 3 * 3], 0.5, &mut rng);
         let f = |t: &Tensor| -> f32 {
             let mut g = Graph::new();
             let xi = g.input(x.clone());

@@ -535,8 +535,8 @@ impl InferModel {
                 // Mean pool over time.
                 let mut pooled = vec![0.0f32; m.d_model];
                 for t in 0..t_len {
-                    for j in 0..m.d_model {
-                        pooled[j] += cur.data()[t * m.d_model + j] / t_len as f32;
+                    for (j, p) in pooled.iter_mut().enumerate() {
+                        *p += cur.data()[t * m.d_model + j] / t_len as f32;
                     }
                 }
                 let x = Tensor::new(vec![1, m.d_model], pooled);

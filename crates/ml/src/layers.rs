@@ -397,7 +397,7 @@ impl MultiHeadAttention {
     #[must_use]
     pub fn new(store: &mut ParamStore, d_model: usize, heads: usize, rng: &mut StdRng) -> Self {
         assert!(
-            heads > 0 && d_model % heads == 0,
+            heads > 0 && d_model.is_multiple_of(heads),
             "d_model {d_model} must divide into {heads} heads"
         );
         Self {

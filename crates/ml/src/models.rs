@@ -173,6 +173,15 @@ impl CnnConfig {
     }
 }
 
+/// Borrowed view of a CNN's stages: conv layers, their `(h, w)` input dims,
+/// the dense head, and the `(c, h, w)` dims feeding it.
+pub type CnnStages<'a> = (
+    &'a [Conv2d],
+    &'a [(usize, usize)],
+    &'a Dense,
+    (usize, usize, usize),
+);
+
 /// Instantiated CNN classifier.
 #[derive(Debug, Clone)]
 pub struct CnnModel {
@@ -194,7 +203,7 @@ impl CnnModel {
 
     /// Conv stages with their input dims (for the inference compiler).
     #[must_use]
-    pub fn stages(&self) -> (&[Conv2d], &[(usize, usize)], &Dense, (usize, usize, usize)) {
+    pub fn stages(&self) -> CnnStages<'_> {
         (&self.layers, &self.input_dims, &self.head, self.final_dims)
     }
 
@@ -477,7 +486,7 @@ impl TransformerConfig {
         if self.layers == 0 || self.d_model == 0 || self.dim_ff == 0 || self.time_stride == 0 {
             return Err(MlError::BadConfig("zero transformer dims".into()));
         }
-        if self.heads == 0 || self.d_model % self.heads != 0 {
+        if self.heads == 0 || !self.d_model.is_multiple_of(self.heads) {
             return Err(MlError::BadConfig(format!(
                 "d_model {} not divisible by heads {}",
                 self.d_model, self.heads

@@ -3,7 +3,6 @@
 
 use cognitive_arm::eval::{train_genome, quick_cnn_config, TrainBudget, TrainedArtifact};
 use eeg::dataset::train_val_split;
-use eeg::CHANNELS;
 use evo::Genome;
 use integration_tests::quick_data;
 use ml::compress::{measured_sparsity, prune_global, quantize, storage_bytes, QuantMode};

@@ -1,0 +1,105 @@
+//! Offline shim for the `bytes` API surface this workspace uses:
+//! a growable byte buffer with big-endian `put_*` writers.
+
+use std::ops::{Deref, DerefMut};
+
+/// Big-endian byte writers, mirroring `bytes::BufMut`.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a `u16` in big-endian order.
+    fn put_u16(&mut self, v: u16);
+
+    /// Appends a `u32` in big-endian order.
+    fn put_u32(&mut self, v: u32);
+
+    /// Appends a slice verbatim.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// Growable byte buffer, mirroring `bytes::BytesMut`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { inner: Vec::new() }
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    /// Consumes the buffer into its backing vector.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Self {
+        b.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_endian_layout() {
+        let mut b = BytesMut::new();
+        b.put_u8(0xAA);
+        b.put_u16(0x0102);
+        b.put_u32(0x0304_0506);
+        assert_eq!(&b[..], &[0xAA, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06]);
+        assert_eq!(b.len(), 7);
+    }
+}

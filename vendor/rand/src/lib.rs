@@ -1,0 +1,79 @@
+//! Offline shim for the subset of `rand` 0.8 this workspace uses.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a different
+//! stream than the real `StdRng` (ChaCha12), but the workspace only relies
+//! on *determinism* (same seed ⇒ same stream on every platform), never on a
+//! particular stream. Supported surface: `StdRng`, `SeedableRng::
+//! seed_from_u64`, `Rng::{gen, gen_range, gen_bool}` over the primitive
+//! numeric types, and `seq::SliceRandom::{shuffle, choose}`.
+
+pub mod rngs;
+pub mod seq;
+
+mod uniform;
+
+pub use uniform::{SampleRange, SampleUniform, StandardSample};
+
+/// Core trait: a source of uniformly random 64-bit words.
+pub trait RngCore {
+    /// Returns the next word in the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32-bit word (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Deterministically builds a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value from the "standard" distribution of `T`
+    /// (`[0, 1)` for floats, full range for integers).
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a `Range` or `RangeInclusive`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_in(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of [0,1]");
+        uniform::unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}

@@ -1,0 +1,184 @@
+//! Standard and range-uniform sampling over primitive types.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// Converts a random word to a double in `[0, 1)` with 53 bits of precision.
+#[inline]
+pub(crate) fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Converts a random word to a float in `[0, 1)` with 24 bits of precision.
+#[inline]
+pub(crate) fn unit_f32(word: u64) -> f32 {
+    (word >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+}
+
+/// Types `Rng::gen` can produce.
+pub trait StandardSample: Sized {
+    /// Samples from the type's standard distribution.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f32(rng.next_u64())
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types `Rng::gen_range` can sample uniformly.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample in `[low, high)` (exclusive) or `[low, high]`
+    /// (inclusive).
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool)
+        -> Self;
+}
+
+macro_rules! uniform_float {
+    ($t:ty, $unit:ident) => {
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let sample = (low + (high - low) * $unit(rng.next_u64())).clamp(low, high);
+                // When the span is tiny relative to the magnitude, rounding
+                // can land exactly on `high`; an exclusive range must not
+                // return its excluded endpoint.
+                if !inclusive && sample >= high {
+                    high.next_down().max(low)
+                } else {
+                    sample
+                }
+            }
+        }
+    };
+}
+uniform_float!(f64, unit_f64);
+uniform_float!(f32, unit_f32);
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (high as i128 - low as i128) + i128::from(inclusive);
+                assert!(span > 0, "gen_range: empty range");
+                // Modulo sampling: bias is < span/2^64, negligible for the
+                // small spans this workspace draws.
+                let offset = (u128::from(rng.next_u64()) % span as u128) as i128;
+                (low as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range argument accepted by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "gen_range: empty range");
+        T::sample_uniform(rng, low, high, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn int_ranges_hit_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..6usize)] = true;
+            let v = rng.gen_range(1..=2u32);
+            assert!((1..=2).contains(&v));
+        }
+        assert!(seen.iter().all(|&s| s), "uniform over 0..6 missed a value");
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-0.05f32..0.05);
+            assert!((-0.05..0.05).contains(&v));
+            let w = rng.gen_range(0.0f64..=2.5);
+            assert!((0.0..=2.5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn exclusive_float_range_never_returns_high() {
+        // Span tiny relative to magnitude: the ulp at 1e16 is 2.0, so the
+        // raw lerp rounds to `high` roughly half the time.
+        let mut rng = StdRng::seed_from_u64(6);
+        let (low, high) = (1.0e16f64, 1.0e16 + 2.0);
+        for _ in 0..1000 {
+            let v = rng.gen_range(low..high);
+            assert!(v >= low && v < high, "exclusive range returned {v}");
+        }
+        let (low, high) = (1.0e7f32, 1.0e7 + 2.0);
+        for _ in 0..1000 {
+            let v = rng.gen_range(low..high);
+            assert!(v >= low && v < high, "exclusive range returned {v}");
+        }
+    }
+
+    #[test]
+    fn negative_int_ranges() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let v: i32 = rng.gen_range(-3..3);
+            assert!((-3..3).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never instantiates a serializer, so marker traits with blanket impls are
+//! sufficient. The paired `serde_derive` shim emits empty token streams,
+//! which these blanket impls make trivially correct for any shape of type.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace only uses serde derives as type-level annotations (no
+//! serializer is ever instantiated), and the real `serde` crates are not
+//! available in the offline build environment. The shim's `serde` crate
+//! blanket-implements both traits, so these derives only need to accept the
+//! input (including `#[serde(...)]` helper attributes) and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
