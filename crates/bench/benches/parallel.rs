@@ -1,0 +1,138 @@
+//! Scaling benchmarks for the deterministic execution substrate: each of
+//! the three parallel hot paths — per-channel zero-phase filtering,
+//! per-tree forest training (plus batched inference), and per-genome
+//! evolutionary evaluation — timed at 1/2/4/8 worker threads, so the
+//! speedup is measured rather than asserted. Outputs are bit-identical at
+//! every thread count (enforced by `tests/tests/determinism.rs`); only the
+//! wall-clock should move.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use cognitive_arm::preprocess::{FilterSpec, OfflineChain};
+use eeg::signal::{SignalGenerator, SubjectParams};
+use eeg::types::Action;
+use evo::{
+    EvalResult, Evaluator, EvolutionConfig, EvolutionarySearch, Family, Genome, SearchSpace,
+};
+use exec::{split_seed, ExecPool};
+use ml::forest::{ForestConfig, RandomForest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn offline_filtering(c: &mut Criterion) {
+    // 16 channels × 4000 samples (32 s of EEG), the dataset-prep shape.
+    let mut g = SignalGenerator::new(SubjectParams::sampled(1), 3);
+    let chunk = g.generate_action(Action::Idle, 4000);
+    let mut group = c.benchmark_group("offline_filtfilt_16ch_4000");
+    for threads in THREADS {
+        let chain = OfflineChain::with_pool(&FilterSpec::default(), Arc::new(ExecPool::new(threads)))
+            .expect("designs");
+        group.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter_batched(
+                || chunk.clone(),
+                |mut ch| {
+                    chain.apply(&mut ch).expect("filters");
+                    ch.data[0]
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Separable toy rows shared by the forest benches.
+fn toy(n: usize, features: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f32> = (0..features).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let label = match (row[0] > 0.0, row[1] > 0.0) {
+            (true, true) => 0,
+            (false, true) => 1,
+            _ => 2,
+        };
+        xs.push(row);
+        ys.push(label);
+    }
+    (xs, ys)
+}
+
+fn forest_training(c: &mut Criterion) {
+    let (xs, ys) = toy(400, 20, 11);
+    let config = ForestConfig {
+        n_estimators: 64,
+        max_depth: Some(10),
+        min_samples_split: 4,
+        classes: 3,
+        seed: 0,
+    };
+    let mut group = c.benchmark_group("forest_fit_64trees_400rows");
+    for threads in THREADS {
+        let pool = ExecPool::new(threads);
+        group.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter(|| black_box(RandomForest::fit_with(config, &xs, &ys, &pool).expect("fits")))
+        });
+    }
+    group.finish();
+
+    let forest = RandomForest::fit_with(config, &xs, &ys, &ExecPool::sequential()).expect("fits");
+    let mut group = c.benchmark_group("forest_predict_batch_400rows");
+    for threads in THREADS {
+        let pool = ExecPool::new(threads);
+        group.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter(|| black_box(forest.predict_batch(&xs, &pool)))
+        });
+    }
+    group.finish();
+}
+
+/// A deterministic fitness proxy with a tunable compute cost, standing in
+/// for candidate training (the real [`cognitive_arm::eval::EegEvaluator`]
+/// takes minutes per generation — far past a bench budget).
+struct SpinEvaluator {
+    spins: u64,
+}
+
+impl Evaluator for SpinEvaluator {
+    fn evaluate(&self, genome: &Genome, seed: u64) -> EvalResult {
+        let h = match genome {
+            Genome::Lstm { config, .. } => config.hidden as u64,
+            _ => 1,
+        };
+        let mut state = split_seed(seed, h);
+        for _ in 0..self.spins {
+            state = split_seed(state, 1);
+        }
+        EvalResult {
+            accuracy: (state % 1000) as f64 / 1000.0,
+            params: (state % 100_000) as usize + 1,
+        }
+    }
+}
+
+fn evo_search(c: &mut Criterion) {
+    let config = EvolutionConfig {
+        population: 16,
+        generations: 3,
+        seed: 7,
+        ..EvolutionConfig::default()
+    };
+    let mut group = c.benchmark_group("evo_search_pop16_gen3");
+    for threads in THREADS {
+        let search = EvolutionarySearch::new(SearchSpace::new(Family::Lstm), config)
+            .with_pool(Arc::new(ExecPool::new(threads)));
+        group.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter(|| black_box(search.run(&SpinEvaluator { spins: 200_000 })))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, offline_filtering, forest_training, evo_search);
+criterion_main!(benches);

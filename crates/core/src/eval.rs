@@ -13,11 +13,14 @@
 //! figures are about; `TrainBudget::full()` lifts them when you have the
 //! patience.
 
+use std::sync::Arc;
+
 use dsp::normalize::Zscore;
 use eeg::dataset::{train_val_split, Protocol, Study};
 use eeg::types::LabeledWindow;
 use eeg::CHANNELS;
 use evo::{EvalResult, Evaluator, Genome};
+use exec::ExecPool;
 use ml::ensemble::{Classifier, Ensemble, ForestClassifier, Voting};
 use ml::forest::{window_stat_features, RandomForest};
 use ml::infer::{compile_cnn, compile_lstm, compile_transformer, InferModel};
@@ -45,10 +48,12 @@ pub struct DatasetBuilder {
     n_subjects: usize,
     seed: u64,
     filter: FilterSpec,
+    pool: Arc<ExecPool>,
 }
 
 impl DatasetBuilder {
-    /// Creates a builder for `n_subjects` under `protocol`.
+    /// Creates a builder for `n_subjects` under `protocol`, filtering on
+    /// the process-wide [`exec::shared`] pool.
     #[must_use]
     pub fn new(protocol: Protocol, n_subjects: usize, seed: u64) -> Self {
         Self {
@@ -56,6 +61,7 @@ impl DatasetBuilder {
             n_subjects,
             seed,
             filter: FilterSpec::default(),
+            pool: exec::shared(),
         }
     }
 
@@ -66,6 +72,13 @@ impl DatasetBuilder {
         self
     }
 
+    /// Runs the offline filtering on an explicit pool.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<ExecPool>) -> Self {
+        self.pool = pool;
+        self
+    }
+
     /// Generates, filters and normalizes the study.
     ///
     /// # Errors
@@ -73,7 +86,7 @@ impl DatasetBuilder {
     /// Propagates generation and filtering failures.
     pub fn build(self) -> Result<PreparedData> {
         let mut study = Study::generate(&self.protocol, self.n_subjects, self.seed)?;
-        let chain = OfflineChain::new(&self.filter)?;
+        let chain = OfflineChain::with_pool(&self.filter, self.pool)?;
         let mut zscores = Vec::with_capacity(study.recordings.len());
         for rec in &mut study.recordings {
             chain.apply(&mut rec.data)?;
@@ -306,7 +319,9 @@ fn cap<T: Clone>(v: &[T], cap: usize) -> Vec<T> {
 }
 
 /// Trains one genome on the given windows, returning the artifact and its
-/// accuracy on `val`.
+/// accuracy on `val`. Parallel training stages run on the process-wide
+/// [`exec::shared`] pool; use [`train_genome_with`] to pin them to an
+/// explicit pool.
 ///
 /// # Errors
 ///
@@ -317,6 +332,24 @@ pub fn train_genome(
     val: &[LabeledWindow],
     budget: &TrainBudget,
     seed: u64,
+) -> Result<(TrainedArtifact, f64)> {
+    train_genome_with(genome, train, val, budget, seed, &exec::shared())
+}
+
+/// [`train_genome`] on an explicit pool (feature extraction, per-tree
+/// forest fitting and batched scoring fan out on it; the iterative
+/// net-training path is inherently sequential).
+///
+/// # Errors
+///
+/// Same as [`train_genome`].
+pub fn train_genome_with(
+    genome: &Genome,
+    train: &[LabeledWindow],
+    val: &[LabeledWindow],
+    budget: &TrainBudget,
+    seed: u64,
+    pool: &ExecPool,
 ) -> Result<(TrainedArtifact, f64)> {
     if train.is_empty() {
         return Err(CoreError::Ml(ml::MlError::EmptyDataset));
@@ -360,16 +393,14 @@ pub fn train_genome(
             Ok((TrainedArtifact::Net(compiled), acc))
         }
         Genome::Forest { config, window } => {
-            let fx: Vec<Vec<f32>> = tx
-                .iter()
-                .map(|w| window_stat_features(w, CHANNELS))
-                .collect();
-            let forest = RandomForest::fit(*config, &fx, &ty)?;
-            let vfx: Vec<Vec<f32>> = vx
-                .iter()
-                .map(|w| window_stat_features(w, CHANNELS))
-                .collect();
-            let acc = forest.evaluate(&vfx, &vy);
+            // Feature extraction, per-tree fitting and scoring all fan out
+            // over the pool; every step is per-index deterministic.
+            let fx: Vec<Vec<f32>> =
+                pool.par_map(&tx, |w| window_stat_features(w, CHANNELS));
+            let forest = RandomForest::fit_with(*config, &fx, &ty, pool)?;
+            let vfx: Vec<Vec<f32>> =
+                pool.par_map(&vx, |w| window_stat_features(w, CHANNELS));
+            let acc = forest.evaluate_with(&vfx, &vy, pool);
             Ok((
                 TrainedArtifact::Forest(ForestClassifier::new(forest, *window)),
                 acc,
@@ -403,10 +434,13 @@ pub struct EegEvaluator {
     /// When set, every candidate trains under [`fair_budget`] at this many
     /// total FLOPs.
     flop_budget: Option<f64>,
+    /// Pool for the parallel training stages of each candidate.
+    pool: Arc<ExecPool>,
 }
 
 impl EegEvaluator {
-    /// Creates the evaluator.
+    /// Creates the evaluator, training candidates on the process-wide
+    /// [`exec::shared`] pool.
     #[must_use]
     pub fn new(data: PreparedData, budget: TrainBudget, held_out: Option<usize>) -> Self {
         Self {
@@ -414,6 +448,7 @@ impl EegEvaluator {
             budget,
             held_out,
             flop_budget: None,
+            pool: exec::shared(),
         }
     }
 
@@ -421,6 +456,13 @@ impl EegEvaluator {
     #[must_use]
     pub fn with_flop_budget(mut self, flops: f64) -> Self {
         self.flop_budget = Some(flops);
+        self
+    }
+
+    /// Pins the parallel training stages to an explicit pool.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<ExecPool>) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -446,7 +488,7 @@ impl Evaluator for EegEvaluator {
                 None => self.budget,
             };
             let (artifact, accuracy) =
-                train_genome(genome, &train, &val, &budget, seed)?;
+                train_genome_with(genome, &train, &val, &budget, seed, &self.pool)?;
             Ok(EvalResult {
                 accuracy,
                 params: artifact.param_count(),

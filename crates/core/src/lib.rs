@@ -6,7 +6,12 @@
 //! ([`ml`]) at 15 Hz, voice commands ([`asr`]) multiplex which degree of
 //! freedom the labels drive, and the controller actuates the simulated
 //! prosthesis ([`arm`]) over its serial protocol — all with explicit,
-//! deterministic simulated time and per-stage latency accounting.
+//! deterministic simulated time and per-stage latency accounting. The
+//! parallel hot paths (per-channel filtering, per-tree forest training,
+//! ensemble-member inference, per-genome search evaluation) run on the
+//! deterministic [`exec`] substrate: thread count — configured via
+//! [`pipeline::PipelineConfig::threads`] or `COGARM_THREADS` — changes
+//! wall-clock time, never outputs.
 //!
 //! * [`preprocess`] — the streaming (causal) and offline (zero-phase)
 //!   preprocessing chains of Sec. III-A3.

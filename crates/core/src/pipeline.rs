@@ -9,6 +9,7 @@
 //! latency is recorded for the paper's end-to-end timing story.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
 use arm::controller::{ActionLabel, Controller, ControllerConfig, ControlMode};
@@ -19,6 +20,7 @@ use eeg::board::{Board, SimulatedBoard};
 use eeg::signal::SubjectParams;
 use eeg::types::Action;
 use eeg::{CHANNELS, SAMPLE_RATE};
+use exec::ExecPool;
 use ml::ensemble::Ensemble;
 use serde::{Deserialize, Serialize};
 
@@ -36,6 +38,10 @@ pub struct PipelineConfig {
     pub controller: ControllerConfig,
     /// Safety limits.
     pub safety: SafetyConfig,
+    /// Worker threads for parallel stages (`None` = the process-wide
+    /// [`exec::shared`] pool, sized by `COGARM_THREADS` or
+    /// `available_parallelism`). Thread count never changes outputs.
+    pub threads: Option<usize>,
 }
 
 impl Default for PipelineConfig {
@@ -45,6 +51,7 @@ impl Default for PipelineConfig {
             filter: FilterSpec::default(),
             controller: ControllerConfig::default(),
             safety: SafetyConfig::default(),
+            threads: None,
         }
     }
 }
@@ -128,6 +135,7 @@ pub struct CognitiveArm {
     window_len: usize,
     elapsed_samples: u64,
     latency: LatencyReport,
+    pool: Arc<ExecPool>,
 }
 
 impl std::fmt::Debug for CognitiveArm {
@@ -136,6 +144,7 @@ impl std::fmt::Debug for CognitiveArm {
             .field("ensemble", &self.ensemble.name())
             .field("window_len", &self.window_len)
             .field("elapsed_samples", &self.elapsed_samples)
+            .field("threads", &self.pool.threads())
             .finish()
     }
 }
@@ -154,6 +163,10 @@ impl CognitiveArm {
         let chain = StreamingChain::new(&config.filter).expect("default filter spec is valid");
         let controller = Controller::new(config.controller, SafetyGate::new(config.safety));
         let window_len = ensemble.window();
+        let pool = match config.threads {
+            Some(n) => Arc::new(ExecPool::new(n)),
+            None => exec::shared(),
+        };
         Self {
             config,
             board,
@@ -167,7 +180,14 @@ impl CognitiveArm {
             window_len,
             elapsed_samples: 0,
             latency: LatencyReport::default(),
+            pool,
         }
+    }
+
+    /// The execution pool driving this system's parallel stages.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<ExecPool> {
+        &self.pool
     }
 
     /// Installs the frozen per-subject normalization fitted during training
@@ -261,7 +281,7 @@ impl CognitiveArm {
             for ch in 0..CHANNELS {
                 flat.extend(self.window[ch].iter().copied());
             }
-            let label = self.ensemble.predict(&flat, CHANNELS);
+            let label = self.ensemble.predict_with(&flat, CHANNELS, &self.pool);
             self.latency.inference.record(t1.elapsed().as_secs_f64());
 
             // Actuation.
@@ -332,6 +352,41 @@ mod tests {
         assert!(lat.filter.mean_s() > 0.0);
         assert!(lat.end_to_end_s() > 0.0);
         assert!(lat.inference.max_s >= lat.inference.mean_s());
+    }
+
+    #[test]
+    fn threads_config_sizes_the_pool() {
+        /// A free stub classifier so this test skips training entirely.
+        #[derive(Clone)]
+        struct Stub;
+        impl ml::ensemble::Classifier for Stub {
+            fn predict_proba_window(&self, _w: &[f32], _c: usize, _l: usize) -> Vec<f32> {
+                vec![1.0, 0.0, 0.0]
+            }
+            fn window(&self) -> usize {
+                4
+            }
+            fn name(&self) -> String {
+                "stub".into()
+            }
+            fn param_count(&self) -> usize {
+                0
+            }
+            fn clone_box(&self) -> Box<dyn ml::ensemble::Classifier> {
+                Box::new(self.clone())
+            }
+        }
+        let ensemble = Ensemble::new(vec![Box::new(Stub)], ml::ensemble::Voting::Soft);
+        let config = PipelineConfig {
+            threads: Some(3),
+            ..PipelineConfig::default()
+        };
+        let sys = CognitiveArm::new(config, ensemble, 1);
+        assert_eq!(sys.pool().threads(), 3);
+        // None delegates to the shared pool.
+        let ensemble = Ensemble::new(vec![Box::new(Stub)], ml::ensemble::Voting::Soft);
+        let sys = CognitiveArm::new(PipelineConfig::default(), ensemble, 1);
+        assert!(Arc::ptr_eq(sys.pool(), &exec::shared()));
     }
 
     #[test]

@@ -74,7 +74,10 @@ impl ValidationReport {
 /// Runs the closed-loop validation protocol on an assembled system.
 ///
 /// Trials alternate left/right intentions. The system's current voice mode
-/// determines which joint is watched.
+/// determines which joint is watched. Inference runs on the system's
+/// [`exec::ExecPool`] (see [`crate::pipeline::PipelineConfig::threads`]);
+/// because the pool is deterministic, the report is identical for any
+/// thread count.
 ///
 /// # Errors
 ///
@@ -130,7 +133,13 @@ mod tests {
         // Same subject physiology as the training study (subject 0 of seed
         // 33) plus that subject's frozen normalization.
         let zscore = data.zscores[0].clone();
-        let mut system = CognitiveArm::new(PipelineConfig::default(), ensemble, 33);
+        // Run the loop on a 2-worker pool: the validation outcome may not
+        // depend on the thread count.
+        let config = PipelineConfig {
+            threads: Some(2),
+            ..PipelineConfig::default()
+        };
+        let mut system = CognitiveArm::new(config, ensemble, 33);
         system.set_normalization(zscore);
         let report = run_validation(
             &mut system,

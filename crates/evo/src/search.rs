@@ -1,5 +1,8 @@
 //! Algorithm 1: the generational loop.
 
+use std::sync::Arc;
+
+use exec::ExecPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -80,13 +83,26 @@ pub struct EvolutionOutcome {
 pub struct EvolutionarySearch {
     space: SearchSpace,
     config: EvolutionConfig,
+    pool: Arc<ExecPool>,
 }
 
 impl EvolutionarySearch {
-    /// Creates a search over `space` with `config`.
+    /// Creates a search over `space` with `config`, evaluating candidates on
+    /// the process-wide [`exec::shared`] pool.
     #[must_use]
     pub fn new(space: SearchSpace, config: EvolutionConfig) -> Self {
-        Self { space, config }
+        Self {
+            space,
+            config,
+            pool: exec::shared(),
+        }
+    }
+
+    /// Evaluates candidates on an explicit pool instead of the shared one.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<ExecPool>) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Normalized weighted fitness `S(m)` over the current generation
@@ -107,9 +123,12 @@ impl EvolutionarySearch {
 
     /// Runs Algorithm 1 to completion.
     ///
-    /// Candidate evaluations within a generation run on scoped threads (the
-    /// paper trains its population on an external GPU farm; we parallelize
-    /// across cores).
+    /// Candidate evaluations within a generation run in parallel on the
+    /// search's [`ExecPool`] (the paper trains its population on an external
+    /// GPU farm; we parallelize across cores). Each candidate's seed derives
+    /// from its generation and population index, and results are collected
+    /// in population order, so the outcome is bit-identical for any thread
+    /// count.
     ///
     /// # Panics
     ///
@@ -180,19 +199,8 @@ impl EvolutionarySearch {
             .config
             .seed
             .wrapping_add(generation as u64 * 104_729);
-        let results: Vec<EvalResult> = std::thread::scope(|scope| {
-            let handles: Vec<_> = population
-                .iter()
-                .enumerate()
-                .map(|(i, genome)| {
-                    let seed = base.wrapping_add(i as u64);
-                    scope.spawn(move || evaluator.evaluate(genome, seed))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("evaluator panicked"))
-                .collect()
+        let results: Vec<EvalResult> = self.pool.par_map_indexed(population, |i, genome| {
+            evaluator.evaluate(genome, base.wrapping_add(i as u64))
         });
         population
             .iter()
@@ -324,6 +332,38 @@ mod tests {
         let b = search().run(&Proxy);
         assert_eq!(a.best, b.best);
         assert_eq!(a.front, b.front);
+    }
+
+    /// A seed-sensitive evaluator: unlike [`Proxy`], its result depends on
+    /// the per-candidate seed, so scheduling bugs that scramble seed↔genome
+    /// assignment would show up here.
+    struct SeedSensitive;
+
+    impl Evaluator for SeedSensitive {
+        fn evaluate(&self, genome: &Genome, seed: u64) -> EvalResult {
+            let h = match genome {
+                Genome::Lstm { config, .. } => config.hidden as u64,
+                _ => 1,
+            };
+            let mix = exec::split_seed(seed, h);
+            EvalResult {
+                accuracy: (mix % 1000) as f64 / 1000.0,
+                params: (mix % 100_000) as usize + 1,
+            }
+        }
+    }
+
+    #[test]
+    fn outcome_is_identical_for_any_thread_count() {
+        let reference = search()
+            .with_pool(Arc::new(ExecPool::new(1)))
+            .run(&SeedSensitive);
+        for threads in [2, 4, 8] {
+            let outcome = search()
+                .with_pool(Arc::new(ExecPool::new(threads)))
+                .run(&SeedSensitive);
+            assert_eq!(outcome, reference, "threads={threads}");
+        }
     }
 
     #[test]

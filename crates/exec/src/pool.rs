@@ -1,0 +1,290 @@
+//! The deterministic scoped thread pool.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+/// Environment variable overriding the shared pool's thread count.
+pub const THREADS_ENV: &str = "COGARM_THREADS";
+
+/// A deterministic thread pool: parallel maps over slices whose results are
+/// collected in input order, so output is bit-identical for any thread
+/// count.
+///
+/// Workers are scoped `std::thread` spawns (no detached threads, borrows of
+/// the input slice are fine); items are claimed through an atomic cursor so
+/// uneven work items balance across workers.
+#[derive(Debug, Clone)]
+pub struct ExecPool {
+    threads: usize,
+}
+
+impl ExecPool {
+    /// Creates a pool running work on `threads` workers (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Sizes the pool from [`THREADS_ENV`], falling back to
+    /// `std::thread::available_parallelism` when unset or unparsable.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::new(parse_threads(std::env::var(THREADS_ENV).ok().as_deref()))
+    }
+
+    /// A single-threaded pool (work runs inline on the caller).
+    #[must_use]
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` in parallel, returning results in input order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `f`.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.run(items.len(), |i| f(&items[i]))
+    }
+
+    /// Like [`ExecPool::par_map`], but `f` also receives the item's index —
+    /// the hook for per-index seed splits (see [`crate::split_seed`]).
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `f`.
+    pub fn par_map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.run(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Maps `f` over an index range in parallel, in order — for work that is
+    /// naturally indexed (channels, trees) rather than sliced.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `f`.
+    pub fn par_map_range<R, F>(&self, range: std::ops::Range<usize>, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let start = range.start;
+        self.run(range.len(), |i| f(start + i))
+    }
+
+    /// Runs two closures, in parallel when the pool has ≥ 2 workers,
+    /// returning both results.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from either closure.
+    pub fn join<RA, RB>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        if self.threads <= 1 {
+            (a(), b())
+        } else {
+            std::thread::scope(|scope| {
+                let hb = scope.spawn(b);
+                let ra = a();
+                (ra, hb.join().expect("parallel task panicked"))
+            })
+        }
+    }
+
+    /// The ordered fan-out core: computes `produce(i)` for `i in 0..len` on
+    /// up to `threads` scoped workers and returns results indexed `0..len`.
+    fn run<R, F>(&self, len: usize, produce: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.threads.min(len);
+        if workers <= 1 {
+            return (0..len).map(produce).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(len));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= len {
+                                break;
+                            }
+                            local.push((i, produce(i)));
+                        }
+                        collected.lock().extend(local);
+                    })
+                })
+                .collect();
+            for handle in handles {
+                // Re-raise the worker's own panic payload instead of the
+                // scope's generic "a scoped thread panicked".
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        let mut pairs = collected.into_inner();
+        debug_assert_eq!(pairs.len(), len, "every index produced exactly once");
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        pairs.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// Parses a [`THREADS_ENV`]-style override, falling back to
+/// `available_parallelism`. Split from [`ExecPool::from_env`] so the logic
+/// is testable without mutating the process environment (concurrent
+/// `setenv`/`getenv` from test threads is undefined behaviour on glibc).
+fn parse_threads(value: Option<&str>) -> usize {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+static SHARED: OnceLock<Arc<ExecPool>> = OnceLock::new();
+
+/// The process-wide default pool, built once from [`ExecPool::from_env`].
+///
+/// Components that are not handed an explicit pool run on this one, so a
+/// single `COGARM_THREADS=N` controls every parallel path in the workspace.
+#[must_use]
+pub fn shared() -> Arc<ExecPool> {
+    Arc::clone(SHARED.get_or_init(|| Arc::new(ExecPool::from_env())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split_seed;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for threads in [1, 2, 3, 4, 8, 64] {
+            let pool = ExecPool::new(threads);
+            let out = pool.par_map(&items, |&x| x * 2);
+            let expected: Vec<usize> = items.iter().map(|&x| x * 2).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn indexed_map_sees_correct_indices() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let out = ExecPool::new(4).par_map_indexed(&items, |i, &s| format!("{i}{s}"));
+        assert_eq!(out, vec!["0a", "1b", "2c", "3d", "4e"]);
+    }
+
+    #[test]
+    fn range_map_offsets_correctly() {
+        let out = ExecPool::new(3).par_map_range(10..15, |i| i);
+        assert_eq!(out, vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn seeded_work_is_bit_identical_for_any_thread_count() {
+        // Each item mixes a per-index seed through some float math; the
+        // reduction must not depend on scheduling.
+        let items: Vec<u64> = (0..100).collect();
+        let work = |i: usize, &base: &u64| -> u64 {
+            let mut s = split_seed(base, i as u64);
+            for _ in 0..50 {
+                s = split_seed(s, 1);
+            }
+            s
+        };
+        let reference = ExecPool::new(1).par_map_indexed(&items, work);
+        for threads in [2, 4, 7] {
+            let got = ExecPool::new(threads).par_map_indexed(&items, work);
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u8> = ExecPool::new(4).par_map(&[] as &[u8], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(ExecPool::new(0).threads(), 1);
+        assert_eq!(ExecPool::sequential().threads(), 1);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        for threads in [1, 2] {
+            let pool = ExecPool::new(threads);
+            let (a, b) = pool.join(|| 40 + 2, || "ok");
+            assert_eq!(a, 42);
+            assert_eq!(b, "ok");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..16).collect();
+        let _ = ExecPool::new(4).par_map(&items, |&x| {
+            assert!(x != 7, "worker boom");
+            x
+        });
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        // The env-var path itself is exercised by CI's COGARM_THREADS=1/4
+        // matrix; mutating the environment from a test thread would race
+        // other tests reading it.
+        assert_eq!(parse_threads(Some("3")), 3);
+        assert_eq!(parse_threads(Some(" 2 ")), 2);
+        assert!(parse_threads(Some("not-a-number")) >= 1);
+        assert!(parse_threads(Some("0")) >= 1);
+        assert!(parse_threads(None) >= 1);
+    }
+
+    #[test]
+    fn shared_pool_is_a_singleton() {
+        let a = shared();
+        let b = shared();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,45 @@
+//! Per-index seed splitting.
+
+/// Derives the RNG seed for parallel work item `index` from `base`.
+///
+/// SplitMix64 finalizer over `base + (index + 1) · φ64`: statistically
+/// independent-looking streams for neighbouring indices, depending only on
+/// `(base, index)` — never on which worker ran the item — so parallel code
+/// seeded through this function is reproducible at any thread count.
+#[must_use]
+pub fn split_seed(base: u64, index: u64) -> u64 {
+    let mut z = base.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_a_pure_function() {
+        assert_eq!(split_seed(42, 7), split_seed(42, 7));
+    }
+
+    #[test]
+    fn neighbouring_indices_get_distinct_seeds() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            assert!(seen.insert(split_seed(0, i)), "collision at index {i}");
+        }
+    }
+
+    #[test]
+    fn base_zero_index_zero_is_not_zero() {
+        // The finalizer must not map the all-zero input to zero (a zero
+        // seed is a classic weak state for xorshift-family generators).
+        assert_ne!(split_seed(0, 0), 0);
+    }
+
+    #[test]
+    fn different_bases_decorrelate() {
+        assert_ne!(split_seed(1, 0), split_seed(2, 0));
+    }
+}

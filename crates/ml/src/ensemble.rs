@@ -5,6 +5,8 @@
 //! CNN wants 190 samples, the RF 90), so the ensemble holds a window long
 //! enough for everyone and hands each member the most recent slice it needs.
 
+use exec::ExecPool;
+
 use crate::forest::{window_stat_features, RandomForest};
 use crate::infer::InferModel;
 use crate::models::CLASSES;
@@ -23,6 +25,9 @@ pub trait Classifier: Send + Sync {
 
     /// Effective parameter count.
     fn param_count(&self) -> usize;
+
+    /// A boxed deep copy (lets [`Ensemble`] be `Clone` over trait objects).
+    fn clone_box(&self) -> Box<dyn Classifier>;
 }
 
 /// Extracts the channel-major tail of length `target` from a longer
@@ -59,6 +64,10 @@ impl Classifier for InferModel {
 
     fn param_count(&self) -> usize {
         InferModel::param_count(self)
+    }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
     }
 }
 
@@ -102,6 +111,10 @@ impl Classifier for ForestClassifier {
     fn param_count(&self) -> usize {
         self.forest.total_nodes()
     }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
+    }
 }
 
 /// Voting strategy.
@@ -126,6 +139,15 @@ impl std::fmt::Debug for Ensemble {
             .field("members", &self.name())
             .field("voting", &self.voting)
             .finish()
+    }
+}
+
+impl Clone for Ensemble {
+    fn clone(&self) -> Self {
+        Self {
+            members: self.members.iter().map(|m| m.clone_box()).collect(),
+            voting: self.voting,
+        }
     }
 }
 
@@ -179,23 +201,41 @@ impl Ensemble {
     #[must_use]
     pub fn predict_proba(&self, window: &[f32], channels: usize) -> Vec<f32> {
         let win_len = window.len() / channels;
+        let probas: Vec<Vec<f32>> = self
+            .members
+            .iter()
+            .map(|m| m.predict_proba_window(window, channels, win_len))
+            .collect();
+        self.combine(&probas)
+    }
+
+    /// [`Ensemble::predict_proba`] with members evaluated in parallel on
+    /// `pool`. Member probabilities are combined in member order, so the
+    /// result is bit-identical to the sequential path.
+    #[must_use]
+    pub fn predict_proba_with(&self, window: &[f32], channels: usize, pool: &ExecPool) -> Vec<f32> {
+        let win_len = window.len() / channels;
+        let probas = pool.par_map(&self.members, |m| {
+            m.predict_proba_window(window, channels, win_len)
+        });
+        self.combine(&probas)
+    }
+
+    /// Reduces per-member probability vectors under the voting rule,
+    /// folding in member order (f32 addition is not associative; a fixed
+    /// order keeps the vote reproducible).
+    fn combine(&self, probas: &[Vec<f32>]) -> Vec<f32> {
         let mut acc = vec![0.0f32; CLASSES];
         match self.voting {
             Voting::Soft => {
-                for m in &self.members {
-                    let p = m.predict_proba_window(window, channels, win_len);
-                    for (a, v) in acc.iter_mut().zip(&p) {
+                for p in probas {
+                    for (a, v) in acc.iter_mut().zip(p) {
                         *a += v;
                     }
                 }
-                let n = self.members.len() as f32;
-                for a in &mut acc {
-                    *a /= n;
-                }
             }
             Voting::Hard => {
-                for m in &self.members {
-                    let p = m.predict_proba_window(window, channels, win_len);
+                for p in probas {
                     let arg = p
                         .iter()
                         .enumerate()
@@ -204,11 +244,11 @@ impl Ensemble {
                         .unwrap_or(0);
                     acc[arg] += 1.0;
                 }
-                let n = self.members.len() as f32;
-                for a in &mut acc {
-                    *a /= n;
-                }
             }
+        }
+        let n = self.members.len() as f32;
+        for a in &mut acc {
+            *a /= n;
         }
         acc
     }
@@ -216,8 +256,18 @@ impl Ensemble {
     /// Combined class prediction.
     #[must_use]
     pub fn predict(&self, window: &[f32], channels: usize) -> usize {
-        let p = self.predict_proba(window, channels);
-        p.iter()
+        Self::argmax(&self.predict_proba(window, channels))
+    }
+
+    /// [`Ensemble::predict`] with members evaluated in parallel on `pool`.
+    #[must_use]
+    pub fn predict_with(&self, window: &[f32], channels: usize, pool: &ExecPool) -> usize {
+        Self::argmax(&self.predict_proba_with(window, channels, pool))
+    }
+
+    fn argmax(probs: &[f32]) -> usize {
+        probs
+            .iter()
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
             .map(|(i, _)| i)
@@ -230,6 +280,7 @@ mod tests {
     use super::*;
 
     /// A stub classifier that always answers one class.
+    #[derive(Clone)]
     struct Fixed {
         class: usize,
         window: usize,
@@ -257,6 +308,10 @@ mod tests {
 
         fn param_count(&self) -> usize {
             1
+        }
+
+        fn clone_box(&self) -> Box<dyn Classifier> {
+            Box::new(self.clone())
         }
     }
 
@@ -316,6 +371,46 @@ mod tests {
     #[should_panic(expected = "at least one member")]
     fn empty_ensemble_rejected() {
         let _ = Ensemble::new(vec![], Voting::Soft);
+    }
+
+    #[test]
+    fn parallel_vote_matches_sequential_bitwise() {
+        let e = Ensemble::new(
+            vec![
+                Box::new(Fixed { class: 0, window: 4 }),
+                Box::new(Fixed { class: 1, window: 4 }),
+                Box::new(Fixed { class: 1, window: 4 }),
+            ],
+            Voting::Soft,
+        );
+        let w = vec![0.25f32; 2 * 4];
+        let seq = e.predict_proba(&w, 2);
+        for threads in [1, 2, 4] {
+            let pool = ExecPool::new(threads);
+            let par = e.predict_proba_with(&w, 2, &pool);
+            let bits_equal = seq
+                .iter()
+                .zip(&par)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(bits_equal, "threads={threads}: {seq:?} vs {par:?}");
+            assert_eq!(e.predict(&w, 2), e.predict_with(&w, 2, &pool));
+        }
+    }
+
+    #[test]
+    fn clone_preserves_members_and_voting() {
+        let e = Ensemble::new(
+            vec![
+                Box::new(Fixed { class: 2, window: 8 }),
+                Box::new(Fixed { class: 0, window: 4 }),
+            ],
+            Voting::Hard,
+        );
+        let c = e.clone();
+        assert_eq!(c.name(), e.name());
+        assert_eq!(c.window(), e.window());
+        let w = vec![0.0f32; 2 * 8];
+        assert_eq!(c.predict(&w, 2), e.predict(&w, 2));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! reports total node count as the parameter measure (the paper annotates
 //! "72000 total nodes").
 
+use exec::ExecPool;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -81,7 +82,7 @@ pub fn window_stat_features(window: &[f32], channels: usize) -> Vec<f32> {
     out
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum TreeNode {
     Leaf {
         /// Class-probability distribution at this leaf.
@@ -96,7 +97,7 @@ enum TreeNode {
 }
 
 /// One CART tree stored as an arena of nodes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tree {
     nodes: Vec<TreeNode>,
 }
@@ -133,14 +134,15 @@ impl Tree {
 }
 
 /// A trained random forest.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RandomForest {
     config: ForestConfig,
     trees: Vec<Tree>,
 }
 
 impl RandomForest {
-    /// Fits a forest on feature rows `x` with labels `y`.
+    /// Fits a forest on feature rows `x` with labels `y`, training trees in
+    /// parallel on the process-wide [`exec::shared`] pool.
     ///
     /// # Errors
     ///
@@ -148,6 +150,22 @@ impl RandomForest {
     /// [`MlError::BadLabel`] on out-of-range labels, and
     /// [`MlError::BadConfig`] for zero estimators/classes.
     pub fn fit(config: ForestConfig, x: &[Vec<f32>], y: &[usize]) -> Result<Self> {
+        Self::fit_with(config, x, y, &exec::shared())
+    }
+
+    /// [`RandomForest::fit`] on an explicit pool. Each tree's RNG derives
+    /// from its index alone, so the fitted model is bit-identical for any
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RandomForest::fit`].
+    pub fn fit_with(
+        config: ForestConfig,
+        x: &[Vec<f32>],
+        y: &[usize],
+        pool: &ExecPool,
+    ) -> Result<Self> {
         if config.n_estimators == 0 || config.classes == 0 {
             return Err(MlError::BadConfig("zero estimators or classes".into()));
         }
@@ -164,8 +182,7 @@ impl RandomForest {
         }
         let n_features = x[0].len();
         let mtry = ((n_features as f64).sqrt().ceil() as usize).max(1);
-        let mut trees = Vec::with_capacity(config.n_estimators);
-        for t in 0..config.n_estimators {
+        let trees = pool.par_map_range(0..config.n_estimators, |t| {
             let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(t as u64 * 7919));
             // Bootstrap sample.
             let indices: Vec<usize> =
@@ -180,10 +197,10 @@ impl RandomForest {
                 rng,
             };
             builder.build(indices, 0);
-            trees.push(Tree {
+            Tree {
                 nodes: builder.nodes,
-            });
-        }
+            }
+        });
         Ok(Self { config, trees })
     }
 
@@ -227,16 +244,30 @@ impl RandomForest {
             .unwrap_or(0)
     }
 
-    /// Accuracy over a labelled feature set.
+    /// Predicted classes for a batch of feature vectors, evaluated in
+    /// parallel (in input order) on `pool`.
+    #[must_use]
+    pub fn predict_batch(&self, rows: &[Vec<f32>], pool: &ExecPool) -> Vec<usize> {
+        pool.par_map(rows, |row| self.predict(row))
+    }
+
+    /// Accuracy over a labelled feature set, scored on the shared pool.
     #[must_use]
     pub fn evaluate(&self, x: &[Vec<f32>], y: &[usize]) -> f64 {
+        self.evaluate_with(x, y, &exec::shared())
+    }
+
+    /// [`RandomForest::evaluate`] on an explicit pool.
+    #[must_use]
+    pub fn evaluate_with(&self, x: &[Vec<f32>], y: &[usize], pool: &ExecPool) -> f64 {
         if x.is_empty() {
             return 0.0;
         }
-        let correct = x
+        let correct = self
+            .predict_batch(x, pool)
             .iter()
             .zip(y)
-            .filter(|(f, &l)| self.predict(f) == l)
+            .filter(|(p, l)| p == l)
             .count();
         correct as f64 / x.len() as f64
     }
@@ -509,5 +540,27 @@ mod tests {
         let b = RandomForest::fit(cfg, &xs, &ys).unwrap();
         assert_eq!(a.total_nodes(), b.total_nodes());
         assert_eq!(a.predict_proba(&xs[0]), b.predict_proba(&xs[0]));
+    }
+
+    #[test]
+    fn fit_is_bit_identical_across_thread_counts() {
+        let (xs, ys) = toy(150, 8);
+        let cfg = ForestConfig {
+            n_estimators: 12,
+            max_depth: Some(6),
+            min_samples_split: 2,
+            classes: 3,
+            seed: 4,
+        };
+        let reference = RandomForest::fit_with(cfg, &xs, &ys, &ExecPool::new(1)).unwrap();
+        for threads in [2, 4, 8] {
+            let pool = ExecPool::new(threads);
+            let forest = RandomForest::fit_with(cfg, &xs, &ys, &pool).unwrap();
+            assert_eq!(forest, reference, "threads={threads}");
+            assert_eq!(
+                forest.predict_batch(&xs, &pool),
+                reference.predict_batch(&xs, &ExecPool::sequential()),
+            );
+        }
     }
 }

@@ -1,19 +1,93 @@
 //! Cross-crate integration tests for the CognitiveArm workspace.
 //!
 //! The actual tests live in `tests/` (Cargo integration-test targets); this
-//! library only hosts shared fixtures.
+//! library hosts shared fixtures — most importantly a once-per-process
+//! trained-artifact cache so the several tests that train at
+//! `Protocol::quick()` reuse one model instead of each paying the training
+//! bill.
 
-use cognitive_arm::eval::{DatasetBuilder, PreparedData};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use cognitive_arm::eval::{train_default_ensemble, DatasetBuilder, PreparedData, TrainBudget};
+use cognitive_arm::pipeline::{CognitiveArm, PipelineConfig};
 use eeg::dataset::Protocol;
+use ml::ensemble::Ensemble;
 
-/// A small two-subject prepared dataset shared by the integration tests.
+/// A lazily initialized once-per-process artifact cache keyed by seed.
+/// Each key gets its own `OnceLock` cell, so the map lock is only held for
+/// the cheap entry lookup: misses for the *same* key wait on one training
+/// run, while distinct keys train concurrently.
+type SeedCache<K, V> = OnceLock<Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>>;
+
+fn get_or_build<K, V>(cache: &SeedCache<K, V>, key: K, build: impl FnOnce() -> V) -> Arc<V>
+where
+    K: Eq + std::hash::Hash,
+{
+    let cell = {
+        let mut map = cache
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .expect("artifact cache lock");
+        Arc::clone(map.entry(key).or_default())
+    };
+    Arc::clone(cell.get_or_init(|| Arc::new(build())))
+}
+
+/// A small two-subject prepared dataset shared by the integration tests,
+/// cached once per process per seed.
 ///
 /// # Panics
 ///
 /// Panics if generation fails (it cannot for the quick protocol).
 #[must_use]
 pub fn quick_data(seed: u64) -> PreparedData {
-    DatasetBuilder::new(Protocol::quick(), 2, seed)
-        .build()
-        .expect("quick dataset builds")
+    static CACHE: SeedCache<u64, PreparedData> = OnceLock::new();
+    let data = get_or_build(&CACHE, seed, || {
+        DatasetBuilder::new(Protocol::quick(), 2, seed)
+            .build()
+            .expect("quick dataset builds")
+    });
+    PreparedData::clone(&data)
+}
+
+/// A one-subject quick dataset plus the default ensemble trained on it.
+#[derive(Debug, Clone)]
+pub struct QuickArtifacts {
+    /// The prepared single-subject dataset.
+    pub data: PreparedData,
+    /// The trained CNN + Transformer soft-voting ensemble.
+    pub ensemble: Ensemble,
+}
+
+/// Trains (once per process per `(data_seed, train_seed)` pair) the default
+/// ensemble at `Protocol::quick()` on a one-subject dataset. Concurrent
+/// tests wanting the same artifact wait for one training run instead of
+/// racing a second one; different pairs train in parallel.
+///
+/// # Panics
+///
+/// Panics if dataset generation or training fails.
+#[must_use]
+pub fn quick_trained(data_seed: u64, train_seed: u64) -> Arc<QuickArtifacts> {
+    static CACHE: SeedCache<(u64, u64), QuickArtifacts> = OnceLock::new();
+    get_or_build(&CACHE, (data_seed, train_seed), || {
+        let data = DatasetBuilder::new(Protocol::quick(), 1, data_seed)
+            .build()
+            .expect("quick dataset builds");
+        let ensemble = train_default_ensemble(&data, &TrainBudget::quick(), train_seed)
+            .expect("quick ensemble trains");
+        QuickArtifacts { data, ensemble }
+    })
+}
+
+/// An assembled closed-loop system over [`quick_trained`] artifacts
+/// (`train_seed = data_seed`, the common fixture shape), with the subject's
+/// frozen normalization installed.
+#[must_use]
+pub fn quick_system(seed: u64) -> CognitiveArm {
+    let artifacts = quick_trained(seed, seed);
+    let mut system = CognitiveArm::new(PipelineConfig::default(), artifacts.ensemble.clone(), seed);
+    system.set_normalization(artifacts.data.zscores[0].clone());
+    system
 }

@@ -1,20 +1,43 @@
 //! Determinism regression: the whole stack (synthetic subject, training,
 //! closed-loop pipeline) is seeded, so two identically-seeded runs must be
 //! bit-for-bit identical — the verification discipline the repo's
-//! benchmarks rely on.
+//! benchmarks rely on. Since every parallel path runs on the deterministic
+//! `exec` substrate, the same holds across thread counts: a 4-worker run
+//! must reproduce a single-threaded run bit for bit.
+//!
+//! These tests deliberately bypass the shared trained-artifact cache —
+//! retraining from scratch is the point.
+
+use std::sync::Arc;
 
 use cognitive_arm::eval::{train_default_ensemble, DatasetBuilder, TrainBudget};
 use cognitive_arm::pipeline::{CognitiveArm, PipelineConfig, SessionTrace};
 use eeg::dataset::Protocol;
 use eeg::types::Action;
+use exec::ExecPool;
+use ml::forest::{ForestConfig, RandomForest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn seeded_trace(seed: u64) -> SessionTrace {
-    let data = DatasetBuilder::new(Protocol::quick(), 1, seed)
-        .build()
-        .expect("dataset builds");
+    seeded_trace_with_threads(seed, None)
+}
+
+/// Builds and runs the full stack; `threads` pins every parallel stage
+/// (offline filtering, ensemble inference) to an explicit pool size.
+fn seeded_trace_with_threads(seed: u64, threads: Option<usize>) -> SessionTrace {
+    let mut builder = DatasetBuilder::new(Protocol::quick(), 1, seed);
+    if let Some(n) = threads {
+        builder = builder.with_pool(Arc::new(ExecPool::new(n)));
+    }
+    let data = builder.build().expect("dataset builds");
     let ensemble =
         train_default_ensemble(&data, &TrainBudget::quick(), seed).expect("ensemble trains");
-    let mut system = CognitiveArm::new(PipelineConfig::default(), ensemble, seed);
+    let config = PipelineConfig {
+        threads,
+        ..PipelineConfig::default()
+    };
+    let mut system = CognitiveArm::new(config, ensemble, seed);
     system.set_normalization(data.zscores[0].clone());
     system.set_subject_action(Action::Right);
     system.run_for(3.0).expect("runs")
@@ -51,6 +74,44 @@ fn same_seed_produces_identical_traces() {
     assert!(!first.labels.is_empty(), "run produced no labels");
     assert!(!first.joints.is_empty(), "run produced no joint samples");
     assert_identical(&first, &second);
+}
+
+#[test]
+fn thread_count_does_not_change_the_label_trace() {
+    let single = seeded_trace_with_threads(1234, Some(1));
+    let four = seeded_trace_with_threads(1234, Some(4));
+    assert!(!single.labels.is_empty(), "run produced no labels");
+    assert_identical(&single, &four);
+}
+
+#[test]
+fn thread_count_does_not_change_the_forest_model() {
+    // Separable toy rows; the shape training sees after feature extraction.
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for _ in 0..200 {
+        let row: Vec<f32> = (0..12).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        ys.push(usize::from(row[0] > 0.0) + usize::from(row[1] > 0.0));
+        xs.push(row);
+    }
+    let config = ForestConfig {
+        n_estimators: 24,
+        max_depth: Some(8),
+        min_samples_split: 2,
+        classes: 3,
+        seed: 77,
+    };
+    let single = RandomForest::fit_with(config, &xs, &ys, &ExecPool::new(1)).expect("fits");
+    let four = RandomForest::fit_with(config, &xs, &ys, &ExecPool::new(4)).expect("fits");
+    // PartialEq covers every split threshold and leaf distribution —
+    // tree-for-tree, node-for-node equality, not just summary stats.
+    assert_eq!(single, four, "forest models diverged across thread counts");
+    assert_eq!(
+        single.predict_batch(&xs, &ExecPool::new(4)),
+        four.predict_batch(&xs, &ExecPool::new(1)),
+        "batched predictions diverged across thread counts"
+    );
 }
 
 #[test]

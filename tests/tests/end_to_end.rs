@@ -2,22 +2,11 @@
 //! ensemble → real-time loop → arm motion.
 
 use arm::kinematics::Joint;
-use cognitive_arm::eval::{train_default_ensemble, DatasetBuilder, TrainBudget};
-use cognitive_arm::pipeline::{CognitiveArm, PipelineConfig};
 use cognitive_arm::session::{run_validation, SessionConfig};
-use eeg::dataset::Protocol;
 use eeg::types::Action;
-
-fn trained_system(seed: u64) -> CognitiveArm {
-    let data = DatasetBuilder::new(Protocol::quick(), 1, seed)
-        .build()
-        .expect("dataset builds");
-    let ensemble =
-        train_default_ensemble(&data, &TrainBudget::quick(), seed).expect("ensemble trains");
-    let mut system = CognitiveArm::new(PipelineConfig::default(), ensemble, seed);
-    system.set_normalization(data.zscores[0].clone());
-    system
-}
+// Trains once per process per seed (shared trained-artifact cache); the
+// three seed-42 tests below reuse one ensemble.
+use integration_tests::quick_system as trained_system;
 
 #[test]
 fn intentions_move_the_arm_in_the_right_direction() {

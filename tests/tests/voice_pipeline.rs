@@ -5,11 +5,10 @@ use arm::controller::ControlMode;
 use arm::kinematics::Joint;
 use asr::audio::{synth_clip, Command};
 use asr::kws::{KeywordSpotter, KwsConfig};
-use cognitive_arm::eval::{train_default_ensemble, DatasetBuilder, TrainBudget};
 use cognitive_arm::mux::VoiceMux;
 use cognitive_arm::pipeline::{CognitiveArm, PipelineConfig};
-use eeg::dataset::Protocol;
 use eeg::types::Action;
+use integration_tests::quick_trained;
 
 #[test]
 fn spoken_fingers_redirects_intentions_to_the_grip() {
@@ -26,13 +25,10 @@ fn spoken_fingers_redirects_intentions_to_the_grip() {
     .expect("spotter trains");
     let mut mux = VoiceMux::new(spotter);
 
-    // EEG side.
-    let data = DatasetBuilder::new(Protocol::quick(), 1, 55)
-        .build()
-        .expect("dataset builds");
-    let ensemble = train_default_ensemble(&data, &TrainBudget::quick(), 4).expect("trains");
-    let mut system = CognitiveArm::new(PipelineConfig::default(), ensemble, 55);
-    system.set_normalization(data.zscores[0].clone());
+    // EEG side (ensemble from the once-per-process trained-artifact cache).
+    let artifacts = quick_trained(55, 4);
+    let mut system = CognitiveArm::new(PipelineConfig::default(), artifacts.ensemble.clone(), 55);
+    system.set_normalization(artifacts.data.zscores[0].clone());
     system.set_subject_action(Action::Idle);
     system.run_for(2.0).expect("pre-roll");
 

@@ -1,9 +1,10 @@
 //! Offline shim for the `criterion` API surface this workspace's benches
-//! use. Timing is a straightforward adaptive loop (calibrate the iteration
-//! count to ~`target_time`, then report the mean over that many runs) —
-//! no warm-up statistics, outlier rejection, or HTML reports — but the
-//! macro/builder surface matches criterion closely enough that the bench
-//! files compile unchanged against the real crate.
+//! use. Timing is a straightforward adaptive loop — calibrate the iteration
+//! count to ~`target_time`, split it into a handful of equal sample
+//! batches, and report mean, standard deviation and min/max over the
+//! batches — no warm-up statistics, outlier rejection, or HTML reports, but
+//! the macro/builder surface matches criterion closely enough that the
+//! bench files compile unchanged against the real crate.
 
 use std::time::{Duration, Instant};
 
@@ -18,6 +19,60 @@ pub enum BatchSize {
     LargeInput,
     /// One setup per iteration.
     PerIteration,
+}
+
+/// Per-iteration timing summary over a benchmark's sample batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleStats {
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Sample standard deviation across batches (zero for a single batch).
+    pub std_dev: Duration,
+    /// Fastest batch's per-iteration time.
+    pub min: Duration,
+    /// Slowest batch's per-iteration time.
+    pub max: Duration,
+}
+
+impl std::fmt::Display for SampleStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/iter ± {} [{} … {}]",
+            format_time(self.mean),
+            format_time(self.std_dev),
+            format_time(self.min),
+            format_time(self.max)
+        )
+    }
+}
+
+/// Summarizes per-iteration batch timings: mean, sample standard deviation
+/// (n−1 denominator; zero when fewer than two batches), min and max.
+/// Returns `None` for an empty slice.
+#[must_use]
+pub fn summarize(samples: &[Duration]) -> Option<SampleStats> {
+    if samples.is_empty() {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let mean_s = samples.iter().map(Duration::as_secs_f64).sum::<f64>() / n;
+    let std_s = if samples.len() < 2 {
+        0.0
+    } else {
+        let var = samples
+            .iter()
+            .map(|d| (d.as_secs_f64() - mean_s).powi(2))
+            .sum::<f64>()
+            / (n - 1.0);
+        var.sqrt()
+    };
+    Some(SampleStats {
+        mean: Duration::from_secs_f64(mean_s),
+        std_dev: Duration::from_secs_f64(std_s),
+        min: *samples.iter().min().expect("non-empty"),
+        max: *samples.iter().max().expect("non-empty"),
+    })
 }
 
 /// Top-level benchmark driver.
@@ -44,8 +99,8 @@ impl Criterion {
             report: None,
         };
         f(&mut b);
-        if let Some(mean) = b.report {
-            println!("{name:<40} {}", format_time(mean));
+        if let Some(stats) = b.report {
+            println!("{name:<40} {stats}");
         }
         self
     }
@@ -76,18 +131,21 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// How many sample batches the timing loop is split into.
+const SAMPLE_BATCHES: u64 = 10;
+
 /// Passed to each benchmark closure; owns the timing loop.
 pub struct Bencher {
     target_time: Duration,
-    report: Option<Duration>,
+    report: Option<SampleStats>,
 }
 
 impl Bencher {
-    /// Times `routine`, reporting the mean over an adaptively chosen
-    /// iteration count.
+    /// Times `routine` over an adaptively chosen iteration count, split
+    /// into [`SAMPLE_BATCHES`] batches so the spread is measured too.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Calibrate: grow the batch until it takes at least ~1/10 of the
-        // target, then run one timed batch sized to the target.
+        // target, then run timed batches sized to the target.
         let mut n: u64 = 1;
         let per_iter = loop {
             let t0 = Instant::now();
@@ -100,45 +158,52 @@ impl Bencher {
             }
             n *= 4;
         };
-        let iters = (self.target_time.as_nanos() / per_iter.as_nanos().max(1))
+        let total_iters = (self.target_time.as_nanos() / per_iter.as_nanos().max(1))
             .clamp(1, 1 << 22) as u64;
-        let t0 = Instant::now();
-        for _ in 0..iters {
-            black_box(routine());
+        let per_batch = (total_iters / SAMPLE_BATCHES).max(1);
+        let batches = (total_iters / per_batch).max(1);
+        let mut samples = Vec::with_capacity(batches as usize);
+        for _ in 0..batches {
+            let t0 = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed() / u32::try_from(per_batch).unwrap_or(u32::MAX).max(1));
         }
-        self.report = Some(t0.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX).max(1));
+        self.report = summarize(&samples);
     }
 
     /// Times `routine` over inputs produced by `setup`; setup time is
-    /// excluded from the measurement.
+    /// excluded from the measurement and every iteration is one sample.
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
     where
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
+        let mut samples: Vec<Duration> = Vec::new();
         let mut total = Duration::ZERO;
-        let mut iters: u64 = 0;
-        while total < self.target_time && iters < 1 << 16 {
+        while total < self.target_time && samples.len() < 1 << 16 {
             let input = setup();
             let t0 = Instant::now();
             black_box(routine(input));
-            total += t0.elapsed();
-            iters += 1;
+            let elapsed = t0.elapsed();
+            total += elapsed;
+            samples.push(elapsed);
         }
-        self.report = Some(total / u32::try_from(iters).unwrap_or(u32::MAX).max(1));
+        self.report = summarize(&samples);
     }
 }
 
 fn format_time(d: Duration) -> String {
     let ns = d.as_nanos();
     if ns < 1_000 {
-        format!("{ns} ns/iter")
+        format!("{ns} ns")
     } else if ns < 1_000_000 {
-        format!("{:.2} µs/iter", ns as f64 / 1e3)
+        format!("{:.2} µs", ns as f64 / 1e3)
     } else if ns < 1_000_000_000 {
-        format!("{:.2} ms/iter", ns as f64 / 1e6)
+        format!("{:.2} ms", ns as f64 / 1e6)
     } else {
-        format!("{:.2} s/iter", ns as f64 / 1e9)
+        format!("{:.2} s", ns as f64 / 1e9)
     }
 }
 
@@ -168,7 +233,53 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bencher_reports_positive_time() {
+    fn summarize_reports_mean_std_and_extremes() {
+        let samples = [
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            Duration::from_millis(30),
+        ];
+        let stats = summarize(&samples).unwrap();
+        assert_eq!(stats.mean, Duration::from_millis(20));
+        assert_eq!(stats.min, Duration::from_millis(10));
+        assert_eq!(stats.max, Duration::from_millis(30));
+        // Sample std-dev of {10, 20, 30} ms is exactly 10 ms.
+        assert!((stats.std_dev.as_secs_f64() - 0.010).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summarize_degenerate_inputs() {
+        assert_eq!(summarize(&[]), None);
+        let one = summarize(&[Duration::from_micros(5)]).unwrap();
+        assert_eq!(one.mean, Duration::from_micros(5));
+        assert_eq!(one.std_dev, Duration::ZERO);
+        assert_eq!(one.min, one.max);
+    }
+
+    #[test]
+    fn summarize_constant_samples_has_zero_spread() {
+        let samples = [Duration::from_millis(7); 4];
+        let stats = summarize(&samples).unwrap();
+        assert_eq!(stats.std_dev, Duration::ZERO);
+        assert_eq!(stats.min, stats.max);
+    }
+
+    #[test]
+    fn stats_display_includes_spread_and_extremes() {
+        let stats = SampleStats {
+            mean: Duration::from_micros(12),
+            std_dev: Duration::from_micros(2),
+            min: Duration::from_micros(9),
+            max: Duration::from_micros(15),
+        };
+        let s = stats.to_string();
+        assert!(s.contains("12.00 µs/iter"), "{s}");
+        assert!(s.contains("± 2.00 µs"), "{s}");
+        assert!(s.contains("[9.00 µs … 15.00 µs]"), "{s}");
+    }
+
+    #[test]
+    fn bencher_reports_stats() {
         let mut c = Criterion {
             target_time: Duration::from_millis(5),
         };
@@ -176,6 +287,8 @@ mod tests {
         c.bench_function("noop", |b| {
             b.iter(|| 1 + 1);
             ran = true;
+            let stats = b.report.expect("iter reports");
+            assert!(stats.min <= stats.mean && stats.mean <= stats.max);
         });
         assert!(ran);
     }
@@ -187,6 +300,7 @@ mod tests {
             report: None,
         };
         b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
-        assert!(b.report.is_some());
+        let stats = b.report.expect("batched reports");
+        assert!(stats.max >= stats.min);
     }
 }
