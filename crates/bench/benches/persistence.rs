@@ -1,0 +1,62 @@
+//! Cold-load vs retrain: the serving-economics case for model persistence.
+//!
+//! A process that must *retrain* the quick CNN + Transformer ensemble pays
+//! seconds of CPU before its first label; a process that *loads* a `.cogm`
+//! artifact pays milliseconds of deserialization. This bench puts numbers
+//! on that gap, plus the raw serialize/deserialize costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cognitive_arm::eval::{train_default_ensemble, DatasetBuilder, PreparedData, TrainBudget};
+use eeg::dataset::Protocol;
+use ml::ensemble::Ensemble;
+use model_io::{from_bytes, to_bytes, SavedModel};
+
+fn quick_data(seed: u64) -> PreparedData {
+    DatasetBuilder::new(Protocol::quick(), 1, seed)
+        .build()
+        .expect("quick dataset builds")
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let data = quick_data(21);
+    let ensemble = train_default_ensemble(&data, &TrainBudget::quick(), 21)
+        .expect("quick ensemble trains");
+    let saved = SavedModel {
+        pipeline: cognitive_arm::pipeline::PipelineConfig::default(),
+        ensemble: ensemble.clone(),
+        normalization: Some(data.zscores[0].clone()),
+    };
+    let path = std::env::temp_dir().join("bench-model.cogm");
+    saved.save(&path).expect("artifact saves");
+    let bytes = to_bytes(&ensemble).expect("ensemble serializes");
+    println!(
+        "artifact: {} params, {} bytes on disk",
+        ensemble.param_count(),
+        std::fs::metadata(&path).expect("artifact exists").len()
+    );
+
+    let mut group = c.benchmark_group("persistence");
+    group.bench_function("cold_load (.cogm from disk)", |b| {
+        b.iter(|| SavedModel::load(&path).expect("loads"));
+    });
+    group.bench_function("serialize ensemble (memory)", |b| {
+        b.iter(|| to_bytes(&ensemble).expect("serializes"));
+    });
+    group.bench_function("deserialize ensemble (memory)", |b| {
+        b.iter(|| from_bytes::<Ensemble>(&bytes).expect("deserializes"));
+    });
+    // The alternative a persisted artifact replaces: full retraining.
+    // Orders of magnitude slower than cold_load — that ratio is the point.
+    group.bench_function("retrain (quick ensemble)", |b| {
+        b.iter(|| {
+            let data = quick_data(21);
+            train_default_ensemble(&data, &TrainBudget::quick(), 21).expect("trains")
+        });
+    });
+    group.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group!(benches, bench_persistence);
+criterion_main!(benches);

@@ -51,8 +51,8 @@ fn main() {
         for j in (i + 1)..n {
             let ensemble = Ensemble::new(
                 vec![
-                    members[i].artifact.clone().into_classifier(),
-                    members[j].artifact.clone().into_classifier(),
+                    members[i].artifact.clone().into_member(),
+                    members[j].artifact.clone().into_member(),
                 ],
                 Voting::Soft,
             );
@@ -79,15 +79,15 @@ fn main() {
     // Voting ablation on the winning pair shape (CNN + Transformer).
     let soft = Ensemble::new(
         vec![
-            members[0].artifact.clone().into_classifier(),
-            members[2].artifact.clone().into_classifier(),
+            members[0].artifact.clone().into_member(),
+            members[2].artifact.clone().into_member(),
         ],
         Voting::Soft,
     );
     let hard = Ensemble::new(
         vec![
-            members[0].artifact.clone().into_classifier(),
-            members[2].artifact.clone().into_classifier(),
+            members[0].artifact.clone().into_member(),
+            members[2].artifact.clone().into_member(),
         ],
         Voting::Hard,
     );

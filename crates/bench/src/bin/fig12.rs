@@ -38,7 +38,7 @@ fn measure(
     let ensemble = Ensemble::new(
         models
             .iter()
-            .map(|m| Box::new(m.clone()) as Box<dyn ml::ensemble::Classifier>)
+            .map(|m| ml::ensemble::Member::Net(m.clone()))
             .collect(),
         Voting::Soft,
     );

@@ -66,7 +66,10 @@ fn main() {
     header(&["variant", "accuracy", "inference (ms)"]);
     let report = |label: &str, a: &ml::infer::InferModel, b: &ml::infer::InferModel| {
         let e = Ensemble::new(
-            vec![Box::new(a.clone()) as _, Box::new(b.clone()) as _],
+            vec![
+                ml::ensemble::Member::Net(a.clone()),
+                ml::ensemble::Member::Net(b.clone()),
+            ],
             Voting::Soft,
         );
         let acc = eval_accuracy(&eval_set, |w| e.predict(w, EEG_CHANNELS));

@@ -20,8 +20,8 @@ fn main() {
     let tf = train_one(&data, &genomes[2], scale, seed);
     let ensemble = Ensemble::new(
         vec![
-            cnn.artifact.into_classifier(),
-            tf.artifact.into_classifier(),
+            cnn.artifact.into_member(),
+            tf.artifact.into_member(),
         ],
         Voting::Soft,
     );

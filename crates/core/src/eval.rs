@@ -21,7 +21,7 @@ use eeg::types::LabeledWindow;
 use eeg::CHANNELS;
 use evo::{EvalResult, Evaluator, Genome};
 use exec::ExecPool;
-use ml::ensemble::{Classifier, Ensemble, ForestClassifier, Voting};
+use ml::ensemble::{Classifier, Ensemble, ForestClassifier, Member, Voting};
 use ml::forest::{window_stat_features, RandomForest};
 use ml::infer::{compile_cnn, compile_lstm, compile_transformer, InferModel};
 use ml::models::{CnnConfig, ConvSpec, PoolKind, TransformerConfig};
@@ -288,12 +288,12 @@ impl TrainedArtifact {
         }
     }
 
-    /// Boxes the artifact as an ensemble member.
+    /// Converts the artifact into a tagged ensemble member.
     #[must_use]
-    pub fn into_classifier(self) -> Box<dyn Classifier> {
+    pub fn into_member(self) -> Member {
         match self {
-            TrainedArtifact::Net(m) => Box::new(m),
-            TrainedArtifact::Forest(c) => Box::new(c),
+            TrainedArtifact::Net(m) => Member::Net(m),
+            TrainedArtifact::Forest(c) => Member::Forest(c),
         }
     }
 
@@ -570,12 +570,12 @@ pub fn train_default_ensemble(
         },
     };
 
-    let mut members: Vec<Box<dyn Classifier>> = Vec::new();
+    let mut members: Vec<Member> = Vec::new();
     for (i, genome) in [cnn_genome, tf_genome].into_iter().enumerate() {
         let all = data.windows(genome.window(), budget.step)?;
         let (train, val) = train_val_split(all, 0.2, seed ^ (i as u64 + 1));
         let (artifact, _) = train_genome(&genome, &train, &val, budget, seed + i as u64)?;
-        members.push(artifact.into_classifier());
+        members.push(artifact.into_member());
     }
     Ok(Ensemble::new(members, Voting::Soft))
 }

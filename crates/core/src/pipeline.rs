@@ -190,6 +190,25 @@ impl CognitiveArm {
         &self.pool
     }
 
+    /// The pipeline configuration this system was assembled with.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The classifying ensemble.
+    #[must_use]
+    pub fn ensemble(&self) -> &Ensemble {
+        &self.ensemble
+    }
+
+    /// The frozen per-subject normalization, if installed (see
+    /// [`CognitiveArm::set_normalization`]).
+    #[must_use]
+    pub fn normalization(&self) -> Option<&dsp::normalize::Zscore> {
+        self.chain.normalization()
+    }
+
     /// Installs the frozen per-subject normalization fitted during training
     /// (Sec. V-A). Without it the classifier sees raw µV while it was
     /// trained on z-scored data, and accuracy collapses — call this with
@@ -376,7 +395,10 @@ mod tests {
                 Box::new(self.clone())
             }
         }
-        let ensemble = Ensemble::new(vec![Box::new(Stub)], ml::ensemble::Voting::Soft);
+        let ensemble = Ensemble::new(
+            vec![ml::ensemble::Member::Custom(Box::new(Stub))],
+            ml::ensemble::Voting::Soft,
+        );
         let config = PipelineConfig {
             threads: Some(3),
             ..PipelineConfig::default()
@@ -384,7 +406,10 @@ mod tests {
         let sys = CognitiveArm::new(config, ensemble, 1);
         assert_eq!(sys.pool().threads(), 3);
         // None delegates to the shared pool.
-        let ensemble = Ensemble::new(vec![Box::new(Stub)], ml::ensemble::Voting::Soft);
+        let ensemble = Ensemble::new(
+            vec![ml::ensemble::Member::Custom(Box::new(Stub))],
+            ml::ensemble::Voting::Soft,
+        );
         let sys = CognitiveArm::new(PipelineConfig::default(), ensemble, 1);
         assert!(Arc::ptr_eq(sys.pool(), &exec::shared()));
     }

@@ -136,6 +136,12 @@ impl StreamingChain {
         self.zscore = Some(zscore);
     }
 
+    /// The installed normalization statistics, if any.
+    #[must_use]
+    pub fn normalization(&self) -> Option<&Zscore> {
+        self.zscore.as_ref()
+    }
+
     /// Processes one multichannel sample in place.
     pub fn step(&mut self, sample: &mut [f32; CHANNELS]) {
         for (ch, v) in sample.iter_mut().enumerate() {

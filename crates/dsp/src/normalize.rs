@@ -59,6 +59,29 @@ impl Zscore {
         Ok(Self { means, stds })
     }
 
+    /// Reassembles a transform from previously fitted statistics (the
+    /// model-persistence load path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidWindow`] when the vectors are empty,
+    /// differ in length, or any statistic is non-finite or the standard
+    /// deviation is not strictly positive (the streaming path divides by
+    /// it).
+    pub fn from_parts(means: Vec<f32>, stds: Vec<f32>) -> Result<Self> {
+        let valid = !means.is_empty()
+            && means.len() == stds.len()
+            && means.iter().all(|m| m.is_finite())
+            && stds.iter().all(|s| s.is_finite() && *s > 0.0);
+        if !valid {
+            return Err(DspError::InvalidWindow {
+                size: means.len(),
+                step: stds.len(),
+            });
+        }
+        Ok(Self { means, stds })
+    }
+
     /// Number of channels this transform was fitted on.
     #[must_use]
     pub fn channels(&self) -> usize {

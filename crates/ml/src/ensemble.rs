@@ -73,7 +73,7 @@ impl Classifier for InferModel {
 
 /// Random forest adapted to raw windows: computes the Table III statistical
 /// features internally.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ForestClassifier {
     forest: RandomForest,
     window: usize,
@@ -127,9 +127,113 @@ pub enum Voting {
     Hard,
 }
 
+/// A concrete ensemble member, tagged by kind.
+///
+/// The explicit kind tag is what makes ensembles persistable: `model-io`
+/// can serialize `Net`/`Forest` members by matching on the variant, where
+/// the old `Vec<Box<dyn Classifier>>` erasure left no way to recover the
+/// concrete type. `Custom` keeps the open trait-object door for tests and
+/// experimental classifiers; it is the one variant a save refuses.
+// A handful of members exist per ensemble, so the Net/Forest size gap is
+// irrelevant and boxing would complicate every match site (same call the
+// eval layer makes for `TrainedArtifact`).
+#[allow(clippy::large_enum_variant)]
+pub enum Member {
+    /// A compiled neural network (CNN / LSTM / Transformer).
+    Net(InferModel),
+    /// A fitted random forest over statistical features.
+    Forest(ForestClassifier),
+    /// An arbitrary classifier behind the trait object (not persistable).
+    Custom(Box<dyn Classifier>),
+}
+
+impl Member {
+    /// Short kind tag (`net` / `forest` / `custom`).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Member::Net(_) => "net",
+            Member::Forest(_) => "forest",
+            Member::Custom(_) => "custom",
+        }
+    }
+
+    fn as_classifier(&self) -> &dyn Classifier {
+        match self {
+            Member::Net(m) => m,
+            Member::Forest(c) => c,
+            Member::Custom(b) => b.as_ref(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Member {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Member::{}({})", self.kind(), self.as_classifier().name())
+    }
+}
+
+impl Clone for Member {
+    fn clone(&self) -> Self {
+        match self {
+            Member::Net(m) => Member::Net(m.clone()),
+            Member::Forest(c) => Member::Forest(c.clone()),
+            Member::Custom(b) => Member::Custom(b.clone_box()),
+        }
+    }
+}
+
+/// Structural equality for the concrete variants; `Custom` members never
+/// compare equal (the trait object exposes no comparison).
+impl PartialEq for Member {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Member::Net(a), Member::Net(b)) => a == b,
+            (Member::Forest(a), Member::Forest(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl From<InferModel> for Member {
+    fn from(m: InferModel) -> Self {
+        Member::Net(m)
+    }
+}
+
+impl From<ForestClassifier> for Member {
+    fn from(c: ForestClassifier) -> Self {
+        Member::Forest(c)
+    }
+}
+
+impl Classifier for Member {
+    fn predict_proba_window(&self, window: &[f32], channels: usize, win_len: usize) -> Vec<f32> {
+        self.as_classifier()
+            .predict_proba_window(window, channels, win_len)
+    }
+
+    fn window(&self) -> usize {
+        self.as_classifier().window()
+    }
+
+    fn name(&self) -> String {
+        self.as_classifier().name()
+    }
+
+    fn param_count(&self) -> usize {
+        self.as_classifier().param_count()
+    }
+
+    fn clone_box(&self) -> Box<dyn Classifier> {
+        Box::new(self.clone())
+    }
+}
+
 /// A voting ensemble over heterogeneous classifiers.
+#[derive(Clone)]
 pub struct Ensemble {
-    members: Vec<Box<dyn Classifier>>,
+    members: Vec<Member>,
     voting: Voting,
 }
 
@@ -142,12 +246,11 @@ impl std::fmt::Debug for Ensemble {
     }
 }
 
-impl Clone for Ensemble {
-    fn clone(&self) -> Self {
-        Self {
-            members: self.members.iter().map(|m| m.clone_box()).collect(),
-            voting: self.voting,
-        }
+/// Structural equality over members and voting rule (see [`Member`]'s
+/// `PartialEq` for the `Custom` caveat).
+impl PartialEq for Ensemble {
+    fn eq(&self, other: &Self) -> bool {
+        self.voting == other.voting && self.members == other.members
     }
 }
 
@@ -158,9 +261,21 @@ impl Ensemble {
     ///
     /// Panics if `members` is empty.
     #[must_use]
-    pub fn new(members: Vec<Box<dyn Classifier>>, voting: Voting) -> Self {
+    pub fn new(members: Vec<Member>, voting: Voting) -> Self {
         assert!(!members.is_empty(), "ensemble needs at least one member");
         Self { members, voting }
+    }
+
+    /// The members, in voting order.
+    #[must_use]
+    pub fn members(&self) -> &[Member] {
+        &self.members
+    }
+
+    /// The voting rule.
+    #[must_use]
+    pub fn voting(&self) -> Voting {
+        self.voting
     }
 
     /// Longest member window — the buffer length the ensemble needs.
@@ -327,9 +442,9 @@ mod tests {
     fn soft_voting_averages() {
         let e = Ensemble::new(
             vec![
-                Box::new(Fixed { class: 0, window: 4 }),
-                Box::new(Fixed { class: 1, window: 4 }),
-                Box::new(Fixed { class: 1, window: 4 }),
+                Member::Custom(Box::new(Fixed { class: 0, window: 4 })),
+                Member::Custom(Box::new(Fixed { class: 1, window: 4 })),
+                Member::Custom(Box::new(Fixed { class: 1, window: 4 })),
             ],
             Voting::Soft,
         );
@@ -343,9 +458,9 @@ mod tests {
     fn hard_voting_counts_majority() {
         let e = Ensemble::new(
             vec![
-                Box::new(Fixed { class: 2, window: 4 }),
-                Box::new(Fixed { class: 2, window: 4 }),
-                Box::new(Fixed { class: 0, window: 4 }),
+                Member::Custom(Box::new(Fixed { class: 2, window: 4 })),
+                Member::Custom(Box::new(Fixed { class: 2, window: 4 })),
+                Member::Custom(Box::new(Fixed { class: 0, window: 4 })),
             ],
             Voting::Hard,
         );
@@ -357,8 +472,8 @@ mod tests {
     fn ensemble_window_is_longest_member() {
         let e = Ensemble::new(
             vec![
-                Box::new(Fixed { class: 0, window: 90 }),
-                Box::new(Fixed { class: 0, window: 190 }),
+                Member::Custom(Box::new(Fixed { class: 0, window: 90 })),
+                Member::Custom(Box::new(Fixed { class: 0, window: 190 })),
             ],
             Voting::Soft,
         );
@@ -377,9 +492,9 @@ mod tests {
     fn parallel_vote_matches_sequential_bitwise() {
         let e = Ensemble::new(
             vec![
-                Box::new(Fixed { class: 0, window: 4 }),
-                Box::new(Fixed { class: 1, window: 4 }),
-                Box::new(Fixed { class: 1, window: 4 }),
+                Member::Custom(Box::new(Fixed { class: 0, window: 4 })),
+                Member::Custom(Box::new(Fixed { class: 1, window: 4 })),
+                Member::Custom(Box::new(Fixed { class: 1, window: 4 })),
             ],
             Voting::Soft,
         );
@@ -401,8 +516,8 @@ mod tests {
     fn clone_preserves_members_and_voting() {
         let e = Ensemble::new(
             vec![
-                Box::new(Fixed { class: 2, window: 8 }),
-                Box::new(Fixed { class: 0, window: 4 }),
+                Member::Custom(Box::new(Fixed { class: 2, window: 8 })),
+                Member::Custom(Box::new(Fixed { class: 0, window: 4 })),
             ],
             Voting::Hard,
         );
@@ -417,8 +532,8 @@ mod tests {
     fn name_joins_members() {
         let e = Ensemble::new(
             vec![
-                Box::new(Fixed { class: 0, window: 4 }),
-                Box::new(Fixed { class: 1, window: 4 }),
+                Member::Custom(Box::new(Fixed { class: 0, window: 4 })),
+                Member::Custom(Box::new(Fixed { class: 1, window: 4 })),
             ],
             Voting::Soft,
         );

@@ -82,16 +82,24 @@ pub fn window_stat_features(window: &[f32], channels: usize) -> Vec<f32> {
     out
 }
 
+/// One node of a CART tree's arena (public so `model-io` can persist
+/// fitted forests node for node).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum TreeNode {
+pub enum TreeNode {
+    /// A terminal node.
     Leaf {
         /// Class-probability distribution at this leaf.
         probs: Vec<f32>,
     },
+    /// An internal split.
     Split {
+        /// Feature index compared at this node.
         feature: usize,
+        /// Decision threshold (`<=` goes left).
         threshold: f32,
+        /// Arena index of the left child (always greater than this node's).
         left: usize,
+        /// Arena index of the right child (always greater than this node's).
         right: usize,
     },
 }
@@ -103,6 +111,44 @@ pub struct Tree {
 }
 
 impl Tree {
+    /// Reassembles a tree from its node arena (the model-persistence load
+    /// path), enforcing the invariant [`Tree::predict_proba`] relies on for
+    /// termination: every split's children live strictly after it in the
+    /// arena, so traversal from the root is acyclic.
+    ///
+    /// Feature indices cannot be bounds-checked here — the fitted feature
+    /// count is not part of the tree — so predicting with a feature vector
+    /// shorter than a split's `feature` index still panics, exactly as it
+    /// does for a freshly fitted tree fed the wrong-length input.
+    /// [`RandomForest::from_parts`] additionally checks leaf distributions
+    /// against the configured class count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::BadConfig`] for an empty arena or any
+    /// backward/out-of-range child index.
+    pub fn from_nodes(nodes: Vec<TreeNode>) -> Result<Self> {
+        if nodes.is_empty() {
+            return Err(MlError::BadConfig("tree with no nodes".into()));
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            if let TreeNode::Split { left, right, .. } = node {
+                if *left <= i || *right <= i || *left >= nodes.len() || *right >= nodes.len() {
+                    return Err(MlError::BadConfig(format!(
+                        "split node {i} has non-forward children {left}/{right}"
+                    )));
+                }
+            }
+        }
+        Ok(Self { nodes })
+    }
+
+    /// The node arena, root first.
+    #[must_use]
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
     /// Number of nodes (the paper's size metric for RF).
     #[must_use]
     pub fn node_count(&self) -> usize {
@@ -202,6 +248,49 @@ impl RandomForest {
             }
         });
         Ok(Self { config, trees })
+    }
+
+    /// Reassembles a forest from a configuration and fitted trees (the
+    /// model-persistence load path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::BadConfig`] when the tree count disagrees with
+    /// `config.n_estimators`, the class count is zero (prediction averages
+    /// over trees and classes, so both must be non-degenerate), or any
+    /// leaf's probability vector is not `config.classes` long (a short
+    /// leaf would silently skew [`RandomForest::predict_proba`]'s vote).
+    pub fn from_parts(config: ForestConfig, trees: Vec<Tree>) -> Result<Self> {
+        if config.classes == 0 {
+            return Err(MlError::BadConfig("zero classes".into()));
+        }
+        if trees.is_empty() || trees.len() != config.n_estimators {
+            return Err(MlError::BadConfig(format!(
+                "{} trees but config says {} estimators",
+                trees.len(),
+                config.n_estimators
+            )));
+        }
+        for (t, tree) in trees.iter().enumerate() {
+            for node in tree.nodes() {
+                if let TreeNode::Leaf { probs } = node {
+                    if probs.len() != config.classes {
+                        return Err(MlError::BadConfig(format!(
+                            "tree {t} leaf has {} probabilities for {} classes",
+                            probs.len(),
+                            config.classes
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(Self { config, trees })
+    }
+
+    /// The fitted trees.
+    #[must_use]
+    pub fn trees(&self) -> &[Tree] {
+        &self.trees
     }
 
     /// The fitted configuration.

@@ -1,0 +1,385 @@
+//! The `.cogm` container: magic, version, section table, payloads, CRC32.
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------------
+//!      0     4  magic  b"COGM"
+//!      4     2  format version (little-endian u16, currently 1)
+//!      6     2  section count S
+//!      8  12*S  section table: S × { tag [u8;4], payload length u64 }
+//!   .            section payloads, concatenated in table order
+//!   end-4    4  CRC32 (IEEE) over every preceding byte
+//! ```
+//!
+//! The checksum is verified *before* any payload is parsed, so a reader
+//! only ever decodes bytes the writer actually produced; parsing errors
+//! past that point indicate version skew or writer bugs and still surface
+//! as typed errors. Version policy: readers accept exactly the versions
+//! they know how to parse and reject everything else with
+//! [`ModelIoError::UnsupportedVersion`]; additive evolution (new section
+//! tags) does not bump the version, layout changes do.
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::crc32::crc32;
+use crate::error::{ModelIoError, Result};
+use crate::rw::{from_bytes, to_bytes, Persist};
+
+/// The four magic bytes opening every artifact file.
+pub const MAGIC: [u8; 4] = *b"COGM";
+
+/// The format version this crate writes and accepts.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Hard ceiling on sections per file (the table is tiny; anything bigger
+/// is corruption).
+const MAX_SECTIONS: usize = 256;
+
+/// An in-memory `.cogm` container: an ordered list of tagged sections.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Container {
+    sections: Vec<([u8; 4], Vec<u8>)>,
+}
+
+impl Container {
+    /// An empty container.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serializes `value` and appends it as a section under `tag`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the value's serialization failure;
+    /// [`ModelIoError::LengthOverflow`] when the section cap is hit (the
+    /// writer enforces the same [`MAX_SECTIONS`] bound the reader does, so
+    /// a successful save is always loadable).
+    pub fn add<T: Persist>(&mut self, tag: [u8; 4], value: &T) -> Result<()> {
+        if self.sections.len() >= MAX_SECTIONS {
+            return Err(ModelIoError::LengthOverflow {
+                context: "section count",
+                len: self.sections.len() as u64 + 1,
+            });
+        }
+        let payload = to_bytes(value)?;
+        self.sections.push((tag, payload));
+        Ok(())
+    }
+
+    /// The raw payload of the first section with `tag`, if present.
+    #[must_use]
+    pub fn section(&self, tag: [u8; 4]) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, payload)| payload.as_slice())
+    }
+
+    /// Section tags in file order.
+    #[must_use]
+    pub fn tags(&self) -> Vec<[u8; 4]> {
+        self.sections.iter().map(|(t, _)| *t).collect()
+    }
+
+    /// Decodes the section under `tag` as a `T`, requiring the payload to
+    /// be fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelIoError::MissingSection`] when absent; the value's typed
+    /// decode errors otherwise.
+    pub fn get<T: Persist>(&self, tag: [u8; 4]) -> Result<T> {
+        let payload = self
+            .section(tag)
+            .ok_or(ModelIoError::MissingSection { tag })?;
+        from_bytes(payload)
+    }
+
+    /// Like [`Container::get`] but returns `None` for a missing section
+    /// instead of an error (for optional sections).
+    ///
+    /// # Errors
+    ///
+    /// The value's typed decode errors when the section exists.
+    pub fn get_optional<T: Persist>(&self, tag: [u8; 4]) -> Result<Option<T>> {
+        match self.section(tag) {
+            None => Ok(None),
+            Some(payload) => from_bytes(payload).map(Some),
+        }
+    }
+
+    /// Writes the container in the on-disk layout shown in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<()> {
+        let bytes = self.to_file_bytes();
+        w.write_all(&bytes)?;
+        Ok(())
+    }
+
+    /// The complete file image, checksum included.
+    #[must_use]
+    pub fn to_file_bytes(&self) -> Vec<u8> {
+        let payload_len: usize = self.sections.iter().map(|(_, p)| p.len()).sum();
+        let mut out = Vec::with_capacity(8 + 12 * self.sections.len() + payload_len + 4);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u16).to_le_bytes());
+        for (tag, payload) in &self.sections {
+            out.extend_from_slice(tag);
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        }
+        for (_, payload) in &self.sections {
+            out.extend_from_slice(payload);
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Reads a container from `r`, verifying magic, version and checksum
+    /// before touching the section table.
+    ///
+    /// The stream is drained to its end first, so allocation is bounded by
+    /// the bytes that actually exist — never by a length field.
+    ///
+    /// # Errors
+    ///
+    /// Every malformed input yields a typed [`ModelIoError`]; nothing
+    /// panics.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Self> {
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf).map_err(ModelIoError::Io)?;
+        Self::from_file_bytes(&buf)
+    }
+
+    /// [`Container::read_from`] over an in-memory file image.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Container::read_from`].
+    pub fn from_file_bytes(buf: &[u8]) -> Result<Self> {
+        // Envelope: magic + version + count + crc is the minimum file.
+        if buf.len() < 8 {
+            return Err(ModelIoError::Truncated { context: "header" });
+        }
+        let found: [u8; 4] = buf[0..4].try_into().expect("length checked");
+        if found != MAGIC {
+            return Err(ModelIoError::BadMagic { found });
+        }
+        let version = u16::from_le_bytes(buf[4..6].try_into().expect("length checked"));
+        if version != FORMAT_VERSION {
+            return Err(ModelIoError::UnsupportedVersion { found: version });
+        }
+        if buf.len() < 12 {
+            return Err(ModelIoError::Truncated { context: "checksum" });
+        }
+        let body = &buf[..buf.len() - 4];
+        let stored = u32::from_le_bytes(buf[buf.len() - 4..].try_into().expect("length checked"));
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(ModelIoError::ChecksumMismatch { stored, computed });
+        }
+
+        let count = usize::from(u16::from_le_bytes(
+            buf[6..8].try_into().expect("length checked"),
+        ));
+        if count > MAX_SECTIONS {
+            return Err(ModelIoError::LengthOverflow {
+                context: "section count",
+                len: count as u64,
+            });
+        }
+        let table_end = 8usize
+            .checked_add(count.checked_mul(12).ok_or(ModelIoError::LengthOverflow {
+                context: "section table",
+                len: count as u64,
+            })?)
+            .ok_or(ModelIoError::LengthOverflow {
+                context: "section table",
+                len: count as u64,
+            })?;
+        if body.len() < table_end {
+            return Err(ModelIoError::Truncated {
+                context: "section table",
+            });
+        }
+        let mut sections = Vec::with_capacity(count);
+        let mut offset = table_end;
+        for i in 0..count {
+            let entry = &body[8 + i * 12..8 + (i + 1) * 12];
+            let tag: [u8; 4] = entry[0..4].try_into().expect("length checked");
+            let len = u64::from_le_bytes(entry[4..12].try_into().expect("length checked"));
+            let len = usize::try_from(len).map_err(|_| ModelIoError::LengthOverflow {
+                context: "section length",
+                len,
+            })?;
+            let end = offset.checked_add(len).ok_or(ModelIoError::LengthOverflow {
+                context: "section length",
+                len: len as u64,
+            })?;
+            if end > body.len() {
+                return Err(ModelIoError::Truncated {
+                    context: "section payload",
+                });
+            }
+            sections.push((tag, body[offset..end].to_vec()));
+            offset = end;
+        }
+        if offset != body.len() {
+            return Err(ModelIoError::malformed(format!(
+                "{} unclaimed bytes after sections",
+                body.len() - offset
+            )));
+        }
+        Ok(Self { sections })
+    }
+
+    /// Writes the container to a file at `path` atomically: the bytes land
+    /// in a same-directory temp file first and are renamed over the target
+    /// only after a successful sync, so a crash or full disk mid-save never
+    /// destroys a previously good artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp-{}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        let result = (|| {
+            let mut file = File::create(&tmp)?;
+            self.write_to(&mut file)?;
+            file.sync_all()?;
+            std::fs::rename(&tmp, path)?;
+            Ok(())
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    /// Loads a container from a file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Container::read_from`], plus open failures.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let mut file = File::open(path)?;
+        Self::read_from(&mut file)
+    }
+}
+
+/// Saves one [`Persist`] value as a single-section file under `tag`.
+///
+/// # Errors
+///
+/// Propagates serialization and I/O failures.
+pub fn save_section<T: Persist, P: AsRef<Path>>(path: P, tag: [u8; 4], value: &T) -> Result<()> {
+    let mut container = Container::new();
+    container.add(tag, value)?;
+    container.save(path)
+}
+
+/// Loads one [`Persist`] value from a single-section file written by
+/// [`save_section`].
+///
+/// # Errors
+///
+/// Typed errors for malformed files or a missing section.
+pub fn load_section<T: Persist, P: AsRef<Path>>(path: P, tag: [u8; 4]) -> Result<T> {
+    Container::load(path)?.get(tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Container {
+        let mut c = Container::new();
+        c.add(*b"ONE ", &vec![1u32, 2, 3]).unwrap();
+        c.add(*b"TWO ", &String::from("hello")).unwrap();
+        c
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let c = sample();
+        let bytes = c.to_file_bytes();
+        let back = Container::from_file_bytes(&bytes).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.get::<Vec<u32>>(*b"ONE ").unwrap(), vec![1, 2, 3]);
+        assert_eq!(back.get::<String>(*b"TWO ").unwrap(), "hello");
+        assert_eq!(back.tags(), vec![*b"ONE ", *b"TWO "]);
+    }
+
+    #[test]
+    fn missing_section_is_typed() {
+        let c = sample();
+        assert!(matches!(
+            c.get::<u32>(*b"NOPE").unwrap_err(),
+            ModelIoError::MissingSection { .. }
+        ));
+        assert_eq!(c.get_optional::<u32>(*b"NOPE").unwrap(), None);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let mut bytes = sample().to_file_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Container::from_file_bytes(&bytes).unwrap_err(),
+            ModelIoError::BadMagic { .. }
+        ));
+        let mut bytes = sample().to_file_bytes();
+        bytes[4] = 99;
+        assert!(matches!(
+            Container::from_file_bytes(&bytes).unwrap_err(),
+            ModelIoError::UnsupportedVersion { found: 99 }
+        ));
+    }
+
+    #[test]
+    fn every_truncation_errors() {
+        let bytes = sample().to_file_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Container::from_file_bytes(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn every_byte_flip_errors() {
+        let bytes = sample().to_file_bytes();
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0xFF;
+            assert!(
+                Container::from_file_bytes(&flipped).is_err(),
+                "flip at byte {i} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("model-io-container-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.cogm");
+        sample().save(&path).unwrap();
+        assert_eq!(Container::load(&path).unwrap(), sample());
+        save_section(&path, *b"SOLO", &7u64).unwrap();
+        assert_eq!(load_section::<u64, _>(&path, *b"SOLO").unwrap(), 7);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

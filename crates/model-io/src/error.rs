@@ -1,0 +1,136 @@
+//! The typed error surface of the `.cogm` reader/writer.
+//!
+//! Readers are total: every malformed input maps to one of these variants.
+//! Nothing in this crate panics on untrusted bytes, and no length field
+//! read from a stream is ever trusted for an allocation.
+
+use std::fmt;
+
+/// Everything that can go wrong saving or loading a `.cogm` artifact.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// An underlying I/O failure (file missing, permissions, …).
+    Io(std::io::Error),
+    /// The stream ended before the announced data did.
+    Truncated {
+        /// What was being read when the stream ran dry.
+        context: &'static str,
+    },
+    /// The file does not start with the `COGM` magic.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The format version is newer (or older) than this reader speaks.
+    UnsupportedVersion {
+        /// The version stored in the file.
+        found: u16,
+    },
+    /// The trailing CRC32 does not match the file contents.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the bytes actually read.
+        computed: u32,
+    },
+    /// A length field is implausible (would overflow or exceed the stream).
+    LengthOverflow {
+        /// The field whose length was rejected.
+        context: &'static str,
+        /// The offending length.
+        len: u64,
+    },
+    /// An enum tag byte has no meaning in this version.
+    BadTag {
+        /// The enum being decoded.
+        context: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A required section is absent from the container.
+    MissingSection {
+        /// The four-byte section tag.
+        tag: [u8; 4],
+    },
+    /// Structurally invalid data behind a valid envelope (inconsistent
+    /// dimensions, empty collections, rejected by a validating
+    /// constructor, …).
+    Malformed {
+        /// Human-readable description of the inconsistency.
+        context: String,
+    },
+    /// The artifact contains a `Member::Custom` classifier, which carries
+    /// no kind tag and therefore cannot be serialized.
+    UnsupportedMember {
+        /// The member's self-reported name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "i/o error: {e}"),
+            ModelIoError::Truncated { context } => {
+                write!(f, "truncated while reading {context}")
+            }
+            ModelIoError::BadMagic { found } => {
+                write!(f, "bad magic {found:02x?} (expected \"COGM\")")
+            }
+            ModelIoError::UnsupportedVersion { found } => {
+                write!(f, "unsupported format version {found}")
+            }
+            ModelIoError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            ModelIoError::LengthOverflow { context, len } => {
+                write!(f, "implausible length {len} for {context}")
+            }
+            ModelIoError::BadTag { context, tag } => {
+                write!(f, "unknown tag {tag} for {context}")
+            }
+            ModelIoError::MissingSection { tag } => write!(
+                f,
+                "missing section \"{}\"",
+                String::from_utf8_lossy(tag)
+            ),
+            ModelIoError::Malformed { context } => write!(f, "malformed artifact: {context}"),
+            ModelIoError::UnsupportedMember { name } => {
+                write!(f, "custom ensemble member \"{name}\" cannot be persisted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ModelIoError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ModelIoError::Truncated { context: "stream" }
+        } else {
+            ModelIoError::Io(e)
+        }
+    }
+}
+
+impl ModelIoError {
+    /// Shorthand for [`ModelIoError::Malformed`].
+    #[must_use]
+    pub fn malformed(context: impl Into<String>) -> Self {
+        ModelIoError::Malformed {
+            context: context.into(),
+        }
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ModelIoError>;

@@ -1,0 +1,260 @@
+//! [`Persist`] implementations for the pipeline layer, plus the two
+//! top-level artifacts: [`SavedModel`] (a deployable trained system) and
+//! [`SearchCheckpoint`] (a completed evolutionary-search state).
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use arm::controller::ControllerConfig;
+use arm::safety::SafetyConfig;
+use cognitive_arm::pipeline::{CognitiveArm, PipelineConfig};
+use cognitive_arm::preprocess::FilterSpec;
+use dsp::normalize::Zscore;
+use evo::{EvolutionConfig, EvolutionOutcome};
+use ml::ensemble::Ensemble;
+
+use crate::container::Container;
+use crate::error::{ModelIoError, Result};
+use crate::impl_ml::ensure;
+use crate::persist_struct;
+use crate::rw::{write_slice, Persist};
+
+/// Section tags used by the top-level artifact files.
+pub mod tags {
+    /// Pipeline configuration.
+    pub const PIPELINE: [u8; 4] = *b"PCFG";
+    /// Trained ensemble.
+    pub const ENSEMBLE: [u8; 4] = *b"ENSM";
+    /// Frozen per-subject normalization (optional).
+    pub const NORMALIZATION: [u8; 4] = *b"NORM";
+    /// Evolutionary-search configuration.
+    pub const EVO_CONFIG: [u8; 4] = *b"ECFG";
+    /// Evolutionary-search outcome.
+    pub const EVO_OUTCOME: [u8; 4] = *b"EOUT";
+}
+
+persist_struct!(FilterSpec {
+    order,
+    low_hz,
+    high_hz,
+    notch_hz,
+    notch_q,
+});
+
+persist_struct!(ControllerConfig { step, debounce });
+
+persist_struct!(SafetyConfig { max_step });
+
+/// `threads` is deliberately **not** persisted: deployment concurrency is
+/// host configuration, not model state — a loaded config always has
+/// `threads: None`, so the serving host's `COGARM_THREADS` (or its core
+/// count) governs, and thread count never changes outputs anyway.
+impl Persist for PipelineConfig {
+    fn write_to<W: Write>(&self, w: &mut W) -> Result<()> {
+        self.label_every.write_to(w)?;
+        self.filter.write_to(w)?;
+        self.controller.write_to(w)?;
+        self.safety.write_to(w)
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<Self> {
+        Ok(PipelineConfig {
+            label_every: Persist::read_from(r)?,
+            filter: Persist::read_from(r)?,
+            controller: Persist::read_from(r)?,
+            safety: Persist::read_from(r)?,
+            threads: None,
+        })
+    }
+}
+
+impl Persist for Zscore {
+    fn write_to<W: Write>(&self, w: &mut W) -> Result<()> {
+        write_slice(self.means(), w)?;
+        write_slice(self.stds(), w)
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<Self> {
+        let means = Vec::<f32>::read_from(r)?;
+        let stds = Vec::<f32>::read_from(r)?;
+        // Name the actual invariant: `DspError`'s Display here would talk
+        // about windows, which is useless in a load diagnostic.
+        Zscore::from_parts(means, stds).map_err(|_| {
+            ModelIoError::malformed(
+                "zscore statistics rejected (empty, length mismatch, \
+                 or non-finite/non-positive std)",
+            )
+        })
+    }
+}
+
+/// Everything needed to reassemble a serving [`CognitiveArm`] without
+/// retraining: the pipeline configuration, the trained ensemble, and the
+/// frozen per-subject normalization (when one was installed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SavedModel {
+    /// Pipeline configuration the system was assembled with.
+    pub pipeline: PipelineConfig,
+    /// The trained voting ensemble.
+    pub ensemble: Ensemble,
+    /// Frozen normalization statistics, if fitted.
+    pub normalization: Option<Zscore>,
+}
+
+impl SavedModel {
+    /// Writes the model as a `.cogm` container
+    /// (sections `PCFG` + `ENSM` [+ `NORM`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelIoError::UnsupportedMember`] if the ensemble holds a
+    /// `Member::Custom`; I/O failures otherwise.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        self.to_container()?.save(path)
+    }
+
+    /// The model as an in-memory container (what [`SavedModel::save`]
+    /// writes).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SavedModel::save`], minus I/O.
+    pub fn to_container(&self) -> Result<Container> {
+        let mut container = Container::new();
+        container.add(tags::PIPELINE, &self.pipeline)?;
+        container.add(tags::ENSEMBLE, &self.ensemble)?;
+        if let Some(z) = &self.normalization {
+            container.add(tags::NORMALIZATION, z)?;
+        }
+        Ok(container)
+    }
+
+    /// Loads a model saved by [`SavedModel::save`].
+    ///
+    /// # Errors
+    ///
+    /// Typed errors for every malformed input; never panics.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self> {
+        Self::from_container(&Container::load(path)?)
+    }
+
+    /// Decodes a model from an already-parsed container.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SavedModel::load`], minus I/O.
+    pub fn from_container(container: &Container) -> Result<Self> {
+        let pipeline: PipelineConfig = container.get(tags::PIPELINE)?;
+        let ensemble: Ensemble = container.get(tags::ENSEMBLE)?;
+        let normalization: Option<Zscore> = container.get_optional(tags::NORMALIZATION)?;
+        ensure(
+            pipeline.label_every >= 1,
+            "label_every must be positive (the loop advances by it)",
+        )?;
+        // `CognitiveArm::new` expects a designable filter; run the same
+        // design here so a hostile spec is a typed error, not a panic.
+        cognitive_arm::preprocess::StreamingChain::new(&pipeline.filter)
+            .map_err(|e| ModelIoError::malformed(format!("filter spec rejected: {e}")))?;
+        // The streaming chain indexes the z-score per hardware channel.
+        if let Some(z) = &normalization {
+            ensure(
+                z.channels() == eeg::CHANNELS,
+                "normalization channel count disagrees with the headset",
+            )?;
+        }
+        Ok(Self {
+            pipeline,
+            ensemble,
+            normalization,
+        })
+    }
+
+    /// Assembles a runnable system for one simulated subject, installing
+    /// the saved normalization when present.
+    #[must_use]
+    pub fn into_system(self, subject_seed: u64) -> CognitiveArm {
+        let mut system = CognitiveArm::new(self.pipeline, self.ensemble, subject_seed);
+        if let Some(z) = self.normalization {
+            system.set_normalization(z);
+        }
+        system
+    }
+}
+
+/// Save/load surface for the assembled closed-loop system.
+///
+/// Implemented for [`CognitiveArm`]; bring the trait into scope and call
+/// `system.save_model(path)` / `CognitiveArm::load_model(path, seed)`.
+pub trait ArmPersist: Sized {
+    /// Persists the trained state (config + ensemble + normalization) as a
+    /// versioned `.cogm` file.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelIoError::UnsupportedMember`] for custom ensemble members;
+    /// I/O failures otherwise.
+    fn save_model<P: AsRef<Path>>(&self, path: P) -> Result<()>;
+
+    /// Reassembles a system from a saved artifact for one simulated
+    /// subject. The loaded system's label trace is bit-identical to the
+    /// system that was saved (given the same subject seed and actions).
+    ///
+    /// # Errors
+    ///
+    /// Typed errors for every malformed input; never panics.
+    fn load_model<P: AsRef<Path>>(path: P, subject_seed: u64) -> Result<Self>;
+}
+
+impl ArmPersist for CognitiveArm {
+    fn save_model<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        let saved = SavedModel {
+            pipeline: self.config().clone(),
+            ensemble: self.ensemble().clone(),
+            normalization: self.normalization().cloned(),
+        };
+        saved.save(path)
+    }
+
+    fn load_model<P: AsRef<Path>>(path: P, subject_seed: u64) -> Result<Self> {
+        Ok(SavedModel::load(path)?.into_system(subject_seed))
+    }
+}
+
+/// A completed evolutionary-search state: the configuration that drove it
+/// and everything it produced. Persisting it makes long searches resumable
+/// across processes and their Pareto fronts auditable after the fact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchCheckpoint {
+    /// The search configuration.
+    pub config: EvolutionConfig,
+    /// The search's full outcome (history, final population, front, best).
+    pub outcome: EvolutionOutcome,
+}
+
+impl SearchCheckpoint {
+    /// Writes the checkpoint as a `.cogm` container
+    /// (sections `ECFG` + `EOUT`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and I/O failures.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        let mut container = Container::new();
+        container.add(tags::EVO_CONFIG, &self.config)?;
+        container.add(tags::EVO_OUTCOME, &self.outcome)?;
+        container.save(path)
+    }
+
+    /// Loads a checkpoint saved by [`SearchCheckpoint::save`].
+    ///
+    /// # Errors
+    ///
+    /// Typed errors for every malformed input; never panics.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let container = Container::load(path)?;
+        Ok(Self {
+            config: container.get(tags::EVO_CONFIG)?,
+            outcome: container.get(tags::EVO_OUTCOME)?,
+        })
+    }
+}

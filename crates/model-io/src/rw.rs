@@ -1,0 +1,296 @@
+//! The [`Persist`] trait and little-endian primitive codecs.
+//!
+//! Every multi-byte value in a `.cogm` file is little-endian. Collection
+//! lengths are written as `u64` and are never trusted for allocation on
+//! the way back in: readers reserve at most [`CAP_HINT`] elements up front
+//! and grow with the bytes actually read, so a forged multi-gigabyte
+//! length costs at most a small buffer before the stream runs dry and the
+//! reader returns [`ModelIoError::Truncated`].
+
+use std::io::{Read, Write};
+
+use crate::error::{ModelIoError, Result};
+
+/// Upper bound on the capacity a reader pre-reserves for one collection.
+const CAP_HINT: usize = 4096;
+
+/// Sanity ceiling on any single length field (1 Ti-elements); anything
+/// larger is a corrupt or hostile file, not a model.
+const MAX_LEN: u64 = 1 << 40;
+
+/// A type that can serialize itself to, and totally deserialize itself
+/// from, a byte stream.
+///
+/// `read_from` implementations must be *total*: any byte sequence either
+/// produces a value or a typed [`ModelIoError`] — never a panic, an
+/// unbounded allocation, or an infinite loop.
+pub trait Persist: Sized {
+    /// Writes the value to `w` in the crate's little-endian encoding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; [`ModelIoError::UnsupportedMember`] for
+    /// the one non-persistable value (custom ensemble members).
+    fn write_to<W: Write>(&self, w: &mut W) -> Result<()>;
+
+    /// Reads a value of this type from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Every malformed input yields a typed [`ModelIoError`].
+    fn read_from<R: Read>(r: &mut R) -> Result<Self>;
+}
+
+/// Reads exactly `N` bytes, mapping EOF to a contextual truncation error.
+pub(crate) fn read_array<const N: usize, R: Read>(
+    r: &mut R,
+    context: &'static str,
+) -> Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ModelIoError::Truncated { context }
+        } else {
+            ModelIoError::Io(e)
+        }
+    })?;
+    Ok(buf)
+}
+
+/// Reads a `u64` length field and bounds-checks it.
+pub(crate) fn read_len<R: Read>(r: &mut R, context: &'static str) -> Result<usize> {
+    let len = u64::from_le_bytes(read_array(r, context)?);
+    if len > MAX_LEN {
+        return Err(ModelIoError::LengthOverflow { context, len });
+    }
+    usize::try_from(len).map_err(|_| ModelIoError::LengthOverflow { context, len })
+}
+
+macro_rules! persist_le_bytes {
+    ($($ty:ty),+) => {$(
+        impl Persist for $ty {
+            fn write_to<W: Write>(&self, w: &mut W) -> Result<()> {
+                w.write_all(&self.to_le_bytes())?;
+                Ok(())
+            }
+
+            fn read_from<R: Read>(r: &mut R) -> Result<Self> {
+                Ok(<$ty>::from_le_bytes(read_array(r, stringify!($ty))?))
+            }
+        }
+    )+};
+}
+
+persist_le_bytes!(u8, u16, u32, u64, i8, f32, f64);
+
+impl Persist for usize {
+    fn write_to<W: Write>(&self, w: &mut W) -> Result<()> {
+        (*self as u64).write_to(w)
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<Self> {
+        let v = u64::read_from(r)?;
+        usize::try_from(v).map_err(|_| ModelIoError::LengthOverflow {
+            context: "usize",
+            len: v,
+        })
+    }
+}
+
+impl Persist for bool {
+    fn write_to<W: Write>(&self, w: &mut W) -> Result<()> {
+        u8::from(*self).write_to(w)
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<Self> {
+        match u8::read_from(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(ModelIoError::BadTag {
+                context: "bool",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<T: Persist> Persist for Option<T> {
+    fn write_to<W: Write>(&self, w: &mut W) -> Result<()> {
+        match self {
+            None => 0u8.write_to(w),
+            Some(v) => {
+                1u8.write_to(w)?;
+                v.write_to(w)
+            }
+        }
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<Self> {
+        match u8::read_from(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::read_from(r)?)),
+            tag => Err(ModelIoError::BadTag {
+                context: "Option",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Writes a length-prefixed sequence without cloning (the slice-borrowing
+/// counterpart of `Vec<T>::write_to`; accessor-backed types use it to
+/// avoid materializing owned copies of their weight buffers).
+pub fn write_slice<T: Persist, W: Write>(items: &[T], w: &mut W) -> Result<()> {
+    (items.len() as u64).write_to(w)?;
+    for item in items {
+        item.write_to(w)?;
+    }
+    Ok(())
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    fn write_to<W: Write>(&self, w: &mut W) -> Result<()> {
+        write_slice(self, w)
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<Self> {
+        let len = read_len(r, "Vec length")?;
+        let mut out = Vec::with_capacity(len.min(CAP_HINT));
+        for _ in 0..len {
+            out.push(T::read_from(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn write_to<W: Write>(&self, w: &mut W) -> Result<()> {
+        self.0.write_to(w)?;
+        self.1.write_to(w)
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<Self> {
+        Ok((A::read_from(r)?, B::read_from(r)?))
+    }
+}
+
+impl Persist for String {
+    fn write_to<W: Write>(&self, w: &mut W) -> Result<()> {
+        write_slice(self.as_bytes(), w)
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<Self> {
+        let bytes = Vec::<u8>::read_from(r)?;
+        String::from_utf8(bytes).map_err(|_| ModelIoError::malformed("non-UTF-8 string"))
+    }
+}
+
+/// Serializes any [`Persist`] value to a fresh byte buffer.
+///
+/// # Errors
+///
+/// Propagates the value's `write_to` failure.
+pub fn to_bytes<T: Persist>(value: &T) -> Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    value.write_to(&mut buf)?;
+    Ok(buf)
+}
+
+/// Deserializes a [`Persist`] value from a byte slice, requiring the slice
+/// to be fully consumed.
+///
+/// # Errors
+///
+/// Typed errors for malformed bytes; [`ModelIoError::Malformed`] when
+/// trailing bytes remain.
+pub fn from_bytes<T: Persist>(mut bytes: &[u8]) -> Result<T> {
+    let value = T::read_from(&mut bytes)?;
+    if !bytes.is_empty() {
+        return Err(ModelIoError::malformed(format!(
+            "{} trailing bytes after value",
+            bytes.len()
+        )));
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Persist + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = to_bytes(&value).unwrap();
+        let back: T = from_bytes(&bytes).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0xABu8);
+        round_trip(0xBEEFu16);
+        round_trip(0xDEAD_BEEFu32);
+        round_trip(u64::MAX);
+        round_trip(-7i8);
+        round_trip(1.5f32);
+        round_trip(-0.0f64);
+        round_trip(usize::MAX);
+        round_trip(true);
+        round_trip(Some(42u32));
+        round_trip(Option::<u32>::None);
+        round_trip(vec![1u32, 2, 3]);
+        round_trip((3usize, String::from("héllo")));
+    }
+
+    #[test]
+    fn nan_payload_is_bit_exact() {
+        let weird = f32::from_bits(0x7FC0_1234);
+        let bytes = to_bytes(&weird).unwrap();
+        let back: f32 = from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn forged_length_does_not_allocate() {
+        // Claims 2^39 elements but carries none: must error, not OOM.
+        let mut bytes = Vec::new();
+        (1u64 << 39).write_to(&mut bytes).unwrap();
+        let err = from_bytes::<Vec<u8>>(&bytes).unwrap_err();
+        assert!(matches!(err, ModelIoError::Truncated { .. }), "{err}");
+        // Beyond the sanity ceiling: rejected before any read loop.
+        let mut bytes = Vec::new();
+        (1u64 << 41).write_to(&mut bytes).unwrap();
+        let err = from_bytes::<Vec<u8>>(&bytes).unwrap_err();
+        assert!(matches!(err, ModelIoError::LengthOverflow { .. }), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&7u32).unwrap();
+        bytes.push(0);
+        assert!(matches!(
+            from_bytes::<u32>(&bytes).unwrap_err(),
+            ModelIoError::Malformed { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_tags_are_typed() {
+        assert!(matches!(
+            from_bytes::<bool>(&[9]).unwrap_err(),
+            ModelIoError::BadTag { .. }
+        ));
+        assert!(matches!(
+            from_bytes::<Option<u8>>(&[2]).unwrap_err(),
+            ModelIoError::BadTag { .. }
+        ));
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let bytes = to_bytes(&vec![1.0f32, 2.0, 3.0]).unwrap();
+        for cut in 0..bytes.len() - 1 {
+            let err = from_bytes::<Vec<f32>>(&bytes[..cut]).unwrap_err();
+            assert!(matches!(err, ModelIoError::Truncated { .. }), "cut {cut}: {err}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Model persistence round-trip CLI.
+//!
+//! `save` trains the quick CNN + Transformer ensemble, assembles the
+//! closed-loop system and writes a versioned `.cogm` artifact. `verify`
+//! (run it in a *fresh process*) loads the artifact, retrains the same
+//! seeds in memory, and asserts the loaded system's label trace is
+//! bit-identical to the retrained one — the end-to-end proof that cold
+//! starts can skip training entirely.
+//!
+//! ```text
+//! cargo run --release --bin model_roundtrip -- save /tmp/model.cogm 21
+//! cargo run --release --bin model_roundtrip -- verify /tmp/model.cogm 21
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use cognitive_arm::eval::{train_default_ensemble, DatasetBuilder, TrainBudget};
+use cognitive_arm::pipeline::{CognitiveArm, PipelineConfig, SessionTrace};
+use eeg::dataset::Protocol;
+use eeg::types::Action;
+use model_io::{ArmPersist, SavedModel};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: model_roundtrip <save|verify|roundtrip> <path.cogm> [seed]");
+    ExitCode::from(2)
+}
+
+/// Builds the fully trained closed-loop system for `seed` (the expensive
+/// path an artifact lets later processes skip).
+fn train_system(seed: u64) -> CognitiveArm {
+    let data = DatasetBuilder::new(Protocol::quick(), 1, seed)
+        .build()
+        .expect("quick dataset builds");
+    let ensemble = train_default_ensemble(&data, &TrainBudget::quick(), seed)
+        .expect("quick ensemble trains");
+    let mut system = CognitiveArm::new(PipelineConfig::default(), ensemble, seed);
+    system.set_normalization(data.zscores[0].clone());
+    system
+}
+
+fn trace_of(mut system: CognitiveArm) -> SessionTrace {
+    system.set_subject_action(Action::Right);
+    system.run_for(2.0).expect("simulated run succeeds")
+}
+
+fn traces_identical(a: &SessionTrace, b: &SessionTrace) -> bool {
+    a.labels.len() == b.labels.len()
+        && a.labels
+            .iter()
+            .zip(&b.labels)
+            .all(|(x, y)| x.t.to_bits() == y.t.to_bits() && x.label == y.label)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(mode), Some(path)) = (args.get(1), args.get(2)) else {
+        return usage();
+    };
+    let seed: u64 = args
+        .get(3)
+        .map_or(Ok(21), |s| s.parse())
+        .expect("seed must be an integer");
+
+    match mode.as_str() {
+        "save" => {
+            let t0 = Instant::now();
+            let system = train_system(seed);
+            let train_s = t0.elapsed().as_secs_f64();
+            system.save_model(path).expect("artifact saves");
+            let bytes = std::fs::metadata(path).expect("artifact exists").len();
+            println!(
+                "saved {path}: {bytes} bytes, ensemble {} ({} params), trained in {train_s:.1} s",
+                system.ensemble().name(),
+                system.ensemble().param_count()
+            );
+            ExitCode::SUCCESS
+        }
+        "verify" => {
+            let t0 = Instant::now();
+            let loaded = CognitiveArm::load_model(path, seed).expect("artifact loads");
+            let load_s = t0.elapsed().as_secs_f64();
+            println!(
+                "loaded {path} in {load_s:.3} s: ensemble {} ({} params)",
+                loaded.ensemble().name(),
+                loaded.ensemble().param_count()
+            );
+            let loaded_trace = trace_of(loaded);
+            let retrained_trace = trace_of(train_system(seed));
+            if traces_identical(&loaded_trace, &retrained_trace) {
+                println!(
+                    "OK: {} labels bit-identical between loaded and retrained systems",
+                    loaded_trace.labels.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("FAIL: loaded trace diverges from retrained trace");
+                ExitCode::FAILURE
+            }
+        }
+        "roundtrip" => {
+            let system = train_system(seed);
+            system.save_model(path).expect("artifact saves");
+            let saved = SavedModel::load(path).expect("artifact loads");
+            assert_eq!(saved.ensemble, *system.ensemble(), "ensemble drifted");
+            let a = trace_of(system);
+            let b = trace_of(saved.into_system(seed));
+            assert!(traces_identical(&a, &b), "traces diverged");
+            println!("OK: in-process round trip, {} labels identical", a.labels.len());
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

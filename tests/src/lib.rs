@@ -1,12 +1,18 @@
 //! Cross-crate integration tests for the CognitiveArm workspace.
 //!
 //! The actual tests live in `tests/` (Cargo integration-test targets); this
-//! library hosts shared fixtures — most importantly a once-per-process
-//! trained-artifact cache so the several tests that train at
-//! `Protocol::quick()` reuse one model instead of each paying the training
-//! bill.
+//! library hosts shared fixtures. Trained artifacts are cached at two
+//! levels: a once-per-process `OnceLock` map (so concurrent tests share one
+//! training run), backed by **disk fixtures** — `.cogm` files under
+//! `target/cogm-test-cache/` written through `model_io`, so warm test runs
+//! load the quick ensemble in milliseconds instead of retraining it every
+//! process. Cache entries are keyed by seed *and* a fingerprint of the
+//! test executable, so any rebuild (i.e. any code change) invalidates
+//! them automatically; `cargo clean` wipes the directory, and
+//! `COGARM_NO_FIXTURE_CACHE=1` bypasses it entirely.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use cognitive_arm::eval::{train_default_ensemble, DatasetBuilder, PreparedData, TrainBudget};
@@ -60,10 +66,96 @@ pub struct QuickArtifacts {
     pub ensemble: Ensemble,
 }
 
+/// Section tag for cached test ensembles.
+const CACHE_TAG: [u8; 4] = *b"ENSM";
+
+/// A fingerprint of the running test binary (size + mtime). Baking it
+/// into the cache key makes a cached artifact die with the build that
+/// wrote it: recompiling any crate the tests link (ml, core, …) produces
+/// a new executable and therefore a fresh cache entry, so a stale
+/// ensemble can never outlive a training-code change.
+fn exe_fingerprint() -> Option<(String, String)> {
+    let exe = std::env::current_exe().ok()?;
+    let meta = std::fs::metadata(&exe).ok()?;
+    let mtime = meta
+        .modified()
+        .ok()?
+        .duration_since(std::time::UNIX_EPOCH)
+        .ok()?;
+    // The sanitized binary name keys entries per test target, so pruning
+    // one binary's stale builds never evicts another binary's entries;
+    // no '-' inside either component, because the pruner splits the
+    // filename on its last dash to recover the stable prefix.
+    let stem: String = exe
+        .file_stem()?
+        .to_str()?
+        .chars()
+        .filter(char::is_ascii_alphanumeric)
+        .collect();
+    Some((stem, format!("{:x}x{:x}", meta.len(), mtime.as_secs())))
+}
+
+/// Where disk-backed test fixtures live: under `target/`, so they are
+/// wiped by `cargo clean` and never survive a fresh CI checkout. The key
+/// includes `COGARM_THREADS` so CI's 1- and 4-thread passes each *train*
+/// at their own pool size (the dual-thread matrix exists to prove training
+/// is thread-count-invariant; sharing one artifact would mask a
+/// regression there).
+fn fixture_cache_path(data_seed: u64, train_seed: u64) -> Option<PathBuf> {
+    if std::env::var_os("COGARM_NO_FIXTURE_CACHE").is_some() {
+        return None;
+    }
+    let (stem, fingerprint) = exe_fingerprint()?;
+    let threads: String = std::env::var("COGARM_THREADS")
+        .unwrap_or_else(|_| "auto".into())
+        .chars()
+        .filter(char::is_ascii_alphanumeric)
+        .collect();
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("target")
+        .join("cogm-test-cache");
+    std::fs::create_dir_all(&dir).ok()?;
+    Some(dir.join(format!(
+        "quick-{data_seed}-{train_seed}-t{threads}-{stem}-{fingerprint}.cogm"
+    )))
+}
+
+/// Removes cache entries for the same seeds written by *other* builds, so
+/// the directory stays bounded instead of accumulating one orphan per
+/// rebuild.
+fn prune_stale_cache_entries(current: &std::path::Path) {
+    let (Some(dir), Some(name)) = (current.parent(), current.file_name()) else {
+        return;
+    };
+    // Keep the trailing dash so "…-t1-" never matches "…-t10-…".
+    let Some(prefix) = name.to_str().and_then(|n| n.rfind('-').map(|i| &n[..=i])) else {
+        return;
+    };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let stale = entry
+            .file_name()
+            .to_str()
+            .is_some_and(|n| n.starts_with(prefix) && n != name);
+        if stale {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
 /// Trains (once per process per `(data_seed, train_seed)` pair) the default
 /// ensemble at `Protocol::quick()` on a one-subject dataset. Concurrent
 /// tests wanting the same artifact wait for one training run instead of
 /// racing a second one; different pairs train in parallel.
+///
+/// The trained ensemble is persisted as a `.cogm` fixture on first build
+/// and loaded from disk afterwards (training is deterministic, so the
+/// loaded artifact is bit-identical to a retrained one — the persistence
+/// suite enforces exactly that). A missing, stale-format or corrupt
+/// fixture silently falls back to retraining and rewrites the file.
 ///
 /// # Panics
 ///
@@ -75,8 +167,21 @@ pub fn quick_trained(data_seed: u64, train_seed: u64) -> Arc<QuickArtifacts> {
         let data = DatasetBuilder::new(Protocol::quick(), 1, data_seed)
             .build()
             .expect("quick dataset builds");
-        let ensemble = train_default_ensemble(&data, &TrainBudget::quick(), train_seed)
-            .expect("quick ensemble trains");
+        let cache_path = fixture_cache_path(data_seed, train_seed);
+        let ensemble = cache_path
+            .as_ref()
+            .and_then(|p| model_io::load_section::<Ensemble, _>(p, CACHE_TAG).ok())
+            .unwrap_or_else(|| {
+                let trained = train_default_ensemble(&data, &TrainBudget::quick(), train_seed)
+                    .expect("quick ensemble trains");
+                if let Some(p) = &cache_path {
+                    // Best-effort: a failed write just means retraining
+                    // next process.
+                    let _ = model_io::save_section(p, CACHE_TAG, &trained);
+                    prune_stale_cache_entries(p);
+                }
+                trained
+            });
         QuickArtifacts { data, ensemble }
     })
 }

@@ -1,0 +1,514 @@
+//! The model-persistence suite: round-trip fidelity, golden fixtures and
+//! total-reader guarantees for the `.cogm` format.
+//!
+//! Three layers of protection:
+//!
+//! 1. **Round-trip property tests** (seeded loops, per the PR 1
+//!    convention): `load(save(x)) == x` bit-exactly for forests, genomes
+//!    and trained ensembles, and a *loaded* system's label trace equals
+//!    the in-memory system's trace at 1 and 4 worker threads.
+//! 2. **Golden fixtures** under `tests/fixtures/`: today's writer must
+//!    reproduce the committed bytes exactly and today's reader must accept
+//!    them, locking the format against silent drift. Regenerate
+//!    deliberately with `COGARM_REGEN_FIXTURES=1 cargo test -q --test
+//!    persistence` after an intentional format-version bump.
+//! 3. **Corruption sweeps**: every prefix truncation and every
+//!    single-byte flip of a valid artifact must yield a typed
+//!    `ModelIoError` — never a panic, never a wrong-but-`Ok` model.
+
+use std::path::PathBuf;
+
+use cognitive_arm::pipeline::{CognitiveArm, PipelineConfig, SessionTrace};
+use eeg::types::Action;
+use evo::{Family, SearchSpace};
+use integration_tests::quick_trained;
+use ml::ensemble::{Ensemble, ForestClassifier, Member, Voting};
+use ml::forest::{ForestConfig, RandomForest};
+use ml::models::{CnnConfig, ConvSpec, PoolKind};
+use ml::optim::OptimizerKind;
+use ml::tensor::Tensor;
+use model_io::{
+    from_bytes, to_bytes, ArmPersist, Container, ModelIoError, Persist, SavedModel,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// --- shared builders ---------------------------------------------------------
+
+/// Deterministic toy training data (separable; same shape forest training
+/// sees after feature extraction).
+fn toy_rows(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for _ in 0..n {
+        let row: Vec<f32> = (0..6).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        ys.push(usize::from(row[0] > 0.0) + usize::from(row[1] > 0.0));
+        xs.push(row);
+    }
+    (xs, ys)
+}
+
+fn toy_forest(seed: u64, n_estimators: usize, max_depth: Option<usize>) -> RandomForest {
+    let (xs, ys) = toy_rows(80, seed);
+    RandomForest::fit(
+        ForestConfig {
+            n_estimators,
+            max_depth,
+            min_samples_split: 2,
+            classes: 3,
+            seed,
+        },
+        &xs,
+        &ys,
+    )
+    .expect("toy forest fits")
+}
+
+/// A small but fully persistable closed-loop artifact (forest-only
+/// ensemble), cheap enough that exhaustive corruption sweeps stay fast.
+fn small_saved_model() -> SavedModel {
+    let forest = toy_forest(5, 6, Some(5));
+    let ensemble = Ensemble::new(
+        vec![Member::Forest(ForestClassifier::new(forest, 90))],
+        Voting::Soft,
+    );
+    SavedModel {
+        pipeline: PipelineConfig::default(),
+        ensemble,
+        normalization: None,
+    }
+}
+
+fn assert_traces_identical(a: &SessionTrace, b: &SessionTrace, context: &str) {
+    assert_eq!(a.labels.len(), b.labels.len(), "{context}: label counts");
+    for (x, y) in a.labels.iter().zip(&b.labels) {
+        assert!(
+            x.t.to_bits() == y.t.to_bits() && x.label == y.label,
+            "{context}: label trace diverged at t={}",
+            x.t
+        );
+    }
+    assert_eq!(a.joints.len(), b.joints.len(), "{context}: joint counts");
+    for (x, y) in a.joints.iter().zip(&b.joints) {
+        assert!(
+            x.1.to_bits() == y.1.to_bits()
+                && x.2.to_bits() == y.2.to_bits()
+                && x.3.to_bits() == y.3.to_bits(),
+            "{context}: joint trajectory diverged"
+        );
+    }
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cogm-tests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+// --- round-trip property tests (seeded loops) --------------------------------
+
+#[test]
+fn forests_round_trip_bit_exactly() {
+    for seed in 0..6u64 {
+        let forest = toy_forest(seed, 3 + seed as usize, [None, Some(4)][seed as usize % 2]);
+        let bytes = to_bytes(&forest).expect("serializes");
+        let back: RandomForest = from_bytes(&bytes).expect("deserializes");
+        assert_eq!(back, forest, "seed {seed}");
+        // Bit-exact predictions, not just structural equality.
+        let (probe, _) = toy_rows(10, seed ^ 0xFF);
+        for row in &probe {
+            let a = forest.predict_proba(row);
+            let b = back.predict_proba(row);
+            assert!(
+                a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "seed {seed}: probabilities diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn genomes_round_trip_across_all_families() {
+    for family in [Family::Cnn, Family::Lstm, Family::Transformer, Family::Forest] {
+        let space = SearchSpace::new(family);
+        let mut rng = StdRng::seed_from_u64(42);
+        for i in 0..12 {
+            let genome = space.sample(&mut rng);
+            let back = from_bytes(&to_bytes(&genome).expect("serializes")).expect("deserializes");
+            assert_eq!(genome, back, "{family} sample {i}");
+        }
+    }
+}
+
+#[test]
+fn ensembles_round_trip_bit_exactly() {
+    for seed in 0..3u64 {
+        let forest = toy_forest(seed, 4, Some(4));
+        let ensemble = Ensemble::new(
+            vec![Member::Forest(ForestClassifier::new(forest, 90 + seed as usize))],
+            [Voting::Soft, Voting::Hard][seed as usize % 2],
+        );
+        let back: Ensemble = from_bytes(&to_bytes(&ensemble).expect("serializes")).unwrap();
+        assert_eq!(back, ensemble, "seed {seed}");
+    }
+}
+
+#[test]
+fn trained_cnn_transformer_ensemble_round_trips() {
+    let artifacts = quick_trained(21, 21);
+    let bytes = to_bytes(&artifacts.ensemble).expect("serializes");
+    let back: Ensemble = from_bytes(&bytes).expect("deserializes");
+    assert_eq!(back, artifacts.ensemble);
+    assert_eq!(back.name(), artifacts.ensemble.name());
+    assert_eq!(back.param_count(), artifacts.ensemble.param_count());
+}
+
+#[test]
+fn custom_members_are_refused_with_a_typed_error() {
+    struct Stub;
+    impl ml::ensemble::Classifier for Stub {
+        fn predict_proba_window(&self, _w: &[f32], _c: usize, _l: usize) -> Vec<f32> {
+            vec![1.0, 0.0, 0.0]
+        }
+        fn window(&self) -> usize {
+            4
+        }
+        fn name(&self) -> String {
+            "stub".into()
+        }
+        fn param_count(&self) -> usize {
+            0
+        }
+        fn clone_box(&self) -> Box<dyn ml::ensemble::Classifier> {
+            Box::new(Stub)
+        }
+    }
+    let ensemble = Ensemble::new(vec![Member::Custom(Box::new(Stub))], Voting::Soft);
+    assert!(matches!(
+        to_bytes(&ensemble).unwrap_err(),
+        ModelIoError::UnsupportedMember { .. }
+    ));
+}
+
+/// The acceptance criterion: a loaded model's label trace over a recorded
+/// window equals the in-memory model's trace, at 1 and at 4 threads.
+#[test]
+fn loaded_model_trace_matches_in_memory_trace_across_thread_counts() {
+    let artifacts = quick_trained(33, 33);
+    let path = temp_path("trained.cogm");
+
+    let run = |mut system: CognitiveArm| -> SessionTrace {
+        system.set_normalization(artifacts.data.zscores[0].clone());
+        system.set_subject_action(Action::Right);
+        system.run_for(2.0).expect("runs")
+    };
+
+    // Save from a fresh single-threaded system, before any samples flow.
+    let config = PipelineConfig {
+        threads: Some(1),
+        ..PipelineConfig::default()
+    };
+    let system = CognitiveArm::new(config, artifacts.ensemble.clone(), 33);
+    system.save_model(&path).expect("saves");
+    let reference = run(system);
+    assert!(!reference.labels.is_empty(), "reference run emitted labels");
+
+    // Loaded artifact, same thread count.
+    let loaded = CognitiveArm::load_model(&path, 33).expect("loads");
+    assert_traces_identical(&reference, &run(loaded), "loaded @1 thread");
+
+    // Loaded artifact, different thread count: the exec substrate keeps
+    // thread count out of the numerics, so the trace must still match.
+    let mut saved = SavedModel::load(&path).expect("loads");
+    saved.pipeline.threads = Some(4);
+    assert_traces_identical(&reference, &run(saved.into_system(33)), "loaded @4 threads");
+}
+
+#[test]
+fn saved_model_preserves_normalization_and_config() {
+    let artifacts = quick_trained(21, 21);
+    let path = temp_path("with-norm.cogm");
+    let mut system = CognitiveArm::new(PipelineConfig::default(), artifacts.ensemble.clone(), 21);
+    system.set_normalization(artifacts.data.zscores[0].clone());
+    system.save_model(&path).expect("saves");
+
+    let saved = SavedModel::load(&path).expect("loads");
+    assert_eq!(saved.pipeline, PipelineConfig::default());
+    assert_eq!(saved.normalization.as_ref(), system.normalization());
+    assert_eq!(&saved.ensemble, system.ensemble());
+}
+
+// --- golden fixtures ---------------------------------------------------------
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+/// The canonical fixture artifacts. Each returns a complete `.cogm` file
+/// image; everything feeding them is seeded, so the bytes are identical on
+/// every host and thread count.
+fn golden_artifacts() -> Vec<(&'static str, Vec<u8>)> {
+    let tensor = {
+        let mut rng = StdRng::seed_from_u64(7);
+        Tensor::uniform(vec![4, 3], 0.5, &mut rng)
+    };
+    let forest = toy_forest(11, 3, Some(4));
+    let genome = evo::Genome::Cnn {
+        config: CnnConfig {
+            convs: vec![ConvSpec {
+                filters: 8,
+                kernel: 3,
+                stride: 2,
+            }],
+            pool: PoolKind::Max,
+            window: 100,
+            channels: 16,
+            dropout: 0.25,
+        },
+        optimizer: OptimizerKind::Adam { lr: 2e-3 },
+    };
+    let model = small_saved_model();
+
+    let single = |tag: [u8; 4], value: &dyn erased::AnyPersist| -> Vec<u8> {
+        let mut c = Container::new();
+        value.add_to(&mut c, tag);
+        c.to_file_bytes()
+    };
+    vec![
+        ("tensor.cogm", single(*b"TENS", &tensor)),
+        ("forest.cogm", single(*b"FRST", &forest)),
+        ("genome.cogm", single(*b"GENO", &genome)),
+        (
+            "model.cogm",
+            model.to_container().expect("persistable").to_file_bytes(),
+        ),
+    ]
+}
+
+/// Tiny object-safe shim so `golden_artifacts` can treat heterogeneous
+/// `Persist` values uniformly.
+mod erased {
+    use model_io::{Container, Persist};
+
+    pub trait AnyPersist {
+        fn add_to(&self, c: &mut Container, tag: [u8; 4]);
+    }
+
+    impl<T: Persist> AnyPersist for T {
+        fn add_to(&self, c: &mut Container, tag: [u8; 4]) {
+            c.add(tag, self).expect("fixture serializes");
+        }
+    }
+}
+
+#[test]
+fn golden_fixtures_are_reproduced_byte_for_byte() {
+    let regen = std::env::var_os("COGARM_REGEN_FIXTURES").is_some();
+    for (name, bytes) in golden_artifacts() {
+        let path = fixture_path(name);
+        if regen {
+            std::fs::create_dir_all(path.parent().expect("fixtures dir")).expect("mkdir");
+            std::fs::write(&path, &bytes).expect("write fixture");
+            continue;
+        }
+        let committed = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!("missing fixture {name} ({e}); run with COGARM_REGEN_FIXTURES=1")
+        });
+        assert_eq!(
+            committed, bytes,
+            "{name}: writer no longer reproduces the committed fixture — \
+             this is a format change; bump FORMAT_VERSION and regenerate deliberately"
+        );
+    }
+}
+
+#[test]
+fn golden_fixtures_are_accepted_by_the_reader() {
+    let tensor_file = Container::load(fixture_path("tensor.cogm")).expect("tensor fixture parses");
+    let tensor: Tensor = tensor_file.get(*b"TENS").expect("tensor decodes");
+    assert_eq!(tensor.shape(), &[4, 3]);
+
+    let forest: RandomForest = Container::load(fixture_path("forest.cogm"))
+        .expect("forest fixture parses")
+        .get(*b"FRST")
+        .expect("forest decodes");
+    assert_eq!(forest, toy_forest(11, 3, Some(4)));
+
+    let genome: evo::Genome = Container::load(fixture_path("genome.cogm"))
+        .expect("genome fixture parses")
+        .get(*b"GENO")
+        .expect("genome decodes");
+    assert_eq!(genome.window(), 100);
+
+    let model = SavedModel::from_container(
+        &Container::load(fixture_path("model.cogm")).expect("model fixture parses"),
+    )
+    .expect("model decodes");
+    assert_eq!(model, small_saved_model());
+}
+
+// --- corruption and truncation sweeps ----------------------------------------
+
+/// Every prefix truncation of a valid saved model must fail with a typed
+/// error — exercised on a complete `CognitiveArm` artifact.
+#[test]
+fn every_truncation_of_a_saved_model_errors() {
+    let bytes = small_saved_model()
+        .to_container()
+        .expect("persistable")
+        .to_file_bytes();
+    for cut in 0..bytes.len() {
+        match Container::from_file_bytes(&bytes[..cut]) {
+            Err(_) => {}
+            Ok(c) => {
+                // A shorter valid container is impossible: the checksum
+                // covers length-bearing structure. Reaching here means the
+                // reader accepted corrupt input.
+                panic!(
+                    "truncation to {cut}/{} bytes parsed as sections {:?}",
+                    bytes.len(),
+                    c.tags()
+                );
+            }
+        }
+    }
+}
+
+/// Every single-byte flip of a valid saved model must fail with a typed
+/// error (the CRC catches everything past the magic/version header; the
+/// header checks catch the rest). No flip may panic or yield `Ok`.
+#[test]
+fn every_byte_flip_of_a_saved_model_errors() {
+    let bytes = small_saved_model()
+        .to_container()
+        .expect("persistable")
+        .to_file_bytes();
+    let mut kinds = [0usize; 3]; // magic/version, checksum, other
+    for i in 0..bytes.len() {
+        let mut flipped = bytes.clone();
+        flipped[i] ^= 0xFF;
+        match Container::from_file_bytes(&flipped) {
+            Err(ModelIoError::BadMagic { .. }) | Err(ModelIoError::UnsupportedVersion { .. }) => {
+                kinds[0] += 1;
+            }
+            Err(ModelIoError::ChecksumMismatch { .. }) => kinds[1] += 1,
+            Err(_) => kinds[2] += 1,
+            Ok(_) => panic!("flip at byte {i} went undetected"),
+        }
+    }
+    assert_eq!(kinds[0], 6, "4 magic + 2 version bytes");
+    assert!(kinds[1] >= bytes.len() - 8, "CRC catches the body: {kinds:?}");
+}
+
+/// Flips must also be caught when they land *inside a section payload* and
+/// the file is then fed to the full model decoder (not just the container
+/// parser).
+#[test]
+fn flipped_payloads_never_produce_a_wrong_but_ok_model() {
+    let container = small_saved_model().to_container().expect("persistable");
+    let bytes = container.to_file_bytes();
+    for i in (0..bytes.len()).step_by(3) {
+        let mut flipped = bytes.clone();
+        flipped[i] ^= 0x10;
+        let result =
+            Container::from_file_bytes(&flipped).and_then(|c| SavedModel::from_container(&c));
+        assert!(result.is_err(), "flip at byte {i} produced an Ok model");
+    }
+}
+
+/// Truncations and flips on the committed golden fixture, so the sweep also
+/// covers bytes written by *past* versions of the writer.
+#[test]
+fn fixture_corruption_sweep() {
+    let bytes = std::fs::read(fixture_path("forest.cogm")).expect("fixture present");
+    for cut in 0..bytes.len() {
+        assert!(
+            Container::from_file_bytes(&bytes[..cut]).is_err(),
+            "fixture truncation to {cut} accepted"
+        );
+    }
+    for i in 0..bytes.len() {
+        let mut flipped = bytes.clone();
+        flipped[i] ^= 0xFF;
+        assert!(
+            Container::from_file_bytes(&flipped).is_err(),
+            "fixture flip at {i} accepted"
+        );
+    }
+}
+
+/// A structurally valid file whose pipeline section carries an
+/// undesignable filter must be a typed error — `CognitiveArm::new` would
+/// otherwise panic on it after loading.
+#[test]
+fn hostile_filter_spec_is_rejected_at_load_time() {
+    let mut model = small_saved_model();
+    model.pipeline.filter.low_hz = 90.0; // above the 45 Hz high edge
+    model.pipeline.filter.high_hz = 10.0;
+    let bytes = model.to_container().expect("serializes").to_file_bytes();
+    let err = Container::from_file_bytes(&bytes)
+        .and_then(|c| SavedModel::from_container(&c))
+        .unwrap_err();
+    assert!(
+        matches!(err, ModelIoError::Malformed { .. }),
+        "expected Malformed, got {err}"
+    );
+}
+
+#[test]
+fn missing_and_empty_files_are_typed_errors() {
+    assert!(matches!(
+        SavedModel::load(temp_path("does-not-exist.cogm")).unwrap_err(),
+        ModelIoError::Io(_)
+    ));
+    let path = temp_path("empty.cogm");
+    std::fs::write(&path, []).expect("write empty");
+    assert!(matches!(
+        SavedModel::load(&path).unwrap_err(),
+        ModelIoError::Truncated { .. }
+    ));
+}
+
+/// A structurally valid container whose payload claims absurd lengths must
+/// not over-allocate: the forged section is rejected by the checksummed
+/// envelope, and a forged *inner* length (valid CRC, hostile payload) is
+/// bounded by the actual bytes present.
+#[test]
+fn forged_inner_lengths_are_rejected_without_allocation() {
+    let mut container = Container::new();
+    // A "tensor" whose shape claims 2^32 elements but carries none.
+    let mut payload = Vec::new();
+    vec![1usize << 32].write_to(&mut payload).unwrap();
+    Vec::<f32>::new().write_to(&mut payload).unwrap();
+    container.add(*b"RAWB", &payload).unwrap();
+    let bytes = container.to_file_bytes();
+    let parsed = Container::from_file_bytes(&bytes).expect("envelope is valid");
+    let raw: Vec<u8> = parsed.get(*b"RAWB").expect("raw bytes round-trip");
+    assert!(from_bytes::<Tensor>(&raw).is_err(), "forged tensor accepted");
+}
+
+// --- CI hook: determinism against an externally saved artifact ---------------
+
+/// When `COGARM_MODEL` points at an artifact saved by another process (the
+/// CI round-trip step), run the determinism check against it: the loaded
+/// model must produce identical traces at 1 and 4 worker threads.
+#[test]
+fn env_model_artifact_is_deterministic_across_thread_counts() {
+    let Some(path) = std::env::var_os("COGARM_MODEL") else {
+        return; // not running under the CI round-trip step
+    };
+    let saved = SavedModel::load(&path).expect("COGARM_MODEL artifact loads");
+    let run = |threads: usize| -> SessionTrace {
+        let mut s = saved.clone();
+        s.pipeline.threads = Some(threads);
+        let mut system = s.into_system(33);
+        system.set_subject_action(Action::Right);
+        system.run_for(2.0).expect("runs")
+    };
+    let single = run(1);
+    assert!(!single.labels.is_empty(), "loaded artifact emitted labels");
+    assert_traces_identical(&single, &run(4), "env artifact 1 vs 4 threads");
+}

@@ -47,14 +47,57 @@ impl std::fmt::Display for SampleStats {
     }
 }
 
+/// How many median absolute deviations from the median a sample may sit
+/// before [`summarize`] rejects it as an outlier (a GC pause, a scheduler
+/// preemption, a thermal throttle — not the routine under test).
+const MAD_K: f64 = 5.0;
+
+/// Median of an already-sorted slice.
+fn median_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Rejects samples farther than [`MAD_K`] median absolute deviations from
+/// the median. When the MAD is zero (at least half the samples identical)
+/// rejection is skipped entirely — a zero threshold would discard every
+/// sample that differs at all, including legitimate spread.
+fn reject_outliers(samples: &[Duration]) -> Vec<Duration> {
+    if samples.len() < 3 {
+        return samples.to_vec();
+    }
+    let mut secs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = median_sorted(&secs);
+    let mut deviations: Vec<f64> = secs.iter().map(|s| (s - median).abs()).collect();
+    deviations.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mad = median_sorted(&deviations);
+    if mad == 0.0 {
+        return samples.to_vec();
+    }
+    let keep: Vec<Duration> = samples
+        .iter()
+        .copied()
+        .filter(|d| (d.as_secs_f64() - median).abs() <= MAD_K * mad)
+        .collect();
+    // The median itself always survives the filter, so `keep` is non-empty.
+    keep
+}
+
 /// Summarizes per-iteration batch timings: mean, sample standard deviation
-/// (n−1 denominator; zero when fewer than two batches), min and max.
-/// Returns `None` for an empty slice.
+/// (n−1 denominator; zero when fewer than two batches), min and max —
+/// after dropping samples more than [`MAD_K`]·MAD from the median (see
+/// [`reject_outliers`]). Returns `None` for an empty slice.
 #[must_use]
 pub fn summarize(samples: &[Duration]) -> Option<SampleStats> {
     if samples.is_empty() {
         return None;
     }
+    let samples = reject_outliers(samples);
     let n = samples.len() as f64;
     let mean_s = samples.iter().map(Duration::as_secs_f64).sum::<f64>() / n;
     let std_s = if samples.len() < 2 {
@@ -254,6 +297,59 @@ mod tests {
         assert_eq!(one.mean, Duration::from_micros(5));
         assert_eq!(one.std_dev, Duration::ZERO);
         assert_eq!(one.min, one.max);
+    }
+
+    #[test]
+    fn summarize_rejects_mad_outliers() {
+        // Tight cluster at ~10-12 ms plus a 200 ms spike: median 11 ms,
+        // MAD 1 ms, so anything beyond 5 ms from the median is dropped.
+        let samples = [
+            Duration::from_millis(10),
+            Duration::from_millis(10),
+            Duration::from_millis(11),
+            Duration::from_millis(12),
+            Duration::from_millis(200),
+        ];
+        let stats = summarize(&samples).unwrap();
+        assert_eq!(stats.max, Duration::from_millis(12), "spike survived");
+        assert!(stats.mean < Duration::from_millis(20), "mean {:?}", stats.mean);
+        // The spike alone decides whether the reported mean is honest.
+        assert!((stats.mean.as_secs_f64() - 0.010_75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summarize_keeps_legitimate_spread() {
+        // {10, 20, 30}: MAD is 10 ms, so nothing is within rejection range.
+        let samples = [
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            Duration::from_millis(30),
+        ];
+        let stats = summarize(&samples).unwrap();
+        assert_eq!(stats.min, Duration::from_millis(10));
+        assert_eq!(stats.max, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn zero_mad_skips_rejection() {
+        // Majority identical → MAD 0; the deviant sample must survive
+        // rather than every non-median sample being dropped.
+        let samples = [
+            Duration::from_millis(7),
+            Duration::from_millis(7),
+            Duration::from_millis(7),
+            Duration::from_millis(50),
+        ];
+        let stats = summarize(&samples).unwrap();
+        assert_eq!(stats.max, Duration::from_millis(50));
+    }
+
+    #[test]
+    fn tiny_sample_sets_are_never_filtered() {
+        let samples = [Duration::from_millis(1), Duration::from_millis(500)];
+        let stats = summarize(&samples).unwrap();
+        assert_eq!(stats.min, Duration::from_millis(1));
+        assert_eq!(stats.max, Duration::from_millis(500));
     }
 
     #[test]
