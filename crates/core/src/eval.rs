@@ -26,7 +26,7 @@ use ml::forest::{window_stat_features, RandomForest};
 use ml::infer::{compile_cnn, compile_lstm, compile_transformer, InferModel};
 use ml::models::{CnnConfig, ConvSpec, PoolKind, TransformerConfig};
 use ml::optim::OptimizerKind;
-use ml::train::{train_model, TrainConfig};
+use ml::train::{train_built, TrainConfig};
 
 use crate::preprocess::{FilterSpec, OfflineChain};
 use crate::{CoreError, Result};
@@ -370,24 +370,28 @@ pub fn train_genome_with(
         max_batches: budget.max_batches,
     };
 
+    // Net training runs through `train_built`'s owned path: each call
+    // constructs, fits and returns its own model, so concurrent genome
+    // trainings (parallel ensemble members, parallel LOSO folds) never
+    // contend for a `&mut` borrow.
     match genome {
         Genome::Cnn { config, optimizer } => {
-            let mut model = config.build(seed)?;
-            train_model(&mut model, &tx, &ty, &vx, &vy, &train_cfg(*optimizer))?;
+            let (model, _) =
+                train_built(|| config.build(seed), &tx, &ty, &vx, &vy, &train_cfg(*optimizer))?;
             let compiled = compile_cnn(&model);
             let acc = accuracy_of(&compiled, &vx, &vy);
             Ok((TrainedArtifact::Net(compiled), acc))
         }
         Genome::Lstm { config, optimizer } => {
-            let mut model = config.build(seed)?;
-            train_model(&mut model, &tx, &ty, &vx, &vy, &train_cfg(*optimizer))?;
+            let (model, _) =
+                train_built(|| config.build(seed), &tx, &ty, &vx, &vy, &train_cfg(*optimizer))?;
             let compiled = compile_lstm(&model);
             let acc = accuracy_of(&compiled, &vx, &vy);
             Ok((TrainedArtifact::Net(compiled), acc))
         }
         Genome::Transformer { config, optimizer } => {
-            let mut model = config.build(seed)?;
-            train_model(&mut model, &tx, &ty, &vx, &vy, &train_cfg(*optimizer))?;
+            let (model, _) =
+                train_built(|| config.build(seed), &tx, &ty, &vx, &vy, &train_cfg(*optimizer))?;
             let compiled = compile_transformer(&model);
             let acc = accuracy_of(&compiled, &vx, &vy);
             Ok((TrainedArtifact::Net(compiled), acc))
@@ -546,6 +550,24 @@ pub fn train_default_ensemble(
     budget: &TrainBudget,
     seed: u64,
 ) -> Result<Ensemble> {
+    train_default_ensemble_with(data, budget, seed, &exec::shared())
+}
+
+/// [`train_default_ensemble`] with the members trained **concurrently** on
+/// an explicit pool, one work item per member. Every member's windowing
+/// split and training seed depend only on its index, and members are
+/// collected in index order, so the ensemble is bit-identical to the one
+/// the sequential (1-thread) path trains.
+///
+/// # Errors
+///
+/// Propagates training failures.
+pub fn train_default_ensemble_with(
+    data: &PreparedData,
+    budget: &TrainBudget,
+    seed: u64,
+    pool: &ExecPool,
+) -> Result<Ensemble> {
     let quick = budget.train_cap <= TrainBudget::bench().train_cap;
     let cnn_cfg = if quick {
         quick_cnn_config()
@@ -558,25 +580,27 @@ pub fn train_default_ensemble(
         TransformerConfig::paper_best()
     };
 
-    let cnn_genome = Genome::Cnn {
-        config: cnn_cfg,
-        optimizer: OptimizerKind::Adam { lr: 2e-3 },
-    };
-    let tf_genome = Genome::Transformer {
-        config: tf_cfg,
-        optimizer: OptimizerKind::AdamW {
-            lr: 1e-3,
-            weight_decay: 1e-5,
+    let genomes = [
+        Genome::Cnn {
+            config: cnn_cfg,
+            optimizer: OptimizerKind::Adam { lr: 2e-3 },
         },
-    };
+        Genome::Transformer {
+            config: tf_cfg,
+            optimizer: OptimizerKind::AdamW {
+                lr: 1e-3,
+                weight_decay: 1e-5,
+            },
+        },
+    ];
 
-    let mut members: Vec<Member> = Vec::new();
-    for (i, genome) in [cnn_genome, tf_genome].into_iter().enumerate() {
+    let results: Vec<Result<Member>> = pool.par_map_indexed(&genomes, |i, genome| {
         let all = data.windows(genome.window(), budget.step)?;
         let (train, val) = train_val_split(all, 0.2, seed ^ (i as u64 + 1));
-        let (artifact, _) = train_genome(&genome, &train, &val, budget, seed + i as u64)?;
-        members.push(artifact.into_member());
-    }
+        let (artifact, _) = train_genome_with(genome, &train, &val, budget, seed + i as u64, pool)?;
+        Ok(artifact.into_member())
+    });
+    let members = results.into_iter().collect::<Result<Vec<Member>>>()?;
     Ok(Ensemble::new(members, Voting::Soft))
 }
 
@@ -592,19 +616,38 @@ pub fn loso_accuracies(
     budget: &TrainBudget,
     seed: u64,
 ) -> Result<Vec<f64>> {
-    let mut accs = Vec::with_capacity(data.study.subjects());
-    for subject in 0..data.study.subjects() {
+    loso_accuracies_with(data, genome, budget, seed, &exec::shared())
+}
+
+/// [`loso_accuracies`] with the folds trained **concurrently** on an
+/// explicit pool, one work item per held-out subject. Each fold's split
+/// and training seed are independent of scheduling, and accuracies are
+/// collected in subject order, so the result is bit-identical to the
+/// sequential path.
+///
+/// # Errors
+///
+/// Propagates training failures.
+pub fn loso_accuracies_with(
+    data: &PreparedData,
+    genome: &Genome,
+    budget: &TrainBudget,
+    seed: u64,
+    pool: &ExecPool,
+) -> Result<Vec<f64>> {
+    pool.par_map_range(0..data.study.subjects(), |subject| {
         let (train_pool, test) = data.loso(subject, genome.window(), budget.step)?;
         let (train, val) = train_val_split(train_pool, 0.2, seed ^ 0xAB);
-        let (artifact, _) = train_genome(genome, &train, &val, budget, seed)?;
+        let (artifact, _) = train_genome_with(genome, &train, &val, budget, seed, pool)?;
         let test = cap(&test, budget.val_cap);
         let correct = test
             .iter()
             .filter(|w| artifact.predict(&w.data, CHANNELS) == w.label.label())
             .count();
-        accs.push(correct as f64 / test.len().max(1) as f64);
-    }
-    Ok(accs)
+        Ok(correct as f64 / test.len().max(1) as f64)
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

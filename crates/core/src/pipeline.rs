@@ -67,7 +67,9 @@ pub struct StageStats {
 }
 
 impl StageStats {
-    fn record(&mut self, seconds: f64) {
+    /// Folds one invocation's duration into the stats (public so the
+    /// serving engine's filter stage accounts with the same machinery).
+    pub fn record(&mut self, seconds: f64) {
         self.count += 1;
         self.sum_s += seconds;
         self.max_s = self.max_s.max(seconds);
@@ -122,17 +124,170 @@ pub struct SessionTrace {
     pub joints: Vec<(f64, f64, f64, f64)>,
 }
 
+/// Per-channel sliding window of the most recent filtered samples — the
+/// classifier's input buffer, shared by the monolithic loop and the
+/// serving engine's filter stage so the two can never drift.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    rows: Vec<VecDeque<f32>>,
+    len: usize,
+}
+
+impl SlidingWindow {
+    /// An empty window holding up to `len` samples per channel.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Self {
+            rows: (0..CHANNELS)
+                .map(|_| VecDeque::with_capacity(len))
+                .collect(),
+            len,
+        }
+    }
+
+    /// Appends one multichannel sample, evicting the oldest when full.
+    pub fn push(&mut self, sample: &[f32; CHANNELS]) {
+        for (row, &v) in self.rows.iter_mut().zip(sample) {
+            if row.len() == self.len {
+                row.pop_front();
+            }
+            row.push_back(v);
+        }
+    }
+
+    /// Whether every channel holds `window_len` samples.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.rows[0].len() == self.len
+    }
+
+    /// The configured window length in samples.
+    #[must_use]
+    pub fn window_len(&self) -> usize {
+        self.len
+    }
+
+    /// The channel-major flattened window (the ensemble's input layout).
+    #[must_use]
+    pub fn flat(&self) -> Vec<f32> {
+        let mut flat = Vec::with_capacity(CHANNELS * self.len);
+        for row in &self.rows {
+            flat.extend(row.iter().copied());
+        }
+        flat
+    }
+}
+
+/// The classify → actuate → record half of the label loop: ensemble
+/// inference on the pool, controller → MCU actuation, and the trace +
+/// latency bookkeeping. [`CognitiveArm::run_for`] and the serving
+/// engine's streaming inference stage both run **this exact code**, which
+/// is what makes their traces bit-identical by construction.
+pub struct InferenceHead {
+    ensemble: Ensemble,
+    controller: Controller,
+    mcu: Mcu,
+}
+
+impl std::fmt::Debug for InferenceHead {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceHead")
+            .field("ensemble", &self.ensemble.name())
+            .field("mode", &self.controller.mode())
+            .finish()
+    }
+}
+
+impl InferenceHead {
+    /// Assembles the head from a trained ensemble and a configured
+    /// controller, with a fresh MCU.
+    #[must_use]
+    pub fn new(ensemble: Ensemble, controller: Controller) -> Self {
+        Self {
+            ensemble,
+            controller,
+            mcu: Mcu::new(),
+        }
+    }
+
+    /// The classifying ensemble.
+    #[must_use]
+    pub fn ensemble(&self) -> &Ensemble {
+        &self.ensemble
+    }
+
+    /// Switches the voice-selected control mode.
+    pub fn set_mode(&mut self, mode: ControlMode) {
+        self.controller.set_mode(mode);
+    }
+
+    /// The active control mode.
+    #[must_use]
+    pub fn mode(&self) -> ControlMode {
+        self.controller.mode()
+    }
+
+    /// Current value of a joint on the physical (simulated) arm.
+    #[must_use]
+    pub fn joint(&self, joint: Joint) -> f64 {
+        self.mcu.arm.joint_value(joint)
+    }
+
+    /// One label step over a full channel-major window: classify on
+    /// `pool`, drive the controller/MCU for a label period of
+    /// `period_samples`, and record the label + joint snapshot at
+    /// simulated time `t` into `trace` (and the stage timings into
+    /// `latency`). Returns the predicted label.
+    ///
+    /// # Errors
+    ///
+    /// Propagates actuation failures.
+    pub fn step(
+        &mut self,
+        window: &[f32],
+        pool: &ExecPool,
+        t: f64,
+        period_samples: usize,
+        trace: &mut SessionTrace,
+        latency: &mut LatencyReport,
+    ) -> Result<usize> {
+        // Classification.
+        let t1 = Instant::now();
+        let label = self.ensemble.predict_with(window, CHANNELS, pool);
+        latency.inference.record(t1.elapsed().as_secs_f64());
+
+        // Actuation.
+        let t2 = Instant::now();
+        let action = match label {
+            0 => ActionLabel::Left,
+            1 => ActionLabel::Right,
+            _ => ActionLabel::Idle,
+        };
+        let bytes = self.controller.on_label(action)?;
+        if !bytes.is_empty() {
+            self.mcu.receive(&bytes);
+        }
+        self.mcu.tick(period_samples as f64 / SAMPLE_RATE);
+        latency.actuation.record(t2.elapsed().as_secs_f64());
+
+        trace.labels.push(LabelEvent { t, label });
+        trace.joints.push((
+            t,
+            self.mcu.arm.joint_value(Joint::Lift),
+            self.mcu.arm.joint_value(Joint::Wrist),
+            self.mcu.arm.joint_value(Joint::Grip),
+        ));
+        Ok(label)
+    }
+}
+
 /// The assembled CognitiveArm system.
 pub struct CognitiveArm {
     config: PipelineConfig,
     board: SimulatedBoard,
     chain: StreamingChain,
-    ensemble: Ensemble,
-    controller: Controller,
-    mcu: Mcu,
-    /// Per-channel sliding window of filtered samples.
-    window: Vec<VecDeque<f32>>,
-    window_len: usize,
+    head: InferenceHead,
+    window: SlidingWindow,
     elapsed_samples: u64,
     latency: LatencyReport,
     pool: Arc<ExecPool>,
@@ -141,8 +296,8 @@ pub struct CognitiveArm {
 impl std::fmt::Debug for CognitiveArm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CognitiveArm")
-            .field("ensemble", &self.ensemble.name())
-            .field("window_len", &self.window_len)
+            .field("ensemble", &self.head.ensemble().name())
+            .field("window_len", &self.window.window_len())
             .field("elapsed_samples", &self.elapsed_samples)
             .field("threads", &self.pool.threads())
             .finish()
@@ -157,27 +312,40 @@ impl CognitiveArm {
     /// Panics if the filter design fails (the default spec never does).
     #[must_use]
     pub fn new(config: PipelineConfig, ensemble: Ensemble, subject_seed: u64) -> Self {
+        let pool = match config.threads {
+            Some(n) => Arc::new(ExecPool::new(n)),
+            None => exec::shared(),
+        };
+        Self::with_pool(config, ensemble, subject_seed, pool)
+    }
+
+    /// [`CognitiveArm::new`] on an explicit execution pool, ignoring
+    /// `config.threads` — the hook for multiplexing many systems over one
+    /// serving pool (`serve::SessionManager`). Thread count never changes
+    /// outputs, so sharing a pool never couples sessions numerically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the filter design fails (the default spec never does).
+    #[must_use]
+    pub fn with_pool(
+        config: PipelineConfig,
+        ensemble: Ensemble,
+        subject_seed: u64,
+        pool: Arc<ExecPool>,
+    ) -> Self {
         let params = SubjectParams::sampled(subject_seed);
         let mut board = SimulatedBoard::new(params, subject_seed ^ 0xB0A7D);
         board.start_stream().expect("fresh board starts");
         let chain = StreamingChain::new(&config.filter).expect("default filter spec is valid");
         let controller = Controller::new(config.controller, SafetyGate::new(config.safety));
-        let window_len = ensemble.window();
-        let pool = match config.threads {
-            Some(n) => Arc::new(ExecPool::new(n)),
-            None => exec::shared(),
-        };
+        let window = SlidingWindow::new(ensemble.window());
         Self {
             config,
             board,
             chain,
-            ensemble,
-            controller,
-            mcu: Mcu::new(),
-            window: (0..CHANNELS)
-                .map(|_| VecDeque::with_capacity(window_len))
-                .collect(),
-            window_len,
+            head: InferenceHead::new(ensemble, controller),
+            window,
             elapsed_samples: 0,
             latency: LatencyReport::default(),
             pool,
@@ -199,7 +367,7 @@ impl CognitiveArm {
     /// The classifying ensemble.
     #[must_use]
     pub fn ensemble(&self) -> &Ensemble {
-        &self.ensemble
+        self.head.ensemble()
     }
 
     /// The frozen per-subject normalization, if installed (see
@@ -227,19 +395,19 @@ impl CognitiveArm {
     /// [`crate::mux::VoiceMux`] by the caller, keeping the audio thread
     /// separate from the EEG loop as in Sec. III-F3).
     pub fn set_mode(&mut self, mode: ControlMode) {
-        self.controller.set_mode(mode);
+        self.head.set_mode(mode);
     }
 
     /// The active control mode.
     #[must_use]
     pub fn mode(&self) -> ControlMode {
-        self.controller.mode()
+        self.head.mode()
     }
 
     /// Current value of a joint on the physical (simulated) arm.
     #[must_use]
     pub fn joint(&self, joint: Joint) -> f64 {
-        self.mcu.arm.joint_value(joint)
+        self.head.joint(joint)
     }
 
     /// Latency accounting so far.
@@ -279,52 +447,20 @@ impl CognitiveArm {
                     *v = chunk.data[ch * chunk.samples + i];
                 }
                 self.chain.step(&mut s);
-                for (win, &v) in self.window.iter_mut().zip(&s) {
-                    if win.len() == self.window_len {
-                        win.pop_front();
-                    }
-                    win.push_back(v);
-                }
+                self.window.push(&s);
             }
             self.latency.filter.record(t0.elapsed().as_secs_f64());
             done += n;
             self.elapsed_samples += n as u64;
 
-            if self.window[0].len() < self.window_len {
+            if !self.window.is_full() {
                 continue; // window not yet full
             }
 
-            // Classification.
-            let t1 = Instant::now();
-            let mut flat = Vec::with_capacity(CHANNELS * self.window_len);
-            for ch in 0..CHANNELS {
-                flat.extend(self.window[ch].iter().copied());
-            }
-            let label = self.ensemble.predict_with(&flat, CHANNELS, &self.pool);
-            self.latency.inference.record(t1.elapsed().as_secs_f64());
-
-            // Actuation.
-            let t2 = Instant::now();
-            let action = match label {
-                0 => ActionLabel::Left,
-                1 => ActionLabel::Right,
-                _ => ActionLabel::Idle,
-            };
-            let bytes = self.controller.on_label(action)?;
-            if !bytes.is_empty() {
-                self.mcu.receive(&bytes);
-            }
-            self.mcu.tick(n as f64 / SAMPLE_RATE);
-            self.latency.actuation.record(t2.elapsed().as_secs_f64());
-
+            let flat = self.window.flat();
             let t = self.elapsed_s();
-            trace.labels.push(LabelEvent { t, label });
-            trace.joints.push((
-                t,
-                self.mcu.arm.joint_value(Joint::Lift),
-                self.mcu.arm.joint_value(Joint::Wrist),
-                self.mcu.arm.joint_value(Joint::Grip),
-            ));
+            self.head
+                .step(&flat, &self.pool, t, n, &mut trace, &mut self.latency)?;
         }
         Ok(trace)
     }

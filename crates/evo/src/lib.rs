@@ -16,4 +16,6 @@ pub mod search;
 
 pub use genome::{Family, Genome, SearchSpace};
 pub use pareto::{best_model, pareto_front, Candidate};
-pub use search::{EvalResult, Evaluator, EvolutionConfig, EvolutionOutcome, EvolutionarySearch};
+pub use search::{
+    EvalResult, Evaluator, EvolutionConfig, EvolutionOutcome, EvolutionarySearch, SearchState,
+};

@@ -65,6 +65,24 @@ impl Default for EvolutionConfig {
     }
 }
 
+/// A resumable mid-search snapshot, taken at a generation boundary: the
+/// population about to be evaluated, the history accumulated so far, and —
+/// crucially — the RNG's exact stream position, so breeding after a resume
+/// consumes the same random words it would have in an uninterrupted run.
+/// [`EvolutionarySearch::run_from`] on a snapshot is bit-identical to the
+/// run that produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchState {
+    /// Index of the generation `population` is about to be evaluated as.
+    pub generation: usize,
+    /// The genomes awaiting evaluation.
+    pub population: Vec<Genome>,
+    /// Every candidate evaluated in generations before this one.
+    pub history: Vec<(usize, Candidate)>,
+    /// The driver RNG's raw stream position (see `rand::rngs::StdRng::state`).
+    pub rng_state: [u64; 4],
+}
+
 /// Everything the search produces.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvolutionOutcome {
@@ -121,6 +139,27 @@ impl EvolutionarySearch {
             .collect()
     }
 
+    /// The search's starting snapshot: P0 sampled from the seeded RNG
+    /// (Algorithm 1 line 3), with the RNG parked right after sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population or generations are zero.
+    #[must_use]
+    pub fn initial_state(&self) -> SearchState {
+        let cfg = &self.config;
+        assert!(cfg.population > 0 && cfg.generations > 0, "degenerate config");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let population: Vec<Genome> =
+            (0..cfg.population).map(|_| self.space.sample(&mut rng)).collect();
+        SearchState {
+            generation: 0,
+            population,
+            history: Vec::new(),
+            rng_state: rng.state(),
+        }
+    }
+
     /// Runs Algorithm 1 to completion.
     ///
     /// Candidate evaluations within a generation run in parallel on the
@@ -134,18 +173,56 @@ impl EvolutionarySearch {
     ///
     /// Panics if the population or generations are zero.
     pub fn run(&self, evaluator: &dyn Evaluator) -> EvolutionOutcome {
+        self.run_from(evaluator, self.initial_state(), None)
+    }
+
+    /// Runs Algorithm 1 from a [`SearchState`] — [`Self::initial_state`]
+    /// for a fresh run, or a snapshot observed on a previous (possibly
+    /// interrupted) run to **resume** it. When `on_generation` is
+    /// installed it fires at every subsequent generation boundary with
+    /// the snapshot that would resume there; persist it (e.g. via
+    /// `model_io::SearchCheckpoint`) and a crashed search loses at most
+    /// one generation of work. Snapshots (which clone the population and
+    /// history) are only built when a hook is installed, so a plain
+    /// [`Self::run`] stays clone-free.
+    ///
+    /// Resuming is exact: `run_from` on a snapshot produces the same
+    /// outcome, bit for bit, as the uninterrupted run that emitted it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is degenerate, if the state's generation is not
+    /// below the configured generation count, or if its population size
+    /// disagrees with the config.
+    pub fn run_from(
+        &self,
+        evaluator: &dyn Evaluator,
+        state: SearchState,
+        mut on_generation: Option<&mut dyn FnMut(&SearchState)>,
+    ) -> EvolutionOutcome {
         let cfg = &self.config;
         assert!(cfg.population > 0 && cfg.generations > 0, "degenerate config");
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        assert!(
+            state.generation < cfg.generations,
+            "state generation {} is past the configured {} generations",
+            state.generation,
+            cfg.generations
+        );
+        assert_eq!(
+            state.population.len(),
+            cfg.population,
+            "state population size disagrees with the config"
+        );
+        let SearchState {
+            mut generation,
+            mut population,
+            mut history,
+            rng_state,
+        } = state;
+        let mut rng = StdRng::from_state(rng_state);
+        let mut evaluated: Vec<Candidate>;
 
-        // Line 3: initialize P0.
-        let mut population: Vec<Genome> =
-            (0..cfg.population).map(|_| self.space.sample(&mut rng)).collect();
-
-        let mut history: Vec<(usize, Candidate)> = Vec::new();
-        let mut evaluated: Vec<Candidate> = Vec::new();
-
-        for generation in 0..cfg.generations {
+        loop {
             // Lines 5-8: evaluate and score.
             evaluated = self.evaluate_generation(evaluator, &population, generation);
             for c in &evaluated {
@@ -174,6 +251,15 @@ impl EvolutionarySearch {
                 next.push(child);
             }
             population = next;
+            generation += 1;
+            if let Some(hook) = &mut on_generation {
+                hook(&SearchState {
+                    generation,
+                    population: population.clone(),
+                    history: history.clone(),
+                    rng_state: rng.state(),
+                });
+            }
         }
 
         // Lines 14-19: Pareto front + best-model rule.
@@ -364,6 +450,43 @@ mod tests {
                 .run(&SeedSensitive);
             assert_eq!(outcome, reference, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn resuming_from_a_generation_snapshot_is_bit_identical() {
+        let s = search();
+        // Reference: uninterrupted run, capturing every boundary snapshot.
+        let mut snapshots: Vec<SearchState> = Vec::new();
+        let mut capture = |state: &SearchState| snapshots.push(state.clone());
+        let reference = s.run_from(&SeedSensitive, s.initial_state(), Some(&mut capture));
+        assert_eq!(snapshots.len(), 5, "one snapshot per non-final generation");
+        // Resume from every snapshot (simulating a crash right after it was
+        // persisted); each must reproduce the reference outcome exactly.
+        for snapshot in snapshots {
+            let resumed = s.run_from(&SeedSensitive, snapshot.clone(), None);
+            assert_eq!(
+                resumed, reference,
+                "resume from generation {} diverged",
+                snapshot.generation
+            );
+        }
+    }
+
+    #[test]
+    fn initial_state_run_matches_plain_run() {
+        let s = search();
+        let a = s.run(&SeedSensitive);
+        let b = s.run_from(&SeedSensitive, s.initial_state(), None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "past the configured")]
+    fn overrun_state_is_rejected() {
+        let s = search();
+        let mut state = s.initial_state();
+        state.generation = 6;
+        let _ = s.run_from(&Proxy, state, None);
     }
 
     #[test]

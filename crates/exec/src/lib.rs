@@ -7,10 +7,15 @@
 //! thread count**. This crate provides the small API the rest of the
 //! workspace builds on:
 //!
-//! * [`ExecPool`] — a scoped thread pool over `std::thread` whose
-//!   [`ExecPool::par_map`] / [`ExecPool::par_map_indexed`] /
-//!   [`ExecPool::par_map_range`] collect results **in input order**, so a
+//! * [`ExecPool`] — a persistent-worker thread pool (long-lived threads fed
+//!   from a task queue, so a parallel map costs an enqueue instead of a
+//!   spawn/join cycle) whose [`ExecPool::par_map`] /
+//!   [`ExecPool::par_map_indexed`] / [`ExecPool::par_map_range`] /
+//!   [`ExecPool::par_map_mut`] collect results **in input order**, so a
 //!   parallel map is indistinguishable from its sequential counterpart.
+//!   The calling thread participates in its own task, which makes nested
+//!   and concurrent maps on one pool deadlock-free — the property the
+//!   multi-session serving layer builds on.
 //! * [`split_seed`] — a SplitMix64-style per-index seed derivation, so every
 //!   parallel work item owns an RNG stream that depends only on its index,
 //!   never on scheduling.

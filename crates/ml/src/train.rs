@@ -61,14 +61,45 @@ pub struct TrainReport {
     pub epochs_run: usize,
 }
 
+/// Builds and trains a model in one owned step: `build` constructs a fresh
+/// model, [`train_model`] fits it, and the trained model is returned by
+/// value together with its report.
+///
+/// This is the borrow shape parallel training wants: [`train_model`] needs
+/// `&mut` exclusivity for the whole fit, so concurrent callers must each
+/// *own* their model rather than share one — `train_built` packages
+/// construction + fit + handoff so an `exec::ExecPool` closure (one
+/// ensemble member or LOSO fold per work item) never holds a borrow that
+/// outlives its item.
+///
+/// # Errors
+///
+/// Propagates `build` failures and [`train_model`] errors.
+pub fn train_built<M, B>(
+    build: B,
+    train_x: &[Vec<f32>],
+    train_y: &[usize],
+    val_x: &[Vec<f32>],
+    val_y: &[usize],
+    cfg: &TrainConfig,
+) -> Result<(M, TrainReport)>
+where
+    M: Model,
+    B: FnOnce() -> Result<M>,
+{
+    let mut model = build()?;
+    let report = train_model(&mut model, train_x, train_y, val_x, val_y, cfg)?;
+    Ok((model, report))
+}
+
 /// Trains `model` in place.
 ///
 /// # Errors
 ///
 /// Returns [`MlError::EmptyDataset`] for empty inputs and
 /// [`MlError::Diverged`] if the loss becomes non-finite.
-pub fn train_model(
-    model: &mut dyn Model,
+pub fn train_model<M: Model + ?Sized>(
+    model: &mut M,
     train_x: &[Vec<f32>],
     train_y: &[usize],
     val_x: &[Vec<f32>],
@@ -154,7 +185,7 @@ pub fn train_model(
 
 /// Predicts class indices for a set of windows.
 #[must_use]
-pub fn predict(model: &dyn Model, xs: &[Vec<f32>], batch_size: usize) -> Vec<usize> {
+pub fn predict<M: Model + ?Sized>(model: &M, xs: &[Vec<f32>], batch_size: usize) -> Vec<usize> {
     predict_proba(model, xs, batch_size)
         .into_iter()
         .map(|p| {
@@ -169,7 +200,7 @@ pub fn predict(model: &dyn Model, xs: &[Vec<f32>], batch_size: usize) -> Vec<usi
 
 /// Predicts class probabilities (softmax over logits) for a set of windows.
 #[must_use]
-pub fn predict_proba(model: &dyn Model, xs: &[Vec<f32>], batch_size: usize) -> Vec<Vec<f32>> {
+pub fn predict_proba<M: Model + ?Sized>(model: &M, xs: &[Vec<f32>], batch_size: usize) -> Vec<Vec<f32>> {
     let mut rng = StdRng::seed_from_u64(0);
     let mut out = Vec::with_capacity(xs.len());
     for chunk in xs.chunks(batch_size.max(1)) {
@@ -190,7 +221,7 @@ pub fn predict_proba(model: &dyn Model, xs: &[Vec<f32>], batch_size: usize) -> V
 
 /// Accuracy of `model` on a labelled set.
 #[must_use]
-pub fn evaluate(model: &dyn Model, xs: &[Vec<f32>], ys: &[usize], batch_size: usize) -> f64 {
+pub fn evaluate<M: Model + ?Sized>(model: &M, xs: &[Vec<f32>], ys: &[usize], batch_size: usize) -> f64 {
     let preds = predict(model, xs, batch_size);
     accuracy(&preds, ys)
 }
@@ -295,6 +326,25 @@ mod tests {
         // Mostly checking it completes fast and doesn't error.
         let report = train_model(&mut model, &xs, &ys, &[], &[], &cfg).unwrap();
         assert_eq!(report.epochs_run, 1);
+    }
+
+    #[test]
+    fn train_built_matches_borrowing_path_bitwise() {
+        let (xs, ys) = toy_dataset(60, 8, 32, 5);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            optimizer: OptimizerKind::Adam { lr: 3e-3 },
+            seed: 1,
+            patience: None,
+            max_batches: None,
+        };
+        let mut borrowed = tiny_cnn(32).build(0).unwrap();
+        let report_a = train_model(&mut borrowed, &xs, &ys, &xs, &ys, &cfg).unwrap();
+        let (owned, report_b) =
+            train_built(|| tiny_cnn(32).build(0), &xs, &ys, &xs, &ys, &cfg).unwrap();
+        assert_eq!(report_a, report_b);
+        assert_eq!(predict(&borrowed, &xs, 16), predict(&owned, &xs, 16));
     }
 
     #[test]

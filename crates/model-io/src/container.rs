@@ -35,7 +35,7 @@ pub const FORMAT_VERSION: u16 = 1;
 
 /// Hard ceiling on sections per file (the table is tiny; anything bigger
 /// is corruption).
-const MAX_SECTIONS: usize = 256;
+pub(crate) const MAX_SECTIONS: usize = 256;
 
 /// An in-memory `.cogm` container: an ordered list of tagged sections.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -290,13 +290,14 @@ pub fn save_section<T: Persist, P: AsRef<Path>>(path: P, tag: [u8; 4], value: &T
 }
 
 /// Loads one [`Persist`] value from a single-section file written by
-/// [`save_section`].
+/// [`save_section`], streaming through [`crate::LazyContainer`] so the
+/// value decodes straight from disk.
 ///
 /// # Errors
 ///
 /// Typed errors for malformed files or a missing section.
 pub fn load_section<T: Persist, P: AsRef<Path>>(path: P, tag: [u8; 4]) -> Result<T> {
-    Container::load(path)?.get(tag)
+    crate::LazyContainer::open(path)?.get(tag)
 }
 
 #[cfg(test)]

@@ -28,14 +28,47 @@ const TABLE: [u32; 256] = {
     table
 };
 
+/// Incremental CRC-32: feed chunks with [`Crc32::update`], read the digest
+/// with [`Crc32::finish`]. Lets the lazy loader verify a whole artifact
+/// through a fixed-size buffer instead of materializing the file.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    crc: u32,
+}
+
+impl Crc32 {
+    /// A fresh digest.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { crc: 0xFFFF_FFFF }
+    }
+
+    /// Folds `data` into the digest.
+    pub fn update(&mut self, data: &[u8]) {
+        for &byte in data {
+            self.crc = (self.crc >> 8) ^ TABLE[((self.crc ^ u32::from(byte)) & 0xFF) as usize];
+        }
+    }
+
+    /// The final checksum.
+    #[must_use]
+    pub fn finish(&self) -> u32 {
+        !self.crc
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Computes the CRC-32 of `data` in one shot.
 #[must_use]
 pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &byte in data {
-        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
-    }
-    !crc
+    let mut digest = Crc32::new();
+    digest.update(data);
+    digest.finish()
 }
 
 #[cfg(test)]
@@ -48,6 +81,19 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_digest_matches_one_shot_for_any_chunking() {
+        let data: Vec<u8> = (0..=255).cycle().take(1000).collect();
+        let reference = crc32(&data);
+        for chunk in [1, 3, 7, 64, 1000] {
+            let mut digest = Crc32::new();
+            for piece in data.chunks(chunk) {
+                digest.update(piece);
+            }
+            assert_eq!(digest.finish(), reference, "chunk size {chunk}");
+        }
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub mod tags {
     pub const EVO_CONFIG: [u8; 4] = *b"ECFG";
     /// Evolutionary-search outcome.
     pub const EVO_OUTCOME: [u8; 4] = *b"EOUT";
+    /// Mid-search resumable state (optional; additive, so no version bump).
+    pub const EVO_RESUME: [u8; 4] = *b"ERSM";
 }
 
 persist_struct!(FilterSpec {
@@ -129,13 +131,20 @@ impl SavedModel {
         Ok(container)
     }
 
-    /// Loads a model saved by [`SavedModel::save`].
+    /// Loads a model saved by [`SavedModel::save`], section by section
+    /// through a [`crate::LazyContainer`] — the checksum is verified by
+    /// streaming and only the three model sections are ever materialized.
     ///
     /// # Errors
     ///
     /// Typed errors for every malformed input; never panics.
     pub fn load<P: AsRef<Path>>(path: P) -> Result<Self> {
-        Self::from_container(&Container::load(path)?)
+        let mut lazy = crate::LazyContainer::open(path)?;
+        Self::from_parts(
+            lazy.get(tags::PIPELINE)?,
+            lazy.get(tags::ENSEMBLE)?,
+            lazy.get_optional(tags::NORMALIZATION)?,
+        )
     }
 
     /// Decodes a model from an already-parsed container.
@@ -144,9 +153,19 @@ impl SavedModel {
     ///
     /// Same as [`SavedModel::load`], minus I/O.
     pub fn from_container(container: &Container) -> Result<Self> {
-        let pipeline: PipelineConfig = container.get(tags::PIPELINE)?;
-        let ensemble: Ensemble = container.get(tags::ENSEMBLE)?;
-        let normalization: Option<Zscore> = container.get_optional(tags::NORMALIZATION)?;
+        Self::from_parts(
+            container.get(tags::PIPELINE)?,
+            container.get(tags::ENSEMBLE)?,
+            container.get_optional(tags::NORMALIZATION)?,
+        )
+    }
+
+    /// The shared validation gate both load paths funnel through.
+    fn from_parts(
+        pipeline: PipelineConfig,
+        ensemble: Ensemble,
+        normalization: Option<Zscore>,
+    ) -> Result<Self> {
         ensure(
             pipeline.label_every >= 1,
             "label_every must be positive (the loop advances by it)",
@@ -220,41 +239,105 @@ impl ArmPersist for CognitiveArm {
     }
 }
 
-/// A completed evolutionary-search state: the configuration that drove it
-/// and everything it produced. Persisting it makes long searches resumable
-/// across processes and their Pareto fronts auditable after the fact.
+/// A persisted evolutionary-search state: the configuration that drove it,
+/// plus either the full **outcome** of a completed run (auditable Pareto
+/// fronts), a **resumable** mid-search [`evo::SearchState`] (config +
+/// pending population + accumulated history + the RNG's exact stream
+/// position), or both. Saving the resume state each generation (the
+/// `on_generation` hook of `EvolutionarySearch::run_from`) bounds the work
+/// a crash can lose to one generation, and a resumed run is bit-identical
+/// to the uninterrupted one.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchCheckpoint {
     /// The search configuration.
     pub config: EvolutionConfig,
-    /// The search's full outcome (history, final population, front, best).
-    pub outcome: EvolutionOutcome,
+    /// The full outcome (history, final population, front, best), present
+    /// once the search has completed.
+    pub outcome: Option<EvolutionOutcome>,
+    /// The mid-search resume point, present while the search is running.
+    pub resume: Option<evo::SearchState>,
 }
 
 impl SearchCheckpoint {
+    /// A checkpoint for a completed search.
+    #[must_use]
+    pub fn completed(config: EvolutionConfig, outcome: EvolutionOutcome) -> Self {
+        Self {
+            config,
+            outcome: Some(outcome),
+            resume: None,
+        }
+    }
+
+    /// A checkpoint for a search still in flight, resumable at `state`.
+    #[must_use]
+    pub fn mid_search(config: EvolutionConfig, state: evo::SearchState) -> Self {
+        Self {
+            config,
+            outcome: None,
+            resume: Some(state),
+        }
+    }
+
+    /// A checkpoint must be internally consistent, not just present:
+    /// `EvolutionarySearch::run_from` *panics* on a resume state whose
+    /// population size or generation disagrees with the config, so both
+    /// the writer and the reader reject that shape as a typed error — a
+    /// loadable checkpoint is always a resumable one.
+    fn validate(&self) -> Result<()> {
+        ensure(
+            self.outcome.is_some() || self.resume.is_some(),
+            "checkpoint carries neither an outcome nor a resume state",
+        )?;
+        if let Some(resume) = &self.resume {
+            ensure(
+                resume.population.len() == self.config.population,
+                "resume population size disagrees with the search config",
+            )?;
+            ensure(
+                resume.generation < self.config.generations,
+                "resume generation is past the configured generation count",
+            )?;
+        }
+        Ok(())
+    }
+
     /// Writes the checkpoint as a `.cogm` container
-    /// (sections `ECFG` + `EOUT`).
+    /// (sections `ECFG` [+ `EOUT`] [+ `ERSM`]).
     ///
     /// # Errors
     ///
-    /// Propagates serialization and I/O failures.
+    /// [`ModelIoError::Malformed`] for a checkpoint that carries neither an
+    /// outcome nor a resume state, or whose resume state disagrees with its
+    /// config; serialization and I/O failures otherwise.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        self.validate()?;
         let mut container = Container::new();
         container.add(tags::EVO_CONFIG, &self.config)?;
-        container.add(tags::EVO_OUTCOME, &self.outcome)?;
+        if let Some(outcome) = &self.outcome {
+            container.add(tags::EVO_OUTCOME, outcome)?;
+        }
+        if let Some(resume) = &self.resume {
+            container.add(tags::EVO_RESUME, resume)?;
+        }
         container.save(path)
     }
 
-    /// Loads a checkpoint saved by [`SearchCheckpoint::save`].
+    /// Loads a checkpoint saved by [`SearchCheckpoint::save`]. Files from
+    /// before the resumable extension (sections `ECFG` + `EOUT` only) load
+    /// with `resume: None`.
     ///
     /// # Errors
     ///
     /// Typed errors for every malformed input; never panics.
     pub fn load<P: AsRef<Path>>(path: P) -> Result<Self> {
-        let container = Container::load(path)?;
-        Ok(Self {
-            config: container.get(tags::EVO_CONFIG)?,
-            outcome: container.get(tags::EVO_OUTCOME)?,
-        })
+        let mut lazy = crate::LazyContainer::open(path)?;
+        let checkpoint = Self {
+            config: lazy.get(tags::EVO_CONFIG)?,
+            outcome: lazy.get_optional(tags::EVO_OUTCOME)?,
+            resume: lazy.get_optional(tags::EVO_RESUME)?,
+        };
+        checkpoint.validate()?;
+        Ok(checkpoint)
     }
 }

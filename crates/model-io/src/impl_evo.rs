@@ -3,7 +3,7 @@
 
 use std::io::{Read, Write};
 
-use evo::{Candidate, EvalResult, EvolutionConfig, EvolutionOutcome, Genome};
+use evo::{Candidate, EvalResult, EvolutionConfig, EvolutionOutcome, Genome, SearchState};
 
 use crate::error::{ModelIoError, Result};
 use crate::impl_ml::ensure;
@@ -92,3 +92,34 @@ persist_struct!(EvolutionOutcome {
     front,
     best,
 });
+
+/// Manual rather than `persist_struct!`: the RNG stream position must be
+/// validated on the way in — `StdRng::from_state` panics on the all-zero
+/// state (unreachable from any seed), and a load must be a typed error
+/// instead.
+impl Persist for SearchState {
+    fn write_to<W: Write>(&self, w: &mut W) -> Result<()> {
+        self.generation.write_to(w)?;
+        self.population.write_to(w)?;
+        self.history.write_to(w)?;
+        self.rng_state.write_to(w)
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<Self> {
+        let state = SearchState {
+            generation: Persist::read_from(r)?,
+            population: Persist::read_from(r)?,
+            history: Persist::read_from(r)?,
+            rng_state: Persist::read_from(r)?,
+        };
+        ensure(
+            state.rng_state != [0; 4],
+            "all-zero RNG state is degenerate (unreachable from any seed)",
+        )?;
+        ensure(
+            !state.population.is_empty(),
+            "resumable state must carry a population",
+        )?;
+        Ok(state)
+    }
+}

@@ -1,0 +1,328 @@
+//! Buffered lazy section loading: open a `.cogm` file, verify its
+//! checksum by **streaming** (fixed 64 KiB buffer), index the section
+//! table, and decode only the sections a caller asks for — each straight
+//! from a buffered reader over its byte range.
+//!
+//! [`crate::Container`] materializes every section in memory up front,
+//! which is fine for writing (sections are assembled in memory anyway) but
+//! wasteful for serving cold starts on large artifacts: a deployment that
+//! only wants the ensemble still pays for every other section. A
+//! [`LazyContainer`]'s peak memory is one I/O buffer plus the largest
+//! *decoded* value actually requested.
+//!
+//! The total-reader guarantees are unchanged: checksum verified before any
+//! payload is parsed, every malformed input a typed [`ModelIoError`], and
+//! a section read must consume its byte range exactly.
+
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::path::Path;
+
+use crate::container::{FORMAT_VERSION, MAGIC, MAX_SECTIONS};
+use crate::crc32::Crc32;
+use crate::error::{ModelIoError, Result};
+use crate::rw::Persist;
+
+/// Streaming-verification buffer size.
+const VERIFY_BUF: usize = 64 * 1024;
+
+/// One indexed section: tag, absolute payload offset, payload length.
+#[derive(Debug, Clone, Copy)]
+struct SectionEntry {
+    tag: [u8; 4],
+    offset: u64,
+    len: u64,
+}
+
+/// A `.cogm` file whose sections load on demand (see the module docs).
+#[derive(Debug)]
+pub struct LazyContainer {
+    file: File,
+    sections: Vec<SectionEntry>,
+}
+
+impl LazyContainer {
+    /// Opens and verifies a `.cogm` file without materializing its
+    /// payloads: header and section table are read (both bounded), offsets
+    /// validated against the real file length, and the trailing CRC32
+    /// checked by streaming the file through a fixed-size buffer.
+    ///
+    /// # Errors
+    ///
+    /// Every malformed input yields a typed [`ModelIoError`]; nothing
+    /// panics and nothing allocates proportionally to forged lengths.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        // Envelope: magic + version + count + crc is the minimum file.
+        if file_len < 8 {
+            return Err(ModelIoError::Truncated { context: "header" });
+        }
+
+        let mut header = [0u8; 8];
+        file.read_exact(&mut header)
+            .map_err(ModelIoError::Io)?;
+        let found: [u8; 4] = header[0..4].try_into().expect("length checked");
+        if found != MAGIC {
+            return Err(ModelIoError::BadMagic { found });
+        }
+        let version = u16::from_le_bytes(header[4..6].try_into().expect("length checked"));
+        if version != FORMAT_VERSION {
+            return Err(ModelIoError::UnsupportedVersion { found: version });
+        }
+        if file_len < 12 {
+            return Err(ModelIoError::Truncated { context: "checksum" });
+        }
+        let count = usize::from(u16::from_le_bytes(
+            header[6..8].try_into().expect("length checked"),
+        ));
+        if count > MAX_SECTIONS {
+            return Err(ModelIoError::LengthOverflow {
+                context: "section count",
+                len: count as u64,
+            });
+        }
+
+        // The table is at most MAX_SECTIONS × 12 bytes — safe to buffer.
+        let table_len = (count * 12) as u64;
+        let body_len = file_len - 4;
+        if body_len < 8 + table_len {
+            return Err(ModelIoError::Truncated {
+                context: "section table",
+            });
+        }
+        let mut table = vec![0u8; count * 12];
+        file.read_exact(&mut table).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                ModelIoError::Truncated {
+                    context: "section table",
+                }
+            } else {
+                ModelIoError::Io(e)
+            }
+        })?;
+
+        let mut sections = Vec::with_capacity(count);
+        let mut offset = 8 + table_len;
+        for entry in table.chunks_exact(12) {
+            let tag: [u8; 4] = entry[0..4].try_into().expect("length checked");
+            let len = u64::from_le_bytes(entry[4..12].try_into().expect("length checked"));
+            let end = offset.checked_add(len).ok_or(ModelIoError::LengthOverflow {
+                context: "section length",
+                len,
+            })?;
+            if end > body_len {
+                return Err(ModelIoError::Truncated {
+                    context: "section payload",
+                });
+            }
+            sections.push(SectionEntry { tag, offset, len });
+            offset = end;
+        }
+        if offset != body_len {
+            return Err(ModelIoError::malformed(format!(
+                "{} unclaimed bytes after sections",
+                body_len - offset
+            )));
+        }
+
+        // Stream the whole body through a bounded buffer for the CRC; the
+        // last four bytes are the stored checksum.
+        file.seek(SeekFrom::Start(0))?;
+        let mut digest = Crc32::new();
+        let mut remaining = body_len;
+        let mut buf = vec![0u8; VERIFY_BUF];
+        while remaining > 0 {
+            let take = remaining.min(VERIFY_BUF as u64) as usize;
+            file.read_exact(&mut buf[..take]).map_err(ModelIoError::Io)?;
+            digest.update(&buf[..take]);
+            remaining -= take as u64;
+        }
+        let mut stored = [0u8; 4];
+        file.read_exact(&mut stored).map_err(ModelIoError::Io)?;
+        let stored = u32::from_le_bytes(stored);
+        let computed = digest.finish();
+        if stored != computed {
+            return Err(ModelIoError::ChecksumMismatch { stored, computed });
+        }
+
+        Ok(Self { file, sections })
+    }
+
+    /// Section tags in file order.
+    #[must_use]
+    pub fn tags(&self) -> Vec<[u8; 4]> {
+        self.sections.iter().map(|s| s.tag).collect()
+    }
+
+    /// The on-disk payload length of the first section with `tag`.
+    #[must_use]
+    pub fn section_len(&self, tag: [u8; 4]) -> Option<u64> {
+        self.find(tag).map(|s| s.len)
+    }
+
+    fn find(&self, tag: [u8; 4]) -> Option<SectionEntry> {
+        self.sections.iter().copied().find(|s| s.tag == tag)
+    }
+
+    /// Decodes the section under `tag` as a `T`, streaming from disk and
+    /// requiring the payload to be fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelIoError::MissingSection`] when absent; the value's typed
+    /// decode errors otherwise.
+    pub fn get<T: Persist>(&mut self, tag: [u8; 4]) -> Result<T> {
+        let entry = self.find(tag).ok_or(ModelIoError::MissingSection { tag })?;
+        self.read_entry(entry)
+    }
+
+    /// Like [`LazyContainer::get`] but returns `None` for a missing
+    /// section instead of an error (for optional sections).
+    ///
+    /// # Errors
+    ///
+    /// The value's typed decode errors when the section exists.
+    pub fn get_optional<T: Persist>(&mut self, tag: [u8; 4]) -> Result<Option<T>> {
+        match self.find(tag) {
+            None => Ok(None),
+            Some(entry) => self.read_entry(entry).map(Some),
+        }
+    }
+
+    fn read_entry<T: Persist>(&mut self, entry: SectionEntry) -> Result<T> {
+        self.file.seek(SeekFrom::Start(entry.offset))?;
+        let mut reader = BufReader::new((&self.file).take(entry.len));
+        let value = T::read_from(&mut reader)?;
+        // Mirror `from_bytes`: a decode that leaves payload bytes behind
+        // is a malformed section, not a value.
+        let mut probe = [0u8; 1];
+        match reader.read(&mut probe)? {
+            0 => Ok(value),
+            _ => Err(ModelIoError::malformed(format!(
+                "trailing bytes after value in section {:?}",
+                entry.tag
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::Container;
+
+    fn temp_file(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("model-io-lazy-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    fn sample() -> Container {
+        let mut c = Container::new();
+        c.add(*b"ONE ", &vec![1u32, 2, 3]).unwrap();
+        c.add(*b"TWO ", &String::from("hello")).unwrap();
+        c.add(*b"BIG ", &vec![0.5f32; 40_000]).unwrap();
+        c
+    }
+
+    #[test]
+    fn lazy_reads_match_eager_reads() {
+        let path = temp_file("sample.cogm");
+        sample().save(&path).unwrap();
+        let mut lazy = LazyContainer::open(&path).unwrap();
+        assert_eq!(lazy.tags(), sample().tags());
+        assert_eq!(lazy.get::<Vec<u32>>(*b"ONE ").unwrap(), vec![1, 2, 3]);
+        assert_eq!(lazy.get::<String>(*b"TWO ").unwrap(), "hello");
+        assert_eq!(lazy.get::<Vec<f32>>(*b"BIG ").unwrap().len(), 40_000);
+        // Repeated and out-of-order reads both work (each seeks afresh).
+        assert_eq!(lazy.get::<Vec<u32>>(*b"ONE ").unwrap(), vec![1, 2, 3]);
+        assert_eq!(
+            lazy.section_len(*b"TWO ").unwrap(),
+            8 + "hello".len() as u64
+        );
+    }
+
+    #[test]
+    fn missing_sections_are_typed() {
+        let path = temp_file("missing.cogm");
+        sample().save(&path).unwrap();
+        let mut lazy = LazyContainer::open(&path).unwrap();
+        assert!(matches!(
+            lazy.get::<u32>(*b"NOPE").unwrap_err(),
+            ModelIoError::MissingSection { .. }
+        ));
+        assert_eq!(lazy.get_optional::<u32>(*b"NOPE").unwrap(), None);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_at_open() {
+        let bytes = sample().to_file_bytes();
+        let path = temp_file("trunc.cogm");
+        // Sampled cuts (the eager reader sweeps every offset; here the file
+        // write dominates, so probe the structure boundaries + a stride).
+        let mut cuts: Vec<usize> = (0..bytes.len()).step_by(977).collect();
+        cuts.extend([0, 4, 7, 8, 11, 12, 20, bytes.len() - 5, bytes.len() - 1]);
+        for cut in cuts {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(
+                LazyContainer::open(&path).is_err(),
+                "truncation to {cut} bytes accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn every_byte_flip_is_rejected_at_open() {
+        let bytes = sample().to_file_bytes();
+        let path = temp_file("flip.cogm");
+        let mut flips: Vec<usize> = (0..bytes.len()).step_by(977).collect();
+        flips.extend([0, 5, 6, 9, 15, bytes.len() - 4, bytes.len() - 1]);
+        for i in flips {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0xFF;
+            std::fs::write(&path, &corrupt).unwrap();
+            assert!(
+                LazyContainer::open(&path).is_err(),
+                "flip at byte {i} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_section_consumes_are_rejected_at_get() {
+        // The checksum is fine (the writer wrote the file), so open
+        // succeeds — but decoding a section as a type that consumes only a
+        // prefix of its payload must be a typed error, exactly like
+        // `from_bytes`' trailing-bytes rule.
+        let payload = vec![0xAAu8, 0xBB, 0xCC];
+        let mut c = Container::new();
+        c.add(*b"RAWB", &payload).unwrap();
+        let path = temp_file("trailing.cogm");
+        c.save(&path).unwrap();
+        let mut lazy = LazyContainer::open(&path).unwrap();
+        // Full consume matches the eager reader.
+        assert_eq!(lazy.get::<Vec<u8>>(*b"RAWB").unwrap(), payload);
+        // The section's on-disk bytes are 8 (length prefix) + 3; a bare u64
+        // consumes just the prefix and must be refused.
+        assert!(matches!(
+            lazy.get::<u64>(*b"RAWB").unwrap_err(),
+            ModelIoError::Malformed { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_and_garbage_files_are_typed_errors() {
+        let path = temp_file("empty.cogm");
+        std::fs::write(&path, b"").unwrap();
+        assert!(matches!(
+            LazyContainer::open(&path).unwrap_err(),
+            ModelIoError::Truncated { .. }
+        ));
+        std::fs::write(&path, b"NOPEnope").unwrap();
+        assert!(matches!(
+            LazyContainer::open(&path).unwrap_err(),
+            ModelIoError::BadMagic { .. }
+        ));
+    }
+}

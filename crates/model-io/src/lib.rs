@@ -40,10 +40,17 @@
 //!
 //! * [`SavedModel`] / [`ArmPersist`] — a deployable trained system
 //!   (pipeline config + ensemble + frozen normalization).
-//! * [`SearchCheckpoint`] — a completed evolutionary search (config +
-//!   history + Pareto front + best).
+//! * [`SearchCheckpoint`] — an evolutionary search, either completed
+//!   (config + history + Pareto front + best) or mid-flight (config +
+//!   resumable [`evo::SearchState`] with the RNG's stream position).
 //! * [`container::save_section`] / [`container::load_section`] — any
 //!   single [`Persist`] value as its own file.
+//!
+//! Loading goes through [`LazyContainer`] where possible: the section
+//! table is indexed and the checksum verified by **streaming** the file
+//! through a fixed-size buffer, then each requested section decodes
+//! straight from a buffered reader over its byte range — the whole
+//! artifact is never materialized in memory at once.
 //!
 //! ```no_run
 //! use model_io::ArmPersist;
@@ -62,9 +69,11 @@ pub mod error;
 mod impl_core;
 mod impl_evo;
 mod impl_ml;
+pub mod lazy;
 pub mod rw;
 
 pub use container::{load_section, save_section, Container, FORMAT_VERSION, MAGIC};
+pub use lazy::LazyContainer;
 pub use error::{ModelIoError, Result};
 pub use impl_core::{tags, ArmPersist, SavedModel, SearchCheckpoint};
 pub use rw::{from_bytes, to_bytes, Persist};

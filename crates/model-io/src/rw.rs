@@ -163,6 +163,24 @@ impl<T: Persist> Persist for Vec<T> {
     }
 }
 
+/// Fixed-size array of words (RNG stream positions); no length prefix.
+impl Persist for [u64; 4] {
+    fn write_to<W: Write>(&self, w: &mut W) -> Result<()> {
+        for word in self {
+            word.write_to(w)?;
+        }
+        Ok(())
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<Self> {
+        let mut out = [0u64; 4];
+        for word in &mut out {
+            *word = u64::read_from(r)?;
+        }
+        Ok(out)
+    }
+}
+
 impl<A: Persist, B: Persist> Persist for (A, B) {
     fn write_to<W: Write>(&self, w: &mut W) -> Result<()> {
         self.0.write_to(w)?;

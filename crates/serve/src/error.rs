@@ -1,0 +1,63 @@
+use std::fmt;
+
+/// Errors produced by the serving layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Pipeline-layer failure inside a session.
+    Core(cognitive_arm::CoreError),
+    /// Acquisition failure inside a streaming session.
+    Eeg(eeg::EegError),
+    /// Stream-transport failure inside a streaming session.
+    Stream(stream::StreamError),
+    /// Actuation failure inside a session.
+    Arm(arm::ArmError),
+    /// A session id that the manager does not know.
+    UnknownSession(usize),
+    /// A request the manager cannot honour as posed.
+    BadRequest(String),
+    /// One pipeline stage hung up while its peer was still mid-segment
+    /// (normally shadowed by the real error from the stage that died).
+    StageDisconnected,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Core(e) => write!(f, "session pipeline: {e}"),
+            ServeError::Eeg(e) => write!(f, "session acquisition: {e}"),
+            ServeError::Stream(e) => write!(f, "session stream: {e}"),
+            ServeError::Arm(e) => write!(f, "session actuation: {e}"),
+            ServeError::UnknownSession(id) => write!(f, "unknown session id {id}"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::StageDisconnected => write!(f, "pipeline stage disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            ServeError::Eeg(e) => Some(e),
+            ServeError::Stream(e) => Some(e),
+            ServeError::Arm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! from_err {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for ServeError {
+            fn from(e: $ty) -> Self {
+                ServeError::$variant(e)
+            }
+        }
+    };
+}
+
+from_err!(Core, cognitive_arm::CoreError);
+from_err!(Eeg, eeg::EegError);
+from_err!(Stream, stream::StreamError);
+from_err!(Arm, arm::ArmError);

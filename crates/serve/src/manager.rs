@@ -1,0 +1,340 @@
+//! The [`SessionManager`]: many concurrent `CognitiveArm` sessions
+//! multiplexed over one shared [`ExecPool`].
+
+use std::sync::Arc;
+
+use arm::controller::ControlMode;
+use cognitive_arm::pipeline::{CognitiveArm, PipelineConfig, SessionTrace};
+use cognitive_arm::preprocess::StreamingChain;
+use dsp::normalize::Zscore;
+use eeg::types::Action;
+use exec::ExecPool;
+use ml::ensemble::Ensemble;
+use model_io::SavedModel;
+
+use crate::streaming::{StreamSession, DEFAULT_CHANNEL_CAPACITY};
+use crate::{Result, ServeError};
+
+/// Everything needed to admit one user session: the trained artifact plus
+/// the per-user simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// Pipeline configuration (filter design, label rate, controller).
+    pub config: PipelineConfig,
+    /// The trained classifying ensemble.
+    pub ensemble: Ensemble,
+    /// Frozen per-subject normalization, if fitted.
+    pub normalization: Option<Zscore>,
+    /// Seed identifying the simulated subject (and their wire).
+    pub subject_seed: u64,
+    /// The mental task the subject starts with.
+    pub action: Action,
+}
+
+impl SessionSpec {
+    /// A spec with default normalization (none) and an idle subject.
+    #[must_use]
+    pub fn new(config: PipelineConfig, ensemble: Ensemble, subject_seed: u64) -> Self {
+        Self {
+            config,
+            ensemble,
+            normalization: None,
+            subject_seed,
+            action: Action::Idle,
+        }
+    }
+
+    /// Builds a spec straight from a persisted artifact — the serving cold
+    /// start: `SavedModel::load` + `from_saved` + `add_session`.
+    #[must_use]
+    pub fn from_saved(model: SavedModel, subject_seed: u64) -> Self {
+        Self {
+            config: model.pipeline,
+            ensemble: model.ensemble,
+            normalization: model.normalization,
+            subject_seed,
+            action: Action::Idle,
+        }
+    }
+
+    /// Installs frozen normalization statistics.
+    #[must_use]
+    pub fn with_normalization(mut self, zscore: Zscore) -> Self {
+        self.normalization = Some(zscore);
+        self
+    }
+
+    /// Sets the subject's initial mental task.
+    #[must_use]
+    pub fn with_action(mut self, action: Action) -> Self {
+        self.action = action;
+        self
+    }
+
+    /// Rejects specs the pipeline constructors would panic on, so session
+    /// admission is a typed error instead of a crash.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for an undesignable filter or a zero
+    /// `label_every`.
+    pub fn validate(&self) -> Result<()> {
+        if self.config.label_every == 0 {
+            return Err(ServeError::BadRequest(
+                "label_every must be positive".into(),
+            ));
+        }
+        StreamingChain::new(&self.config.filter)
+            .map_err(|e| ServeError::BadRequest(format!("filter spec rejected: {e}")))?;
+        Ok(())
+    }
+}
+
+/// Handle to a session owned by a [`SessionManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(usize);
+
+impl SessionId {
+    /// The manager-local index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One managed session: either the monolithic batch loop or the two-stage
+/// streaming pipeline. Both shapes share the manager's pool. Boxed so the
+/// manager's session vector stays compact regardless of which shape a
+/// slot holds.
+enum ManagedSession {
+    Batch(Box<CognitiveArm>),
+    Streaming(Box<StreamSession>),
+}
+
+/// A managed session plus its health: a session whose segment failed
+/// partway has advanced past its recorded trace, so the manager refuses
+/// to run it again (the same poisoning rule `StreamSession` applies
+/// internally, enforced here for both shapes).
+struct Slot {
+    session: ManagedSession,
+    poisoned: bool,
+}
+
+impl Slot {
+    fn run_for(&mut self, seconds: f64) -> Result<SessionTrace> {
+        if self.poisoned {
+            return Err(ServeError::BadRequest(
+                "session poisoned by an earlier mid-segment failure".into(),
+            ));
+        }
+        let out = match &mut self.session {
+            ManagedSession::Batch(arm) => arm.run_for(seconds).map_err(ServeError::from),
+            ManagedSession::Streaming(session) => session.run_for(seconds),
+        };
+        if out.is_err() {
+            self.poisoned = true;
+        }
+        out
+    }
+
+    fn set_action(&mut self, action: Action) {
+        match &mut self.session {
+            ManagedSession::Batch(arm) => arm.set_subject_action(action),
+            ManagedSession::Streaming(session) => session.set_subject_action(action),
+        }
+    }
+
+    fn set_mode(&mut self, mode: ControlMode) {
+        match &mut self.session {
+            ManagedSession::Batch(arm) => arm.set_mode(mode),
+            ManagedSession::Streaming(session) => session.set_mode(mode),
+        }
+    }
+}
+
+/// Multiplexes many long-lived sessions over one shared [`ExecPool`].
+///
+/// [`SessionManager::run_for`] advances **every** session by the same
+/// simulated duration, one pool work item per session; a session's own
+/// parallel stages (ensemble inference, streaming stage pair) nest on the
+/// same pool, which the persistent caller-participates pool design makes
+/// deadlock-free. Sessions are independent and results are collected in
+/// session order, so a serving run is bit-identical to running each
+/// session alone, sequentially, at any thread count.
+pub struct SessionManager {
+    pool: Arc<ExecPool>,
+    sessions: Vec<Slot>,
+}
+
+impl std::fmt::Debug for SessionManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionManager")
+            .field("sessions", &self.sessions.len())
+            .field("threads", &self.pool.threads())
+            .finish()
+    }
+}
+
+impl SessionManager {
+    /// A manager whose sessions run on `pool`.
+    #[must_use]
+    pub fn new(pool: Arc<ExecPool>) -> Self {
+        Self {
+            pool,
+            sessions: Vec::new(),
+        }
+    }
+
+    /// A manager on the process-wide [`exec::shared`] pool
+    /// (`COGARM_THREADS` sizes it).
+    #[must_use]
+    pub fn with_shared_pool() -> Self {
+        Self::new(exec::shared())
+    }
+
+    /// The pool every session runs on.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<ExecPool> {
+        &self.pool
+    }
+
+    /// Number of admitted sessions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether no session has been admitted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Admits a batch session (the monolithic `CognitiveArm` loop) on the
+    /// manager's pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for an invalid spec.
+    pub fn add_session(&mut self, spec: SessionSpec) -> Result<SessionId> {
+        spec.validate()?;
+        let mut arm = CognitiveArm::with_pool(
+            spec.config,
+            spec.ensemble,
+            spec.subject_seed,
+            Arc::clone(&self.pool),
+        );
+        if let Some(z) = spec.normalization {
+            arm.set_normalization(z);
+        }
+        arm.set_subject_action(spec.action);
+        self.sessions.push(Slot {
+            session: ManagedSession::Batch(Box::new(arm)),
+            poisoned: false,
+        });
+        Ok(SessionId(self.sessions.len() - 1))
+    }
+
+    /// Admits a streaming session (filter stage ∥ inference stage over a
+    /// bounded channel, fed through the stream inlet) on the manager's
+    /// pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for an invalid spec.
+    pub fn add_streaming_session(&mut self, spec: SessionSpec) -> Result<SessionId> {
+        self.add_streaming_session_with_capacity(spec, DEFAULT_CHANNEL_CAPACITY)
+    }
+
+    /// [`SessionManager::add_streaming_session`] with an explicit
+    /// inter-stage channel bound (clamped to ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for an invalid spec.
+    pub fn add_streaming_session_with_capacity(
+        &mut self,
+        spec: SessionSpec,
+        capacity: usize,
+    ) -> Result<SessionId> {
+        let session = StreamSession::new(spec, Arc::clone(&self.pool), capacity)?;
+        self.sessions.push(Slot {
+            session: ManagedSession::Streaming(Box::new(session)),
+            poisoned: false,
+        });
+        Ok(SessionId(self.sessions.len() - 1))
+    }
+
+    /// Changes one subject's mental task.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for a foreign id.
+    pub fn set_action(&mut self, id: SessionId, action: Action) -> Result<()> {
+        self.session_mut(id)?.set_action(action);
+        Ok(())
+    }
+
+    /// Switches one session's voice-selected control mode.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for a foreign id.
+    pub fn set_mode(&mut self, id: SessionId, mode: ControlMode) -> Result<()> {
+        self.session_mut(id)?.set_mode(mode);
+        Ok(())
+    }
+
+    fn session_mut(&mut self, id: SessionId) -> Result<&mut Slot> {
+        self.sessions
+            .get_mut(id.0)
+            .ok_or(ServeError::UnknownSession(id.0))
+    }
+
+    /// Whether a session has been poisoned by a mid-segment failure (its
+    /// state advanced past its recorded trace, so it will not run again).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for a foreign id.
+    pub fn is_poisoned(&self, id: SessionId) -> Result<bool> {
+        self.sessions
+            .get(id.0)
+            .map(|slot| slot.poisoned)
+            .ok_or(ServeError::UnknownSession(id.0))
+    }
+
+    /// Advances every session by `seconds` of simulated time, one pool work
+    /// item per session, returning each session's segment result in
+    /// admission order. A failing session is **poisoned** (it will not run
+    /// again) but never takes its neighbours' traces with it.
+    ///
+    /// # Errors
+    ///
+    /// The outer `Err` only for an empty manager or a non-positive
+    /// duration; per-session failures are the inner results.
+    pub fn run_for_each(&mut self, seconds: f64) -> Result<Vec<Result<SessionTrace>>> {
+        if self.sessions.is_empty() {
+            return Err(ServeError::BadRequest("no sessions admitted".into()));
+        }
+        if seconds <= 0.0 {
+            return Err(ServeError::BadRequest("non-positive run duration".into()));
+        }
+        Ok(self
+            .pool
+            .par_map_mut(&mut self.sessions, |slot| slot.run_for(seconds)))
+    }
+
+    /// [`SessionManager::run_for_each`] flattened to the all-success case:
+    /// every session's segment trace in admission order, or the first
+    /// failing session's error (that segment's successful traces are
+    /// discarded — use `run_for_each` when partial results matter).
+    ///
+    /// # Errors
+    ///
+    /// As [`SessionManager::run_for_each`], plus the first per-session
+    /// failure.
+    pub fn run_for(&mut self, seconds: f64) -> Result<Vec<SessionTrace>> {
+        self.run_for_each(seconds)?.into_iter().collect()
+    }
+}

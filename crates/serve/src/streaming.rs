@@ -1,0 +1,402 @@
+//! The two-stage streaming session: filter stage ∥ inference stage.
+//!
+//! [`crate::SessionManager`]'s batch sessions run the monolithic
+//! [`CognitiveArm::run_for`](cognitive_arm::pipeline::CognitiveArm::run_for)
+//! loop, where filtering and inference alternate on one thread. A
+//! [`StreamSession`] instead models the deployed serving shape: samples
+//! arrive **over the wire** — board → [`stream::outlet::Outlet`] →
+//! [`stream::transport::Transport`] (LSL role: reliable, timestamped,
+//! occasionally out of order) → [`stream::inlet::Inlet`] — are dejittered
+//! back into sequence order, causally filtered and windowed by the *filter
+//! stage*, and full windows flow through a **bounded channel** to the
+//! *inference stage*, which classifies and actuates while the filter stage
+//! is already working on the next label period.
+//!
+//! Determinism: every label is a pure function of the sample sequence (the
+//! reorder buffer restores sequence order no matter how packets arrive),
+//! windows cross the channel in order, and the inference stage is the
+//! **same code** as the monolithic loop's
+//! ([`cognitive_arm::pipeline::InferenceHead`]) — so the label trace is
+//! bit-identical to `CognitiveArm::run_for` over the same spec, at any
+//! pool size (`tests/tests/serving.rs` locks exactly that equivalence).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use arm::controller::{ControlMode, Controller};
+use arm::kinematics::Joint;
+use arm::safety::SafetyGate;
+use cognitive_arm::pipeline::{InferenceHead, LatencyReport, SessionTrace, SlidingWindow, StageStats};
+use cognitive_arm::preprocess::StreamingChain;
+use eeg::board::{Board, SimulatedBoard};
+use eeg::signal::SubjectParams;
+use eeg::types::Action;
+use eeg::{CHANNELS, SAMPLE_RATE};
+use exec::ExecPool;
+use stream::clock::SimClock;
+use stream::inlet::Inlet;
+use stream::outlet::{Outlet, StreamInfo};
+use stream::transport::{Transport, TransportParams};
+
+use crate::manager::SessionSpec;
+use crate::{Result, ServeError};
+
+/// Default bound on the filter→inference window channel: enough slack to
+/// keep both stages busy, small enough that a stalled inference stage
+/// back-pressures filtering instead of buffering unboundedly.
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 4;
+
+/// One classified-window handoff between the stages.
+struct WindowMsg {
+    /// Simulated label timestamp in seconds.
+    t: f64,
+    /// Samples in the label period that produced this window (the MCU
+    /// integrates over it).
+    chunk_samples: usize,
+    /// Channel-major flattened window.
+    flat: Vec<f32>,
+}
+
+/// Where the filter stage delivers full windows: the inter-stage channel
+/// when the stages run concurrently, or a direct call into the inference
+/// step on a 1-thread pool (which keeps memory at O(1) windows instead of
+/// buffering a whole segment).
+type WindowSink<'a> = dyn FnMut(WindowMsg) -> Result<()> + 'a;
+
+/// Stage 1 state: acquisition, wire transport, dejitter, causal filtering
+/// and the sliding window.
+struct FilterStage {
+    board: SimulatedBoard,
+    outlet: Outlet,
+    transport: Transport,
+    inlet: Inlet,
+    chain: StreamingChain,
+    window: SlidingWindow,
+    /// Samples received from the inlet but still ahead of `next_seq`.
+    reorder: BTreeMap<u64, Vec<f32>>,
+    /// Next sequence number to feed the filter chain (dejitter cursor).
+    next_seq: u64,
+    /// Filtering + windowing cost per label period (the monolithic loop's
+    /// `latency.filter` counterpart; sink/inference time excluded).
+    stats: StageStats,
+}
+
+impl FilterStage {
+    /// Runs one segment of `total` samples: push every sample through the
+    /// wire, restore sequence order, filter, window, and hand one
+    /// [`WindowMsg`] per label period to `sink` once the window is full.
+    fn run_segment(
+        &mut self,
+        total: usize,
+        label_every: usize,
+        start_elapsed: u64,
+        sink: &mut WindowSink<'_>,
+    ) -> Result<()> {
+        // Label-period boundaries within this segment, as (cumulative end,
+        // period length) — the last period may be partial, exactly like the
+        // monolithic loop's `step.min(total - done)`.
+        let mut bounds: VecDeque<(usize, usize)> = VecDeque::new();
+        {
+            let mut c = 0usize;
+            while c < total {
+                let n = label_every.min(total - c);
+                c += n;
+                bounds.push_back((c, n));
+            }
+        }
+        let base = start_elapsed as f64 / SAMPLE_RATE;
+        let mut done = 0usize;
+        let mut processed = 0usize;
+        while done < total {
+            let n = label_every.min(total - done);
+            self.board.advance(n)?;
+            let chunk = self.board.drain()?;
+            for i in 0..chunk.samples {
+                let mut payload = Vec::with_capacity(CHANNELS);
+                for ch in 0..CHANNELS {
+                    payload.push(chunk.data[ch * chunk.samples + i]);
+                }
+                let t_push = base + (done + i + 1) as f64 / SAMPLE_RATE;
+                self.outlet.push(&mut self.transport, payload, t_push)?;
+            }
+            done += n;
+            let now = base + done as f64 / SAMPLE_RATE;
+            let spent = self.ingest(now, &mut bounds, &mut processed, start_elapsed, sink)?;
+            self.stats.record(spent);
+        }
+        // Drain packets still in flight (retransmissions land late).
+        let spent = self.ingest(f64::INFINITY, &mut bounds, &mut processed, start_elapsed, sink)?;
+        if spent > 0.0 {
+            self.stats.record(spent);
+        }
+        debug_assert_eq!(processed, total, "reliable transport delivered everything");
+        Ok(())
+    }
+
+    /// Pulls every packet that has arrived by `now`, feeds the filter in
+    /// sequence order, and emits windows at label-period boundaries.
+    /// Returns the seconds spent on filtering + windowing (sink time —
+    /// inference, on the sequential path — excluded).
+    fn ingest(
+        &mut self,
+        now: f64,
+        bounds: &mut VecDeque<(usize, usize)>,
+        processed: &mut usize,
+        start_elapsed: u64,
+        sink: &mut WindowSink<'_>,
+    ) -> Result<f64> {
+        let mut spent = 0.0f64;
+        for sample in self.inlet.pull(&mut self.transport, now) {
+            self.reorder.insert(sample.seq, sample.payload);
+        }
+        while let Some(payload) = self.reorder.remove(&self.next_seq) {
+            self.next_seq += 1;
+            let t0 = std::time::Instant::now();
+            let mut s = [0.0f32; CHANNELS];
+            for (ch, v) in s.iter_mut().enumerate() {
+                *v = payload[ch];
+            }
+            self.chain.step(&mut s);
+            self.window.push(&s);
+            spent += t0.elapsed().as_secs_f64();
+            *processed += 1;
+
+            if bounds.front().is_some_and(|&(end, _)| end == *processed) {
+                let (end, period) = bounds.pop_front().expect("front checked");
+                if self.window.is_full() {
+                    sink(WindowMsg {
+                        t: (start_elapsed + end as u64) as f64 / SAMPLE_RATE,
+                        chunk_samples: period,
+                        flat: self.window.flat(),
+                    })?;
+                }
+            }
+        }
+        Ok(spent)
+    }
+}
+
+/// A long-lived streaming serving session (see the module docs). State —
+/// filters, sliding window, transport, arm pose — persists across
+/// [`StreamSession::run_for`] calls, so one session serves many segments.
+pub struct StreamSession {
+    filter: FilterStage,
+    head: InferenceHead,
+    pool: Arc<ExecPool>,
+    label_every: usize,
+    channel_capacity: usize,
+    elapsed_samples: u64,
+    latency: LatencyReport,
+    /// Set when a segment failed partway: the board has advanced past the
+    /// trace, so continuing would silently desynchronize timestamps.
+    poisoned: bool,
+}
+
+impl std::fmt::Debug for StreamSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamSession")
+            .field("ensemble", &self.head.ensemble().name())
+            .field("window_len", &self.filter.window.window_len())
+            .field("elapsed_samples", &self.elapsed_samples)
+            .field("threads", &self.pool.threads())
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
+}
+
+impl StreamSession {
+    /// Assembles a streaming session from a spec on an explicit pool, with
+    /// a bounded inter-stage channel of `channel_capacity` windows.
+    ///
+    /// The acquisition side mirrors `CognitiveArm::new` exactly (same
+    /// subject parameters, same board seed), which is what makes the
+    /// streamed trace comparable bit-for-bit with the batch loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] for an undesignable filter spec or a
+    /// degenerate `label_every`.
+    pub fn new(spec: SessionSpec, pool: Arc<ExecPool>, channel_capacity: usize) -> Result<Self> {
+        spec.validate()?;
+        let params = SubjectParams::sampled(spec.subject_seed);
+        let mut board = SimulatedBoard::new(params, spec.subject_seed ^ 0xB0A7D);
+        board.start_stream().expect("fresh board starts");
+        board.set_action(spec.action);
+
+        let mut chain = StreamingChain::new(&spec.config.filter)?;
+        if let Some(z) = spec.normalization {
+            chain.set_normalization(z);
+        }
+        let window = SlidingWindow::new(spec.ensemble.window());
+        let controller = Controller::new(spec.config.controller, SafetyGate::new(spec.config.safety));
+
+        Ok(Self {
+            filter: FilterStage {
+                board,
+                outlet: Outlet::new(StreamInfo::eeg_default(), SimClock::aligned()),
+                // The serving wire is the LSL role: reliable and ordered
+                // after the dejitter buffer, so no sample is ever lost to
+                // the classifier. Seeded per subject so concurrent
+                // sessions see independent (but reproducible) networks.
+                transport: Transport::new(TransportParams::lsl(), spec.subject_seed ^ 0x0057_EA11),
+                inlet: Inlet::new(SimClock::aligned()),
+                chain,
+                window,
+                reorder: BTreeMap::new(),
+                next_seq: 0,
+                stats: StageStats::default(),
+            },
+            head: InferenceHead::new(spec.ensemble, controller),
+            pool,
+            label_every: spec.config.label_every,
+            channel_capacity: channel_capacity.max(1),
+            elapsed_samples: 0,
+            latency: LatencyReport::default(),
+            poisoned: false,
+        })
+    }
+
+    /// Sets the mental task the simulated subject performs.
+    pub fn set_subject_action(&mut self, action: Action) {
+        self.filter.board.set_action(action);
+    }
+
+    /// Switches the voice-selected control mode.
+    pub fn set_mode(&mut self, mode: ControlMode) {
+        self.head.set_mode(mode);
+    }
+
+    /// The active control mode.
+    #[must_use]
+    pub fn mode(&self) -> ControlMode {
+        self.head.mode()
+    }
+
+    /// Current value of a joint on the simulated arm.
+    #[must_use]
+    pub fn joint(&self, joint: Joint) -> f64 {
+        self.head.joint(joint)
+    }
+
+    /// Simulated seconds elapsed across all segments.
+    #[must_use]
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_samples as f64 / SAMPLE_RATE
+    }
+
+    /// Per-stage latency accounting so far: filtering from the filter
+    /// stage's own clock, inference + actuation from the shared
+    /// [`InferenceHead`].
+    #[must_use]
+    pub fn latency(&self) -> LatencyReport {
+        LatencyReport {
+            filter: self.filter.stats,
+            ..self.latency
+        }
+    }
+
+    /// Packets that arrived out of sequence order and were restored by the
+    /// dejitter buffer (a wire-health statistic; never affects labels).
+    #[must_use]
+    pub fn out_of_order(&self) -> u64 {
+        self.filter.inlet.out_of_order()
+    }
+
+    /// Runs the two-stage pipeline for `seconds` of simulated time,
+    /// returning this segment's trace. On a pool with ≥ 2 threads the
+    /// stages run concurrently over the bounded channel; on a 1-thread
+    /// pool the filter stage calls the inference step directly at each
+    /// label boundary (same order, same outputs, O(1) window memory).
+    ///
+    /// # Errors
+    ///
+    /// Propagates board, wire and actuation failures from either stage;
+    /// rejects non-positive durations. A failed segment **poisons** the
+    /// session (the board advanced past the recorded trace), so further
+    /// `run_for` calls return an error instead of desynchronized labels.
+    pub fn run_for(&mut self, seconds: f64) -> Result<SessionTrace> {
+        if seconds <= 0.0 {
+            return Err(ServeError::BadRequest("non-positive run duration".into()));
+        }
+        if self.poisoned {
+            return Err(ServeError::BadRequest(
+                "session poisoned by an earlier mid-segment failure".into(),
+            ));
+        }
+        let total = (seconds * SAMPLE_RATE) as usize;
+        let start_elapsed = self.elapsed_samples;
+        let label_every = self.label_every;
+        let pool = Arc::clone(&self.pool);
+
+        let filter = &mut self.filter;
+        let head = &mut self.head;
+        let latency = &mut self.latency;
+
+        let result = if pool.threads() > 1 {
+            let (tx, rx) = mpsc::sync_channel::<WindowMsg>(self.channel_capacity);
+            let inner_pool = Arc::clone(&pool);
+            let (filter_out, infer_out) = pool.join(
+                move || {
+                    let mut sink = |msg: WindowMsg| {
+                        tx.send(msg).map_err(|_| ServeError::StageDisconnected)
+                    };
+                    filter.run_segment(total, label_every, start_elapsed, &mut sink)
+                    // `tx` drops with the sink here, hanging up the channel
+                    // so the inference stage finishes its loop.
+                },
+                move || -> Result<SessionTrace> {
+                    let mut trace = SessionTrace::default();
+                    while let Ok(msg) = rx.recv() {
+                        head.step(
+                            &msg.flat,
+                            &inner_pool,
+                            msg.t,
+                            msg.chunk_samples,
+                            &mut trace,
+                            latency,
+                        )?;
+                    }
+                    Ok(trace)
+                },
+            );
+            match (filter_out, infer_out) {
+                (Ok(()), Ok(trace)) => Ok(trace),
+                // An inference-stage error beats the hangup the filter
+                // stage observed when the receiver dropped mid-segment.
+                (_, Err(e)) => Err(e),
+                (Err(e), Ok(_)) => Err(e),
+            }
+        } else {
+            // Sequential: the filter stage drives the inference step
+            // inline at each label boundary — identical order and outputs,
+            // without buffering a segment's worth of windows.
+            let mut trace = SessionTrace::default();
+            let mut sink = |msg: WindowMsg| -> Result<()> {
+                head.step(
+                    &msg.flat,
+                    &pool,
+                    msg.t,
+                    msg.chunk_samples,
+                    &mut trace,
+                    latency,
+                )?;
+                Ok(())
+            };
+            filter
+                .run_segment(total, label_every, start_elapsed, &mut sink)
+                .map(|()| trace)
+        };
+
+        match result {
+            Ok(trace) => {
+                self.elapsed_samples += total as u64;
+                Ok(trace)
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+}

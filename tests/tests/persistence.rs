@@ -20,7 +20,7 @@ use std::path::PathBuf;
 
 use cognitive_arm::pipeline::{CognitiveArm, PipelineConfig, SessionTrace};
 use eeg::types::Action;
-use evo::{Family, SearchSpace};
+use evo::{EvolutionarySearch, Family, SearchSpace};
 use integration_tests::quick_trained;
 use ml::ensemble::{Ensemble, ForestClassifier, Member, Voting};
 use ml::forest::{ForestConfig, RandomForest};
@@ -488,6 +488,142 @@ fn forged_inner_lengths_are_rejected_without_allocation() {
     let parsed = Container::from_file_bytes(&bytes).expect("envelope is valid");
     let raw: Vec<u8> = parsed.get(*b"RAWB").expect("raw bytes round-trip");
     assert!(from_bytes::<Tensor>(&raw).is_err(), "forged tensor accepted");
+}
+
+// --- resumable search checkpoints --------------------------------------------
+
+/// A cheap seed-sensitive fitness proxy: any scrambling of the resume
+/// state (population, history, RNG position) changes the outcome, so
+/// disk-resumed searches matching in-memory ones is a real statement.
+struct SeedProxy;
+
+impl evo::Evaluator for SeedProxy {
+    fn evaluate(&self, genome: &evo::Genome, seed: u64) -> evo::EvalResult {
+        let h = match genome {
+            evo::Genome::Forest { config, .. } => config.n_estimators as u64,
+            _ => 1,
+        };
+        let mix = exec::split_seed(seed, h);
+        evo::EvalResult {
+            accuracy: (mix % 1000) as f64 / 1000.0,
+            params: (mix % 100_000) as usize + 1,
+        }
+    }
+}
+
+#[test]
+fn mid_search_checkpoints_resume_from_disk_bit_identically() {
+    use model_io::SearchCheckpoint;
+
+    let config = evo::EvolutionConfig {
+        population: 6,
+        generations: 5,
+        seed: 41,
+        ..evo::EvolutionConfig::default()
+    };
+    let search = EvolutionarySearch::new(SearchSpace::new(Family::Forest), config);
+    let path = temp_path("mid-search.cogm");
+
+    // Uninterrupted reference run, persisting a checkpoint every
+    // generation — the deployment loop's shape.
+    let mut checkpoints = 0usize;
+    let mut persist = |state: &evo::SearchState| {
+        SearchCheckpoint::mid_search(config, state.clone())
+            .save(&path)
+            .expect("checkpoint saves");
+        checkpoints += 1;
+    };
+    let reference = search.run_from(&SeedProxy, search.initial_state(), Some(&mut persist));
+    assert_eq!(checkpoints, 4, "one checkpoint per non-final generation");
+
+    // "Crash" after the last checkpoint: reload it from disk and resume.
+    let loaded = SearchCheckpoint::load(&path).expect("checkpoint loads");
+    assert_eq!(loaded.config, config);
+    assert!(loaded.outcome.is_none(), "mid-search checkpoint has no outcome");
+    let resume = loaded.resume.expect("mid-search checkpoint resumes");
+    assert_eq!(resume.generation, 4);
+    let resumed = search.run_from(&SeedProxy, resume, None);
+    assert_eq!(resumed, reference, "disk-resumed search diverged");
+
+    // Completed checkpoints round-trip too (the audit shape).
+    let done = SearchCheckpoint::completed(config, reference);
+    done.save(&path).expect("completed checkpoint saves");
+    assert_eq!(SearchCheckpoint::load(&path).expect("loads"), done);
+}
+
+#[test]
+fn inconsistent_resume_states_are_refused_on_save_and_load() {
+    use model_io::SearchCheckpoint;
+    let config = evo::EvolutionConfig {
+        population: 4,
+        generations: 3,
+        seed: 8,
+        ..evo::EvolutionConfig::default()
+    };
+    let search = EvolutionarySearch::new(SearchSpace::new(Family::Forest), config);
+    let state = search.initial_state();
+    let path = temp_path("inconsistent.cogm");
+
+    // Population size disagreeing with the config would panic run_from;
+    // the writer must refuse it up front.
+    let mut short = state.clone();
+    short.population.pop();
+    assert!(matches!(
+        SearchCheckpoint::mid_search(config, short).save(&path).unwrap_err(),
+        ModelIoError::Malformed { .. }
+    ));
+    let mut overrun = state.clone();
+    overrun.generation = 3;
+    assert!(matches!(
+        SearchCheckpoint::mid_search(config, overrun).save(&path).unwrap_err(),
+        ModelIoError::Malformed { .. }
+    ));
+
+    // A file hand-crafted around the writer's guard (valid sections, but a
+    // config whose population disagrees with the state) must be refused by
+    // the reader, not crash the resume path later.
+    let mut container = Container::new();
+    let mut small = config;
+    small.population = 3;
+    container.add(model_io::tags::EVO_CONFIG, &small).unwrap();
+    container.add(model_io::tags::EVO_RESUME, &state).unwrap();
+    container.save(&path).unwrap();
+    assert!(matches!(
+        SearchCheckpoint::load(&path).unwrap_err(),
+        ModelIoError::Malformed { .. }
+    ));
+}
+
+#[test]
+fn empty_search_checkpoints_are_refused() {
+    use model_io::SearchCheckpoint;
+    let hollow = SearchCheckpoint {
+        config: evo::EvolutionConfig::default(),
+        outcome: None,
+        resume: None,
+    };
+    assert!(matches!(
+        hollow.save(temp_path("hollow.cogm")).unwrap_err(),
+        ModelIoError::Malformed { .. }
+    ));
+}
+
+#[test]
+fn zeroed_rng_state_in_a_checkpoint_is_a_typed_error() {
+    let config = evo::EvolutionConfig {
+        population: 3,
+        generations: 2,
+        seed: 9,
+        ..evo::EvolutionConfig::default()
+    };
+    let search = EvolutionarySearch::new(SearchSpace::new(Family::Forest), config);
+    let mut state = search.initial_state();
+    state.rng_state = [0; 4];
+    let bytes = to_bytes(&state).expect("writer does not validate");
+    assert!(matches!(
+        from_bytes::<evo::SearchState>(&bytes).unwrap_err(),
+        ModelIoError::Malformed { .. }
+    ));
 }
 
 // --- CI hook: determinism against an externally saved artifact ---------------

@@ -2,10 +2,18 @@
 //! use. Timing is a straightforward adaptive loop — calibrate the iteration
 //! count to ~`target_time`, split it into a handful of equal sample
 //! batches, and report mean, standard deviation and min/max over the
-//! batches — no warm-up statistics, outlier rejection, or HTML reports, but
-//! the macro/builder surface matches criterion closely enough that the
-//! bench files compile unchanged against the real crate.
+//! batches (after 5·MAD outlier rejection) — no warm-up statistics or HTML
+//! reports, but the macro/builder surface matches criterion closely enough
+//! that the bench files compile unchanged against the real crate.
+//!
+//! Like the real criterion, each run is compared against a **baseline**:
+//! the previous run's per-bench mean is persisted under
+//! `target/cogm-bench-baselines/` and the report appends the delta
+//! (`Δ +12.3% vs last`), so regressions are visible without diffing logs.
+//! `COGARM_BENCH_NO_BASELINE=1` disables both the comparison and the
+//! store.
 
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -118,22 +126,92 @@ pub fn summarize(samples: &[Duration]) -> Option<SampleStats> {
     })
 }
 
+// --- baseline persistence ----------------------------------------------------
+
+/// The cargo build directory: `CARGO_TARGET_DIR` when the build was
+/// redirected, else found by walking up from the running benchmark
+/// executable (`<ws>/target/<profile>/deps/<bench>-<hash>`) to the
+/// enclosing `target` directory.
+fn target_dir() -> Option<PathBuf> {
+    if let Some(dir) = std::env::var_os("CARGO_TARGET_DIR") {
+        return Some(PathBuf::from(dir));
+    }
+    let exe = std::env::current_exe().ok()?;
+    exe.ancestors()
+        .find(|p| p.file_name().is_some_and(|n| n == "target"))
+        .map(Path::to_path_buf)
+}
+
+/// Where per-bench baselines live (`None` disables the feature).
+fn baseline_dir() -> Option<PathBuf> {
+    if std::env::var_os("COGARM_BENCH_NO_BASELINE").is_some() {
+        return None;
+    }
+    Some(target_dir()?.join("cogm-bench-baselines"))
+}
+
+/// One file per benchmark; the qualified name must survive as a filename.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+/// The previous run's mean for `name`, in nanoseconds.
+fn load_baseline(dir: &Path, name: &str) -> Option<f64> {
+    let content = std::fs::read_to_string(dir.join(format!("{}.ns", sanitize(name)))).ok()?;
+    content.trim().parse::<f64>().ok().filter(|v| *v > 0.0)
+}
+
+/// Persists this run's mean for `name` (best effort: an unwritable target
+/// directory only costs the next run its comparison).
+fn store_baseline(dir: &Path, name: &str, mean_ns: f64) {
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(dir.join(format!("{}.ns", sanitize(name))), format!("{mean_ns}\n"));
+    }
+}
+
+/// Percent change of `now` relative to `prev` (positive = slower).
+fn delta_pct(prev_ns: f64, now_ns: f64) -> f64 {
+    (now_ns - prev_ns) / prev_ns * 100.0
+}
+
+/// The report suffix comparing this run to the stored baseline.
+fn baseline_note(prev: Option<f64>, now_ns: f64) -> String {
+    match prev {
+        Some(prev_ns) => format!("  Δ {:+.1}% vs last", delta_pct(prev_ns, now_ns)),
+        None => "  (baseline recorded)".to_owned(),
+    }
+}
+
 /// Top-level benchmark driver.
 pub struct Criterion {
     target_time: Duration,
+    baseline_dir: Option<PathBuf>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         Self {
             target_time: Duration::from_millis(300),
+            baseline_dir: baseline_dir(),
         }
     }
 }
 
 impl Criterion {
     /// Runs one named benchmark.
-    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_named(name, name, f)
+    }
+
+    /// Runs one benchmark with separate display and baseline-key names
+    /// (groups indent the display but must key baselines by
+    /// `group/function` to avoid cross-group collisions).
+    fn bench_named<F>(&mut self, display: &str, key: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
@@ -143,7 +221,16 @@ impl Criterion {
         };
         f(&mut b);
         if let Some(stats) = b.report {
-            println!("{name:<40} {stats}");
+            let note = match &self.baseline_dir {
+                Some(dir) => {
+                    let now_ns = stats.mean.as_secs_f64() * 1e9;
+                    let note = baseline_note(load_baseline(dir, key), now_ns);
+                    store_baseline(dir, key, now_ns);
+                    note
+                }
+                None => String::new(),
+            };
+            println!("{display:<40} {stats}{note}");
         }
         self
     }
@@ -151,13 +238,17 @@ impl Criterion {
     /// Opens a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("group: {name}");
-        BenchmarkGroup { criterion: self }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
     }
 }
 
 /// A group of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
+    name: String,
 }
 
 impl BenchmarkGroup<'_> {
@@ -166,7 +257,8 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        self.criterion.bench_function(&format!("  {name}"), f);
+        let key = format!("{}/{name}", self.name);
+        self.criterion.bench_named(&format!("  {name}"), &key, f);
         self
     }
 
@@ -375,9 +467,63 @@ mod tests {
     }
 
     #[test]
+    fn baseline_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("criterion-baseline-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(load_baseline(&dir, "g/bench"), None, "fresh dir is empty");
+        store_baseline(&dir, "g/bench", 1234.5);
+        assert_eq!(load_baseline(&dir, "g/bench"), Some(1234.5));
+        // Same sanitized key, different raw name → same slot.
+        assert_eq!(load_baseline(&dir, "g bench"), Some(1234.5));
+        store_baseline(&dir, "g/bench", 2000.0);
+        assert_eq!(load_baseline(&dir, "g/bench"), Some(2000.0), "overwritten");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn baseline_notes_report_deltas() {
+        assert!((delta_pct(100.0, 112.3) - 12.3).abs() < 1e-9);
+        assert!((delta_pct(200.0, 100.0) + 50.0).abs() < 1e-9);
+        assert_eq!(baseline_note(None, 5.0), "  (baseline recorded)");
+        assert_eq!(baseline_note(Some(100.0), 112.3), "  Δ +12.3% vs last");
+        assert_eq!(baseline_note(Some(100.0), 90.0), "  Δ -10.0% vs last");
+    }
+
+    #[test]
+    fn sanitize_produces_filename_safe_keys() {
+        assert_eq!(sanitize("forest_fit/threads_4"), "forest-fit-threads-4");
+        assert_eq!(sanitize("a b\\c:d"), "a-b-c-d");
+    }
+
+    #[test]
+    fn target_dir_is_found_from_the_test_binary() {
+        // Test binaries live under the build dir's <profile>/deps/, so
+        // resolution must succeed here exactly as it does for bench
+        // binaries — via CARGO_TARGET_DIR when the build is redirected,
+        // via the "target" ancestor walk otherwise.
+        let dir = target_dir().expect("test binary lives under the build dir");
+        match std::env::var_os("CARGO_TARGET_DIR") {
+            Some(redirected) => assert_eq!(dir, PathBuf::from(redirected)),
+            None => assert_eq!(dir.file_name().unwrap(), "target"),
+        }
+    }
+
+    #[test]
+    fn corrupt_baseline_files_are_ignored() {
+        let dir = std::env::temp_dir().join(format!("criterion-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(format!("{}.ns", sanitize("bad"))), "not-a-number").unwrap();
+        assert_eq!(load_baseline(&dir, "bad"), None);
+        std::fs::write(dir.join(format!("{}.ns", sanitize("neg"))), "-5.0").unwrap();
+        assert_eq!(load_baseline(&dir, "neg"), None, "non-positive rejected");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn bencher_reports_stats() {
         let mut c = Criterion {
             target_time: Duration::from_millis(5),
+            baseline_dir: None,
         };
         let mut ran = false;
         c.bench_function("noop", |b| {

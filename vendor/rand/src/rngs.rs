@@ -25,6 +25,31 @@ impl RngCore for StdRng {
     }
 }
 
+impl StdRng {
+    /// The generator's raw 256-bit state — the "stream position" a
+    /// checkpoint needs to resume a run mid-stream. (The real `rand` crate
+    /// exposes this through serde on the rng; the shim exposes it
+    /// directly.)
+    #[must_use]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator at an exact stream position captured by
+    /// [`StdRng::state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on the all-zero state, which is not reachable from any seed
+    /// and would make xoshiro emit zeros forever — loaders should validate
+    /// before calling.
+    #[must_use]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s != [0; 4], "all-zero xoshiro state is degenerate");
+        Self { s }
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(state: u64) -> Self {
         // Expand the seed with SplitMix64, the expansion xoshiro's authors
@@ -65,6 +90,24 @@ mod tests {
             (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
             (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_exact_stream() {
+        let mut a = StdRng::seed_from_u64(99);
+        for _ in 0..123 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero xoshiro state")]
+    fn zero_state_is_rejected() {
+        let _ = StdRng::from_state([0; 4]);
     }
 
     #[test]
