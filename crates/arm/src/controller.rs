@@ -14,7 +14,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::kinematics::Joint;
-use crate::protocol::{encode, Command};
+use crate::protocol::{encode_into, Command};
 use crate::safety::SafetyGate;
 use crate::Result;
 
@@ -144,6 +144,22 @@ impl Controller {
     /// Propagates [`crate::ArmError::EmergencyStopped`] from the safety
     /// gate.
     pub fn on_label(&mut self, label: ActionLabel) -> Result<Vec<u8>> {
+        let mut bytes = Vec::new();
+        self.on_label_into(label, &mut bytes)?;
+        Ok(bytes)
+    }
+
+    /// [`Controller::on_label`] writing into a reused buffer (cleared
+    /// first) — the allocation-free serving path. A warm buffer never
+    /// reallocates: the largest emission is three 7-byte frames (grip
+    /// mode). Byte-identical output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::ArmError::EmergencyStopped`] from the safety
+    /// gate.
+    pub fn on_label_into(&mut self, label: ActionLabel, out: &mut Vec<u8>) -> Result<()> {
+        out.clear();
         // Debounce: require `debounce` consecutive identical labels.
         if Some(label) == self.last_label {
             self.streak += 1;
@@ -152,10 +168,10 @@ impl Controller {
             self.streak = 1;
         }
         if self.streak < self.config.debounce {
-            return Ok(Vec::new());
+            return Ok(());
         }
         let direction = match label {
-            ActionLabel::Idle => return Ok(Vec::new()),
+            ActionLabel::Idle => return Ok(()),
             ActionLabel::Right => 1.0,
             ActionLabel::Left => -1.0,
         };
@@ -164,34 +180,42 @@ impl Controller {
         let desired = self.setpoints[idx] + direction * self.config.step;
         let safe = self.gate.filter(joint, desired)?;
         if (safe - self.setpoints[idx]).abs() < 1e-9 {
-            return Ok(Vec::new()); // pinned at a limit
+            return Ok(()); // pinned at a limit
         }
         self.setpoints[idx] = safe;
-        Ok(self.emit(joint, safe))
+        self.emit_into(joint, safe, out);
+        Ok(())
     }
 
-    fn emit(&self, joint: Joint, value: f64) -> Vec<u8> {
-        let mut bytes = Vec::new();
+    fn emit_into(&self, joint: Joint, value: f64, out: &mut Vec<u8>) {
         match joint {
             Joint::Grip => {
                 // All three finger servos move together.
                 for id in 2..=4u8 {
-                    bytes.extend(encode(Command::SetServo {
-                        id,
-                        decideg: Command::encode_angle(value),
-                    }));
+                    encode_into(
+                        Command::SetServo {
+                            id,
+                            decideg: Command::encode_angle(value),
+                        },
+                        out,
+                    );
                 }
             }
-            Joint::Lift => bytes.extend(encode(Command::SetServo {
-                id: 0,
-                decideg: Command::encode_angle(value),
-            })),
-            Joint::Wrist => bytes.extend(encode(Command::SetServo {
-                id: 1,
-                decideg: Command::encode_angle(value),
-            })),
+            Joint::Lift => encode_into(
+                Command::SetServo {
+                    id: 0,
+                    decideg: Command::encode_angle(value),
+                },
+                out,
+            ),
+            Joint::Wrist => encode_into(
+                Command::SetServo {
+                    id: 1,
+                    decideg: Command::encode_angle(value),
+                },
+                out,
+            ),
         }
-        bytes
     }
 }
 

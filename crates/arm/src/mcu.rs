@@ -49,27 +49,38 @@ impl Mcu {
 
     /// Feeds received serial bytes (the Jetson's UART TX).
     pub fn receive(&mut self, bytes: &[u8]) {
-        for cmd in self.decoder.feed(bytes) {
-            self.silence = 0.0;
-            self.relaxed = false;
-            self.commands_handled += 1;
+        // Destructure so the decoder visitor can borrow the rest of the
+        // MCU mutably; `feed_each` keeps the hot path allocation-free
+        // (no per-frame payload copies, no command vector).
+        let Self {
+            arm,
+            decoder,
+            tx,
+            silence,
+            relaxed,
+            commands_handled,
+        } = self;
+        decoder.feed_each(bytes, |cmd| {
+            *silence = 0.0;
+            *relaxed = false;
+            *commands_handled += 1;
             match cmd {
                 Command::SetServo { id, decideg } => {
                     let angle = Command::decode_angle(decideg);
                     match id {
-                        0 => self.arm.lift.set_target_clamped(angle),
-                        1 => self.arm.wrist.set_target_clamped(angle),
+                        0 => arm.lift.set_target_clamped(angle),
+                        1 => arm.wrist.set_target_clamped(angle),
                         2..=4 => {
-                            self.arm.fingers[usize::from(id) - 2].set_target_clamped(angle);
+                            arm.fingers[usize::from(id) - 2].set_target_clamped(angle);
                         }
                         _ => { /* unknown servo: ignore, like real firmware */ }
                     }
                 }
-                Command::Ping => self.tx.extend(encode(Command::Ack)),
+                Command::Ping => tx.extend(encode(Command::Ack)),
                 Command::Ack => { /* not expected on this side */ }
-                Command::Relax => self.relax(),
+                Command::Relax => relax_arm(arm, relaxed),
             }
-        }
+        });
     }
 
     /// Drains bytes the MCU wants to send back.
@@ -87,19 +98,7 @@ impl Mcu {
     }
 
     fn relax(&mut self) {
-        // Hold current positions: target := position for every servo.
-        let lift = self.arm.lift.position();
-        let wrist = self.arm.wrist.position();
-        self.arm.lift.set_target_clamped(lift - self.arm.lift.trim_deg);
-        self.arm
-            .wrist
-            .set_target_clamped(wrist - self.arm.wrist.trim_deg);
-        for f in &mut self.arm.fingers {
-            let p = f.position();
-            let trim = f.trim_deg;
-            f.set_target_clamped(p - trim);
-        }
-        self.relaxed = true;
+        relax_arm(&mut self.arm, &mut self.relaxed);
     }
 
     /// Whether the watchdog has tripped.
@@ -113,6 +112,23 @@ impl Mcu {
     pub fn decode_errors(&self) -> u64 {
         self.decoder.errors
     }
+}
+
+/// Hold current positions: target := position for every servo. Free
+/// function so the borrow-split decoder visitor in [`Mcu::receive`] can
+/// call it mid-stream (command order matters: a `Relax` between two
+/// `SetServo`s must take effect between them).
+fn relax_arm(arm: &mut ArmModel, relaxed: &mut bool) {
+    let lift = arm.lift.position();
+    let wrist = arm.wrist.position();
+    arm.lift.set_target_clamped(lift - arm.lift.trim_deg);
+    arm.wrist.set_target_clamped(wrist - arm.wrist.trim_deg);
+    for f in &mut arm.fingers {
+        let p = f.position();
+        let trim = f.trim_deg;
+        f.set_target_clamped(p - trim);
+    }
+    *relaxed = true;
 }
 
 #[cfg(test)]

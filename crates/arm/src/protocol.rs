@@ -5,7 +5,6 @@
 //! after the start byte. The decoder is a resynchronizing state machine:
 //! garbage between frames (line noise on a real UART) is skipped.
 
-use bytes::{BufMut, BytesMut};
 use serde::{Deserialize, Serialize};
 
 use crate::{ArmError, Result};
@@ -58,19 +57,31 @@ impl Command {
 /// Serializes a command into a framed packet.
 #[must_use]
 pub fn encode(cmd: Command) -> Vec<u8> {
-    let mut payload = BytesMut::new();
-    payload.put_u8(cmd.opcode());
-    if let Command::SetServo { id, decideg } = cmd {
-        payload.put_u8(id);
-        payload.put_u16(decideg);
-    }
-    let mut frame = Vec::with_capacity(payload.len() + 3);
-    frame.push(START);
-    frame.push(payload.len() as u8);
-    frame.extend_from_slice(&payload);
-    let checksum = payload.iter().fold(payload.len() as u8, |acc, b| acc ^ b);
-    frame.push(checksum);
+    let mut frame = Vec::with_capacity(7);
+    encode_into(cmd, &mut frame);
     frame
+}
+
+/// [`encode`] appending to a reused buffer — the allocation-free serving
+/// path (the payload is assembled on the stack and a warm buffer never
+/// reallocates; frames are ≤ 7 bytes). Emits byte-identical frames.
+pub fn encode_into(cmd: Command, out: &mut Vec<u8>) {
+    let mut payload = [0u8; 4];
+    payload[0] = cmd.opcode();
+    let len = if let Command::SetServo { id, decideg } = cmd {
+        payload[1] = id;
+        // Wire order is big-endian, exactly like `BytesMut::put_u16`.
+        payload[2..4].copy_from_slice(&decideg.to_be_bytes());
+        4
+    } else {
+        1
+    };
+    let payload = &payload[..len];
+    out.push(START);
+    out.push(len as u8);
+    out.extend_from_slice(payload);
+    let checksum = payload.iter().fold(len as u8, |acc, b| acc ^ b);
+    out.push(checksum);
 }
 
 /// Streaming decoder that survives garbage and split frames.
@@ -90,8 +101,17 @@ impl Decoder {
 
     /// Feeds received bytes; returns every complete command decoded.
     pub fn feed(&mut self, bytes: &[u8]) -> Vec<Command> {
-        self.buf.extend_from_slice(bytes);
         let mut out = Vec::new();
+        self.feed_each(bytes, |cmd| out.push(cmd));
+        out
+    }
+
+    /// [`Decoder::feed`] delivering each decoded command to a visitor —
+    /// the allocation-free serving path (frames parse in place; no
+    /// per-frame payload copy, no output vector). Same state machine,
+    /// same resynchronization, same command order.
+    pub fn feed_each(&mut self, bytes: &[u8], mut f: impl FnMut(Command)) {
+        self.buf.extend_from_slice(bytes);
         loop {
             // Resync to the next start byte.
             match self.buf.iter().position(|&b| b == START) {
@@ -100,12 +120,12 @@ impl Decoder {
                 }
                 None => {
                     self.buf.clear();
-                    return out;
+                    return;
                 }
                 _ => {}
             }
             if self.buf.len() < 3 {
-                return out;
+                return;
             }
             let len = self.buf[1] as usize;
             if len == 0 || len > 16 {
@@ -115,9 +135,9 @@ impl Decoder {
                 continue;
             }
             if self.buf.len() < 2 + len + 1 {
-                return out; // wait for more bytes
+                return; // wait for more bytes
             }
-            let payload: Vec<u8> = self.buf[2..2 + len].to_vec();
+            let payload = &self.buf[2..2 + len];
             let checksum = self.buf[2 + len];
             let computed = payload.iter().fold(len as u8, |acc, b| acc ^ b);
             if checksum != computed {
@@ -125,9 +145,10 @@ impl Decoder {
                 self.buf.drain(..1); // resync inside the bad frame
                 continue;
             }
+            let parsed = Self::parse(payload);
             self.buf.drain(..2 + len + 1);
-            match Self::parse(&payload) {
-                Ok(cmd) => out.push(cmd),
+            match parsed {
+                Ok(cmd) => f(cmd),
                 Err(_) => self.errors += 1,
             }
         }

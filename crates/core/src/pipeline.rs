@@ -21,7 +21,8 @@ use eeg::signal::SubjectParams;
 use eeg::types::Action;
 use eeg::{CHANNELS, SAMPLE_RATE};
 use exec::ExecPool;
-use ml::ensemble::Ensemble;
+use ml::ensemble::{Ensemble, EnsembleScratch};
+use ml::models::CLASSES;
 use serde::{Deserialize, Serialize};
 
 use crate::preprocess::{FilterSpec, StreamingChain};
@@ -171,10 +172,24 @@ impl SlidingWindow {
     #[must_use]
     pub fn flat(&self) -> Vec<f32> {
         let mut flat = Vec::with_capacity(CHANNELS * self.len);
-        for row in &self.rows {
-            flat.extend(row.iter().copied());
-        }
+        self.flat_into(&mut flat);
         flat
+    }
+
+    /// [`SlidingWindow::flat`] appending to a reused buffer (cleared
+    /// first) — the allocation-free label-tick path; identical values.
+    pub fn flat_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        self.append_to(out);
+    }
+
+    /// Appends the channel-major window values to `out` without clearing
+    /// it — how the serving micro-batcher stacks many sessions' windows
+    /// into one contiguous batch buffer.
+    pub fn append_to(&self, out: &mut Vec<f32>) {
+        for row in &self.rows {
+            out.extend(row.iter().copied());
+        }
     }
 }
 
@@ -187,6 +202,15 @@ pub struct InferenceHead {
     ensemble: Ensemble,
     controller: Controller,
     mcu: Mcu,
+    /// Preallocated inference lanes (one per ensemble member × batch
+    /// slot); every activation of every member lives here, so a label
+    /// tick allocates nothing.
+    scratch: EnsembleScratch,
+    /// Combined class probabilities of the last classification.
+    probas: Vec<f32>,
+    /// Reused serial-command buffer (largest emission: three 7-byte
+    /// frames in grip mode).
+    cmd_buf: Vec<u8>,
 }
 
 impl std::fmt::Debug for InferenceHead {
@@ -200,13 +224,18 @@ impl std::fmt::Debug for InferenceHead {
 
 impl InferenceHead {
     /// Assembles the head from a trained ensemble and a configured
-    /// controller, with a fresh MCU.
+    /// controller, with a fresh MCU. All inference scratch (compiled
+    /// plans, activation arenas, command buffers) is allocated here, once.
     #[must_use]
     pub fn new(ensemble: Ensemble, controller: Controller) -> Self {
+        let scratch = EnsembleScratch::new(&ensemble);
         Self {
             ensemble,
             controller,
             mcu: Mcu::new(),
+            scratch,
+            probas: vec![0.0; CLASSES],
+            cmd_buf: Vec::with_capacity(32),
         }
     }
 
@@ -253,19 +282,46 @@ impl InferenceHead {
     ) -> Result<usize> {
         // Classification.
         let t1 = Instant::now();
-        let label = self.ensemble.predict_with(window, CHANNELS, pool);
+        let label = self.classify(window, pool);
         latency.inference.record(t1.elapsed().as_secs_f64());
+        self.apply(label, t, period_samples, trace, latency)
+    }
 
-        // Actuation.
+    /// The classification half of the label tick: one batched (batch = 1)
+    /// ensemble call into the head's preallocated scratch, then the shared
+    /// argmax. Bit-identical to `Ensemble::predict_with`; zero heap
+    /// allocations once warm.
+    pub fn classify(&mut self, window: &[f32], pool: &ExecPool) -> usize {
+        self.ensemble
+            .predict_batch_into(window, 1, CHANNELS, pool, &mut self.scratch, &mut self.probas);
+        ml::ensemble::argmax(&self.probas)
+    }
+
+    /// The actuation + record half of the label tick. Split from
+    /// [`InferenceHead::step`] so the serving micro-batcher can classify
+    /// many sessions' windows in one ensemble call and still actuate each
+    /// session through **this exact code**.
+    ///
+    /// # Errors
+    ///
+    /// Propagates actuation failures.
+    pub fn apply(
+        &mut self,
+        label: usize,
+        t: f64,
+        period_samples: usize,
+        trace: &mut SessionTrace,
+        latency: &mut LatencyReport,
+    ) -> Result<usize> {
         let t2 = Instant::now();
         let action = match label {
             0 => ActionLabel::Left,
             1 => ActionLabel::Right,
             _ => ActionLabel::Idle,
         };
-        let bytes = self.controller.on_label(action)?;
-        if !bytes.is_empty() {
-            self.mcu.receive(&bytes);
+        self.controller.on_label_into(action, &mut self.cmd_buf)?;
+        if !self.cmd_buf.is_empty() {
+            self.mcu.receive(&self.cmd_buf);
         }
         self.mcu.tick(period_samples as f64 / SAMPLE_RATE);
         latency.actuation.record(t2.elapsed().as_secs_f64());
@@ -288,6 +344,8 @@ pub struct CognitiveArm {
     chain: StreamingChain,
     head: InferenceHead,
     window: SlidingWindow,
+    /// Reused channel-major flattening of the sliding window.
+    flat_buf: Vec<f32>,
     elapsed_samples: u64,
     latency: LatencyReport,
     pool: Arc<ExecPool>,
@@ -340,12 +398,14 @@ impl CognitiveArm {
         let chain = StreamingChain::new(&config.filter).expect("default filter spec is valid");
         let controller = Controller::new(config.controller, SafetyGate::new(config.safety));
         let window = SlidingWindow::new(ensemble.window());
+        let flat_buf = Vec::with_capacity(CHANNELS * ensemble.window());
         Self {
             config,
             board,
             chain,
             head: InferenceHead::new(ensemble, controller),
             window,
+            flat_buf,
             elapsed_samples: 0,
             latency: LatencyReport::default(),
             pool,
@@ -428,41 +488,99 @@ impl CognitiveArm {
     ///
     /// Propagates board and actuation failures.
     pub fn run_for(&mut self, seconds: f64) -> Result<SessionTrace> {
+        let mut trace = SessionTrace::default();
+        self.run_into(seconds, &mut trace)?;
+        Ok(trace)
+    }
+
+    /// [`CognitiveArm::run_for`] appending to a caller-provided trace.
+    /// With a trace whose capacity covers the segment, the steady-state
+    /// label tick performs **zero heap allocations**: acquisition drains
+    /// frame-by-frame, the filter runs in place, the window flattens into
+    /// a reused buffer, the ensemble classifies into its preallocated
+    /// scratch arena, and actuation reuses its command buffer
+    /// (`tests/tests/allocation.rs` enforces this with a counting global
+    /// allocator).
+    ///
+    /// # Errors
+    ///
+    /// Propagates board and actuation failures; rejects non-positive
+    /// durations.
+    pub fn run_into(&mut self, seconds: f64, trace: &mut SessionTrace) -> Result<()> {
         if seconds <= 0.0 {
             return Err(CoreError::BadConfig("non-positive run duration".into()));
         }
         let total = (seconds * SAMPLE_RATE) as usize;
-        let mut trace = SessionTrace::default();
         let step = self.config.label_every;
+        let expected_labels = total.div_ceil(step.max(1));
+        trace.labels.reserve(expected_labels);
+        trace.joints.reserve(expected_labels);
         let mut done = 0usize;
         while done < total {
             let n = step.min(total - done);
-            self.board.advance(n)?;
-            let chunk = self.board.drain()?;
-
-            let t0 = Instant::now();
-            for i in 0..chunk.samples {
-                let mut s = [0.0f32; CHANNELS];
-                for (ch, v) in s.iter_mut().enumerate() {
-                    *v = chunk.data[ch * chunk.samples + i];
-                }
-                self.chain.step(&mut s);
-                self.window.push(&s);
+            if self.advance_period(n)? {
+                self.window.flat_into(&mut self.flat_buf);
+                let t = self.elapsed_s();
+                self.head
+                    .step(&self.flat_buf, &self.pool, t, n, trace, &mut self.latency)?;
             }
-            self.latency.filter.record(t0.elapsed().as_secs_f64());
             done += n;
-            self.elapsed_samples += n as u64;
-
-            if !self.window.is_full() {
-                continue; // window not yet full
-            }
-
-            let flat = self.window.flat();
-            let t = self.elapsed_s();
-            self.head
-                .step(&flat, &self.pool, t, n, &mut trace, &mut self.latency)?;
         }
-        Ok(trace)
+        Ok(())
+    }
+
+    /// Advances one label period of `n` samples — acquisition, causal
+    /// filtering and windowing — and reports whether the sliding window is
+    /// full (i.e. a classification is due). The lockstep half of the label
+    /// tick: [`CognitiveArm::run_into`] drives it followed by the head's
+    /// classify-actuate step, and the serving micro-batcher drives it for
+    /// many sessions before one batched ensemble call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates board failures.
+    pub fn advance_period(&mut self, n: usize) -> Result<bool> {
+        self.board.advance(n)?;
+        let chain = &mut self.chain;
+        let window = &mut self.window;
+        let t0 = Instant::now();
+        self.board.drain_frames(|frame| {
+            let mut s = *frame;
+            chain.step(&mut s);
+            window.push(&s);
+        })?;
+        self.latency.filter.record(t0.elapsed().as_secs_f64());
+        self.elapsed_samples += n as u64;
+        Ok(self.window.is_full())
+    }
+
+    /// Appends the current channel-major window to `out` — how the
+    /// micro-batcher gathers due sessions into one contiguous batch
+    /// buffer. Values are exactly what the monolithic loop classifies.
+    pub fn append_window_to(&self, out: &mut Vec<f32>) {
+        self.window.append_to(out);
+    }
+
+    /// Applies an externally classified label (the micro-batcher's entry:
+    /// the label must come from this session's ensemble over the window
+    /// this tick produced). Records `inference_seconds` — the batched
+    /// call's wall time, which is the latency this session observed — and
+    /// runs the same actuation + record code as the monolithic loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates actuation failures.
+    pub fn apply_label(
+        &mut self,
+        label: usize,
+        period_samples: usize,
+        inference_seconds: f64,
+        trace: &mut SessionTrace,
+    ) -> Result<usize> {
+        self.latency.inference.record(inference_seconds);
+        let t = self.elapsed_s();
+        self.head
+            .apply(label, t, period_samples, trace, &mut self.latency)
     }
 }
 

@@ -188,6 +188,26 @@ impl SimulatedBoard {
     pub fn total_samples(&self) -> u64 {
         self.total_samples
     }
+
+    /// Removes all buffered data, visiting each frame oldest-first — the
+    /// allocation-free counterpart of [`Board::drain`] (no transposed
+    /// [`Chunk`] is materialized; the values delivered are identical).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EegError::NotStreaming`] when the stream is not running.
+    pub fn drain_frames(&mut self, mut sink: impl FnMut(&[f32; CHANNELS])) -> Result<()> {
+        if !self.streaming {
+            return Err(EegError::NotStreaming);
+        }
+        let mut buffer = self.buffer.lock();
+        for i in 0..buffer.len {
+            let idx = (buffer.head + i) % buffer.capacity;
+            sink(&buffer.frames[idx]);
+        }
+        buffer.clear();
+        Ok(())
+    }
 }
 
 impl Board for SimulatedBoard {

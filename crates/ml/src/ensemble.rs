@@ -7,9 +7,10 @@
 
 use exec::ExecPool;
 
-use crate::forest::{window_stat_features, RandomForest};
-use crate::infer::InferModel;
+use crate::forest::{window_stat_features, window_stat_features_into, RandomForest};
+use crate::infer::{softmax_into, InferModel};
 use crate::models::CLASSES;
+use crate::plan::InferPlan;
 
 /// Anything that can classify a channel-major EEG window.
 pub trait Classifier: Send + Sync {
@@ -38,14 +39,31 @@ pub trait Classifier: Send + Sync {
 /// Panics if `target > win_len` or the layout is inconsistent.
 #[must_use]
 pub fn tail_window(window: &[f32], channels: usize, win_len: usize, target: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(channels * target);
+    tail_window_into(window, channels, win_len, target, &mut out);
+    out
+}
+
+/// [`tail_window`] into a reused buffer (cleared first) — the
+/// allocation-free serving path; identical values.
+///
+/// # Panics
+///
+/// Panics if `target > win_len` or the layout is inconsistent.
+pub fn tail_window_into(
+    window: &[f32],
+    channels: usize,
+    win_len: usize,
+    target: usize,
+    out: &mut Vec<f32>,
+) {
     assert_eq!(window.len(), channels * win_len, "window layout");
     assert!(target <= win_len, "target {target} > window {win_len}");
-    let mut out = Vec::with_capacity(channels * target);
+    out.clear();
     for ch in 0..channels {
         let row = &window[ch * win_len..(ch + 1) * win_len];
         out.extend_from_slice(&row[win_len - target..]);
     }
-    out
 }
 
 impl Classifier for InferModel {
@@ -164,6 +182,149 @@ impl Member {
             Member::Forest(c) => c,
             Member::Custom(b) => b.as_ref(),
         }
+    }
+
+    /// The allocation-free counterpart of
+    /// [`Classifier::predict_proba_window`]: tail extraction, features and
+    /// activations all live in `lane`, probabilities land in `out`. The
+    /// arithmetic — and its order — is identical to the allocating trait
+    /// path, so the two produce the same bits (`Custom` members have no
+    /// scratch contract and fall back to the trait call).
+    fn predict_proba_window_into(
+        &self,
+        window: &[f32],
+        channels: usize,
+        win_len: usize,
+        lane: &mut LaneScratch,
+        out: &mut [f32],
+    ) {
+        match self {
+            Member::Net(m) => {
+                tail_window_into(window, channels, win_len, m.window(), &mut lane.tail);
+                let plan = lane.plan.as_mut().expect("net lane carries a plan");
+                m.predict_logits_into(&lane.tail, 1, plan, &mut lane.logits);
+                softmax_into(&lane.logits, out);
+            }
+            Member::Forest(c) => {
+                tail_window_into(
+                    window,
+                    channels,
+                    win_len,
+                    Classifier::window(c),
+                    &mut lane.tail,
+                );
+                window_stat_features_into(&lane.tail, channels, &mut lane.features);
+                c.forest().predict_proba_into(&lane.features, out);
+            }
+            Member::Custom(b) => {
+                let p = b.predict_proba_window(window, channels, win_len);
+                out.fill(0.0);
+                for (o, &v) in out.iter_mut().zip(&p) {
+                    *o = v;
+                }
+            }
+        }
+    }
+}
+
+/// Scratch for one inference lane: one member classifying one window.
+/// Compiled nets carry an [`InferPlan`]; forests carry tail/feature
+/// buffers. Everything is reused across calls, so the steady-state lane
+/// performs zero heap allocations once warm.
+#[derive(Debug)]
+struct LaneScratch {
+    plan: Option<InferPlan>,
+    tail: Vec<f32>,
+    logits: Vec<f32>,
+    features: Vec<f32>,
+}
+
+impl LaneScratch {
+    fn for_member(member: &Member) -> Self {
+        let plan = match member {
+            Member::Net(m) => Some(InferPlan::compile(m)),
+            Member::Forest(_) | Member::Custom(_) => None,
+        };
+        let classes = plan.as_ref().map_or(0, InferPlan::classes);
+        Self {
+            plan,
+            tail: Vec::new(),
+            logits: vec![0.0; classes],
+            features: Vec::new(),
+        }
+    }
+}
+
+/// One pool job of a batched ensemble call: member `member` classifying
+/// batch window `window` into its private `out` slot. The lane
+/// materializes on first use, so lanes that are never dispatched (e.g.
+/// high batch slots on a sequential pool, which reuses each member's
+/// first lane) cost nothing.
+#[derive(Debug)]
+struct JobSlot {
+    member: usize,
+    window: usize,
+    lane: Option<LaneScratch>,
+    out: Vec<f32>,
+}
+
+/// The reusable scratch arena for one ensemble's batched inference:
+/// `batch × members` independent lanes (each net lane owns a compiled
+/// [`InferPlan`]), laid out batch-major — `slots[b * members + m]` — so
+/// the live slots of a `batch`-window call are exactly the prefix
+/// `slots[..batch * members]` (no dead-lane dispatch) and growing to a
+/// larger batch *appends* slots without touching existing warm lanes.
+/// Build one per serving session (or per micro-batch group) with
+/// [`EnsembleScratch::new`] and reuse it for every call; once warm it
+/// allocates nothing.
+///
+/// A scratch arena belongs to the ensemble it was built from — lanes are
+/// compiled per member, and using it with a structurally different
+/// ensemble panics.
+#[derive(Debug)]
+pub struct EnsembleScratch {
+    slots: Vec<JobSlot>,
+    batch_cap: usize,
+    members: usize,
+}
+
+impl EnsembleScratch {
+    /// Scratch for single-window calls on `ensemble` (grows on demand when
+    /// a larger batch first arrives).
+    #[must_use]
+    pub fn new(ensemble: &Ensemble) -> Self {
+        let mut scratch = Self {
+            slots: Vec::new(),
+            batch_cap: 0,
+            members: ensemble.len(),
+        };
+        scratch.ensure_batch(ensemble, 1);
+        scratch
+    }
+
+    /// The largest batch this scratch currently serves without growing.
+    #[must_use]
+    pub fn batch_capacity(&self) -> usize {
+        self.batch_cap
+    }
+
+    fn ensure_batch(&mut self, ensemble: &Ensemble, batch: usize) {
+        assert_eq!(
+            self.members,
+            ensemble.len(),
+            "scratch built for a different ensemble"
+        );
+        for b in self.batch_cap..batch {
+            for mi in 0..self.members {
+                self.slots.push(JobSlot {
+                    member: mi,
+                    window: b,
+                    lane: None,
+                    out: vec![0.0; CLASSES],
+                });
+            }
+        }
+        self.batch_cap = self.batch_cap.max(batch);
     }
 }
 
@@ -313,15 +474,16 @@ impl Ensemble {
     }
 
     /// Combined class probabilities for a window of the ensemble's length.
+    ///
+    /// A thin wrapper over the batched scratch engine (fresh scratch per
+    /// call); steady-state loops should hold an [`EnsembleScratch`] and
+    /// call [`Ensemble::predict_batch_into`] instead.
     #[must_use]
     pub fn predict_proba(&self, window: &[f32], channels: usize) -> Vec<f32> {
-        let win_len = window.len() / channels;
-        let probas: Vec<Vec<f32>> = self
-            .members
-            .iter()
-            .map(|m| m.predict_proba_window(window, channels, win_len))
-            .collect();
-        self.combine(&probas)
+        let mut scratch = EnsembleScratch::new(self);
+        let mut out = vec![0.0f32; CLASSES];
+        self.predict_batch_core(window, 1, channels, None, &mut scratch, &mut out);
+        out
     }
 
     /// [`Ensemble::predict_proba`] with members evaluated in parallel on
@@ -329,18 +491,122 @@ impl Ensemble {
     /// result is bit-identical to the sequential path.
     #[must_use]
     pub fn predict_proba_with(&self, window: &[f32], channels: usize, pool: &ExecPool) -> Vec<f32> {
-        let win_len = window.len() / channels;
-        let probas = pool.par_map(&self.members, |m| {
-            m.predict_proba_window(window, channels, win_len)
-        });
-        self.combine(&probas)
+        let mut scratch = EnsembleScratch::new(self);
+        let mut out = vec![0.0f32; CLASSES];
+        self.predict_batch_core(window, 1, channels, Some(pool), &mut scratch, &mut out);
+        out
     }
 
-    /// Reduces per-member probability vectors under the voting rule,
-    /// folding in member order (f32 addition is not associative; a fixed
-    /// order keeps the vote reproducible).
-    fn combine(&self, probas: &[Vec<f32>]) -> Vec<f32> {
-        let mut acc = vec![0.0f32; CLASSES];
+    /// The batch-first, allocation-free inference entry point: classifies
+    /// `batch` channel-major windows (concatenated in `windows`, each
+    /// `channels × win_len` long) in one call, writing `batch × CLASSES`
+    /// combined probabilities to `out`.
+    ///
+    /// Work fans out as `members × batch` independent jobs on `pool`, each
+    /// into its own preallocated lane of `scratch`; results are combined
+    /// per window in member order. Per window, arithmetic and its order
+    /// are identical to [`Ensemble::predict_proba`] — batching changes
+    /// memory layout, never numerics — so a batched serving tick is
+    /// bit-identical to per-session inference by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was built for a different ensemble or the
+    /// buffer lengths disagree with `batch`/`channels`.
+    pub fn predict_batch_into(
+        &self,
+        windows: &[f32],
+        batch: usize,
+        channels: usize,
+        pool: &ExecPool,
+        scratch: &mut EnsembleScratch,
+        out: &mut [f32],
+    ) {
+        self.predict_batch_core(windows, batch, channels, Some(pool), scratch, out);
+    }
+
+    fn predict_batch_core(
+        &self,
+        windows: &[f32],
+        batch: usize,
+        channels: usize,
+        pool: Option<&ExecPool>,
+        scratch: &mut EnsembleScratch,
+        out: &mut [f32],
+    ) {
+        assert!(batch >= 1, "empty batch");
+        assert!(
+            windows.len().is_multiple_of(batch * channels),
+            "window batch layout"
+        );
+        let win_len = windows.len() / (batch * channels);
+        assert_eq!(out.len(), batch * CLASSES, "probability buffer size");
+        scratch.ensure_batch(self, batch);
+        let per_window = channels * win_len;
+        let members = &self.members;
+        let n_members = members.len();
+        let parallel = pool.is_some_and(|p| p.threads() > 1);
+        if parallel {
+            let pool = pool.expect("parallel implies a pool");
+            // One independent job per (window, member) pair, each with its
+            // own lane (materialized on first use) — per-index
+            // determinism: results land in fixed slots and are combined
+            // in a fixed order below. The batch-major layout makes the
+            // live slots exactly this prefix, so no dead lane is ever
+            // dispatched. `par_map_mut` of a unit closure collects a
+            // `Vec<()>`, which never allocates.
+            pool.par_map_mut(&mut scratch.slots[..batch * n_members], |slot| {
+                let w = &windows[slot.window * per_window..(slot.window + 1) * per_window];
+                let member = &members[slot.member];
+                let lane = slot
+                    .lane
+                    .get_or_insert_with(|| LaneScratch::for_member(member));
+                member.predict_proba_window_into(w, channels, win_len, lane, &mut slot.out);
+            });
+        } else {
+            // Sequential: reuse each member's *first* lane for every
+            // window (scratch contents never affect outputs), keeping the
+            // arena cache-hot and the high batch slots lane-free — a
+            // batched call costs what the per-window loop costs.
+            for b in 0..batch {
+                let w = &windows[b * per_window..(b + 1) * per_window];
+                for (mi, member) in members.iter().enumerate() {
+                    if b == 0 {
+                        let slot = &mut scratch.slots[mi];
+                        let lane = slot
+                            .lane
+                            .get_or_insert_with(|| LaneScratch::for_member(member));
+                        member.predict_proba_window_into(w, channels, win_len, lane, &mut slot.out);
+                    } else {
+                        let (head, tail) = scratch.slots.split_at_mut(b * n_members + mi);
+                        let lane = head[mi]
+                            .lane
+                            .get_or_insert_with(|| LaneScratch::for_member(member));
+                        member.predict_proba_window_into(
+                            w,
+                            channels,
+                            win_len,
+                            lane,
+                            &mut tail[0].out,
+                        );
+                    }
+                }
+            }
+        }
+        for b in 0..batch {
+            let acc = &mut out[b * CLASSES..(b + 1) * CLASSES];
+            self.combine_into(
+                (0..n_members).map(|m| scratch.slots[b * n_members + m].out.as_slice()),
+                acc,
+            );
+        }
+    }
+
+    /// Reduces per-member probability slices under the voting rule into
+    /// `acc` (fully overwritten), folding in member order (f32 addition is
+    /// not associative; a fixed order keeps the vote reproducible).
+    fn combine_into<'a>(&self, probas: impl Iterator<Item = &'a [f32]>, acc: &mut [f32]) {
+        acc.fill(0.0);
         match self.voting {
             Voting::Soft => {
                 for p in probas {
@@ -362,10 +628,9 @@ impl Ensemble {
             }
         }
         let n = self.members.len() as f32;
-        for a in &mut acc {
+        for a in acc.iter_mut() {
             *a /= n;
         }
-        acc
     }
 
     /// Combined class prediction.
@@ -381,13 +646,26 @@ impl Ensemble {
     }
 
     fn argmax(probs: &[f32]) -> usize {
-        probs
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        argmax(probs)
     }
+}
+
+/// Index of the largest probability — the vote-to-label rule every
+/// consumer of [`Ensemble::predict_batch_into`] must share so external
+/// batched classification (the serving micro-batcher) picks exactly the
+/// label [`Ensemble::predict`] would.
+///
+/// # Panics
+///
+/// Panics on non-finite probabilities.
+#[must_use]
+pub fn argmax(probs: &[f32]) -> usize {
+    probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -510,6 +788,102 @@ mod tests {
             assert!(bits_equal, "threads={threads}: {seq:?} vs {par:?}");
             assert_eq!(e.predict(&w, 2), e.predict_with(&w, 2, &pool));
         }
+    }
+
+    fn toy_forest_member(window: usize, channels: usize) -> Member {
+        use crate::forest::ForestConfig;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let dim = channels * 5;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..40 {
+            let row: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            xs.push(row);
+            ys.push(i % CLASSES);
+        }
+        let forest = RandomForest::fit(
+            ForestConfig {
+                n_estimators: 3,
+                max_depth: Some(3),
+                min_samples_split: 2,
+                classes: CLASSES,
+                seed: 1,
+            },
+            &xs,
+            &ys,
+        )
+        .expect("toy forest fits");
+        Member::Forest(ForestClassifier::new(forest, window))
+    }
+
+    #[test]
+    fn batched_call_matches_single_window_calls_bitwise() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let channels = 2;
+        let win_len = 6;
+        let e = Ensemble::new(
+            vec![
+                toy_forest_member(4, channels),
+                Member::Custom(Box::new(Fixed { class: 1, window: 4 })),
+            ],
+            Voting::Soft,
+        );
+        let mut rng = StdRng::seed_from_u64(77);
+        let batch = 4;
+        let windows: Vec<f32> = (0..batch * channels * win_len)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+        for threads in [1, 2, 4] {
+            let pool = ExecPool::new(threads);
+            let mut scratch = EnsembleScratch::new(&e);
+            let mut out = vec![0.0f32; batch * CLASSES];
+            e.predict_batch_into(&windows, batch, channels, &pool, &mut scratch, &mut out);
+            for b in 0..batch {
+                let solo =
+                    e.predict_proba(&windows[b * channels * win_len..(b + 1) * channels * win_len], channels);
+                let got = &out[b * CLASSES..(b + 1) * CLASSES];
+                for (x, y) in solo.iter().zip(got) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "threads={threads} window={b}");
+                }
+            }
+            // Scratch reuse (including a smaller follow-up batch) stays
+            // bit-identical.
+            let mut again = vec![0.0f32; CLASSES];
+            e.predict_batch_into(
+                &windows[..channels * win_len],
+                1,
+                channels,
+                &pool,
+                &mut scratch,
+                &mut again,
+            );
+            for (x, y) in out[..CLASSES].iter().zip(&again) {
+                assert_eq!(x.to_bits(), y.to_bits(), "threads={threads} reuse");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch built for a different ensemble")]
+    fn foreign_scratch_is_rejected() {
+        let one = Ensemble::new(
+            vec![Member::Custom(Box::new(Fixed { class: 0, window: 4 }))],
+            Voting::Soft,
+        );
+        let two = Ensemble::new(
+            vec![
+                Member::Custom(Box::new(Fixed { class: 0, window: 4 })),
+                Member::Custom(Box::new(Fixed { class: 1, window: 4 })),
+            ],
+            Voting::Soft,
+        );
+        let mut scratch = EnsembleScratch::new(&one);
+        let pool = ExecPool::new(1);
+        let mut out = vec![0.0f32; CLASSES];
+        two.predict_batch_into(&[0.0; 8], 1, 2, &pool, &mut scratch, &mut out);
     }
 
     #[test]

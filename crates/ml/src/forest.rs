@@ -51,13 +51,25 @@ impl ForestConfig {
 /// Panics if `window.len()` is not a multiple of `channels`.
 #[must_use]
 pub fn window_stat_features(window: &[f32], channels: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(channels * 5);
+    window_stat_features_into(window, channels, &mut out);
+    out
+}
+
+/// [`window_stat_features`] into a reused buffer (cleared first) — the
+/// allocation-free serving path; identical arithmetic.
+///
+/// # Panics
+///
+/// Panics if `window.len()` is not a multiple of `channels`.
+pub fn window_stat_features_into(window: &[f32], channels: usize, out: &mut Vec<f32>) {
     assert!(
         channels > 0 && window.len().is_multiple_of(channels),
         "window {} not divisible by {channels}",
         window.len()
     );
     let per = window.len() / channels;
-    let mut out = Vec::with_capacity(channels * 5);
+    out.clear();
     for ch in 0..channels {
         let row = &window[ch * per..(ch + 1) * per];
         let n = row.len() as f64;
@@ -79,7 +91,6 @@ pub fn window_stat_features(window: &[f32], channels: usize) -> Vec<f32> {
         out.push(max);
         out.push(var as f32);
     }
-    out
 }
 
 /// One node of a CART tree's arena (public so `model-io` can persist
@@ -309,16 +320,29 @@ impl RandomForest {
     #[must_use]
     pub fn predict_proba(&self, features: &[f32]) -> Vec<f32> {
         let mut acc = vec![0.0f32; self.config.classes];
+        self.predict_proba_into(features, &mut acc);
+        acc
+    }
+
+    /// [`RandomForest::predict_proba`] into a preallocated buffer (fully
+    /// overwritten) — the allocation-free serving path; trees vote in the
+    /// same fixed order, so the result is bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != classes`.
+    pub fn predict_proba_into(&self, features: &[f32], out: &mut [f32]) {
+        assert_eq!(out.len(), self.config.classes, "class buffer size");
+        out.fill(0.0);
         for tree in &self.trees {
-            for (a, p) in acc.iter_mut().zip(tree.predict_proba(features)) {
+            for (a, p) in out.iter_mut().zip(tree.predict_proba(features)) {
                 *a += p;
             }
         }
         let n = self.trees.len() as f32;
-        for a in &mut acc {
+        for a in out.iter_mut() {
             *a /= n;
         }
-        acc
     }
 
     /// Predicted class for one feature vector.

@@ -18,6 +18,10 @@ use crate::tensor::Tensor;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(usize);
 
+/// A node's backward rule: given the graph (so operand and output values
+/// can be read back off the tape instead of being captured as clones — the
+/// tape outlives every closure by construction) and the node's output
+/// gradient, produce one gradient per parent.
 type BackFn = Box<dyn Fn(&Graph, &Tensor) -> Vec<Tensor>>;
 
 struct Node {
@@ -165,9 +169,14 @@ impl Graph {
     }
 
     /// Elementwise product.
+    ///
+    /// The backward closure reads both operands back off the tape (they
+    /// outlive it by construction) instead of capturing clones — the same
+    /// pattern every binary op here follows, which removes two full-tensor
+    /// copies per op from the forward pass.
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let av = self.value(a).clone();
-        let bv = self.value(b).clone();
+        let av = self.value(a);
+        let bv = self.value(b);
         assert_eq!(av.shape(), bv.shape(), "mul shape mismatch");
         let data = av
             .data()
@@ -179,7 +188,8 @@ impl Graph {
         self.push(
             v,
             vec![a, b],
-            Some(Box::new(move |_, g| {
+            Some(Box::new(move |gr, g| {
+                let (av, bv) = (gr.value(a), gr.value(b));
                 let da = g
                     .data()
                     .iter()
@@ -214,16 +224,14 @@ impl Graph {
 
     /// Matrix product `a [m,k] × b [k,n]`.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let av = self.value(a).clone();
-        let bv = self.value(b).clone();
-        let v = av.matmul(&bv);
+        let v = self.value(a).matmul(self.value(b));
         self.push(
             v,
             vec![a, b],
-            Some(Box::new(move |_, g| {
+            Some(Box::new(move |gr, g| {
                 // y = a b; da = g b^T ; db = a^T g
-                let da = g.matmul_t(&bv);
-                let db = av.transposed().matmul(g);
+                let da = g.matmul_t(gr.value(b));
+                let db = gr.value(a).transposed().matmul(g);
                 vec![da, db]
             })),
         )
@@ -232,15 +240,13 @@ impl Graph {
     /// `a [m,k] × b^T` where `b` is `[n,k]`.
     pub fn matmul_nt(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let v = self.value(a).matmul_t(self.value(b));
-        let av = self.value(a).clone();
-        let bv = self.value(b).clone();
         self.push(
             v,
             vec![a, b],
-            Some(Box::new(move |_, g| {
+            Some(Box::new(move |gr, g| {
                 // y = a b^T; da = g b ; db = g^T a
-                let da = g.matmul(&bv);
-                let db = g.transposed().matmul(&av);
+                let da = g.matmul(gr.value(b));
+                let db = g.transposed().matmul(gr.value(a));
                 vec![da, db]
             })),
         )
@@ -250,16 +256,15 @@ impl Graph {
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: NodeId) -> NodeId {
-        let av = self.value(a).clone();
-        let v = av.map(|x| x.max(0.0));
+        let v = self.value(a).map(|x| x.max(0.0));
         self.push(
             v,
             vec![a],
-            Some(Box::new(move |_, g| {
+            Some(Box::new(move |gr, g| {
                 let data = g
                     .data()
                     .iter()
-                    .zip(av.data())
+                    .zip(gr.value(a).data())
                     .map(|(gi, x)| if *x > 0.0 { *gi } else { 0.0 })
                     .collect();
                 vec![Tensor::new(g.shape().to_vec(), data)]
@@ -267,18 +272,20 @@ impl Graph {
         )
     }
 
-    /// Hyperbolic tangent.
+    /// Hyperbolic tangent. The backward closure reads the node's *own*
+    /// output back off the tape (its id is known before the push), so the
+    /// forward pass no longer keeps a second copy of the activation alive.
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
         let v = self.value(a).map(f32::tanh);
-        let y = v.clone();
+        let id = NodeId(self.nodes.len());
         self.push(
             v,
             vec![a],
-            Some(Box::new(move |_, g| {
+            Some(Box::new(move |gr, g| {
                 let data = g
                     .data()
                     .iter()
-                    .zip(y.data())
+                    .zip(gr.value(id).data())
                     .map(|(gi, yi)| gi * (1.0 - yi * yi))
                     .collect();
                 vec![Tensor::new(g.shape().to_vec(), data)]
@@ -289,15 +296,15 @@ impl Graph {
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
         let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
-        let y = v.clone();
+        let id = NodeId(self.nodes.len());
         self.push(
             v,
             vec![a],
-            Some(Box::new(move |_, g| {
+            Some(Box::new(move |gr, g| {
                 let data = g
                     .data()
                     .iter()
-                    .zip(y.data())
+                    .zip(gr.value(id).data())
                     .map(|(gi, yi)| gi * yi * (1.0 - yi))
                     .collect();
                 vec![Tensor::new(g.shape().to_vec(), data)]
@@ -323,11 +330,12 @@ impl Graph {
             }
         }
         let v = Tensor::new(vec![m, n], out);
-        let y = v.clone();
+        let id = NodeId(self.nodes.len());
         self.push(
             v,
             vec![a],
-            Some(Box::new(move |_, g| {
+            Some(Box::new(move |gr, g| {
+                let y = gr.value(id);
                 let mut da = vec![0.0f32; m * n];
                 for i in 0..m {
                     let yr = &y.data()[i * n..(i + 1) * n];
@@ -369,9 +377,9 @@ impl Graph {
     /// learned `gamma [n]` and `beta [n]`.
     pub fn layer_norm(&mut self, x: NodeId, gamma: NodeId, beta: NodeId) -> NodeId {
         const EPS: f32 = 1e-5;
-        let xv = self.value(x).clone();
-        let gv = self.value(gamma).clone();
-        let bv = self.value(beta).clone();
+        let xv = self.value(x);
+        let gv = self.value(gamma);
+        let bv = self.value(beta);
         let (m, n) = (xv.rows(), xv.cols());
         let mut out = vec![0.0f32; m * n];
         let mut xhat = vec![0.0f32; m * n];
@@ -392,7 +400,10 @@ impl Graph {
         self.push(
             v,
             vec![x, gamma, beta],
-            Some(Box::new(move |_, g| {
+            Some(Box::new(move |graph, g| {
+                // `xhat`/`inv_std` are derived statistics (kept), but gamma
+                // is read back off the tape instead of captured.
+                let gv = graph.value(gamma);
                 let mut dx = vec![0.0f32; m * n];
                 let mut dgamma = vec![0.0f32; n];
                 let mut dbeta = vec![0.0f32; n];
@@ -620,8 +631,8 @@ impl Graph {
         kw: usize,
         stride: usize,
     ) -> NodeId {
-        let xv = self.value(x).clone();
-        let wv = self.value(w).clone();
+        let xv = self.value(x);
+        let wv = self.value(w);
         let batch = xv.rows();
         assert_eq!(xv.cols(), cin * h * wdim, "conv input size");
         let cout = wv.rows();
@@ -656,7 +667,7 @@ impl Graph {
         }
         let cols_t = Tensor::new(vec![batch * spots, patch], cols);
         // out[b*spots + spot, cout] = cols × w^T
-        let flat = cols_t.matmul_t(&wv);
+        let flat = cols_t.matmul_t(self.value(w));
         // Rearrange to [batch, cout * spots] (channel-major per image).
         let mut out = vec![0.0f32; batch * cout * spots];
         for b in 0..batch {
@@ -671,7 +682,10 @@ impl Graph {
         self.push(
             v,
             vec![x, w],
-            Some(Box::new(move |_, g| {
+            Some(Box::new(move |graph, g| {
+                // The im2col matrix is a derived value (kept); the kernel is
+                // read back off the tape.
+                let wv = graph.value(w);
                 // g: [batch, cout*spots] -> gflat [batch*spots, cout]
                 let mut gflat = vec![0.0f32; batch * spots * cout];
                 for b in 0..batch {
@@ -686,7 +700,7 @@ impl Graph {
                 // dW = gflat^T × cols : [cout, patch]
                 let dw = gflat.transposed().matmul(&cols_t);
                 // dcols = gflat × w : [batch*spots, patch]
-                let dcols = gflat.matmul(&wv);
+                let dcols = gflat.matmul(wv);
                 // col2im
                 let mut dx = vec![0.0f32; batch * cin * h * wdim];
                 for b in 0..batch {
@@ -1163,6 +1177,76 @@ mod tests {
         let y = g.reshape(y, vec![1]);
         g.backward(y);
         assert!((g.grad(x).unwrap().data()[0] - 6.0).abs() < 1e-6);
+    }
+
+    /// FNV-1a over a stream of 64-bit words (grad bits), order-sensitive.
+    fn fnv1a(words: impl Iterator<Item = u64>) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for w in words {
+            for byte in w.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn backward_bit_identity_locked() {
+        // A composite graph touching every rewritten backward op (conv,
+        // pooling, matmuls, activations, layer-norm, slicing, concat,
+        // softmax, cross-entropy). The hash of every parameter gradient's
+        // bits was recorded *before* the backward closures were rewritten
+        // to read operand values through the tape instead of capturing
+        // clones; the rewrite is a memory optimization and must never move
+        // a single bit.
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let x = Tensor::uniform(vec![4, 2 * 6 * 6], 1.0, &mut rng);
+        let wc = Tensor::uniform(vec![3, 2 * 3 * 3], 0.5, &mut rng);
+        let wd = Tensor::uniform(vec![12, 6], 0.7, &mut rng);
+        let gamma = Tensor::full(vec![6], 1.1);
+        let beta = Tensor::full(vec![6], -0.2);
+        let bias = Tensor::uniform(vec![6], 0.3, &mut rng);
+        let wq = Tensor::uniform(vec![3, 6], 0.9, &mut rng);
+
+        let mut g = Graph::new();
+        let xi = g.input(x);
+        let wci = g.param(0, wc);
+        let y = g.conv2d(xi, wci, 2, 6, 6, 3, 3, 1); // [4, 3*4*4]
+        let y = g.relu(y);
+        let y = g.max_pool2d(y, 3, 4, 4, 2); // [4, 3*2*2]
+        let wdi = g.param(1, wd);
+        let y = g.matmul(y, wdi); // [4, 6]
+        let bi = g.param(2, bias);
+        let y = g.add_bias(y, bi);
+        let gi = g.param(3, gamma);
+        let be = g.param(4, beta);
+        let y = g.layer_norm(y, gi, be);
+        let t = g.tanh(y);
+        let s = g.sigmoid(y);
+        let y = g.mul(t, s);
+        let a = g.cols_slice(y, 0, 3);
+        let b = g.cols_slice(y, 3, 6);
+        let y = g.concat_cols(a, b); // [4, 6]
+        let y = g.rows_slice(y, 0, 4);
+        let y = g.mean_pool_rows(y, 2); // [2, 6]
+        let y = g.softmax_rows(y);
+        let y = g.scale(y, 1.5);
+        let wqi = g.param(5, wq);
+        let q = g.matmul_nt(y, wqi); // [2,6] × [3,6]^T -> [2,3]
+        let loss = g.cross_entropy(q, &[0, 2]);
+        g.backward(loss);
+
+        let hash = fnv1a(
+            g.param_grads()
+                .flat_map(|(_, t)| t.data().iter().map(|v| u64::from(v.to_bits())))
+                .collect::<Vec<_>>()
+                .into_iter(),
+        );
+        assert_eq!(
+            hash, 0xC61E_608B_8E9F_7DF5,
+            "backward numerics drifted: {hash:#x}"
+        );
     }
 
     #[test]

@@ -6,8 +6,11 @@
 //! stacks (PyTorch → TensorRT) and is what makes Fig. 12 honest: the pruned
 //! and quantized variants run *different kernels*, not masked dense math.
 //!
-//! All predictors classify one window at a time — exactly the 15 Hz
-//! real-time loop of Sec. IV-A3.
+//! The single-window `predict_*` surface here matches the 15 Hz real-time
+//! loop of Sec. IV-A3; the serving hot path compiles models into
+//! [`crate::plan::InferPlan`]s — preallocated scratch arenas whose batched
+//! kernels share these exact `_into` primitives, so the allocation-free
+//! path is bit-identical to this one.
 
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +31,15 @@ pub enum MatRep {
     Int8(QuantMatrix),
 }
 
+/// Reusable integer buffers for the int8 kernels (activation quantization
+/// and i32 accumulation). One instance per inference lane; the compiled
+/// plan owns one so the quantized path allocates nothing per window.
+#[derive(Debug, Clone, Default)]
+pub struct QuantScratch {
+    xq: Vec<i8>,
+    acc: Vec<i32>,
+}
+
 impl MatRep {
     /// `x [m, k] × W [k, n]`, dispatching on the representation.
     #[must_use]
@@ -36,6 +48,24 @@ impl MatRep {
             MatRep::Dense(w) => x.matmul(w),
             MatRep::Sparse(w) => w.left_matmul(x),
             MatRep::Int8(w) => w.left_matmul(x),
+        }
+    }
+
+    /// [`MatRep::left_matmul`] over raw slices into a preallocated output
+    /// (`out` is fully overwritten) — every representation routes through
+    /// the *same* kernel its allocating path uses, which is what keeps the
+    /// compiled plan bit-identical to the legacy path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `out` is shorter than the dimensions imply.
+    pub fn left_matmul_into(&self, x: &[f32], m: usize, out: &mut [f32], qs: &mut QuantScratch) {
+        match self {
+            MatRep::Dense(w) => {
+                crate::tensor::matmul_kernel(x, w.data(), m, w.rows(), w.cols(), out);
+            }
+            MatRep::Sparse(w) => w.left_matmul_into(x, m, out),
+            MatRep::Int8(w) => w.left_matmul_into(x, m, out, qs),
         }
     }
 
@@ -116,8 +146,22 @@ impl QuantMatrix {
         assert_eq!(k, self.rows, "quant matmul dims {k} vs {}", self.rows);
         let n = self.cols;
         let mut out = vec![0.0f32; m * n];
+        self.left_matmul_into(x.data(), m, &mut out, &mut QuantScratch::default());
+        Tensor::new(vec![m, n], out)
+    }
+
+    /// [`QuantMatrix::left_matmul`] over raw slices into a preallocated
+    /// output, reusing the caller's integer scratch. Same loops, same
+    /// arithmetic order — shared with the allocating path above.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `out` is shorter than the dimensions imply.
+    pub fn left_matmul_into(&self, x: &[f32], m: usize, out: &mut [f32], qs: &mut QuantScratch) {
+        let k = self.rows;
+        let n = self.cols;
         for i in 0..m {
-            let xrow = &x.data()[i * k..(i + 1) * k];
+            let xrow = &x[i * k..(i + 1) * k];
             // Quantize the activation row.
             let ax = self.act_scale.unwrap_or_else(|| {
                 let max = xrow.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
@@ -127,27 +171,26 @@ impl QuantMatrix {
                     max / 127.0
                 }
             });
-            let xq: Vec<i8> = xrow
-                .iter()
-                .map(|&v| (v / ax).round().clamp(-127.0, 127.0) as i8)
-                .collect();
+            qs.xq.clear();
+            qs.xq
+                .extend(xrow.iter().map(|&v| (v / ax).round().clamp(-127.0, 127.0) as i8));
             let orow = &mut out[i * n..(i + 1) * n];
-            let mut acc = vec![0i32; n];
-            for (p, &xv) in xq.iter().enumerate() {
+            qs.acc.clear();
+            qs.acc.resize(n, 0);
+            for (p, &xv) in qs.xq.iter().enumerate() {
                 if xv == 0 {
                     continue;
                 }
                 let wrow = &self.data[p * n..(p + 1) * n];
-                for (a, &wv) in acc.iter_mut().zip(wrow) {
+                for (a, &wv) in qs.acc.iter_mut().zip(wrow) {
                     *a += i32::from(xv) * i32::from(wv);
                 }
             }
             let deq = ax * self.scale;
-            for (o, a) in orow.iter_mut().zip(&acc) {
+            for (o, a) in orow.iter_mut().zip(&qs.acc) {
                 *o = *a as f32 * deq;
             }
         }
-        Tensor::new(vec![m, n], out)
     }
 }
 
@@ -163,16 +206,17 @@ pub enum Activation {
 }
 
 impl Activation {
-    fn apply(self, t: &mut Tensor) {
+    /// Applies the activation elementwise in place.
+    pub fn apply_slice(self, s: &mut [f32]) {
         match self {
             Activation::None => {}
             Activation::Relu => {
-                for v in t.data_mut() {
+                for v in s {
                     *v = v.max(0.0);
                 }
             }
             Activation::Tanh => {
-                for v in t.data_mut() {
+                for v in s {
                     *v = v.tanh();
                 }
             }
@@ -195,15 +239,36 @@ impl LinearInfer {
     /// Applies the stage to `x [m, k]`.
     #[must_use]
     pub fn forward(&self, x: &Tensor) -> Tensor {
-        let mut y = self.w.left_matmul(x);
-        let n = y.cols();
-        for i in 0..y.rows() {
+        let (m, n) = (x.rows(), self.w.dims().1);
+        let mut out = vec![0.0f32; m * n];
+        self.forward_into(x.data(), m, &mut out, &mut QuantScratch::default());
+        Tensor::new(vec![m, n], out)
+    }
+
+    /// [`LinearInfer::forward`] over raw slices into a preallocated output
+    /// (fully overwritten): matmul, bias rows, activation — the same three
+    /// steps in the same order as the allocating path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `out` is shorter than the dimensions imply.
+    pub fn forward_into(&self, x: &[f32], m: usize, out: &mut [f32], qs: &mut QuantScratch) {
+        let (k, n) = self.w.dims();
+        assert_eq!(x.len(), m * k, "linear stage input size");
+        self.w.left_matmul_into(x, m, out, qs);
+        let out = &mut out[..m * n];
+        for i in 0..m {
             for j in 0..n {
-                y.data_mut()[i * n + j] += self.bias[j];
+                out[i * n + j] += self.bias[j];
             }
         }
-        self.act.apply(&mut y);
-        y
+        self.act.apply_slice(out);
+    }
+
+    /// Output width (bias length).
+    #[must_use]
+    pub fn out_width(&self) -> usize {
+        self.bias.len()
     }
 }
 
@@ -242,8 +307,45 @@ impl ConvInfer {
         let patch = self.cin * self.k * self.k;
         let spots = ho * wo;
         let cout = self.bias.len();
-        // im2col
         let mut cols = vec![0.0f32; spots * patch];
+        let mut flat = vec![0.0f32; spots * cout];
+        let mut prepool = vec![0.0f32; cout * spots];
+        let mut out = vec![0.0f32; self.out_len()];
+        let written = self.forward_into(
+            img,
+            &mut cols,
+            &mut flat,
+            &mut prepool,
+            &mut out,
+            &mut QuantScratch::default(),
+        );
+        out.truncate(written);
+        out
+    }
+
+    /// [`ConvInfer::forward`] into caller-provided scratch (`cols`, `flat`,
+    /// `prepool`) and output buffers; returns the number of values written
+    /// to `out` (= [`ConvInfer::out_len`]). Identical arithmetic in
+    /// identical order to the allocating path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any buffer is shorter than the stage dimensions imply.
+    pub fn forward_into(
+        &self,
+        img: &[f32],
+        cols: &mut [f32],
+        flat: &mut [f32],
+        prepool: &mut [f32],
+        out: &mut [f32],
+        qs: &mut QuantScratch,
+    ) -> usize {
+        let (ho, wo) = self.conv_out();
+        let patch = self.cin * self.k * self.k;
+        let spots = ho * wo;
+        let cout = self.bias.len();
+        // im2col
+        let cols = &mut cols[..spots * patch];
         for oy in 0..ho {
             for ox in 0..wo {
                 let spot = oy * wo + ox;
@@ -262,24 +364,35 @@ impl ConvInfer {
                 }
             }
         }
-        let cols = Tensor::new(vec![spots, patch], cols);
-        // The kernel is stored [cout, patch]; we need cols × W^T. Represent
-        // via transposing cost only once at compile time would be better; we
-        // store w as [patch, cout] at compile time, so left_matmul applies.
-        let flat = self.w.left_matmul(&cols); // [spots, cout]
-        let mut out = vec![0.0f32; cout * spots];
-        for s in 0..spots {
-            for c in 0..cout {
-                let v = flat.data()[s * cout + c] + self.bias[c];
-                out[c * spots + s] = v.max(0.0); // fused ReLU
+        // The kernel is stored [patch, cout] at compile time, so the plain
+        // left-multiply applies: cols [spots, patch] × W -> [spots, cout].
+        self.w.left_matmul_into(cols, spots, flat, qs);
+        /// Bias + fused ReLU, transposing [spots, cout] -> channel-major.
+        fn bias_relu(flat: &[f32], bias: &[f32], spots: usize, dst: &mut [f32]) {
+            let cout = bias.len();
+            for s in 0..spots {
+                for c in 0..cout {
+                    let v = flat[s * cout + c] + bias[c];
+                    dst[c * spots + s] = v.max(0.0);
+                }
             }
         }
-        match self.pool {
-            PoolKind::None => out,
-            PoolKind::Max | PoolKind::Avg if ho < 2 || wo < 2 => out,
-            PoolKind::Max => pool2(&out, cout, ho, wo, true),
-            PoolKind::Avg => pool2(&out, cout, ho, wo, false),
+        let pooled = !matches!(self.pool, PoolKind::None) && ho >= 2 && wo >= 2;
+        if pooled {
+            let conv_dst = &mut prepool[..cout * spots];
+            bias_relu(flat, &self.bias, spots, conv_dst);
+            pool2_into(
+                conv_dst,
+                cout,
+                ho,
+                wo,
+                matches!(self.pool, PoolKind::Max),
+                out,
+            );
+        } else {
+            bias_relu(flat, &self.bias, spots, &mut out[..cout * spots]);
         }
+        self.out_len()
     }
 
     /// Output dims after conv and pooling.
@@ -292,12 +405,19 @@ impl ConvInfer {
             _ => (ho / 2, wo / 2),
         }
     }
+
+    /// Flattened output length after conv and pooling.
+    #[must_use]
+    pub fn out_len(&self) -> usize {
+        let (ho, wo) = self.out_dims();
+        self.bias.len() * ho * wo
+    }
 }
 
-fn pool2(x: &[f32], c: usize, h: usize, w: usize, max: bool) -> Vec<f32> {
+fn pool2_into(x: &[f32], c: usize, h: usize, w: usize, max: bool, out: &mut [f32]) {
     let ho = h / 2;
     let wo = w / 2;
-    let mut out = vec![0.0f32; c * ho * wo];
+    let out = &mut out[..c * ho * wo];
     for ch in 0..c {
         for oy in 0..ho {
             for ox in 0..wo {
@@ -315,7 +435,6 @@ fn pool2(x: &[f32], c: usize, h: usize, w: usize, max: bool) -> Vec<f32> {
             }
         }
     }
-    out
 }
 
 /// Compiled CNN.
@@ -434,7 +553,21 @@ impl InferModel {
         }
     }
 
+    /// Number of output classes (the classification head's width).
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        match self {
+            InferModel::Cnn(m) => m.head.out_width(),
+            InferModel::Lstm(m) => m.head.out_width(),
+            InferModel::Transformer(m) => m.head.out_width(),
+        }
+    }
+
     /// Logits for one channel-major window.
+    ///
+    /// A thin wrapper over the compiled plan (`crate::plan::InferPlan`):
+    /// it compiles a fresh plan per call, so the steady-state loop should
+    /// hold a plan and call [`InferModel::predict_logits_into`] instead.
     ///
     /// # Panics
     ///
@@ -442,117 +575,42 @@ impl InferModel {
     /// `channels() * window()`.
     #[must_use]
     pub fn predict_logits(&self, window: &[f32]) -> Vec<f32> {
-        assert_eq!(
-            window.len(),
-            self.channels() * self.window(),
-            "window size mismatch"
-        );
-        match self {
-            InferModel::Cnn(m) => {
-                let mut cur = window.to_vec();
-                for conv in &m.convs {
-                    cur = conv.forward(&cur);
-                }
-                let x = Tensor::new(vec![1, cur.len()], cur);
-                m.head.forward(&x).into_data()
-            }
-            InferModel::Lstm(m) => {
-                let t_len = m.window.div_ceil(m.time_stride);
-                let chans = m.channels;
-                let mut h_layers = vec![vec![0.0f32; m.hidden]; m.cells.len()];
-                let mut c_layers = vec![vec![0.0f32; m.hidden]; m.cells.len()];
-                for ti in 0..t_len {
-                    let t_src = ti * m.time_stride;
-                    let mut input: Vec<f32> =
-                        (0..chans).map(|ch| window[ch * m.window + t_src]).collect();
-                    for (li, cell) in m.cells.iter().enumerate() {
-                        let mut z_in = input.clone();
-                        z_in.extend_from_slice(&h_layers[li]);
-                        let x = Tensor::new(vec![1, z_in.len()], z_in);
-                        let z = cell.forward(&x);
-                        let zd = z.data();
-                        let hid = m.hidden;
-                        let mut h_new = vec![0.0f32; hid];
-                        for j in 0..hid {
-                            let i_g = sigmoid(zd[j]);
-                            let f_g = sigmoid(zd[hid + j]);
-                            let g_g = zd[2 * hid + j].tanh();
-                            let o_g = sigmoid(zd[3 * hid + j]);
-                            c_layers[li][j] = f_g * c_layers[li][j] + i_g * g_g;
-                            h_new[j] = o_g * c_layers[li][j].tanh();
-                        }
-                        h_layers[li] = h_new;
-                        input = h_layers[li].clone();
-                    }
-                }
-                let x = Tensor::new(vec![1, m.hidden], h_layers.last().expect("cells").clone());
-                m.head.forward(&x).into_data()
-            }
-            InferModel::Transformer(m) => {
-                let t_len = m.window.div_ceil(m.time_stride);
-                let chans = m.channels;
-                let mut rows = vec![0.0f32; t_len * chans];
-                for (ti, t_src) in (0..m.window).step_by(m.time_stride).enumerate() {
-                    for ch in 0..chans {
-                        rows[ti * chans + ch] = window[ch * m.window + t_src];
-                    }
-                }
-                let x = Tensor::new(vec![t_len, chans], rows);
-                let mut cur = m.input_proj.forward(&x);
-                cur.add_assign(&m.pos);
-                let dh = m.d_model / m.heads;
-                let scale = 1.0 / (dh as f32).sqrt();
-                for block in &m.blocks {
-                    let q = block.wq.forward(&cur);
-                    let k = block.wk.forward(&cur);
-                    let v = block.wv.forward(&cur);
-                    let mut merged = vec![0.0f32; t_len * m.d_model];
-                    for hidx in 0..m.heads {
-                        let qs = slice_cols(&q, hidx * dh, dh);
-                        let ks = slice_cols(&k, hidx * dh, dh);
-                        let vs = slice_cols(&v, hidx * dh, dh);
-                        let mut scores = qs.matmul_t(&ks);
-                        scores.scale_assign(scale);
-                        softmax_rows_inplace(&mut scores);
-                        let ho = scores.matmul(&vs); // [t, dh]
-                        for t in 0..t_len {
-                            merged[t * m.d_model + hidx * dh..t * m.d_model + (hidx + 1) * dh]
-                                .copy_from_slice(&ho.data()[t * dh..(t + 1) * dh]);
-                        }
-                    }
-                    let merged = Tensor::new(vec![t_len, m.d_model], merged);
-                    let attn = block.wo.forward(&merged);
-                    let mut res = cur.clone();
-                    res.add_assign(&attn);
-                    layer_norm_inplace(&mut res, &block.ln1.0, &block.ln1.1);
-                    let ff = block.ff1.forward(&res);
-                    let ff = block.ff2.forward(&ff);
-                    let mut res2 = res;
-                    res2.add_assign(&ff);
-                    layer_norm_inplace(&mut res2, &block.ln2.0, &block.ln2.1);
-                    cur = res2;
-                }
-                // Mean pool over time.
-                let mut pooled = vec![0.0f32; m.d_model];
-                for t in 0..t_len {
-                    for (j, p) in pooled.iter_mut().enumerate() {
-                        *p += cur.data()[t * m.d_model + j] / t_len as f32;
-                    }
-                }
-                let x = Tensor::new(vec![1, m.d_model], pooled);
-                m.head.forward(&x).into_data()
-            }
-        }
+        let mut plan = crate::plan::InferPlan::compile(self);
+        let mut out = vec![0.0f32; self.classes()];
+        self.predict_logits_into(window, 1, &mut plan, &mut out);
+        out
+    }
+
+    /// Batched logits: `windows` holds `batch` channel-major windows
+    /// back-to-back, `out` receives `batch × classes()` logits. All
+    /// intermediate activations live in `plan`'s preallocated scratch
+    /// arena, so the steady-state call performs **zero heap allocations**;
+    /// per window the arithmetic (and its order) is identical to
+    /// [`InferModel::predict_logits`] — batching changes memory layout,
+    /// never numerics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` was compiled from a structurally different model,
+    /// or if `windows`/`out` disagree with `batch` and the model's
+    /// dimensions.
+    pub fn predict_logits_into(
+        &self,
+        windows: &[f32],
+        batch: usize,
+        plan: &mut crate::plan::InferPlan,
+        out: &mut [f32],
+    ) {
+        plan.predict_logits_into(self, windows, batch, out);
     }
 
     /// Softmax probabilities for one window.
     #[must_use]
     pub fn predict_proba(&self, window: &[f32]) -> Vec<f32> {
         let logits = self.predict_logits(window);
-        let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
-        let sum: f32 = exps.iter().sum();
-        exps.into_iter().map(|e| e / sum).collect()
+        let mut out = vec![0.0f32; logits.len()];
+        softmax_into(&logits, &mut out);
+        out
     }
 
     /// Predicted class index for one window.
@@ -668,24 +726,35 @@ impl InferModel {
     }
 }
 
-fn sigmoid(x: f32) -> f32 {
+pub(crate) fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
 }
 
-fn slice_cols(t: &Tensor, from: usize, width: usize) -> Tensor {
-    let (m, n) = (t.rows(), t.cols());
-    let mut data = vec![0.0f32; m * width];
-    for i in 0..m {
-        data[i * width..(i + 1) * width]
-            .copy_from_slice(&t.data()[i * n + from..i * n + from + width]);
+/// Softmax of `logits` into `out` — the exact arithmetic (and order) of
+/// the historical `predict_proba`: subtract the max, exponentiate, sum in
+/// index order, divide. Shared by the allocating wrapper and the
+/// allocation-free ensemble path so both produce identical bits.
+///
+/// # Panics
+///
+/// Panics if `out.len() != logits.len()`.
+pub fn softmax_into(logits: &[f32], out: &mut [f32]) {
+    assert_eq!(out.len(), logits.len(), "softmax buffer size");
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for (o, &l) in out.iter_mut().zip(logits) {
+        *o = (l - max).exp();
+        sum += *o;
     }
-    Tensor::new(vec![m, width], data)
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
 }
 
-fn softmax_rows_inplace(t: &mut Tensor) {
-    let (m, n) = (t.rows(), t.cols());
+/// Row-wise softmax over a `[m, n]` slice (the attention kernel's shape).
+pub(crate) fn softmax_rows_slice(data: &mut [f32], m: usize, n: usize) {
     for i in 0..m {
-        let row = &mut t.data_mut()[i * n..(i + 1) * n];
+        let row = &mut data[i * n..(i + 1) * n];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
         for v in row.iter_mut() {
@@ -698,17 +767,33 @@ fn softmax_rows_inplace(t: &mut Tensor) {
     }
 }
 
-fn layer_norm_inplace(t: &mut Tensor, gamma: &[f32], beta: &[f32]) {
+/// Row-wise layer norm over a `[m, n]` slice.
+pub(crate) fn layer_norm_slice(data: &mut [f32], m: usize, n: usize, gamma: &[f32], beta: &[f32]) {
     const EPS: f32 = 1e-5;
-    let (m, n) = (t.rows(), t.cols());
     for i in 0..m {
-        let row = &mut t.data_mut()[i * n..(i + 1) * n];
+        let row = &mut data[i * n..(i + 1) * n];
         let mean: f32 = row.iter().sum::<f32>() / n as f32;
         let var: f32 = row.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
         let inv = 1.0 / (var + EPS).sqrt();
         for (j, v) in row.iter_mut().enumerate() {
             *v = (*v - mean) * inv * gamma[j] + beta[j];
         }
+    }
+}
+
+/// Copies a `[m, width]` column block starting at `from` out of a `[m, n]`
+/// row-major slice.
+pub(crate) fn slice_cols_into(
+    src: &[f32],
+    m: usize,
+    n: usize,
+    from: usize,
+    width: usize,
+    out: &mut [f32],
+) {
+    for i in 0..m {
+        out[i * width..(i + 1) * width]
+            .copy_from_slice(&src[i * n + from..i * n + from + width]);
     }
 }
 

@@ -36,6 +36,7 @@ pub mod layers;
 pub mod metrics;
 pub mod models;
 pub mod optim;
+pub mod plan;
 pub mod sparse;
 pub mod tensor;
 pub mod train;

@@ -1,0 +1,497 @@
+//! Compiled inference plans: the allocation-free, batch-first engine
+//! behind the 15 Hz label tick.
+//!
+//! [`crate::infer::InferModel::predict_logits`] is correct but allocates a
+//! fresh buffer for every intermediate activation of every window — fine
+//! for offline evaluation, ruinous for a serving host classifying many
+//! sessions per tick. An [`InferPlan`] is compiled once per model: every
+//! per-layer activation buffer is sized at build time into one scratch
+//! arena, and [`InferPlan::predict_logits_into`] runs whole batches of
+//! windows through the same kernels the allocating path uses
+//! ([`crate::tensor::matmul_kernel`] and friends), writing logits into a
+//! caller-provided buffer. The steady-state call performs **zero heap
+//! allocations**, and per window the arithmetic — and its evaluation
+//! order — is identical to the legacy path: batching changes memory
+//! layout, never numerics (`tests/tests/serving.rs` and the golden
+//! persistence fixtures lock exactly that).
+//!
+//! A plan is only meaningful for the model it was compiled from; the
+//! entry point asserts the cheap structural facts (architecture, input
+//! dims, class count) and the sized buffers bound everything else.
+
+use crate::infer::{
+    self, CnnInfer, InferModel, LstmInfer, QuantScratch, TfInfer,
+};
+use crate::tensor::{matmul_kernel, matmul_t_kernel};
+
+/// A compiled, reusable execution plan for one [`InferModel`] (see the
+/// module docs). Cheap to move, safe to keep for the life of a session;
+/// compile one per ensemble member per inference lane.
+#[derive(Debug, Clone)]
+pub struct InferPlan {
+    channels: usize,
+    window: usize,
+    classes: usize,
+    kind: KindPlan,
+    qs: QuantScratch,
+}
+
+// One plan exists per inference lane and lives for a session; the variant
+// size gap (a dozen `Vec` headers) is irrelevant and boxing would cost an
+// indirection on the hottest loop in the system.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum KindPlan {
+    Cnn(CnnPlan),
+    Lstm(LstmPlan),
+    Tf(TfPlan),
+}
+
+/// Ping-pong activation buffers plus per-stage im2col scratch.
+#[derive(Debug, Clone)]
+struct CnnPlan {
+    a: Vec<f32>,
+    b: Vec<f32>,
+    cols: Vec<f32>,
+    flat: Vec<f32>,
+    prepool: Vec<f32>,
+}
+
+/// Recurrent state and gate buffers, one slot per layer.
+#[derive(Debug, Clone)]
+struct LstmPlan {
+    /// Hidden states, `cells × hidden`.
+    h: Vec<f32>,
+    /// Cell states, `cells × hidden`.
+    c: Vec<f32>,
+    h_new: Vec<f32>,
+    input: Vec<f32>,
+    z_in: Vec<f32>,
+    z_out: Vec<f32>,
+}
+
+/// Encoder activation buffers sized to one window's sequence.
+#[derive(Debug, Clone)]
+struct TfPlan {
+    rows: Vec<f32>,
+    cur: Vec<f32>,
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    head_q: Vec<f32>,
+    head_k: Vec<f32>,
+    head_v: Vec<f32>,
+    scores: Vec<f32>,
+    ho: Vec<f32>,
+    merged: Vec<f32>,
+    attn: Vec<f32>,
+    ff_mid: Vec<f32>,
+    ff_out: Vec<f32>,
+    pooled: Vec<f32>,
+}
+
+impl InferPlan {
+    /// Compiles a plan for `model`: sizes every activation buffer the
+    /// forward pass needs (no arithmetic happens here).
+    #[must_use]
+    pub fn compile(model: &InferModel) -> Self {
+        let kind = match model {
+            InferModel::Cnn(m) => KindPlan::Cnn(CnnPlan::compile(m)),
+            InferModel::Lstm(m) => KindPlan::Lstm(LstmPlan::compile(m)),
+            InferModel::Transformer(m) => KindPlan::Tf(TfPlan::compile(m)),
+        };
+        Self {
+            channels: model.channels(),
+            window: model.window(),
+            classes: model.classes(),
+            kind,
+            qs: QuantScratch::default(),
+        }
+    }
+
+    /// Number of output classes the compiled head produces.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Runs `batch` channel-major windows (concatenated in `windows`)
+    /// through the compiled network, writing `batch × classes` logits to
+    /// `out`. Zero heap allocations; per-window numerics identical to
+    /// [`InferModel::predict_logits`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is structurally different from the model this
+    /// plan was compiled from, or if buffer lengths disagree with `batch`.
+    pub fn predict_logits_into(
+        &mut self,
+        model: &InferModel,
+        windows: &[f32],
+        batch: usize,
+        out: &mut [f32],
+    ) {
+        assert_eq!(
+            (self.channels, self.window, self.classes),
+            (model.channels(), model.window(), model.classes()),
+            "plan compiled for a different model shape"
+        );
+        let per_window = self.channels * self.window;
+        assert_eq!(windows.len(), batch * per_window, "window batch size");
+        assert_eq!(out.len(), batch * self.classes, "logit buffer size");
+        for b in 0..batch {
+            let window = &windows[b * per_window..(b + 1) * per_window];
+            let logits = &mut out[b * self.classes..(b + 1) * self.classes];
+            match (&mut self.kind, model) {
+                (KindPlan::Cnn(plan), InferModel::Cnn(m)) => {
+                    plan.run(m, window, logits, &mut self.qs);
+                }
+                (KindPlan::Lstm(plan), InferModel::Lstm(m)) => {
+                    plan.run(m, window, logits, &mut self.qs);
+                }
+                (KindPlan::Tf(plan), InferModel::Transformer(m)) => {
+                    plan.run(m, window, logits, &mut self.qs);
+                }
+                _ => panic!("plan architecture disagrees with model"),
+            }
+        }
+    }
+}
+
+impl CnnPlan {
+    fn compile(m: &CnnInfer) -> Self {
+        let mut act = m.channels * m.window;
+        let (mut cols, mut flat, mut prepool) = (0usize, 0usize, 0usize);
+        for conv in &m.convs {
+            let (ho, wo) = conv.conv_out();
+            let spots = ho * wo;
+            let patch = conv.cin * conv.k * conv.k;
+            let cout = conv.bias.len();
+            cols = cols.max(spots * patch);
+            flat = flat.max(spots * cout);
+            prepool = prepool.max(cout * spots);
+            act = act.max(conv.out_len());
+        }
+        Self {
+            a: vec![0.0; act],
+            b: vec![0.0; act],
+            cols: vec![0.0; cols],
+            flat: vec![0.0; flat],
+            prepool: vec![0.0; prepool],
+        }
+    }
+
+    fn run(&mut self, m: &CnnInfer, window: &[f32], logits: &mut [f32], qs: &mut QuantScratch) {
+        let mut len = window.len();
+        self.a[..len].copy_from_slice(window);
+        for conv in &m.convs {
+            len = conv.forward_into(
+                &self.a[..len],
+                &mut self.cols,
+                &mut self.flat,
+                &mut self.prepool,
+                &mut self.b,
+                qs,
+            );
+            std::mem::swap(&mut self.a, &mut self.b);
+        }
+        m.head.forward_into(&self.a[..len], 1, logits, qs);
+    }
+}
+
+impl LstmPlan {
+    fn compile(m: &LstmInfer) -> Self {
+        let cells = m.cells.len();
+        let input = m.channels.max(m.hidden);
+        Self {
+            h: vec![0.0; cells * m.hidden],
+            c: vec![0.0; cells * m.hidden],
+            h_new: vec![0.0; m.hidden],
+            input: vec![0.0; input],
+            z_in: vec![0.0; input + m.hidden],
+            z_out: vec![0.0; 4 * m.hidden],
+        }
+    }
+
+    fn run(&mut self, m: &LstmInfer, window: &[f32], logits: &mut [f32], qs: &mut QuantScratch) {
+        let hid = m.hidden;
+        let t_len = m.window.div_ceil(m.time_stride);
+        self.h.fill(0.0);
+        self.c.fill(0.0);
+        for ti in 0..t_len {
+            let t_src = ti * m.time_stride;
+            let mut in_len = m.channels;
+            for ch in 0..m.channels {
+                self.input[ch] = window[ch * m.window + t_src];
+            }
+            for (li, cell) in m.cells.iter().enumerate() {
+                let z_len = in_len + hid;
+                self.z_in[..in_len].copy_from_slice(&self.input[..in_len]);
+                self.z_in[in_len..z_len].copy_from_slice(&self.h[li * hid..(li + 1) * hid]);
+                cell.forward_into(&self.z_in[..z_len], 1, &mut self.z_out, qs);
+                for j in 0..hid {
+                    let i_g = infer::sigmoid(self.z_out[j]);
+                    let f_g = infer::sigmoid(self.z_out[hid + j]);
+                    let g_g = self.z_out[2 * hid + j].tanh();
+                    let o_g = infer::sigmoid(self.z_out[3 * hid + j]);
+                    let c = &mut self.c[li * hid + j];
+                    *c = f_g * *c + i_g * g_g;
+                    self.h_new[j] = o_g * c.tanh();
+                }
+                self.h[li * hid..(li + 1) * hid].copy_from_slice(&self.h_new[..hid]);
+                self.input[..hid].copy_from_slice(&self.h[li * hid..(li + 1) * hid]);
+                in_len = hid;
+            }
+        }
+        let last = (m.cells.len() - 1) * hid;
+        m.head.forward_into(&self.h[last..last + hid], 1, logits, qs);
+    }
+}
+
+impl TfPlan {
+    fn compile(m: &TfInfer) -> Self {
+        let t = m.window.div_ceil(m.time_stride);
+        let d = m.d_model;
+        let dh = d / m.heads;
+        let ff = m
+            .blocks
+            .iter()
+            .map(|b| b.ff1.out_width())
+            .max()
+            .unwrap_or(0);
+        Self {
+            rows: vec![0.0; t * m.channels],
+            cur: vec![0.0; t * d],
+            q: vec![0.0; t * d],
+            k: vec![0.0; t * d],
+            v: vec![0.0; t * d],
+            head_q: vec![0.0; t * dh],
+            head_k: vec![0.0; t * dh],
+            head_v: vec![0.0; t * dh],
+            scores: vec![0.0; t * t],
+            ho: vec![0.0; t * dh],
+            merged: vec![0.0; t * d],
+            attn: vec![0.0; t * d],
+            ff_mid: vec![0.0; t * ff],
+            ff_out: vec![0.0; t * d],
+            pooled: vec![0.0; d],
+        }
+    }
+
+    fn run(&mut self, m: &TfInfer, window: &[f32], logits: &mut [f32], qs: &mut QuantScratch) {
+        let chans = m.channels;
+        let t = m.window.div_ceil(m.time_stride);
+        let d = m.d_model;
+        let dh = d / m.heads;
+        for (ti, t_src) in (0..m.window).step_by(m.time_stride).enumerate() {
+            for ch in 0..chans {
+                self.rows[ti * chans + ch] = window[ch * m.window + t_src];
+            }
+        }
+        m.input_proj.forward_into(&self.rows[..t * chans], t, &mut self.cur, qs);
+        for (c, &p) in self.cur[..t * d].iter_mut().zip(m.pos.data()) {
+            *c += p;
+        }
+        let scale = 1.0 / (dh as f32).sqrt();
+        for block in &m.blocks {
+            block.wq.forward_into(&self.cur[..t * d], t, &mut self.q, qs);
+            block.wk.forward_into(&self.cur[..t * d], t, &mut self.k, qs);
+            block.wv.forward_into(&self.cur[..t * d], t, &mut self.v, qs);
+            for hidx in 0..m.heads {
+                infer::slice_cols_into(&self.q, t, d, hidx * dh, dh, &mut self.head_q);
+                infer::slice_cols_into(&self.k, t, d, hidx * dh, dh, &mut self.head_k);
+                infer::slice_cols_into(&self.v, t, d, hidx * dh, dh, &mut self.head_v);
+                matmul_t_kernel(&self.head_q, &self.head_k, t, dh, t, &mut self.scores);
+                for s in &mut self.scores[..t * t] {
+                    *s *= scale;
+                }
+                infer::softmax_rows_slice(&mut self.scores, t, t);
+                matmul_kernel(&self.scores, &self.head_v, t, t, dh, &mut self.ho);
+                for ti in 0..t {
+                    self.merged[ti * d + hidx * dh..ti * d + (hidx + 1) * dh]
+                        .copy_from_slice(&self.ho[ti * dh..(ti + 1) * dh]);
+                }
+            }
+            block.wo.forward_into(&self.merged[..t * d], t, &mut self.attn, qs);
+            // Residual adds run in place on `cur` — `a + b` in the same
+            // order as the tensor path's clone-then-add_assign.
+            for (c, &a) in self.cur[..t * d].iter_mut().zip(&self.attn[..t * d]) {
+                *c += a;
+            }
+            infer::layer_norm_slice(&mut self.cur, t, d, &block.ln1.0, &block.ln1.1);
+            let ff = block.ff1.out_width();
+            block.ff1.forward_into(&self.cur[..t * d], t, &mut self.ff_mid, qs);
+            block
+                .ff2
+                .forward_into(&self.ff_mid[..t * ff], t, &mut self.ff_out, qs);
+            for (c, &f) in self.cur[..t * d].iter_mut().zip(&self.ff_out[..t * d]) {
+                *c += f;
+            }
+            infer::layer_norm_slice(&mut self.cur, t, d, &block.ln2.0, &block.ln2.1);
+        }
+        // Mean pool over time.
+        self.pooled.fill(0.0);
+        for ti in 0..t {
+            for (j, p) in self.pooled.iter_mut().enumerate() {
+                *p += self.cur[ti * d + j] / t as f32;
+            }
+        }
+        m.head.forward_into(&self.pooled[..d], 1, logits, qs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::{prune_global, quantize, QuantMode};
+    use crate::models::{CnnConfig, ConvSpec, LstmConfig, PoolKind, TransformerConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_window(channels: usize, win: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..channels * win).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    fn models() -> Vec<InferModel> {
+        let cnn = CnnConfig {
+            convs: vec![
+                ConvSpec {
+                    filters: 6,
+                    kernel: 3,
+                    stride: 2,
+                },
+                ConvSpec {
+                    filters: 4,
+                    kernel: 3,
+                    stride: 1,
+                },
+            ],
+            pool: PoolKind::Max,
+            window: 40,
+            channels: 16,
+            dropout: 0.0,
+        };
+        let lstm = LstmConfig {
+            hidden: 12,
+            layers: 2,
+            dropout: 0.0,
+            window: 32,
+            channels: 16,
+            time_stride: 4,
+        };
+        let tf = TransformerConfig {
+            layers: 2,
+            heads: 2,
+            d_model: 16,
+            dim_ff: 32,
+            dropout: 0.0,
+            window: 32,
+            channels: 16,
+            time_stride: 4,
+        };
+        vec![
+            infer::compile_cnn(&cnn.build(1).unwrap()),
+            infer::compile_lstm(&lstm.build(2).unwrap()),
+            infer::compile_transformer(&tf.build(3).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn plan_is_bit_identical_to_legacy_path_per_window() {
+        for (mi, model) in models().iter().enumerate() {
+            let mut plan = InferPlan::compile(model);
+            for seed in 0..4u64 {
+                let w = random_window(model.channels(), model.window(), seed * 7 + mi as u64);
+                let legacy = model.predict_logits(&w);
+                let mut out = vec![0.0f32; model.classes()];
+                plan.predict_logits_into(model, &w, 1, &mut out);
+                for (a, b) in legacy.iter().zip(&out) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "model {mi} seed {seed}: {legacy:?} vs {out:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_logits_match_per_window_calls_bitwise() {
+        for model in &models() {
+            let mut plan = InferPlan::compile(model);
+            let per = model.channels() * model.window();
+            let batch = 5;
+            let mut windows = Vec::with_capacity(batch * per);
+            for b in 0..batch {
+                windows.extend(random_window(model.channels(), model.window(), 100 + b as u64));
+            }
+            let mut batched = vec![0.0f32; batch * model.classes()];
+            plan.predict_logits_into(model, &windows, batch, &mut batched);
+            for b in 0..batch {
+                let solo = model.predict_logits(&windows[b * per..(b + 1) * per]);
+                let got = &batched[b * model.classes()..(b + 1) * model.classes()];
+                for (x, y) in solo.iter().zip(got) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{} window {b}", model.kind());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_reuse_does_not_leak_state_across_windows() {
+        // Recurrent/attention state must be reset per window: running the
+        // same window twice through one plan must give the same answer as
+        // a fresh plan.
+        for model in &models() {
+            let w = random_window(model.channels(), model.window(), 9);
+            let mut plan = InferPlan::compile(model);
+            let mut first = vec![0.0f32; model.classes()];
+            plan.predict_logits_into(model, &w, 1, &mut first);
+            // Poison with a different window, then repeat the original.
+            let other = random_window(model.channels(), model.window(), 10);
+            let mut sink = vec![0.0f32; model.classes()];
+            plan.predict_logits_into(model, &other, 1, &mut sink);
+            let mut second = vec![0.0f32; model.classes()];
+            plan.predict_logits_into(model, &w, 1, &mut second);
+            for (a, b) in first.iter().zip(&second) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{} state leaked", model.kind());
+            }
+        }
+    }
+
+    #[test]
+    fn plan_covers_sparse_and_quantized_representations() {
+        // The compressed deployment variants run different kernels; the
+        // plan must route through the same ones bit-for-bit.
+        for model in &models() {
+            for variant in [0, 1] {
+                let mut m = model.clone();
+                if variant == 0 {
+                    prune_global(&mut m, 0.5);
+                } else {
+                    quantize(&mut m, QuantMode::Calibrated);
+                }
+                let w = random_window(m.channels(), m.window(), 31);
+                let legacy = m.predict_logits(&w);
+                let mut plan = InferPlan::compile(&m);
+                let mut out = vec![0.0f32; m.classes()];
+                plan.predict_logits_into(&m, &w, 1, &mut out);
+                for (a, b) in legacy.iter().zip(&out) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{} variant {variant}", m.kind());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "plan compiled for a different model shape")]
+    fn mismatched_model_is_rejected() {
+        let models = models();
+        let mut plan = InferPlan::compile(&models[0]);
+        let w = random_window(models[1].channels(), models[1].window(), 0);
+        let mut out = vec![0.0f32; models[1].classes()];
+        plan.predict_logits_into(&models[1], &w, 1, &mut out);
+    }
+}

@@ -84,8 +84,25 @@ impl CsrMatrix {
         assert_eq!(k, self.rows, "spmm inner dims {k} vs {}", self.rows);
         let n = self.cols;
         let mut out = vec![0.0f32; m * n];
+        self.left_matmul_into(x.data(), m, &mut out);
+        Tensor::new(vec![m, n], out)
+    }
+
+    /// [`CsrMatrix::left_matmul`] over raw slices into a preallocated
+    /// output — the same loops in the same order, shared with the
+    /// allocating path so the compiled inference plan stays bit-identical
+    /// to it. `out` is fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() < m * self.rows` or `out.len() < m * self.cols`.
+    pub fn left_matmul_into(&self, x: &[f32], m: usize, out: &mut [f32]) {
+        let k = self.rows;
+        let n = self.cols;
+        let out = &mut out[..m * n];
+        out.fill(0.0);
         for i in 0..m {
-            let xrow = &x.data()[i * k..(i + 1) * k];
+            let xrow = &x[i * k..(i + 1) * k];
             let orow = &mut out[i * n..(i + 1) * n];
             for (p, &xv) in xrow.iter().enumerate() {
                 if xv == 0.0 {
@@ -98,7 +115,6 @@ impl CsrMatrix {
                 }
             }
         }
-        Tensor::new(vec![m, n], out)
     }
 
     /// Reconstructs the dense matrix (testing / debugging aid).

@@ -140,21 +140,7 @@ impl Tensor {
         let (k2, n) = (rhs.rows(), rhs.cols());
         assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        let a = &self.data;
-        let b = &rhs.data;
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (p, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
+        matmul_kernel(&self.data, &rhs.data, m, k, n, &mut out);
         Tensor::new(vec![m, n], out)
     }
 
@@ -170,17 +156,7 @@ impl Tensor {
         let (n, k2) = (rhs.rows(), rhs.cols());
         assert_eq!(k, k2, "matmul_t inner dims: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &rhs.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                out[i * n + j] = acc;
-            }
-        }
+        matmul_t_kernel(&self.data, &rhs.data, m, k, n, &mut out);
         Tensor::new(vec![m, n], out)
     }
 
@@ -259,6 +235,55 @@ impl Tensor {
     #[must_use]
     pub fn has_non_finite(&self) -> bool {
         self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+/// The raw `a [m,k] × b [k,n] -> out [m,n]` kernel behind
+/// [`Tensor::matmul`], exposed over slices so the compiled inference plan
+/// (`crate::plan`) can run the *same arithmetic in the same order* into a
+/// preallocated scratch buffer — sharing the loop is what makes the
+/// allocation-free path bit-identical to the allocating one.
+///
+/// `out` is fully overwritten (accumulation starts from zero).
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its `m`/`k`/`n` dimensions imply.
+pub fn matmul_kernel(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    let out = &mut out[..m * n];
+    out.fill(0.0);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// The raw `a [m,k] × b^T (b [n,k]) -> out [m,n]` kernel behind
+/// [`Tensor::matmul_t`] (see [`matmul_kernel`] for why it exists).
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its dimensions imply.
+pub fn matmul_t_kernel(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
     }
 }
 

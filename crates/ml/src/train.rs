@@ -255,6 +255,43 @@ mod tests {
         (xs, ys)
     }
 
+    /// FNV-1a over the bit patterns of every trained weight, in slot order.
+    fn weight_hash(store: &crate::layers::ParamStore) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for slot in 0..store.len() {
+            for &v in store.get(slot).data() {
+                for byte in v.to_bits().to_le_bytes() {
+                    h ^= u64::from(byte);
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn training_bit_identity_locked() {
+        // End-to-end guard for the autodiff backward rewrite (operand
+        // values read through the tape instead of captured clones): a
+        // short, fully seeded training run must land on exactly the same
+        // weights it produced before the rewrite. Dropout is on so the
+        // seeded mask path is covered too.
+        let (xs, ys) = toy_dataset(24, 8, 32, 7);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            patience: None,
+            ..TrainConfig::default()
+        };
+        let mut model = tiny_cnn(32).build(0).unwrap();
+        train_model(&mut model, &xs, &ys, &xs, &ys, &cfg).unwrap();
+        let hash = weight_hash(model.store());
+        assert_eq!(
+            hash, 0x64E9_D3D4_E1B2_8C4E,
+            "training numerics drifted: {hash:#x}"
+        );
+    }
+
     fn tiny_cnn(win: usize) -> CnnConfig {
         CnnConfig {
             convs: vec![ConvSpec {

@@ -165,79 +165,10 @@ impl Container {
     ///
     /// Same as [`Container::read_from`].
     pub fn from_file_bytes(buf: &[u8]) -> Result<Self> {
-        // Envelope: magic + version + count + crc is the minimum file.
-        if buf.len() < 8 {
-            return Err(ModelIoError::Truncated { context: "header" });
-        }
-        let found: [u8; 4] = buf[0..4].try_into().expect("length checked");
-        if found != MAGIC {
-            return Err(ModelIoError::BadMagic { found });
-        }
-        let version = u16::from_le_bytes(buf[4..6].try_into().expect("length checked"));
-        if version != FORMAT_VERSION {
-            return Err(ModelIoError::UnsupportedVersion { found: version });
-        }
-        if buf.len() < 12 {
-            return Err(ModelIoError::Truncated { context: "checksum" });
-        }
-        let body = &buf[..buf.len() - 4];
-        let stored = u32::from_le_bytes(buf[buf.len() - 4..].try_into().expect("length checked"));
-        let computed = crc32(body);
-        if stored != computed {
-            return Err(ModelIoError::ChecksumMismatch { stored, computed });
-        }
-
-        let count = usize::from(u16::from_le_bytes(
-            buf[6..8].try_into().expect("length checked"),
-        ));
-        if count > MAX_SECTIONS {
-            return Err(ModelIoError::LengthOverflow {
-                context: "section count",
-                len: count as u64,
-            });
-        }
-        let table_end = 8usize
-            .checked_add(count.checked_mul(12).ok_or(ModelIoError::LengthOverflow {
-                context: "section table",
-                len: count as u64,
-            })?)
-            .ok_or(ModelIoError::LengthOverflow {
-                context: "section table",
-                len: count as u64,
-            })?;
-        if body.len() < table_end {
-            return Err(ModelIoError::Truncated {
-                context: "section table",
-            });
-        }
-        let mut sections = Vec::with_capacity(count);
-        let mut offset = table_end;
-        for i in 0..count {
-            let entry = &body[8 + i * 12..8 + (i + 1) * 12];
-            let tag: [u8; 4] = entry[0..4].try_into().expect("length checked");
-            let len = u64::from_le_bytes(entry[4..12].try_into().expect("length checked"));
-            let len = usize::try_from(len).map_err(|_| ModelIoError::LengthOverflow {
-                context: "section length",
-                len,
-            })?;
-            let end = offset.checked_add(len).ok_or(ModelIoError::LengthOverflow {
-                context: "section length",
-                len: len as u64,
-            })?;
-            if end > body.len() {
-                return Err(ModelIoError::Truncated {
-                    context: "section payload",
-                });
-            }
-            sections.push((tag, body[offset..end].to_vec()));
-            offset = end;
-        }
-        if offset != body.len() {
-            return Err(ModelIoError::malformed(format!(
-                "{} unclaimed bytes after sections",
-                body.len() - offset
-            )));
-        }
+        let sections = parse_sections(buf)?
+            .into_iter()
+            .map(|(tag, payload)| (tag, payload.to_vec()))
+            .collect();
         Ok(Self { sections })
     }
 
@@ -276,6 +207,94 @@ impl Container {
         let mut file = File::open(path)?;
         Self::read_from(&mut file)
     }
+}
+
+/// Validates a complete `.cogm` file image — magic, version, checksum
+/// (verified before any payload is touched), section table — and returns
+/// each section's tag and payload as slices **borrowed from `buf`**,
+/// copying nothing. [`Container::from_file_bytes`] copies these payloads
+/// into an owned container; the zero-copy load path
+/// ([`crate::view`]) decodes values straight out of them.
+///
+/// # Errors
+///
+/// Every malformed input yields a typed [`ModelIoError`]; nothing panics
+/// and nothing allocates proportionally to forged lengths.
+pub fn parse_sections(buf: &[u8]) -> Result<Vec<([u8; 4], &[u8])>> {
+    // Envelope: magic + version + count + crc is the minimum file.
+    if buf.len() < 8 {
+        return Err(ModelIoError::Truncated { context: "header" });
+    }
+    let found: [u8; 4] = buf[0..4].try_into().expect("length checked");
+    if found != MAGIC {
+        return Err(ModelIoError::BadMagic { found });
+    }
+    let version = u16::from_le_bytes(buf[4..6].try_into().expect("length checked"));
+    if version != FORMAT_VERSION {
+        return Err(ModelIoError::UnsupportedVersion { found: version });
+    }
+    if buf.len() < 12 {
+        return Err(ModelIoError::Truncated { context: "checksum" });
+    }
+    let body = &buf[..buf.len() - 4];
+    let stored = u32::from_le_bytes(buf[buf.len() - 4..].try_into().expect("length checked"));
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(ModelIoError::ChecksumMismatch { stored, computed });
+    }
+
+    let count = usize::from(u16::from_le_bytes(
+        buf[6..8].try_into().expect("length checked"),
+    ));
+    if count > MAX_SECTIONS {
+        return Err(ModelIoError::LengthOverflow {
+            context: "section count",
+            len: count as u64,
+        });
+    }
+    let table_end = 8usize
+        .checked_add(count.checked_mul(12).ok_or(ModelIoError::LengthOverflow {
+            context: "section table",
+            len: count as u64,
+        })?)
+        .ok_or(ModelIoError::LengthOverflow {
+            context: "section table",
+            len: count as u64,
+        })?;
+    if body.len() < table_end {
+        return Err(ModelIoError::Truncated {
+            context: "section table",
+        });
+    }
+    let mut sections = Vec::with_capacity(count);
+    let mut offset = table_end;
+    for i in 0..count {
+        let entry = &body[8 + i * 12..8 + (i + 1) * 12];
+        let tag: [u8; 4] = entry[0..4].try_into().expect("length checked");
+        let len = u64::from_le_bytes(entry[4..12].try_into().expect("length checked"));
+        let len = usize::try_from(len).map_err(|_| ModelIoError::LengthOverflow {
+            context: "section length",
+            len,
+        })?;
+        let end = offset.checked_add(len).ok_or(ModelIoError::LengthOverflow {
+            context: "section length",
+            len: len as u64,
+        })?;
+        if end > body.len() {
+            return Err(ModelIoError::Truncated {
+                context: "section payload",
+            });
+        }
+        sections.push((tag, &body[offset..end]));
+        offset = end;
+    }
+    if offset != body.len() {
+        return Err(ModelIoError::malformed(format!(
+            "{} unclaimed bytes after sections",
+            body.len() - offset
+        )));
+    }
+    Ok(sections)
 }
 
 /// Saves one [`Persist`] value as a single-section file under `tag`.

@@ -147,6 +147,51 @@ impl SavedModel {
         )
     }
 
+    /// The zero-copy cold-start path: reads the whole file into one
+    /// buffer and decodes it with [`SavedModel::from_file_bytes`]. One
+    /// sequential read plus bulk tensor copies, instead of the lazy
+    /// loader's element-at-a-time streaming — `benches/inference.rs`
+    /// quantifies the gap. The loaded model is bit-identical to
+    /// [`SavedModel::load`]'s (the golden-fixture suite locks the label
+    /// traces).
+    ///
+    /// # Errors
+    ///
+    /// Typed errors for every malformed input; never panics.
+    pub fn load_zero_copy<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Self::from_file_bytes(&bytes)
+    }
+
+    /// Decodes a model from a complete `.cogm` image supplied as plain
+    /// bytes — the hook for memory-mapped buffers (any `&[u8]` works; the
+    /// format needs nothing else). The checksum is verified first, then
+    /// the ensemble's tensors decode as borrowed views over the image
+    /// with alignment-checked reinterpretation (safe copying fallback),
+    /// so building the owned model costs one bulk copy per tensor.
+    ///
+    /// # Errors
+    ///
+    /// Typed errors for every malformed input; never panics.
+    pub fn from_file_bytes(bytes: &[u8]) -> Result<Self> {
+        let sections = crate::container::parse_sections(bytes)?;
+        let find = |tag: [u8; 4]| sections.iter().find(|(t, _)| *t == tag).map(|(_, p)| *p);
+        let pipeline = crate::from_bytes(
+            find(tags::PIPELINE).ok_or(ModelIoError::MissingSection {
+                tag: tags::PIPELINE,
+            })?,
+        )?;
+        let ensemble = crate::view::decode_ensemble(find(tags::ENSEMBLE).ok_or(
+            ModelIoError::MissingSection {
+                tag: tags::ENSEMBLE,
+            },
+        )?)?;
+        let normalization = find(tags::NORMALIZATION)
+            .map(crate::from_bytes)
+            .transpose()?;
+        Self::from_parts(pipeline, ensemble, normalization)
+    }
+
     /// Decodes a model from an already-parsed container.
     ///
     /// # Errors

@@ -28,7 +28,7 @@ use crate::rw::{write_slice, Persist};
 /// Sanity ceiling on a classifier's window length in samples (~2.3 hours
 /// at 125 Hz; real windows are hundreds of samples). Bounds the ring
 /// buffer the pipeline allocates for a loaded ensemble.
-const MAX_MEMBER_WINDOW: usize = 1 << 20;
+pub(crate) const MAX_MEMBER_WINDOW: usize = 1 << 20;
 
 /// Fails with [`ModelIoError::Malformed`] unless `cond` holds.
 pub(crate) fn ensure(cond: bool, context: &str) -> Result<()> {

@@ -71,12 +71,14 @@ mod impl_evo;
 mod impl_ml;
 pub mod lazy;
 pub mod rw;
+pub mod view;
 
 pub use container::{load_section, save_section, Container, FORMAT_VERSION, MAGIC};
 pub use lazy::LazyContainer;
 pub use error::{ModelIoError, Result};
 pub use impl_core::{tags, ArmPersist, SavedModel, SearchCheckpoint};
 pub use rw::{from_bytes, to_bytes, Persist};
+pub use view::{FloatView, TensorView, ViewCursor};
 
 /// Field-by-field [`Persist`] for a plain struct with public fields.
 macro_rules! persist_struct {

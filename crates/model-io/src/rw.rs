@@ -15,8 +15,9 @@ use crate::error::{ModelIoError, Result};
 const CAP_HINT: usize = 4096;
 
 /// Sanity ceiling on any single length field (1 Ti-elements); anything
-/// larger is a corrupt or hostile file, not a model.
-const MAX_LEN: u64 = 1 << 40;
+/// larger is a corrupt or hostile file, not a model. Shared with the
+/// zero-copy view cursor so both readers reject the same inputs.
+pub(crate) const MAX_LEN: u64 = 1 << 40;
 
 /// A type that can serialize itself to, and totally deserialize itself
 /// from, a byte stream.

@@ -1,0 +1,750 @@
+//! Zero-copy decoding over an in-memory `.cogm` image: tensors decode as
+//! **borrowed views** of the container buffer.
+//!
+//! [`crate::LazyContainer`] streams sections through a `BufReader`, which
+//! bounds memory but still decodes every `f32` one `read_exact` at a
+//! time. This module is the other end of the trade: the caller supplies
+//! the whole file image as a plain `&[u8]` (read at once, or memory-mapped
+//! by whatever means — the API only needs bytes), the envelope is
+//! validated by [`crate::container::parse_sections`] (checksum first, as
+//! always), and values decode *in place*:
+//!
+//! * Bulk `f32` payloads become [`FloatView::Borrowed`] — an
+//!   alignment-checked reinterpretation of the little-endian bytes (via
+//!   `slice::align_to`, sound because `f32` has no invalid bit patterns) —
+//!   when the platform is little-endian and the payload happens to sit on
+//!   a 4-byte boundary; otherwise a **safe copying fallback** converts via
+//!   `from_le_bytes`. Either way the caller sees one `&[f32]`.
+//! * `i8` payloads always borrow (alignment 1).
+//! * Building an *owned* model from views costs one bulk copy per tensor
+//!   (a `memcpy`, not a per-element loop) — this is what makes
+//!   [`crate::SavedModel::load_zero_copy`] the fast cold-start path.
+//!
+//! The total-reader guarantees are unchanged: every malformed input is a
+//! typed [`ModelIoError`], allocation is bounded by bytes actually
+//! present (a view never allocates more than the slice it borrows), and a
+//! section must be consumed exactly. The decode-equivalence and
+//! corruption suites in `tests/tests/persistence.rs` hold this decoder to
+//! the streaming reader's behaviour, and the golden fixtures lock its
+//! numerics bit-for-bit.
+
+use ml::ensemble::{Classifier, Ensemble, ForestClassifier, Member, Voting};
+use ml::forest::{ForestConfig, RandomForest, Tree, TreeNode};
+use ml::infer::{
+    Activation, CnnInfer, ConvInfer, InferModel, LinearInfer, LstmInfer, MatRep, QuantMatrix,
+    TfBlockInfer, TfInfer,
+};
+use ml::sparse::CsrMatrix;
+use ml::tensor::Tensor;
+
+use crate::error::{ModelIoError, Result};
+use crate::impl_ml::{ensure, MAX_MEMBER_WINDOW};
+use crate::rw::MAX_LEN;
+
+/// A run of `f32`s decoded from the image: borrowed when the bytes could
+/// be reinterpreted in place, owned when the copying fallback ran.
+#[derive(Debug, Clone)]
+pub enum FloatView<'a> {
+    /// An alignment-checked reinterpretation of the image bytes.
+    Borrowed(&'a [f32]),
+    /// The safe copying fallback (misaligned payload or big-endian host).
+    Owned(Vec<f32>),
+}
+
+impl FloatView<'_> {
+    /// The decoded values.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        match self {
+            FloatView::Borrowed(s) => s,
+            FloatView::Owned(v) => v,
+        }
+    }
+
+    /// Whether this view borrows the image (true zero-copy).
+    #[must_use]
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self, FloatView::Borrowed(_))
+    }
+
+    /// The values as an owned vector (one bulk copy when borrowed).
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f32> {
+        match self {
+            FloatView::Borrowed(s) => s.to_vec(),
+            FloatView::Owned(v) => v,
+        }
+    }
+}
+
+/// A tensor decoded from the image: shape plus a [`FloatView`] of its
+/// data. The zero-copy inspection surface; [`TensorView::into_tensor`]
+/// materializes an owned [`Tensor`] with one bulk copy.
+#[derive(Debug, Clone)]
+pub struct TensorView<'a> {
+    shape: Vec<usize>,
+    data: FloatView<'a>,
+}
+
+impl<'a> TensorView<'a> {
+    /// The tensor's shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The tensor's values.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        self.data.as_slice()
+    }
+
+    /// Whether the data borrows the image buffer.
+    #[must_use]
+    pub fn is_borrowed(&self) -> bool {
+        self.data.is_borrowed()
+    }
+
+    /// Materializes an owned tensor (one bulk copy when borrowed).
+    #[must_use]
+    pub fn into_tensor(self) -> Tensor {
+        Tensor::new(self.shape, self.data.into_vec())
+    }
+
+    /// Decodes a tensor view from a cursor positioned at a serialized
+    /// [`Tensor`] (the same validation as the streaming reader).
+    ///
+    /// # Errors
+    ///
+    /// Typed errors for every malformed input.
+    pub fn decode(cur: &mut ViewCursor<'a>) -> Result<Self> {
+        let shape = cur.usize_vec("tensor shape")?;
+        let numel = shape
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| ModelIoError::malformed("tensor shape overflows"))?;
+        let len = cur.len_prefix("tensor data")?;
+        ensure(numel == len, "tensor shape disagrees with data length")?;
+        let data = cur.f32_slice(len, "tensor data")?;
+        Ok(Self { shape, data })
+    }
+}
+
+/// A bounds-checked cursor over an in-memory little-endian image.
+#[derive(Debug)]
+pub struct ViewCursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> ViewCursor<'a> {
+    /// A cursor over `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(ModelIoError::Truncated { context });
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("length checked")))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("length checked")))
+    }
+
+    fn f32(&mut self, context: &'static str) -> Result<f32> {
+        let b = self.take(4, context)?;
+        Ok(f32::from_le_bytes(b.try_into().expect("length checked")))
+    }
+
+    fn usize(&mut self, context: &'static str) -> Result<usize> {
+        let v = self.u64(context)?;
+        usize::try_from(v).map_err(|_| ModelIoError::LengthOverflow { context, len: v })
+    }
+
+    /// Reads a collection length prefix with the same sanity ceiling as
+    /// the streaming reader.
+    fn len_prefix(&mut self, context: &'static str) -> Result<usize> {
+        let len = self.u64(context)?;
+        if len > MAX_LEN {
+            return Err(ModelIoError::LengthOverflow { context, len });
+        }
+        usize::try_from(len).map_err(|_| ModelIoError::LengthOverflow { context, len })
+    }
+
+    fn option_tag(&mut self, context: &'static str) -> Result<bool> {
+        match self.u8(context)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(ModelIoError::BadTag { context: "Option", tag }),
+        }
+    }
+
+    /// `n` little-endian `f32`s: borrowed via alignment-checked
+    /// reinterpretation when possible, copied otherwise.
+    fn f32_slice(&mut self, n: usize, context: &'static str) -> Result<FloatView<'a>> {
+        let bytes = n
+            .checked_mul(4)
+            .ok_or(ModelIoError::LengthOverflow {
+                context,
+                len: n as u64,
+            })
+            .and_then(|b| self.take(b, context))?;
+        #[cfg(target_endian = "little")]
+        {
+            // SAFETY: `f32` has no invalid bit patterns and `align_to`
+            // only yields the middle when it is correctly aligned; on a
+            // little-endian host the byte order already matches.
+            let (head, mid, tail) = unsafe { bytes.align_to::<f32>() };
+            if head.is_empty() && tail.is_empty() && mid.len() == n {
+                return Ok(FloatView::Borrowed(mid));
+            }
+        }
+        Ok(FloatView::Owned(
+            bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("chunk size")))
+                .collect(),
+        ))
+    }
+
+    fn f32_vec(&mut self, context: &'static str) -> Result<Vec<f32>> {
+        let n = self.len_prefix(context)?;
+        Ok(self.f32_slice(n, context)?.into_vec())
+    }
+
+    /// `n` `i8`s, always borrowed (alignment 1; sign reinterpretation of
+    /// a byte is value-preserving two's complement).
+    fn i8_slice(&mut self, n: usize, context: &'static str) -> Result<&'a [i8]> {
+        let bytes = self.take(n, context)?;
+        // SAFETY: i8 and u8 have identical size/alignment and no invalid
+        // bit patterns.
+        let (head, mid, tail) = unsafe { bytes.align_to::<i8>() };
+        debug_assert!(head.is_empty() && tail.is_empty());
+        Ok(mid)
+    }
+
+    fn usize_vec(&mut self, context: &'static str) -> Result<Vec<usize>> {
+        let n = self.len_prefix(context)?;
+        // Bound before allocating: each element is 8 bytes on the wire.
+        if self.remaining() < n.saturating_mul(8) {
+            return Err(ModelIoError::Truncated { context });
+        }
+        (0..n).map(|_| self.usize(context)).collect()
+    }
+
+    fn u32_vec(&mut self, context: &'static str) -> Result<Vec<u32>> {
+        let n = self.len_prefix(context)?;
+        if self.remaining() < n.saturating_mul(4) {
+            return Err(ModelIoError::Truncated { context });
+        }
+        (0..n).map(|_| self.u32(context)).collect()
+    }
+}
+
+// --- ml hierarchy decoders ---------------------------------------------------
+//
+// Each decoder mirrors its `Persist::read_from` counterpart field for
+// field, including every validation, but pulls bulk arrays through the
+// view cursor. `tests/tests/persistence.rs` asserts decode-equivalence
+// against the streaming reader on golden fixtures and fresh artifacts.
+
+fn decode_csr(cur: &mut ViewCursor<'_>) -> Result<CsrMatrix> {
+    let rows = cur.usize("csr rows")?;
+    let cols = cur.usize("csr cols")?;
+    let row_ptr = cur.usize_vec("csr row_ptr")?;
+    let col_idx = cur.u32_vec("csr col_idx")?;
+    let n_values = cur.len_prefix("csr values")?;
+    let values = cur.f32_slice(n_values, "csr values")?.into_vec();
+    ensure(
+        rows.checked_add(1) == Some(row_ptr.len()),
+        "csr row_ptr length",
+    )?;
+    ensure(row_ptr.first() == Some(&0), "csr row_ptr start")?;
+    ensure(row_ptr.windows(2).all(|w| w[0] <= w[1]), "csr row_ptr order")?;
+    ensure(row_ptr.last() == Some(&values.len()), "csr row_ptr end")?;
+    ensure(col_idx.len() == values.len(), "csr col_idx length")?;
+    ensure(
+        col_idx.iter().all(|&c| (c as usize) < cols),
+        "csr column index out of range",
+    )?;
+    Ok(CsrMatrix {
+        rows,
+        cols,
+        row_ptr,
+        col_idx,
+        values,
+    })
+}
+
+fn decode_quant(cur: &mut ViewCursor<'_>) -> Result<QuantMatrix> {
+    let rows = cur.usize("quant rows")?;
+    let cols = cur.usize("quant cols")?;
+    let n = cur.len_prefix("quant data")?;
+    let data = cur.i8_slice(n, "quant data")?.to_vec();
+    let scale = cur.f32("quant scale")?;
+    let act_scale = if cur.option_tag("quant act_scale")? {
+        Some(cur.f32("quant act_scale")?)
+    } else {
+        None
+    };
+    let numel = rows
+        .checked_mul(cols)
+        .ok_or_else(|| ModelIoError::malformed("quant matrix dims overflow"))?;
+    ensure(numel == data.len(), "quant matrix dims disagree with data")?;
+    Ok(QuantMatrix {
+        rows,
+        cols,
+        data,
+        scale,
+        act_scale,
+    })
+}
+
+fn decode_matrep(cur: &mut ViewCursor<'_>) -> Result<MatRep> {
+    match cur.u8("MatRep tag")? {
+        0 => {
+            let t = TensorView::decode(cur)?;
+            ensure(t.shape().len() == 2, "dense weight must be 2-D")?;
+            Ok(MatRep::Dense(t.into_tensor()))
+        }
+        1 => Ok(MatRep::Sparse(decode_csr(cur)?)),
+        2 => Ok(MatRep::Int8(decode_quant(cur)?)),
+        tag => Err(ModelIoError::BadTag {
+            context: "MatRep",
+            tag,
+        }),
+    }
+}
+
+fn decode_activation(cur: &mut ViewCursor<'_>) -> Result<Activation> {
+    match cur.u8("Activation tag")? {
+        0 => Ok(Activation::None),
+        1 => Ok(Activation::Relu),
+        2 => Ok(Activation::Tanh),
+        tag => Err(ModelIoError::BadTag {
+            context: "Activation",
+            tag,
+        }),
+    }
+}
+
+fn decode_pool(cur: &mut ViewCursor<'_>) -> Result<ml::models::PoolKind> {
+    use ml::models::PoolKind;
+    match cur.u8("PoolKind tag")? {
+        0 => Ok(PoolKind::Max),
+        1 => Ok(PoolKind::Avg),
+        2 => Ok(PoolKind::None),
+        tag => Err(ModelIoError::BadTag {
+            context: "PoolKind",
+            tag,
+        }),
+    }
+}
+
+fn decode_linear(cur: &mut ViewCursor<'_>) -> Result<LinearInfer> {
+    let weight = decode_matrep(cur)?;
+    let bias = cur.f32_vec("linear bias")?;
+    let act = decode_activation(cur)?;
+    ensure(
+        weight.dims().1 == bias.len(),
+        "linear stage bias length disagrees with weight columns",
+    )?;
+    Ok(LinearInfer {
+        w: weight,
+        bias,
+        act,
+    })
+}
+
+fn decode_conv(cur: &mut ViewCursor<'_>) -> Result<ConvInfer> {
+    let weight = decode_matrep(cur)?;
+    let bias = cur.f32_vec("conv bias")?;
+    let cin = cur.usize("conv cin")?;
+    let h = cur.usize("conv h")?;
+    let wdim = cur.usize("conv w")?;
+    let k = cur.usize("conv k")?;
+    let stride = cur.usize("conv stride")?;
+    let pool = decode_pool(cur)?;
+    ensure(stride >= 1, "conv stride must be positive")?;
+    ensure(k >= 1 && k <= h && k <= wdim, "conv kernel exceeds input dims")?;
+    ensure(cin >= 1, "conv input channels must be positive")?;
+    let patch = cin
+        .checked_mul(k)
+        .and_then(|p| p.checked_mul(k))
+        .ok_or_else(|| ModelIoError::malformed("conv patch size overflows"))?;
+    ensure(
+        weight.dims() == (patch, bias.len()),
+        "conv kernel dims disagree with cin/k/bias",
+    )?;
+    Ok(ConvInfer {
+        w: weight,
+        bias,
+        cin,
+        h,
+        wdim,
+        k,
+        stride,
+        pool,
+    })
+}
+
+fn decode_cnn(cur: &mut ViewCursor<'_>) -> Result<CnnInfer> {
+    let n = cur.len_prefix("cnn convs")?;
+    let convs = (0..n).map(|_| decode_conv(cur)).collect::<Result<Vec<_>>>()?;
+    let head = decode_linear(cur)?;
+    let channels = cur.usize("cnn channels")?;
+    let window = cur.usize("cnn window")?;
+    ensure(!convs.is_empty(), "cnn needs at least one conv stage")?;
+    ensure(channels >= 1 && window >= 1, "cnn input dims must be positive")?;
+    Ok(CnnInfer {
+        convs,
+        head,
+        channels,
+        window,
+    })
+}
+
+fn decode_lstm(cur: &mut ViewCursor<'_>) -> Result<LstmInfer> {
+    let n = cur.len_prefix("lstm cells")?;
+    let cells = (0..n).map(|_| decode_linear(cur)).collect::<Result<Vec<_>>>()?;
+    let hidden = cur.usize("lstm hidden")?;
+    let head = decode_linear(cur)?;
+    let channels = cur.usize("lstm channels")?;
+    let window = cur.usize("lstm window")?;
+    let time_stride = cur.usize("lstm stride")?;
+    ensure(!cells.is_empty(), "lstm needs at least one cell")?;
+    ensure(hidden >= 1, "lstm hidden width must be positive")?;
+    ensure(time_stride >= 1, "lstm time stride must be positive")?;
+    ensure(
+        channels >= 1 && window >= 1,
+        "lstm input dims must be positive",
+    )?;
+    let gate_width = hidden
+        .checked_mul(4)
+        .ok_or_else(|| ModelIoError::malformed("lstm hidden width overflows"))?;
+    ensure(
+        cells.iter().all(|c| c.bias.len() == gate_width),
+        "lstm cell gate width disagrees with hidden size",
+    )?;
+    Ok(LstmInfer {
+        cells,
+        hidden,
+        head,
+        channels,
+        window,
+        time_stride,
+    })
+}
+
+fn decode_tf_block(cur: &mut ViewCursor<'_>) -> Result<TfBlockInfer> {
+    Ok(TfBlockInfer {
+        wq: decode_linear(cur)?,
+        wk: decode_linear(cur)?,
+        wv: decode_linear(cur)?,
+        wo: decode_linear(cur)?,
+        ln1: (cur.f32_vec("ln1 gamma")?, cur.f32_vec("ln1 beta")?),
+        ff1: decode_linear(cur)?,
+        ff2: decode_linear(cur)?,
+        ln2: (cur.f32_vec("ln2 gamma")?, cur.f32_vec("ln2 beta")?),
+    })
+}
+
+fn decode_tf(cur: &mut ViewCursor<'_>) -> Result<TfInfer> {
+    let input_proj = decode_linear(cur)?;
+    let n = cur.len_prefix("tf blocks")?;
+    let blocks = (0..n)
+        .map(|_| decode_tf_block(cur))
+        .collect::<Result<Vec<_>>>()?;
+    let head = decode_linear(cur)?;
+    let pos = TensorView::decode(cur)?.into_tensor();
+    let heads = cur.usize("tf heads")?;
+    let d_model = cur.usize("tf d_model")?;
+    let channels = cur.usize("tf channels")?;
+    let window = cur.usize("tf window")?;
+    let time_stride = cur.usize("tf stride")?;
+    ensure(time_stride >= 1, "transformer time stride must be positive")?;
+    ensure(
+        channels >= 1 && window >= 1,
+        "transformer input dims must be positive",
+    )?;
+    ensure(
+        heads >= 1 && d_model >= 1 && d_model.is_multiple_of(heads),
+        "transformer heads must divide d_model",
+    )?;
+    let t_len = window.div_ceil(time_stride);
+    ensure(
+        pos.shape() == [t_len, d_model],
+        "positional encoding shape disagrees with window/d_model",
+    )?;
+    ensure(
+        blocks.iter().all(|b| {
+            b.ln1.0.len() == d_model
+                && b.ln1.1.len() == d_model
+                && b.ln2.0.len() == d_model
+                && b.ln2.1.len() == d_model
+        }),
+        "layer-norm parameter length disagrees with d_model",
+    )?;
+    Ok(TfInfer {
+        input_proj,
+        blocks,
+        head,
+        pos,
+        heads,
+        d_model,
+        channels,
+        window,
+        time_stride,
+    })
+}
+
+fn decode_infer_model(cur: &mut ViewCursor<'_>) -> Result<InferModel> {
+    match cur.u8("InferModel tag")? {
+        0 => Ok(InferModel::Cnn(decode_cnn(cur)?)),
+        1 => Ok(InferModel::Lstm(decode_lstm(cur)?)),
+        2 => Ok(InferModel::Transformer(decode_tf(cur)?)),
+        tag => Err(ModelIoError::BadTag {
+            context: "InferModel",
+            tag,
+        }),
+    }
+}
+
+fn decode_tree_node(cur: &mut ViewCursor<'_>) -> Result<TreeNode> {
+    match cur.u8("TreeNode tag")? {
+        0 => Ok(TreeNode::Leaf {
+            probs: cur.f32_vec("leaf probs")?,
+        }),
+        1 => Ok(TreeNode::Split {
+            feature: cur.usize("split feature")?,
+            threshold: cur.f32("split threshold")?,
+            left: cur.usize("split left")?,
+            right: cur.usize("split right")?,
+        }),
+        tag => Err(ModelIoError::BadTag {
+            context: "TreeNode",
+            tag,
+        }),
+    }
+}
+
+fn decode_tree(cur: &mut ViewCursor<'_>) -> Result<Tree> {
+    let n = cur.len_prefix("tree nodes")?;
+    let nodes = (0..n)
+        .map(|_| decode_tree_node(cur))
+        .collect::<Result<Vec<_>>>()?;
+    Tree::from_nodes(nodes).map_err(|e| ModelIoError::malformed(e.to_string()))
+}
+
+fn decode_forest(cur: &mut ViewCursor<'_>) -> Result<RandomForest> {
+    let config = ForestConfig {
+        n_estimators: cur.usize("forest n_estimators")?,
+        max_depth: if cur.option_tag("forest max_depth")? {
+            Some(cur.usize("forest max_depth")?)
+        } else {
+            None
+        },
+        min_samples_split: cur.usize("forest min_samples_split")?,
+        classes: cur.usize("forest classes")?,
+        seed: cur.u64("forest seed")?,
+    };
+    let n = cur.len_prefix("forest trees")?;
+    let trees = (0..n).map(|_| decode_tree(cur)).collect::<Result<Vec<_>>>()?;
+    RandomForest::from_parts(config, trees).map_err(|e| ModelIoError::malformed(e.to_string()))
+}
+
+fn decode_forest_classifier(cur: &mut ViewCursor<'_>) -> Result<ForestClassifier> {
+    let forest = decode_forest(cur)?;
+    let window = cur.usize("forest window")?;
+    ensure(window >= 1, "forest window must be positive")?;
+    Ok(ForestClassifier::new(forest, window))
+}
+
+fn decode_member(cur: &mut ViewCursor<'_>) -> Result<Member> {
+    match cur.u8("Member tag")? {
+        0 => Ok(Member::Net(decode_infer_model(cur)?)),
+        1 => Ok(Member::Forest(decode_forest_classifier(cur)?)),
+        tag => Err(ModelIoError::BadTag {
+            context: "Member",
+            tag,
+        }),
+    }
+}
+
+/// Decodes a serialized [`Ensemble`] straight out of an image slice (the
+/// `ENSM` section payload), requiring full consumption — the zero-copy
+/// counterpart of `from_bytes::<Ensemble>`.
+///
+/// # Errors
+///
+/// Typed errors for every malformed input; never panics.
+pub fn decode_ensemble(payload: &[u8]) -> Result<Ensemble> {
+    let mut cur = ViewCursor::new(payload);
+    let voting = match cur.u8("Voting tag")? {
+        0 => Voting::Soft,
+        1 => Voting::Hard,
+        tag => {
+            return Err(ModelIoError::BadTag {
+                context: "Voting",
+                tag,
+            })
+        }
+    };
+    let n = cur.len_prefix("ensemble members")?;
+    let members = (0..n)
+        .map(|_| decode_member(&mut cur))
+        .collect::<Result<Vec<_>>>()?;
+    ensure(!members.is_empty(), "ensemble needs at least one member")?;
+    ensure(
+        members
+            .iter()
+            .all(|m| Classifier::window(m) <= MAX_MEMBER_WINDOW),
+        "member window implausibly large",
+    )?;
+    if cur.remaining() != 0 {
+        return Err(ModelIoError::malformed(format!(
+            "{} trailing bytes after value",
+            cur.remaining()
+        )));
+    }
+    Ok(Ensemble::new(members, voting))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rw::{from_bytes, to_bytes};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn aligned_f32_payloads_borrow() {
+        // 8-byte length prefix then floats: a buffer starting at a Vec's
+        // base is at least 8-aligned, so the floats sit on a 4-byte
+        // boundary and must borrow on little-endian hosts.
+        let values = vec![1.0f32, -2.5, 3.25];
+        let bytes = to_bytes(&values).unwrap();
+        let mut cur = ViewCursor::new(&bytes);
+        let n = cur.len_prefix("test").unwrap();
+        let view = cur.f32_slice(n, "test").unwrap();
+        assert_eq!(view.as_slice(), values.as_slice());
+        #[cfg(target_endian = "little")]
+        assert!(view.is_borrowed(), "aligned payload did not borrow");
+    }
+
+    #[test]
+    fn misaligned_f32_payloads_copy_correctly() {
+        let values = vec![0.5f32, f32::from_bits(0x7FC0_1234), -1.0];
+        let mut bytes = vec![0u8]; // shift off 4-byte alignment
+        bytes.extend(to_bytes(&values).unwrap());
+        let mut cur = ViewCursor::new(&bytes[1..]);
+        let n = cur.len_prefix("test").unwrap();
+        let view = cur.f32_slice(n, "test").unwrap();
+        // The Vec base is ≥ 8-aligned, so +1 is guaranteed misaligned and
+        // the fallback must run — with bit-exact values.
+        assert!(!view.is_borrowed(), "misaligned payload claimed to borrow");
+        for (a, b) in view.as_slice().iter().zip(&values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn tensor_view_round_trips_bit_exactly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::uniform(vec![4, 7], 1.0, &mut rng);
+        let bytes = to_bytes(&t).unwrap();
+        let mut cur = ViewCursor::new(&bytes);
+        let view = TensorView::decode(&mut cur).unwrap();
+        assert_eq!(cur.remaining(), 0);
+        assert_eq!(view.shape(), t.shape());
+        let back = view.into_tensor();
+        assert_eq!(back, t);
+        for (a, b) in back.data().iter().zip(t.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn view_decode_matches_streaming_decode() {
+        // Structural equivalence on a mixed-representation model.
+        use ml::compress::{quantize, QuantMode};
+        use ml::models::CnnConfig;
+        let model = CnnConfig::paper_best().build(7).unwrap();
+        let mut compiled = ml::infer::compile_cnn(&model);
+        quantize(&mut compiled, QuantMode::Calibrated);
+        let ensemble = Ensemble::new(vec![Member::Net(compiled)], Voting::Soft);
+        let bytes = to_bytes(&ensemble).unwrap();
+        let streamed: Ensemble = from_bytes(&bytes).unwrap();
+        let viewed = decode_ensemble(&bytes).unwrap();
+        assert_eq!(streamed, viewed);
+    }
+
+    #[test]
+    fn truncations_and_trailing_bytes_are_typed() {
+        let ensemble = Ensemble::new(
+            vec![Member::Forest(ForestClassifier::new(
+                toy_forest(),
+                16,
+            ))],
+            Voting::Hard,
+        );
+        let bytes = to_bytes(&ensemble).unwrap();
+        assert_eq!(decode_ensemble(&bytes).unwrap(), ensemble);
+        for cut in 0..bytes.len() - 1 {
+            assert!(
+                decode_ensemble(&bytes[..cut]).is_err(),
+                "truncation to {cut} accepted"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            decode_ensemble(&trailing).unwrap_err(),
+            ModelIoError::Malformed { .. }
+        ));
+    }
+
+    fn toy_forest() -> RandomForest {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..50 {
+            xs.push((0..4).map(|_| rng.gen_range(-1.0f32..1.0)).collect::<Vec<_>>());
+            ys.push(i % 3);
+        }
+        RandomForest::fit(
+            ForestConfig {
+                n_estimators: 3,
+                max_depth: Some(4),
+                min_samples_split: 2,
+                classes: 3,
+                seed: 2,
+            },
+            &xs,
+            &ys,
+        )
+        .expect("toy forest fits")
+    }
+}

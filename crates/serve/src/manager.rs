@@ -2,14 +2,17 @@
 //! multiplexed over one shared [`ExecPool`].
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use arm::controller::ControlMode;
 use cognitive_arm::pipeline::{CognitiveArm, PipelineConfig, SessionTrace};
 use cognitive_arm::preprocess::StreamingChain;
 use dsp::normalize::Zscore;
 use eeg::types::Action;
+use eeg::{CHANNELS, SAMPLE_RATE};
 use exec::ExecPool;
-use ml::ensemble::Ensemble;
+use ml::ensemble::{argmax, Ensemble, EnsembleScratch};
+use ml::models::CLASSES;
 use model_io::SavedModel;
 
 use crate::streaming::{StreamSession, DEFAULT_CHANNEL_CAPACITY};
@@ -120,21 +123,33 @@ struct Slot {
     poisoned: bool,
 }
 
+const POISONED: &str = "session poisoned by an earlier mid-segment failure";
+
 impl Slot {
-    fn run_for(&mut self, seconds: f64) -> Result<SessionTrace> {
+    /// Advances a streaming session by one segment. Batch sessions never
+    /// run through here — they advance in lockstep via their
+    /// [`BatchGroup`].
+    fn run_streaming_for(&mut self, seconds: f64) -> Result<SessionTrace> {
         if self.poisoned {
-            return Err(ServeError::BadRequest(
-                "session poisoned by an earlier mid-segment failure".into(),
-            ));
+            return Err(ServeError::BadRequest(POISONED.into()));
         }
         let out = match &mut self.session {
-            ManagedSession::Batch(arm) => arm.run_for(seconds).map_err(ServeError::from),
             ManagedSession::Streaming(session) => session.run_for(seconds),
+            ManagedSession::Batch(_) => {
+                unreachable!("batch sessions run through their micro-batch group")
+            }
         };
         if out.is_err() {
             self.poisoned = true;
         }
         out
+    }
+
+    fn batch_arm_mut(&mut self) -> &mut CognitiveArm {
+        match &mut self.session {
+            ManagedSession::Batch(arm) => arm,
+            ManagedSession::Streaming(_) => unreachable!("grouped slots are batch sessions"),
+        }
     }
 
     fn set_action(&mut self, action: Action) {
@@ -152,6 +167,155 @@ impl Slot {
     }
 }
 
+/// A micro-batch group: batch sessions admitted with a structurally equal
+/// ensemble and label cadence. Each serving tick, every member advances
+/// one label period and the windows that come due are classified in **one
+/// batched ensemble call** on the shared scratch arena — bit-identical to
+/// per-session inference by construction (batching changes memory layout,
+/// not per-window arithmetic), so grouping is invisible in the traces.
+struct BatchGroup {
+    /// One structural copy of the members' shared ensemble (admission
+    /// compares against it; the batched call runs it).
+    ensemble: Ensemble,
+    label_every: usize,
+    /// Slot indices in admission order.
+    members: Vec<usize>,
+    scratch: EnsembleScratch,
+    /// Gathered due windows, contiguous channel-major.
+    windows: Vec<f32>,
+    /// Batched combined probabilities.
+    probas: Vec<f32>,
+    /// Member positions (indices into `members`) due this tick.
+    due: Vec<usize>,
+}
+
+impl BatchGroup {
+    fn new(ensemble: Ensemble, label_every: usize, slot: usize) -> Self {
+        let scratch = EnsembleScratch::new(&ensemble);
+        Self {
+            ensemble,
+            label_every,
+            members: vec![slot],
+            scratch,
+            windows: Vec::new(),
+            probas: Vec::new(),
+            due: Vec::new(),
+        }
+    }
+
+    fn admits(&self, ensemble: &Ensemble, label_every: usize) -> bool {
+        // `Ensemble` equality is structural; `Custom` members never
+        // compare equal, so un-batchable ensembles form singleton groups.
+        self.label_every == label_every && self.ensemble == *ensemble
+    }
+
+    /// Advances this group's member slots (passed pre-split from the
+    /// session vector, in admission order) by `seconds`, classifying due
+    /// windows across sessions in one batched ensemble call per tick.
+    /// Returns `(slot index, segment result)` per member; failing members
+    /// are poisoned and drop out of the remaining ticks.
+    fn run(
+        &mut self,
+        members: &mut [(usize, &mut Slot)],
+        pool: &ExecPool,
+        seconds: f64,
+    ) -> Vec<(usize, Result<SessionTrace>)> {
+        let total = (seconds * SAMPLE_RATE) as usize;
+        let step = self.label_every;
+        let mut traces: Vec<SessionTrace> =
+            members.iter().map(|_| SessionTrace::default()).collect();
+        let mut errors: Vec<Option<ServeError>> = members
+            .iter()
+            .map(|(_, slot)| {
+                slot.poisoned
+                    .then(|| ServeError::BadRequest(POISONED.into()))
+            })
+            .collect();
+
+        let mut done = 0usize;
+        while done < total {
+            let n = step.min(total - done);
+            // Filter phase: members advance independently in parallel
+            // (ordered results, so failures land deterministically).
+            let advanced: Vec<Option<Result<bool>>> = pool.par_map_mut(members, |(_, slot)| {
+                if slot.poisoned {
+                    return None;
+                }
+                Some(
+                    slot.batch_arm_mut()
+                        .advance_period(n)
+                        .map_err(ServeError::from),
+                )
+            });
+            self.due.clear();
+            self.windows.clear();
+            for (mi, outcome) in advanced.into_iter().enumerate() {
+                if errors[mi].is_some() {
+                    continue;
+                }
+                match outcome {
+                    Some(Ok(true)) => {
+                        members[mi]
+                            .1
+                            .batch_arm_mut()
+                            .append_window_to(&mut self.windows);
+                        self.due.push(mi);
+                    }
+                    Some(Ok(false)) | None => {}
+                    Some(Err(e)) => {
+                        members[mi].1.poisoned = true;
+                        errors[mi] = Some(e);
+                    }
+                }
+            }
+            // Inference phase: one batched call for every due window.
+            if !self.due.is_empty() {
+                let k = self.due.len();
+                self.probas.clear();
+                self.probas.resize(k * CLASSES, 0.0);
+                let t1 = Instant::now();
+                self.ensemble.predict_batch_into(
+                    &self.windows,
+                    k,
+                    CHANNELS,
+                    pool,
+                    &mut self.scratch,
+                    &mut self.probas,
+                );
+                let inference_s = t1.elapsed().as_secs_f64();
+                // Actuation phase, in admission order.
+                for (j, &mi) in self.due.iter().enumerate() {
+                    let label = argmax(&self.probas[j * CLASSES..(j + 1) * CLASSES]);
+                    let arm = members[mi].1.batch_arm_mut();
+                    if let Err(e) = arm.apply_label(label, n, inference_s, &mut traces[mi]) {
+                        members[mi].1.poisoned = true;
+                        errors[mi] = Some(ServeError::from(e));
+                    }
+                }
+            }
+            done += n;
+        }
+        members
+            .iter()
+            .zip(errors)
+            .zip(traces)
+            .map(|((&(si, _), error), trace)| match error {
+                Some(e) => (si, Err(e)),
+                None => (si, Ok(trace)),
+            })
+            .collect()
+    }
+}
+
+/// One work item of a serving segment: a streaming session running its
+/// two-stage pipeline, or a whole micro-batch group running its lockstep
+/// ticks (with the group's member slots pre-split out of the session
+/// vector).
+enum Work<'a> {
+    Stream(usize, &'a mut Slot),
+    Group(&'a mut BatchGroup, Vec<(usize, &'a mut Slot)>),
+}
+
 /// Multiplexes many long-lived sessions over one shared [`ExecPool`].
 ///
 /// [`SessionManager::run_for`] advances **every** session by the same
@@ -164,6 +328,9 @@ impl Slot {
 pub struct SessionManager {
     pool: Arc<ExecPool>,
     sessions: Vec<Slot>,
+    /// Micro-batch groups over the batch-shaped sessions (streaming
+    /// sessions run their own two-stage pipelines and are not grouped).
+    groups: Vec<BatchGroup>,
 }
 
 impl std::fmt::Debug for SessionManager {
@@ -182,6 +349,7 @@ impl SessionManager {
         Self {
             pool,
             sessions: Vec::new(),
+            groups: Vec::new(),
         }
     }
 
@@ -210,14 +378,38 @@ impl SessionManager {
         self.sessions.is_empty()
     }
 
+    /// Sizes of the micro-batch groups, in creation order — how many
+    /// batch sessions share one batched ensemble call per tick (streaming
+    /// sessions are not grouped and do not appear).
+    #[must_use]
+    pub fn group_sizes(&self) -> Vec<usize> {
+        self.groups.iter().map(|g| g.members.len()).collect()
+    }
+
     /// Admits a batch session (the monolithic `CognitiveArm` loop) on the
-    /// manager's pool.
+    /// manager's pool. Sessions admitted with a structurally equal
+    /// ensemble and label cadence join one **micro-batch group**: windows
+    /// that come due on the same serving tick are classified in a single
+    /// batched ensemble call (label-invisible; see [`BatchGroup`]).
     ///
     /// # Errors
     ///
     /// [`ServeError::BadRequest`] for an invalid spec.
     pub fn add_session(&mut self, spec: SessionSpec) -> Result<SessionId> {
         spec.validate()?;
+        let slot_index = self.sessions.len();
+        match self
+            .groups
+            .iter_mut()
+            .find(|g| g.admits(&spec.ensemble, spec.config.label_every))
+        {
+            Some(group) => group.members.push(slot_index),
+            None => self.groups.push(BatchGroup::new(
+                spec.ensemble.clone(),
+                spec.config.label_every,
+                slot_index,
+            )),
+        }
         let mut arm = CognitiveArm::with_pool(
             spec.config,
             spec.ensemble,
@@ -232,7 +424,7 @@ impl SessionManager {
             session: ManagedSession::Batch(Box::new(arm)),
             poisoned: false,
         });
-        Ok(SessionId(self.sessions.len() - 1))
+        Ok(SessionId(slot_index))
     }
 
     /// Admits a streaming session (filter stage ∥ inference stage over a
@@ -304,9 +496,15 @@ impl SessionManager {
             .ok_or(ServeError::UnknownSession(id.0))
     }
 
-    /// Advances every session by `seconds` of simulated time, one pool work
-    /// item per session, returning each session's segment result in
-    /// admission order. A failing session is **poisoned** (it will not run
+    /// Advances every session by `seconds` of simulated time, returning
+    /// each session's segment result in admission order. Streaming
+    /// sessions run their two-stage pipelines as parallel work items;
+    /// batch sessions run through their micro-batch groups in lockstep,
+    /// each tick's due windows classified in **one batched ensemble call**
+    /// (filter stages advance in parallel; the batched call itself fans
+    /// `members × windows` across the pool). Everything stays
+    /// bit-identical to running each session alone, sequentially, at any
+    /// thread count. A failing session is **poisoned** (it will not run
     /// again) but never takes its neighbours' traces with it.
     ///
     /// # Errors
@@ -320,9 +518,53 @@ impl SessionManager {
         if seconds <= 0.0 {
             return Err(ServeError::BadRequest("non-positive run duration".into()));
         }
-        Ok(self
-            .pool
-            .par_map_mut(&mut self.sessions, |slot| slot.run_for(seconds)))
+        let Self {
+            pool,
+            sessions,
+            groups,
+        } = self;
+
+        // Route every slot to its micro-batch group or the streaming set
+        // (one pass of mutable borrows, so groups and streaming sessions
+        // can then run as *concurrent* pool work items — no shape waits
+        // on the other).
+        let mut slot_group: Vec<Option<usize>> = vec![None; sessions.len()];
+        for (gi, group) in groups.iter().enumerate() {
+            for &si in &group.members {
+                slot_group[si] = Some(gi);
+            }
+        }
+        let mut buckets: Vec<Vec<(usize, &mut Slot)>> =
+            groups.iter().map(|_| Vec::new()).collect();
+        let mut work: Vec<Work<'_>> = Vec::new();
+        for (i, slot) in sessions.iter_mut().enumerate() {
+            match slot_group[i] {
+                Some(gi) => buckets[gi].push((i, slot)),
+                None => work.push(Work::Stream(i, slot)),
+            }
+        }
+        for (group, bucket) in groups.iter_mut().zip(buckets) {
+            work.push(Work::Group(group, bucket));
+        }
+
+        // One fan-out: each streaming session and each micro-batch group
+        // is a work item; a group's inner phases (parallel filter advance,
+        // the batched ensemble call) nest on the same pool, which the
+        // caller-participates design keeps deadlock-free.
+        let outcomes = pool.par_map_mut(&mut work, |item| match item {
+            Work::Stream(i, slot) => vec![(*i, slot.run_streaming_for(seconds))],
+            Work::Group(group, slots) => group.run(slots, pool, seconds),
+        });
+
+        let mut results: Vec<Option<Result<SessionTrace>>> =
+            (0..sessions.len()).map(|_| None).collect();
+        for (si, result) in outcomes.into_iter().flatten() {
+            results[si] = Some(result);
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every session belongs to a group or the streaming set"))
+            .collect())
     }
 
     /// [`SessionManager::run_for_each`] flattened to the all-success case:

@@ -59,10 +59,12 @@ struct WindowMsg {
 }
 
 /// Where the filter stage delivers full windows: the inter-stage channel
-/// when the stages run concurrently, or a direct call into the inference
-/// step on a 1-thread pool (which keeps memory at O(1) windows instead of
-/// buffering a whole segment).
-type WindowSink<'a> = dyn FnMut(WindowMsg) -> Result<()> + 'a;
+/// when the stages run concurrently (which owns a flattened copy per
+/// message), or a direct call into the inference step on a 1-thread pool
+/// (which flattens into one reused buffer — O(1) window memory and zero
+/// steady-state allocations). The sink borrows the sliding window so each
+/// shape pays only the copies it needs.
+type WindowSink<'a> = dyn FnMut(f64, usize, &SlidingWindow) -> Result<()> + 'a;
 
 /// Stage 1 state: acquisition, wire transport, dejitter, causal filtering
 /// and the sliding window.
@@ -165,11 +167,8 @@ impl FilterStage {
             if bounds.front().is_some_and(|&(end, _)| end == *processed) {
                 let (end, period) = bounds.pop_front().expect("front checked");
                 if self.window.is_full() {
-                    sink(WindowMsg {
-                        t: (start_elapsed + end as u64) as f64 / SAMPLE_RATE,
-                        chunk_samples: period,
-                        flat: self.window.flat(),
-                    })?;
+                    let t = (start_elapsed + end as u64) as f64 / SAMPLE_RATE;
+                    sink(t, period, &self.window)?;
                 }
             }
         }
@@ -186,6 +185,8 @@ pub struct StreamSession {
     pool: Arc<ExecPool>,
     label_every: usize,
     channel_capacity: usize,
+    /// Reused channel-major flattening for the sequential (1-thread) path.
+    flat_buf: Vec<f32>,
     elapsed_samples: u64,
     latency: LatencyReport,
     /// Set when a segment failed partway: the board has advanced past the
@@ -247,6 +248,7 @@ impl StreamSession {
                 next_seq: 0,
                 stats: StageStats::default(),
             },
+            flat_buf: Vec::with_capacity(CHANNELS * spec.ensemble.window()),
             head: InferenceHead::new(spec.ensemble, controller),
             pool,
             label_every: spec.config.label_every,
@@ -316,6 +318,20 @@ impl StreamSession {
     /// session (the board advanced past the recorded trace), so further
     /// `run_for` calls return an error instead of desynchronized labels.
     pub fn run_for(&mut self, seconds: f64) -> Result<SessionTrace> {
+        let mut trace = SessionTrace::default();
+        self.run_into(seconds, &mut trace)?;
+        Ok(trace)
+    }
+
+    /// [`StreamSession::run_for`] appending to a caller-provided trace.
+    /// On a 1-thread pool the label tick — flatten, classify, actuate,
+    /// record — performs zero steady-state heap allocations (the wire
+    /// stage still allocates per packet; it models a network).
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamSession::run_for`].
+    pub fn run_into(&mut self, seconds: f64, trace: &mut SessionTrace) -> Result<()> {
         if seconds <= 0.0 {
             return Err(ServeError::BadRequest("non-positive run duration".into()));
         }
@@ -328,18 +344,28 @@ impl StreamSession {
         let start_elapsed = self.elapsed_samples;
         let label_every = self.label_every;
         let pool = Arc::clone(&self.pool);
+        trace
+            .labels
+            .reserve(total.div_ceil(label_every.max(1)));
+        trace.joints.reserve(total.div_ceil(label_every.max(1)));
 
         let filter = &mut self.filter;
         let head = &mut self.head;
         let latency = &mut self.latency;
+        let flat_buf = &mut self.flat_buf;
 
         let result = if pool.threads() > 1 {
             let (tx, rx) = mpsc::sync_channel::<WindowMsg>(self.channel_capacity);
             let inner_pool = Arc::clone(&pool);
             let (filter_out, infer_out) = pool.join(
                 move || {
-                    let mut sink = |msg: WindowMsg| {
-                        tx.send(msg).map_err(|_| ServeError::StageDisconnected)
+                    let mut sink = |t: f64, chunk_samples: usize, window: &SlidingWindow| {
+                        tx.send(WindowMsg {
+                            t,
+                            chunk_samples,
+                            flat: window.flat(),
+                        })
+                        .map_err(|_| ServeError::StageDisconnected)
                     };
                     filter.run_segment(total, label_every, start_elapsed, &mut sink)
                     // `tx` drops with the sink here, hanging up the channel
@@ -361,7 +387,7 @@ impl StreamSession {
                 },
             );
             match (filter_out, infer_out) {
-                (Ok(()), Ok(trace)) => Ok(trace),
+                (Ok(()), Ok(stage_trace)) => Ok(Some(stage_trace)),
                 // An inference-stage error beats the hangup the filter
                 // stage observed when the receiver dropped mid-segment.
                 (_, Err(e)) => Err(e),
@@ -370,28 +396,26 @@ impl StreamSession {
         } else {
             // Sequential: the filter stage drives the inference step
             // inline at each label boundary — identical order and outputs,
-            // without buffering a segment's worth of windows.
-            let mut trace = SessionTrace::default();
-            let mut sink = |msg: WindowMsg| -> Result<()> {
-                head.step(
-                    &msg.flat,
-                    &pool,
-                    msg.t,
-                    msg.chunk_samples,
-                    &mut trace,
-                    latency,
-                )?;
+            // without buffering a segment's worth of windows, flattening
+            // into one reused buffer.
+            let mut sink = |t: f64, chunk_samples: usize, window: &SlidingWindow| -> Result<()> {
+                window.flat_into(flat_buf);
+                head.step(flat_buf, &pool, t, chunk_samples, trace, latency)?;
                 Ok(())
             };
             filter
                 .run_segment(total, label_every, start_elapsed, &mut sink)
-                .map(|()| trace)
+                .map(|()| None)
         };
 
         match result {
-            Ok(trace) => {
+            Ok(stage_trace) => {
+                if let Some(stage_trace) = stage_trace {
+                    trace.labels.extend(stage_trace.labels);
+                    trace.joints.extend(stage_trace.joints);
+                }
                 self.elapsed_samples += total as u64;
-                Ok(trace)
+                Ok(())
             }
             Err(e) => {
                 self.poisoned = true;

@@ -1,0 +1,198 @@
+//! Allocation-freeness of the steady-state label tick, enforced with a
+//! counting global allocator.
+//!
+//! The 15 Hz classify-actuate loop is the hottest path in the system;
+//! PR 5 rebuilt it so that — once warm — a label tick performs **zero
+//! heap allocations** on a 1-thread pool: frames drain without a chunk,
+//! the causal filter runs in place, the window flattens into a reused
+//! buffer, every ensemble member classifies inside its preallocated
+//! scratch lane, and actuation reuses its command buffer.
+//!
+//! Counting is thread-local, so the assertions hold regardless of what
+//! other test threads do; the pool under test is explicitly 1-thread, so
+//! all work runs inline on the counting thread (CI's `COGARM_THREADS=4`
+//! pass exercises the same code through the determinism suites — the
+//! multi-thread pool's job dispatch may allocate, which is why the
+//! allocation *contract* is stated at one thread).
+//!
+//! The streaming session's wire stage (outlet → transport → inlet →
+//! dejitter) allocates per packet by design — it models a network — so
+//! the streaming guarantee is scoped to the label tick itself, which is
+//! `InferenceHead::step`, shared *verbatim* by the monolithic loop and
+//! the streaming inference stage (that sharing is locked by the serving
+//! bit-identity suite).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+use arm::controller::{Controller, ControllerConfig};
+use arm::safety::{SafetyConfig, SafetyGate};
+use cognitive_arm::pipeline::{
+    CognitiveArm, InferenceHead, LatencyReport, PipelineConfig, SessionTrace,
+};
+use eeg::types::Action;
+use eeg::CHANNELS;
+use exec::ExecPool;
+use integration_tests::quick_trained;
+use ml::ensemble::EnsembleScratch;
+use ml::models::CLASSES;
+
+/// Counts allocator entries (alloc/realloc/alloc_zeroed) on the current
+/// thread. `try_with` keeps TLS teardown safe.
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOC_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    let _ = ALLOC_EVENTS.try_with(|c| c.set(c.get() + 1));
+}
+
+fn events() -> u64 {
+    ALLOC_EVENTS.try_with(Cell::get).unwrap_or(0)
+}
+
+// SAFETY: delegates to `System`; the counter never allocates (const-init
+// thread-local `Cell`).
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Runs `f` and returns how many allocation events it performed on this
+/// thread.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    let before = events();
+    f();
+    events() - before
+}
+
+#[test]
+fn monolithic_loop_is_allocation_free_once_warm() {
+    let artifacts = quick_trained(21, 21);
+    let mut system = CognitiveArm::with_pool(
+        PipelineConfig::default(),
+        artifacts.ensemble.clone(),
+        21,
+        Arc::new(ExecPool::new(1)),
+    );
+    system.set_normalization(artifacts.data.zscores[0].clone());
+    system.set_subject_action(Action::Right);
+
+    // One trace with capacity for everything this test runs.
+    let mut trace = SessionTrace::default();
+    trace.labels.reserve(4096);
+    trace.joints.reserve(4096);
+
+    // Warm-up: fills the sliding window, grows the flat/command buffers
+    // to their steady-state capacities, touches every member's scratch.
+    system.run_into(2.0, &mut trace).expect("warm-up runs");
+
+    // Steady state: ~39 label ticks (125 Hz / label_every=8 over 2.5 s),
+    // each draining samples, filtering, flattening, classifying both
+    // ensemble members and actuating — with zero heap allocations.
+    let allocs = count_allocs(|| {
+        system.run_into(2.5, &mut trace).expect("measured run");
+    });
+    assert!(
+        !trace.labels.is_empty(),
+        "measured segment produced no labels"
+    );
+    assert_eq!(
+        allocs, 0,
+        "steady-state monolithic label ticks allocated {allocs} times"
+    );
+}
+
+#[test]
+fn label_tick_head_is_allocation_free_once_warm() {
+    // The classify → actuate → record step in isolation — the exact code
+    // both the monolithic loop and the streaming inference stage run per
+    // label. Driven with alternating windows so the controller actually
+    // emits servo frames (the debounce streak builds and moves joints),
+    // proving the command/decode buffers are warm too.
+    let artifacts = quick_trained(21, 21);
+    let pool = ExecPool::new(1);
+    let controller = Controller::new(
+        ControllerConfig::default(),
+        SafetyGate::new(SafetyConfig::default()),
+    );
+    let mut head = InferenceHead::new(artifacts.ensemble.clone(), controller);
+    let mut trace = SessionTrace::default();
+    trace.labels.reserve(512);
+    trace.joints.reserve(512);
+    let mut latency = LatencyReport::default();
+
+    let window_len = CHANNELS * head.ensemble().window();
+    let windows: Vec<Vec<f32>> = (0..4)
+        .map(|k| {
+            (0..window_len)
+                .map(|i| ((i + k * 37) as f32 * 0.37).sin())
+                .collect()
+        })
+        .collect();
+
+    // Warm pass over the same windows the measurement replays.
+    for (i, w) in windows.iter().cycle().take(16).enumerate() {
+        head.step(w, &pool, i as f64, 8, &mut trace, &mut latency)
+            .expect("warm step");
+    }
+    let allocs = count_allocs(|| {
+        for (i, w) in windows.iter().cycle().take(16).enumerate() {
+            head.step(w, &pool, 100.0 + i as f64, 8, &mut trace, &mut latency)
+                .expect("measured step");
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state label ticks allocated {allocs} times"
+    );
+}
+
+#[test]
+fn batched_ensemble_call_is_allocation_free_once_warm() {
+    // The serving micro-batcher's per-tick call: 16 windows, one batched
+    // ensemble classification into a warm scratch arena.
+    let artifacts = quick_trained(21, 21);
+    let ensemble = &artifacts.ensemble;
+    let pool = ExecPool::new(1);
+    let mut scratch = EnsembleScratch::new(ensemble);
+    let batch = 16;
+    let per_window = CHANNELS * ensemble.window();
+    let windows: Vec<f32> = (0..batch * per_window)
+        .map(|i| (i as f32 * 0.11).cos())
+        .collect();
+    let mut out = vec![0.0f32; batch * CLASSES];
+
+    // Warm-up grows the scratch to batch capacity and the lane buffers to
+    // their steady sizes.
+    ensemble.predict_batch_into(&windows, batch, CHANNELS, &pool, &mut scratch, &mut out);
+    let allocs = count_allocs(|| {
+        ensemble.predict_batch_into(&windows, batch, CHANNELS, &pool, &mut scratch, &mut out);
+    });
+    assert_eq!(
+        allocs, 0,
+        "warm batched inference allocated {allocs} times"
+    );
+}

@@ -239,6 +239,77 @@ fn saved_model_preserves_normalization_and_config() {
     assert_eq!(&saved.ensemble, system.ensemble());
 }
 
+// --- zero-copy load path -----------------------------------------------------
+
+/// The zero-copy loader must produce a model structurally identical to the
+/// streaming loader's, on both a trained artifact and the small fixture
+/// model.
+#[test]
+fn zero_copy_load_matches_streamed_load() {
+    let artifacts = quick_trained(21, 21);
+    let path = temp_path("zero-copy.cogm");
+    let mut system = CognitiveArm::new(PipelineConfig::default(), artifacts.ensemble.clone(), 21);
+    system.set_normalization(artifacts.data.zscores[0].clone());
+    system.save_model(&path).expect("saves");
+
+    let streamed = SavedModel::load(&path).expect("streamed load");
+    let zero_copy = SavedModel::load_zero_copy(&path).expect("zero-copy load");
+    assert_eq!(streamed, zero_copy);
+
+    let small = small_saved_model();
+    let small_path = temp_path("zero-copy-small.cogm");
+    small.save(&small_path).expect("saves");
+    assert_eq!(
+        SavedModel::load_zero_copy(&small_path).expect("loads"),
+        small
+    );
+}
+
+/// A zero-copy-loaded system's label trace must be bit-identical to the
+/// in-memory system's — the acceptance bar for the whole fast path.
+#[test]
+fn zero_copy_loaded_model_reproduces_traces_bitwise() {
+    let artifacts = quick_trained(33, 33);
+    let path = temp_path("zero-copy-trace.cogm");
+    let run = |mut system: CognitiveArm| -> SessionTrace {
+        system.set_normalization(artifacts.data.zscores[0].clone());
+        system.set_subject_action(Action::Left);
+        system.run_for(2.0).expect("runs")
+    };
+    let system = CognitiveArm::new(PipelineConfig::default(), artifacts.ensemble.clone(), 33);
+    system.save_model(&path).expect("saves");
+    let reference = run(system);
+    assert!(!reference.labels.is_empty());
+    let loaded = SavedModel::load_zero_copy(&path).expect("loads").into_system(33);
+    assert_traces_identical(&reference, &run(loaded), "zero-copy loaded");
+}
+
+/// The zero-copy loader is held to the same total-reader bar as the
+/// container parser: every truncation and every byte flip of a saved
+/// model is a typed error, never a panic or a wrong-but-`Ok` model.
+#[test]
+fn zero_copy_loader_survives_the_corruption_sweep() {
+    let bytes = small_saved_model()
+        .to_container()
+        .expect("persistable")
+        .to_file_bytes();
+    assert!(SavedModel::from_file_bytes(&bytes).is_ok());
+    for cut in 0..bytes.len() {
+        assert!(
+            SavedModel::from_file_bytes(&bytes[..cut]).is_err(),
+            "truncation to {cut} bytes accepted"
+        );
+    }
+    for i in 0..bytes.len() {
+        let mut flipped = bytes.clone();
+        flipped[i] ^= 0xFF;
+        assert!(
+            SavedModel::from_file_bytes(&flipped).is_err(),
+            "flip at byte {i} accepted"
+        );
+    }
+}
+
 // --- golden fixtures ---------------------------------------------------------
 
 fn fixture_path(name: &str) -> PathBuf {
@@ -348,6 +419,12 @@ fn golden_fixtures_are_accepted_by_the_reader() {
     )
     .expect("model decodes");
     assert_eq!(model, small_saved_model());
+
+    // The zero-copy loader must accept the committed fixture and agree
+    // with the streaming reader on it.
+    let zero_copy =
+        SavedModel::load_zero_copy(fixture_path("model.cogm")).expect("zero-copy decodes");
+    assert_eq!(zero_copy, model);
 }
 
 // --- corruption and truncation sweeps ----------------------------------------

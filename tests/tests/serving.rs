@@ -128,6 +128,94 @@ fn streaming_sessions_match_the_monolithic_loop_bitwise() {
 }
 
 #[test]
+fn sixteen_session_micro_batch_matches_sequential_bitwise() {
+    // The cross-session micro-batcher's core promise: sixteen sessions
+    // sharing one artifact are classified in ONE batched ensemble call
+    // per tick, and every trace is bit-identical to running that subject
+    // alone — at 1 and 4 threads.
+    let artifacts = quick_trained(21, 21);
+    let subjects: Vec<u64> = (40..56).collect();
+    let solo: Vec<SessionTrace> = subjects
+        .iter()
+        .map(|&subject| {
+            let mut arm = CognitiveArm::with_pool(
+                PipelineConfig::default(),
+                artifacts.ensemble.clone(),
+                subject,
+                Arc::new(ExecPool::new(1)),
+            );
+            arm.set_normalization(artifacts.data.zscores[0].clone());
+            arm.set_subject_action(Action::Right);
+            arm.run_for(1.5).expect("solo run")
+        })
+        .collect();
+    assert!(solo.iter().all(|t| !t.labels.is_empty()));
+
+    for threads in [1, 4] {
+        let mut manager = SessionManager::new(Arc::new(ExecPool::new(threads)));
+        for &subject in &subjects {
+            let spec = SessionSpec::new(
+                PipelineConfig::default(),
+                artifacts.ensemble.clone(),
+                subject,
+            )
+            .with_normalization(artifacts.data.zscores[0].clone())
+            .with_action(Action::Right);
+            manager.add_session(spec).expect("admit");
+        }
+        // All sixteen landed in one micro-batch group.
+        assert_eq!(manager.group_sizes(), vec![16], "threads={threads}");
+        let batched = manager.run_for(1.5).expect("batched run");
+        for (i, (a, b)) in solo.iter().zip(&batched).enumerate() {
+            assert_identical(&format!("micro-batch threads={threads} session={i}"), a, b);
+        }
+    }
+}
+
+#[test]
+fn mixed_artifacts_form_separate_groups_and_stay_bitwise_correct() {
+    // Two different trained ensembles: admission must separate them into
+    // two groups (a batched call can only run one model), and every trace
+    // must still match its solo reference.
+    let a = quick_trained(21, 21);
+    let b = quick_trained(22, 22);
+    let sessions: Vec<(u64, &std::sync::Arc<integration_tests::QuickArtifacts>)> =
+        vec![(60, &a), (61, &b), (62, &a), (63, &b), (64, &a)];
+
+    let solo: Vec<SessionTrace> = sessions
+        .iter()
+        .map(|&(subject, artifacts)| {
+            let mut arm = CognitiveArm::with_pool(
+                PipelineConfig::default(),
+                artifacts.ensemble.clone(),
+                subject,
+                Arc::new(ExecPool::new(1)),
+            );
+            arm.set_normalization(artifacts.data.zscores[0].clone());
+            arm.set_subject_action(Action::Left);
+            arm.run_for(1.5).expect("solo run")
+        })
+        .collect();
+
+    let mut manager = SessionManager::new(Arc::new(ExecPool::new(2)));
+    for &(subject, artifacts) in &sessions {
+        let spec = SessionSpec::new(
+            PipelineConfig::default(),
+            artifacts.ensemble.clone(),
+            subject,
+        )
+        .with_normalization(artifacts.data.zscores[0].clone())
+        .with_action(Action::Left);
+        manager.add_session(spec).expect("admit");
+    }
+    assert_eq!(manager.group_sizes(), vec![3, 2], "grouping by artifact");
+    let batched = manager.run_for(1.5).expect("mixed run");
+    for (i, (x, y)) in solo.iter().zip(&batched).enumerate() {
+        assert_identical(&format!("mixed-group session={i}"), x, y);
+    }
+}
+
+#[test]
 fn sessions_keep_state_across_segments() {
     // Serving is segmented (one run_for per scheduling quantum); two
     // managers driven through the same segment schedule must agree, and a

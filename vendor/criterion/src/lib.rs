@@ -176,6 +176,89 @@ fn delta_pct(prev_ns: f64, now_ns: f64) -> f64 {
     (now_ns - prev_ns) / prev_ns * 100.0
 }
 
+// --- machine-readable reports ------------------------------------------------
+
+/// One benchmark's numbers for the JSON report.
+#[derive(Debug, Clone, PartialEq)]
+struct JsonEntry {
+    name: String,
+    mean_ns: f64,
+    std_dev_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    /// Percent change vs the stored baseline (`None` on the first run).
+    baseline_delta_pct: Option<f64>,
+}
+
+/// Where `BENCH_<group>.json` files land: the repository root (the
+/// directory holding `Cargo.toml` above the build dir), so the perf
+/// trajectory is tracked in the tree across PRs instead of living only in
+/// CI logs. `COGARM_BENCH_JSON_DIR` overrides; `None` disables.
+fn json_dir() -> Option<PathBuf> {
+    if let Some(dir) = std::env::var_os("COGARM_BENCH_JSON_DIR") {
+        return Some(PathBuf::from(dir));
+    }
+    let parent = target_dir()?.parent()?.to_path_buf();
+    parent.join("Cargo.toml").exists().then_some(parent)
+}
+
+/// Minimal JSON string escaping (bench names are plain ASCII, but quotes
+/// and backslashes must never corrupt the file).
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders one group's report as JSON (stable field order, one result per
+/// line — diff-friendly for the committed `BENCH_*.json` files).
+fn render_json(group: &str, entries: &[JsonEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"group\": \"{}\",\n", json_escape(group)));
+    out.push_str("  \"results\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let delta = match e.baseline_delta_pct {
+            Some(d) => format!("{d:.3}"),
+            None => "null".to_owned(),
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"std_dev_ns\": {:.1}, \
+             \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"baseline_delta_pct\": {}}}{}\n",
+            json_escape(&e.name),
+            e.mean_ns,
+            e.std_dev_ns,
+            e.min_ns,
+            e.max_ns,
+            delta,
+            if i + 1 == entries.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes a group's `BENCH_<group>.json` (best effort, like the baseline
+/// store: an unwritable directory only costs the report). The directory
+/// is created if missing, so `COGARM_BENCH_JSON_DIR` can point at a fresh
+/// per-configuration path (CI writes 1- and 4-thread runs to separate
+/// directories to keep them from overwriting each other).
+fn write_json_report(dir: &Path, group: &str, entries: &[JsonEntry]) {
+    if entries.is_empty() {
+        return;
+    }
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("BENCH_{}.json", sanitize(group)));
+    let _ = std::fs::write(path, render_json(group, entries));
+}
+
 /// The report suffix comparing this run to the stored baseline.
 fn baseline_note(prev: Option<f64>, now_ns: f64) -> String {
     match prev {
@@ -188,6 +271,7 @@ fn baseline_note(prev: Option<f64>, now_ns: f64) -> String {
 pub struct Criterion {
     target_time: Duration,
     baseline_dir: Option<PathBuf>,
+    json_dir: Option<PathBuf>,
 }
 
 impl Default for Criterion {
@@ -195,6 +279,7 @@ impl Default for Criterion {
         Self {
             target_time: Duration::from_millis(300),
             baseline_dir: baseline_dir(),
+            json_dir: json_dir(),
         }
     }
 }
@@ -205,13 +290,15 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        self.bench_named(name, name, f)
+        self.bench_named(name, name, f);
+        self
     }
 
     /// Runs one benchmark with separate display and baseline-key names
     /// (groups indent the display but must key baselines by
-    /// `group/function` to avoid cross-group collisions).
-    fn bench_named<F>(&mut self, display: &str, key: &str, mut f: F) -> &mut Self
+    /// `group/function` to avoid cross-group collisions). Returns the
+    /// stats and the baseline delta for the group's JSON report.
+    fn bench_named<F>(&mut self, display: &str, key: &str, mut f: F) -> Option<(SampleStats, Option<f64>)>
     where
         F: FnMut(&mut Bencher),
     {
@@ -220,19 +307,21 @@ impl Criterion {
             report: None,
         };
         f(&mut b);
-        if let Some(stats) = b.report {
-            let note = match &self.baseline_dir {
-                Some(dir) => {
-                    let now_ns = stats.mean.as_secs_f64() * 1e9;
-                    let note = baseline_note(load_baseline(dir, key), now_ns);
-                    store_baseline(dir, key, now_ns);
-                    note
-                }
-                None => String::new(),
-            };
-            println!("{display:<40} {stats}{note}");
-        }
-        self
+        let stats = b.report?;
+        let mut delta = None;
+        let note = match &self.baseline_dir {
+            Some(dir) => {
+                let now_ns = stats.mean.as_secs_f64() * 1e9;
+                let prev = load_baseline(dir, key);
+                delta = prev.map(|prev_ns| delta_pct(prev_ns, now_ns));
+                let note = baseline_note(prev, now_ns);
+                store_baseline(dir, key, now_ns);
+                note
+            }
+            None => String::new(),
+        };
+        println!("{display:<40} {stats}{note}");
+        Some((stats, delta))
     }
 
     /// Opens a named group of benchmarks.
@@ -241,14 +330,19 @@ impl Criterion {
         BenchmarkGroup {
             criterion: self,
             name: name.to_owned(),
+            entries: Vec::new(),
         }
     }
 }
 
-/// A group of related benchmarks.
+/// A group of related benchmarks. Finishing (or dropping) the group dumps
+/// its numbers as `BENCH_<group>.json` at the repository root — the
+/// machine-readable counterpart of the log lines, so the perf trajectory
+/// is tracked across PRs.
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
+    entries: Vec<JsonEntry>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -258,12 +352,29 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let key = format!("{}/{name}", self.name);
-        self.criterion.bench_named(&format!("  {name}"), &key, f);
+        if let Some((stats, delta)) = self.criterion.bench_named(&format!("  {name}"), &key, f) {
+            self.entries.push(JsonEntry {
+                name: name.to_owned(),
+                mean_ns: stats.mean.as_secs_f64() * 1e9,
+                std_dev_ns: stats.std_dev.as_secs_f64() * 1e9,
+                min_ns: stats.min.as_secs_f64() * 1e9,
+                max_ns: stats.max.as_secs_f64() * 1e9,
+                baseline_delta_pct: delta,
+            });
+        }
         self
     }
 
-    /// Ends the group.
+    /// Ends the group (the JSON report is written on drop either way).
     pub fn finish(self) {}
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        if let Some(dir) = &self.criterion.json_dir {
+            write_json_report(dir, &self.name, &self.entries);
+        }
+    }
 }
 
 /// How many sample batches the timing loop is split into.
@@ -520,10 +631,84 @@ mod tests {
     }
 
     #[test]
+    fn json_report_renders_stable_fields() {
+        let entries = vec![
+            JsonEntry {
+                name: "batch_16".into(),
+                mean_ns: 1234.56,
+                std_dev_ns: 12.3,
+                min_ns: 1200.0,
+                max_ns: 1300.9,
+                baseline_delta_pct: Some(-4.25),
+            },
+            JsonEntry {
+                name: "single \"quoted\"".into(),
+                mean_ns: 10.0,
+                std_dev_ns: 0.0,
+                min_ns: 10.0,
+                max_ns: 10.0,
+                baseline_delta_pct: None,
+            },
+        ];
+        let json = render_json("inference", &entries);
+        assert!(json.contains("\"group\": \"inference\""), "{json}");
+        assert!(json.contains("\"name\": \"batch_16\""), "{json}");
+        assert!(json.contains("\"mean_ns\": 1234.6"), "{json}");
+        assert!(json.contains("\"baseline_delta_pct\": -4.250"), "{json}");
+        assert!(json.contains("\"baseline_delta_pct\": null"), "{json}");
+        assert!(json.contains("single \\\"quoted\\\""), "{json}");
+        // A comma between the two result lines, none trailing before `]`.
+        assert!(json.contains("},\n"), "{json}");
+        assert!(!json.contains(",\n  ]"), "{json}");
+    }
+
+    #[test]
+    fn json_report_lands_in_the_requested_directory() {
+        // A nested, not-yet-existing directory: the writer must create it
+        // (CI points COGARM_BENCH_JSON_DIR at per-configuration subdirs).
+        let dir = std::env::temp_dir()
+            .join(format!("criterion-json-{}", std::process::id()))
+            .join("threads-1");
+        let entries = vec![JsonEntry {
+            name: "a".into(),
+            mean_ns: 1.0,
+            std_dev_ns: 0.0,
+            min_ns: 1.0,
+            max_ns: 1.0,
+            baseline_delta_pct: None,
+        }];
+        write_json_report(&dir, "kernels/matmul", &entries);
+        let path = dir.join("BENCH_kernels-matmul.json");
+        let written = std::fs::read_to_string(&path).expect("report written");
+        assert!(written.contains("\"group\": \"kernels/matmul\""));
+        // Empty groups never write a file.
+        write_json_report(&dir, "empty", &[]);
+        assert!(!dir.join("BENCH_empty.json").exists());
+        std::fs::remove_dir_all(dir.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn grouped_benches_collect_json_entries() {
+        let mut c = Criterion {
+            target_time: Duration::from_millis(2),
+            baseline_dir: None,
+            json_dir: None,
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(group.entries.len(), 1);
+        assert_eq!(group.entries[0].name, "noop");
+        assert!(group.entries[0].mean_ns >= 0.0);
+        assert_eq!(group.entries[0].baseline_delta_pct, None);
+        group.finish();
+    }
+
+    #[test]
     fn bencher_reports_stats() {
         let mut c = Criterion {
             target_time: Duration::from_millis(5),
             baseline_dir: None,
+            json_dir: None,
         };
         let mut ran = false;
         c.bench_function("noop", |b| {
