@@ -1,6 +1,6 @@
-//! Criterion micro-benchmarks for the numeric kernels: dense vs CSR vs int8
-//! matmul (the mechanism behind Fig. 12's latency story), the paper's
-//! filters, the FFT, and the compiled per-architecture forward passes.
+//! Criterion micro-benchmarks for the numeric kernels: the paper's
+//! filters, the FFT, and the compiled per-architecture forward passes
+//! (the dense/CSR/int8 matvec group lives in `benches/matvec.rs`).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
@@ -9,38 +9,10 @@ use dsp::butterworth::Butterworth;
 use dsp::fft::rfft;
 use dsp::notch::notch_filter;
 use ml::compress::{prune_global, quantize, QuantMode};
-use ml::infer::{compile_cnn, compile_lstm, compile_transformer, MatRep, QuantMatrix};
+use ml::infer::{compile_cnn, compile_lstm, compile_transformer, MatRep};
 use ml::models::{CnnConfig, LstmConfig, TransformerConfig};
-use ml::sparse::CsrMatrix;
-use ml::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-
-fn random_tensor(shape: Vec<usize>, seed: u64) -> Tensor {
-    let mut rng = StdRng::seed_from_u64(seed);
-    Tensor::uniform(shape, 1.0, &mut rng)
-}
-
-fn prune_kernels(c: &mut Criterion) {
-    // A 512x512 layer at 70% sparsity: the crossover the paper exploits.
-    let w = random_tensor(vec![512, 512], 1);
-    let x = random_tensor(vec![1, 512], 2);
-    let mut sparse_w = w.clone();
-    let mut rng = StdRng::seed_from_u64(3);
-    for v in sparse_w.data_mut() {
-        if rng.gen_bool(0.7) {
-            *v = 0.0;
-        }
-    }
-    let csr = CsrMatrix::from_dense(&sparse_w);
-    let quant = QuantMatrix::quantize(&w, 0.01, None);
-
-    let mut g = c.benchmark_group("matvec_512");
-    g.bench_function("dense_f32", |b| b.iter(|| black_box(x.matmul(&w))));
-    g.bench_function("csr_70pct", |b| b.iter(|| black_box(csr.left_matmul(&x))));
-    g.bench_function("int8", |b| b.iter(|| black_box(quant.left_matmul(&x))));
-    g.finish();
-}
 
 fn filter_kernels(c: &mut Criterion) {
     let bp = Butterworth::bandpass(9, 0.5, 45.0, 125.0).expect("designs");
@@ -107,7 +79,7 @@ fn forward_passes(c: &mut Criterion) {
         )
     });
     let mut quantized = cnn.clone();
-    quantize(&mut quantized, QuantMode::GlobalFaithful);
+    quantize(&mut quantized, QuantMode::GlobalFaithful).unwrap();
     g.bench_function("int8_global", |b| {
         b.iter(|| black_box(quantized.predict_logits(&window)))
     });
@@ -123,11 +95,5 @@ fn forward_passes(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    prune_kernels,
-    filter_kernels,
-    fft_kernels,
-    forward_passes
-);
+criterion_group!(benches, filter_kernels, fft_kernels, forward_passes);
 criterion_main!(benches);

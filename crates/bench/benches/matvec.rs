@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks for the three weight-matrix representations
+//! at the paper's 512×512 layer shape: dense f32 vs CSR at 70% sparsity vs
+//! int8 (the mechanism behind Fig. 12's latency story). Split into its own
+//! bench target so CI can run and archive `BENCH_matvec-512.json` without
+//! paying for the filter/FFT/forward-pass groups.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ml::infer::QuantMatrix;
+use ml::sparse::CsrMatrix;
+use ml::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_tensor(shape: Vec<usize>, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::uniform(shape, 1.0, &mut rng)
+}
+
+fn prune_kernels(c: &mut Criterion) {
+    // A 512x512 layer at 70% sparsity: the crossover the paper exploits.
+    let w = random_tensor(vec![512, 512], 1);
+    let x = random_tensor(vec![1, 512], 2);
+    let mut sparse_w = w.clone();
+    let mut rng = StdRng::seed_from_u64(3);
+    for v in sparse_w.data_mut() {
+        if rng.gen_bool(0.7) {
+            *v = 0.0;
+        }
+    }
+    let csr = CsrMatrix::from_dense(&sparse_w);
+    let quant = QuantMatrix::quantize(&w, 0.01, None);
+
+    let mut g = c.benchmark_group("matvec_512");
+    g.bench_function("dense_f32", |b| b.iter(|| black_box(x.matmul(&w))));
+    g.bench_function("csr_70pct", |b| b.iter(|| black_box(csr.left_matmul(&x))));
+    g.bench_function("int8", |b| b.iter(|| black_box(quant.left_matmul(&x))));
+    g.finish();
+}
+
+criterion_group!(benches, prune_kernels);
+criterion_main!(benches);

@@ -83,14 +83,14 @@ fn main() {
     println!("\n## Quantization\n");
     let mut faithful = dense.clone();
     for m in &mut faithful {
-        quantize(m, QuantMode::GlobalFaithful);
+        quantize(m, QuantMode::GlobalFaithful).expect("dense model quantizes");
     }
     let (facc, flat, _, _) = measure("int8 global (paper mode A)", &faithful, &eval_set);
     results.push(("int8 global".to_owned(), facc, flat));
 
     let mut calibrated = dense.clone();
     for m in &mut calibrated {
-        quantize(m, QuantMode::Calibrated);
+        quantize(m, QuantMode::Calibrated).expect("dense model quantizes");
     }
     let (cacc, clat, _, _) = measure("int8 calibrated (ablation)", &calibrated, &eval_set);
     results.push(("int8 calibrated".to_owned(), cacc, clat));

@@ -87,8 +87,8 @@ fn main() {
 
     let mut cq = cnn_net.clone();
     let mut tq = tf_net.clone();
-    quantize(&mut cq, QuantMode::GlobalFaithful);
-    quantize(&mut tq, QuantMode::GlobalFaithful);
+    quantize(&mut cq, QuantMode::GlobalFaithful).expect("dense model quantizes");
+    quantize(&mut tq, QuantMode::GlobalFaithful).expect("dense model quantizes");
     let (q_acc, q_lat) = report("int8 (global scale)", &cq, &tq);
 
     println!("\n## Paper vs measured\n");

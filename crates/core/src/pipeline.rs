@@ -292,9 +292,47 @@ impl InferenceHead {
     /// argmax. Bit-identical to `Ensemble::predict_with`; zero heap
     /// allocations once warm.
     pub fn classify(&mut self, window: &[f32], pool: &ExecPool) -> usize {
+        // Slice rather than pass the whole buffer: a prior
+        // `classify_batch_into` may have grown `probas` past one window.
+        self.ensemble.predict_batch_into(
+            window,
+            1,
+            CHANNELS,
+            pool,
+            &mut self.scratch,
+            &mut self.probas[..CLASSES],
+        );
+        ml::ensemble::argmax(&self.probas[..CLASSES])
+    }
+
+    /// The multi-window batch entry: classifies `batch` channel-major
+    /// windows (stacked in `windows`) in one ensemble call through this
+    /// head's scratch, appending one label per window to `labels`. Under
+    /// the runtime-default plan v2 the ensemble runs true multi-window
+    /// GEMMs, and v2's row-count invariance makes each label exactly what
+    /// [`InferenceHead::classify`] would produce for that window alone —
+    /// which is what lets a serving host batch across sessions without a
+    /// numerics consequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` does not hold `batch` windows of this
+    /// ensemble's window length.
+    pub fn classify_batch_into(
+        &mut self,
+        windows: &[f32],
+        batch: usize,
+        pool: &ExecPool,
+        labels: &mut Vec<usize>,
+    ) {
+        self.probas.resize(batch * CLASSES, 0.0);
         self.ensemble
-            .predict_batch_into(window, 1, CHANNELS, pool, &mut self.scratch, &mut self.probas);
-        ml::ensemble::argmax(&self.probas)
+            .predict_batch_into(windows, batch, CHANNELS, pool, &mut self.scratch, &mut self.probas);
+        for b in 0..batch {
+            labels.push(ml::ensemble::argmax(
+                &self.probas[b * CLASSES..(b + 1) * CLASSES],
+            ));
+        }
     }
 
     /// The actuation + record half of the label tick. Split from
@@ -666,6 +704,36 @@ mod tests {
         );
         let sys = CognitiveArm::new(PipelineConfig::default(), ensemble, 1);
         assert!(Arc::ptr_eq(sys.pool(), &exec::shared()));
+    }
+
+    #[test]
+    fn batched_classify_matches_per_window_classify() {
+        let data = DatasetBuilder::new(Protocol::quick(), 1, 21)
+            .build()
+            .unwrap();
+        let ensemble = train_default_ensemble(&data, &TrainBudget::quick(), 3).unwrap();
+        let config = PipelineConfig::default();
+        let controller =
+            Controller::new(config.controller, SafetyGate::new(config.safety));
+        let mut head = InferenceHead::new(ensemble, controller);
+        let pool = ExecPool::new(2);
+
+        let win_len = head.ensemble().window();
+        let per_window = CHANNELS * win_len;
+        let batch = 5;
+        let windows: Vec<f32> = (0..batch * per_window)
+            .map(|i| ((i * 37 + 11) % 97) as f32 * 0.021 - 1.0)
+            .collect();
+
+        let solo: Vec<usize> = (0..batch)
+            .map(|b| head.classify(&windows[b * per_window..(b + 1) * per_window], &pool))
+            .collect();
+        let mut batched = Vec::new();
+        head.classify_batch_into(&windows, batch, &pool, &mut batched);
+        assert_eq!(batched, solo);
+        // The head stays usable for batch = 1 afterwards (buffer grew).
+        let again = head.classify(&windows[..per_window], &pool);
+        assert_eq!(again, solo[0]);
     }
 
     #[test]

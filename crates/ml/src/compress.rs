@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::MlError;
 use crate::infer::{InferModel, MatRep, QuantMatrix};
 use crate::sparse::CsrMatrix;
 
@@ -98,13 +99,23 @@ pub enum QuantMode {
 }
 
 /// Converts every weight matrix to int8.
-pub fn quantize(model: &mut InferModel, mode: QuantMode) {
+///
+/// The model is untouched on error, so a failed call can never leave a
+/// half-quantized artifact behind.
+///
+/// # Errors
+///
+/// [`MlError::NoQuantizableWeights`] in [`QuantMode::GlobalFaithful`] when
+/// the model holds no dense or sparse matrices to derive the global scale
+/// from (an already fully quantized model): proceeding would fabricate a
+/// scale unrelated to the weights and silently produce a garbage model.
+pub fn quantize(model: &mut InferModel, mode: QuantMode) -> Result<(), MlError> {
     // Determine the global scale for the faithful mode: the max-abs over
     // every weight matrix — deterministic and layer-agnostic, which is the
     // bug being modelled (per-layer ranges differ by orders of magnitude).
     let mut global_scale: Option<f32> = None;
     if mode == QuantMode::GlobalFaithful {
-        let mut global_max = 0.0f32;
+        let mut global_max: Option<f32> = None;
         model.visit_weights(|w| {
             let dense = match w {
                 MatRep::Dense(d) => d.clone(),
@@ -112,8 +123,11 @@ pub fn quantize(model: &mut InferModel, mode: QuantMode) {
                 MatRep::Int8(_) => return,
             };
             let max = dense.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
-            global_max = global_max.max(max);
+            global_max = Some(global_max.unwrap_or(0.0).max(max));
         });
+        let Some(global_max) = global_max else {
+            return Err(MlError::NoQuantizableWeights);
+        };
         global_scale = Some((global_max / 127.0).max(1e-8));
     }
     model.visit_weights_mut(|w| {
@@ -135,10 +149,14 @@ pub fn quantize(model: &mut InferModel, mode: QuantMode) {
             // levels. Together with the shared weight scale this is the
             // "8-bit quantization severely reduces performance" regime of
             // Fig. 12.
-            QuantMode::GlobalFaithful => (global_scale.unwrap_or(1e-3), Some(1.0)),
+            QuantMode::GlobalFaithful => (
+                global_scale.expect("global scale computed above or errored out"),
+                Some(1.0),
+            ),
         };
         *w = MatRep::Int8(QuantMatrix::quantize(&dense, scale, act_scale));
     });
+    Ok(())
 }
 
 /// Weight storage in bytes after whatever transforms were applied — the
@@ -218,7 +236,7 @@ mod tests {
     fn calibrated_quantization_tracks_dense_predictions() {
         let dense = test_model();
         let mut quant = dense.clone();
-        quantize(&mut quant, QuantMode::Calibrated);
+        quantize(&mut quant, QuantMode::Calibrated).unwrap();
         let mut agree = 0;
         for s in 0..20 {
             if dense.predict(&window(s)) == quant.predict(&window(s)) {
@@ -232,9 +250,9 @@ mod tests {
     fn faithful_quantization_distorts_more_than_calibrated() {
         let dense = test_model();
         let mut cal = dense.clone();
-        quantize(&mut cal, QuantMode::Calibrated);
+        quantize(&mut cal, QuantMode::Calibrated).unwrap();
         let mut faithful = dense.clone();
-        quantize(&mut faithful, QuantMode::GlobalFaithful);
+        quantize(&mut faithful, QuantMode::GlobalFaithful).unwrap();
         let w = window(1);
         let d = dense.predict_logits(&w);
         let err = |m: &InferModel| -> f32 {
@@ -251,9 +269,32 @@ mod tests {
     fn quantization_shrinks_storage_4x() {
         let dense = test_model();
         let mut quant = dense.clone();
-        quantize(&mut quant, QuantMode::Calibrated);
+        quantize(&mut quant, QuantMode::Calibrated).unwrap();
         let ratio = storage_bytes(&dense) as f64 / storage_bytes(&quant) as f64;
         assert!(ratio > 3.9, "compression ratio {ratio}");
+    }
+
+    #[test]
+    fn faithful_quantization_of_all_int8_model_is_a_typed_error() {
+        // A model with nothing left to derive a global scale from must be
+        // rejected, not silently quantized with a magic fallback scale.
+        let mut m = test_model();
+        quantize(&mut m, QuantMode::GlobalFaithful).unwrap();
+        let before = m.clone();
+        let err = quantize(&mut m, QuantMode::GlobalFaithful).unwrap_err();
+        assert_eq!(err, MlError::NoQuantizableWeights);
+        assert_eq!(m, before, "failed quantization must not touch the model");
+    }
+
+    #[test]
+    fn calibrated_requantization_of_all_int8_model_is_a_no_op() {
+        // Calibrated mode derives scales per matrix and simply leaves
+        // already-quantized matrices alone — no error, no change.
+        let mut m = test_model();
+        quantize(&mut m, QuantMode::Calibrated).unwrap();
+        let before = m.clone();
+        quantize(&mut m, QuantMode::Calibrated).unwrap();
+        assert_eq!(m, before);
     }
 
     #[test]

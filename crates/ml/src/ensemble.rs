@@ -10,7 +10,7 @@ use exec::ExecPool;
 use crate::forest::{window_stat_features, window_stat_features_into, RandomForest};
 use crate::infer::{softmax_into, InferModel};
 use crate::models::CLASSES;
-use crate::plan::InferPlan;
+use crate::plan::{InferPlan, PlanVersion};
 
 /// Anything that can classify a channel-major EEG window.
 pub trait Classifier: Send + Sync {
@@ -240,9 +240,9 @@ struct LaneScratch {
 }
 
 impl LaneScratch {
-    fn for_member(member: &Member) -> Self {
+    fn for_member(member: &Member, version: PlanVersion) -> Self {
         let plan = match member {
-            Member::Net(m) => Some(InferPlan::compile(m)),
+            Member::Net(m) => Some(InferPlan::compile_with(m, version)),
             Member::Forest(_) | Member::Custom(_) => None,
         };
         let classes = plan.as_ref().map_or(0, InferPlan::classes);
@@ -251,6 +251,101 @@ impl LaneScratch {
             tail: Vec::new(),
             logits: vec![0.0; classes],
             features: Vec::new(),
+        }
+    }
+}
+
+/// One pool job of a **v2** batched ensemble call: one member classifying
+/// a contiguous *chunk* of the batch through a single batched forward
+/// pass (nets run one stacked-GEMM [`InferPlan`] call; forests loop
+/// windows over their reused feature scratch). Plan-v2 kernels are
+/// row-count invariant, so each window's probabilities are bit-identical
+/// to a single-window v2 call — neither batching nor how the batch is
+/// chunked across lanes has any numerics consequence within the version.
+#[derive(Debug)]
+struct MemberSlot {
+    member: usize,
+    /// First window of this lane's contiguous chunk (assigned per call).
+    start: usize,
+    /// Number of windows in the chunk (assigned per call).
+    len: usize,
+    plan: Option<InferPlan>,
+    tails: Vec<f32>,
+    logits: Vec<f32>,
+    features: Vec<f32>,
+    /// `len × CLASSES` member probabilities, combined per window after
+    /// the fan-out joins.
+    out: Vec<f32>,
+}
+
+impl MemberSlot {
+    fn new(member: usize) -> Self {
+        Self {
+            member,
+            start: 0,
+            len: 0,
+            plan: None,
+            tails: Vec::new(),
+            logits: Vec::new(),
+            features: Vec::new(),
+            out: Vec::new(),
+        }
+    }
+
+    /// Classifies this lane's chunk (`start..start + len`) for its member.
+    /// Buffers grow on first use of a larger chunk and are reused
+    /// thereafter (zero steady-state allocations).
+    fn run(&mut self, member: &Member, windows: &[f32], channels: usize, win_len: usize) {
+        let batch = self.len;
+        let per_window = channels * win_len;
+        let windows = &windows[self.start * per_window..(self.start + batch) * per_window];
+        self.out.resize(batch * CLASSES, 0.0);
+        match member {
+            Member::Net(m) => {
+                let mw = m.window();
+                let per_tail = channels * mw;
+                self.tails.resize(batch * per_tail, 0.0);
+                for b in 0..batch {
+                    let window = &windows[b * per_window..(b + 1) * per_window];
+                    for ch in 0..channels {
+                        let row = &window[ch * win_len..(ch + 1) * win_len];
+                        self.tails[b * per_tail + ch * mw..b * per_tail + (ch + 1) * mw]
+                            .copy_from_slice(&row[win_len - mw..]);
+                    }
+                }
+                let plan = self
+                    .plan
+                    .get_or_insert_with(|| InferPlan::compile_with(m, PlanVersion::V2));
+                let classes = plan.classes();
+                self.logits.resize(batch * classes, 0.0);
+                plan.predict_logits_into(m, &self.tails[..batch * per_tail], batch, &mut self.logits);
+                for b in 0..batch {
+                    softmax_into(
+                        &self.logits[b * classes..(b + 1) * classes],
+                        &mut self.out[b * CLASSES..b * CLASSES + classes],
+                    );
+                }
+            }
+            Member::Forest(c) => {
+                for b in 0..batch {
+                    let window = &windows[b * per_window..(b + 1) * per_window];
+                    tail_window_into(window, channels, win_len, Classifier::window(c), &mut self.tails);
+                    window_stat_features_into(&self.tails, channels, &mut self.features);
+                    c.forest()
+                        .predict_proba_into(&self.features, &mut self.out[b * CLASSES..(b + 1) * CLASSES]);
+                }
+            }
+            Member::Custom(custom) => {
+                for b in 0..batch {
+                    let window = &windows[b * per_window..(b + 1) * per_window];
+                    let p = custom.predict_proba_window(window, channels, win_len);
+                    let out = &mut self.out[b * CLASSES..(b + 1) * CLASSES];
+                    out.fill(0.0);
+                    for (o, &v) in out.iter_mut().zip(&p) {
+                        *o = v;
+                    }
+                }
+            }
         }
     }
 }
@@ -283,23 +378,51 @@ struct JobSlot {
 /// ensemble panics.
 #[derive(Debug)]
 pub struct EnsembleScratch {
+    version: PlanVersion,
+    /// V1 layout: `batch × members` per-(window, member) lanes.
     slots: Vec<JobSlot>,
+    /// V2 layout: lane-major chunk lanes — `member_slots[lane * members
+    /// + m]` — so growing the lane count appends slots without touching
+    /// warm ones, and a 1-lane (sequential) call dispatches exactly the
+    /// first `members` slots.
+    member_slots: Vec<MemberSlot>,
     batch_cap: usize,
     members: usize,
 }
 
 impl EnsembleScratch {
-    /// Scratch for single-window calls on `ensemble` (grows on demand when
-    /// a larger batch first arrives).
+    /// Scratch for single-window calls on `ensemble` at the process-wide
+    /// [`PlanVersion::runtime_default`] (grows on demand when a larger
+    /// batch first arrives).
     #[must_use]
     pub fn new(ensemble: &Ensemble) -> Self {
+        Self::with_version(ensemble, PlanVersion::runtime_default())
+    }
+
+    /// [`EnsembleScratch::new`] pinned to an explicit numerics version;
+    /// every batched call through this scratch runs that version's
+    /// kernels (nets compile their plans to match).
+    #[must_use]
+    pub fn with_version(ensemble: &Ensemble, version: PlanVersion) -> Self {
+        let member_slots = match version {
+            PlanVersion::V1 => Vec::new(),
+            PlanVersion::V2 => (0..ensemble.len()).map(MemberSlot::new).collect(),
+        };
         let mut scratch = Self {
+            version,
             slots: Vec::new(),
+            member_slots,
             batch_cap: 0,
             members: ensemble.len(),
         };
         scratch.ensure_batch(ensemble, 1);
         scratch
+    }
+
+    /// The numerics version this scratch runs.
+    #[must_use]
+    pub fn version(&self) -> PlanVersion {
+        self.version
     }
 
     /// The largest batch this scratch currently serves without growing.
@@ -314,17 +437,32 @@ impl EnsembleScratch {
             ensemble.len(),
             "scratch built for a different ensemble"
         );
-        for b in self.batch_cap..batch {
-            for mi in 0..self.members {
-                self.slots.push(JobSlot {
-                    member: mi,
-                    window: b,
-                    lane: None,
-                    out: vec![0.0; CLASSES],
-                });
+        if self.version == PlanVersion::V1 {
+            for b in self.batch_cap..batch {
+                for mi in 0..self.members {
+                    self.slots.push(JobSlot {
+                        member: mi,
+                        window: b,
+                        lane: None,
+                        out: vec![0.0; CLASSES],
+                    });
+                }
             }
         }
+        // V2 member slots grow their own buffers on first use of a
+        // larger batch; nothing to do here beyond the capacity bump.
         self.batch_cap = self.batch_cap.max(batch);
+    }
+
+    /// Grows the v2 arena to at least `lanes` chunk lanes per member,
+    /// appending fresh lane-major slots without touching warm ones.
+    fn ensure_lanes(&mut self, lanes: usize) {
+        let cur = self.member_slots.len() / self.members;
+        for _ in cur..lanes {
+            for m in 0..self.members {
+                self.member_slots.push(MemberSlot::new(m));
+            }
+        }
     }
 }
 
@@ -546,6 +684,56 @@ impl Ensemble {
         let members = &self.members;
         let n_members = members.len();
         let parallel = pool.is_some_and(|p| p.threads() > 1);
+        if scratch.version == PlanVersion::V2 {
+            // Fan-out: each member's batch splits into `lanes` contiguous
+            // chunks, one stacked-GEMM job per (member, lane) — enough
+            // jobs to feed every pool thread even when the ensemble has
+            // fewer members than the pool has threads. Plan-v2 kernels
+            // are row-count invariant — every window's bits are
+            // independent of how the batch is chunked — so the lane
+            // count may track the thread count without perturbing
+            // results, and the combine below is deterministic because
+            // each window's member probabilities land in fixed slots
+            // folded in member order.
+            let threads = pool.map_or(1, ExecPool::threads);
+            let lanes = if parallel {
+                ((threads * 2).div_ceil(n_members)).clamp(1, batch)
+            } else {
+                1
+            };
+            let chunk = batch.div_ceil(lanes);
+            let used = batch.div_ceil(chunk);
+            scratch.ensure_lanes(used);
+            let live = used * n_members;
+            for (i, slot) in scratch.member_slots[..live].iter_mut().enumerate() {
+                let start = (i / n_members) * chunk;
+                slot.start = start;
+                slot.len = chunk.min(batch - start);
+            }
+            if parallel {
+                let pool = pool.expect("parallel implies a pool");
+                pool.par_map_mut(&mut scratch.member_slots[..live], |slot| {
+                    slot.run(&members[slot.member], windows, channels, win_len);
+                });
+            } else {
+                for slot in &mut scratch.member_slots[..live] {
+                    slot.run(&members[slot.member], windows, channels, win_len);
+                }
+            }
+            for b in 0..batch {
+                let lane = b / chunk;
+                let off = b - lane * chunk;
+                let acc = &mut out[b * CLASSES..(b + 1) * CLASSES];
+                self.combine_into(
+                    (0..n_members).map(|m| {
+                        let s = &scratch.member_slots[lane * n_members + m];
+                        &s.out[off * CLASSES..(off + 1) * CLASSES]
+                    }),
+                    acc,
+                );
+            }
+            return;
+        }
         if parallel {
             let pool = pool.expect("parallel implies a pool");
             // One independent job per (window, member) pair, each with its
@@ -560,7 +748,7 @@ impl Ensemble {
                 let member = &members[slot.member];
                 let lane = slot
                     .lane
-                    .get_or_insert_with(|| LaneScratch::for_member(member));
+                    .get_or_insert_with(|| LaneScratch::for_member(member, PlanVersion::V1));
                 member.predict_proba_window_into(w, channels, win_len, lane, &mut slot.out);
             });
         } else {
@@ -575,13 +763,13 @@ impl Ensemble {
                         let slot = &mut scratch.slots[mi];
                         let lane = slot
                             .lane
-                            .get_or_insert_with(|| LaneScratch::for_member(member));
+                            .get_or_insert_with(|| LaneScratch::for_member(member, PlanVersion::V1));
                         member.predict_proba_window_into(w, channels, win_len, lane, &mut slot.out);
                     } else {
                         let (head, tail) = scratch.slots.split_at_mut(b * n_members + mi);
                         let lane = head[mi]
                             .lane
-                            .get_or_insert_with(|| LaneScratch::for_member(member));
+                            .get_or_insert_with(|| LaneScratch::for_member(member, PlanVersion::V1));
                         member.predict_proba_window_into(
                             w,
                             channels,

@@ -29,6 +29,12 @@ pub enum MlError {
         /// Epoch at which divergence was detected.
         epoch: usize,
     },
+    /// A CSR matrix's structure is internally inconsistent (bad row
+    /// pointers or a column index outside the matrix).
+    MalformedCsr(String),
+    /// Quantization was requested on a model with no dense or sparse
+    /// weight matrices to derive a scale from (all-int8 input).
+    NoQuantizableWeights,
 }
 
 impl fmt::Display for MlError {
@@ -44,6 +50,10 @@ impl fmt::Display for MlError {
             MlError::BadConfig(msg) => write!(f, "invalid model configuration: {msg}"),
             MlError::Diverged { epoch } => {
                 write!(f, "training diverged (non-finite loss) at epoch {epoch}")
+            }
+            MlError::MalformedCsr(msg) => write!(f, "malformed CSR matrix: {msg}"),
+            MlError::NoQuantizableWeights => {
+                write!(f, "no dense or sparse weights to derive a quantization scale from")
             }
         }
     }

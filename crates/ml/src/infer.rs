@@ -69,6 +69,26 @@ impl MatRep {
         }
     }
 
+    /// The plan-v2 counterpart of [`MatRep::left_matmul_into`]: dense
+    /// matrices route to [`crate::tensor::matmul_blocked_kernel`] (the
+    /// reassociated multi-row GEMM — different bits, versioned
+    /// deliberately); CSR and int8 share v1's kernels, whose batched forms
+    /// are bit-exact reorderings (zero-skip and i32 associativity), so
+    /// only the dense path actually carries the numerics version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `out` is shorter than the dimensions imply.
+    pub fn left_matmul_into_v2(&self, x: &[f32], m: usize, out: &mut [f32], qs: &mut QuantScratch) {
+        match self {
+            MatRep::Dense(w) => {
+                crate::tensor::matmul_blocked_kernel(x, w.data(), m, w.rows(), w.cols(), out);
+            }
+            MatRep::Sparse(w) => w.left_matmul_into(x, m, out),
+            MatRep::Int8(w) => w.left_matmul_into(x, m, out, qs),
+        }
+    }
+
     /// `(k, n)` dimensions.
     #[must_use]
     pub fn dims(&self) -> (usize, usize) {
@@ -151,8 +171,16 @@ impl QuantMatrix {
     }
 
     /// [`QuantMatrix::left_matmul`] over raw slices into a preallocated
-    /// output, reusing the caller's integer scratch. Same loops, same
-    /// arithmetic order — shared with the allocating path above.
+    /// output, reusing the caller's integer scratch.
+    ///
+    /// The accumulation kernel is register-blocked (see
+    /// [`accumulate_scalar`]) and, on x86-64 hosts with AVX2, dispatches
+    /// to an explicit SIMD panel kernel ([`accumulate_avx2`]). i32
+    /// accumulation is exact and associative, so every kernel variant is
+    /// **bit-identical** to the straightforward row-at-a-time loop: a
+    /// skipped zero contributes exactly 0, and the worst-case sum
+    /// `127·127·rows` stays far below `i32::MAX` for any realistic layer
+    /// width. Hardware dispatch can therefore never change outputs.
     ///
     /// # Panics
     ///
@@ -177,20 +205,118 @@ impl QuantMatrix {
             let orow = &mut out[i * n..(i + 1) * n];
             qs.acc.clear();
             qs.acc.resize(n, 0);
-            for (p, &xv) in qs.xq.iter().enumerate() {
-                if xv == 0 {
-                    continue;
-                }
-                let wrow = &self.data[p * n..(p + 1) * n];
-                for (a, &wv) in qs.acc.iter_mut().zip(wrow) {
-                    *a += i32::from(xv) * i32::from(wv);
-                }
-            }
+            accumulate(&qs.xq, &self.data, k, n, &mut qs.acc[..n]);
             let deq = ax * self.scale;
             for (o, a) in orow.iter_mut().zip(&qs.acc) {
                 *o = *a as f32 * deq;
             }
         }
+    }
+}
+
+/// `acc[j] += Σ_p xq[p] · w[p, j]` — the int8 accumulation kernel,
+/// dispatching to the AVX2 panel kernel when the host supports it. All
+/// variants compute the exact same i32 sums (integer addition is
+/// associative), so dispatch never changes outputs.
+fn accumulate(xq: &[i8], w: &[i8], k: usize, n: usize, acc: &mut [i32]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && n >= 32 {
+        let panels = n - n % 32;
+        // SAFETY: AVX2 support was just detected, and the kernel only
+        // reads `xq[..k]`, `w[..k * n]` and writes `acc[..panels]`, all of
+        // which the callers size exactly.
+        unsafe { accumulate_avx2(xq, w, k, n, acc) };
+        if panels < n {
+            accumulate_scalar(xq, w, k, n, panels, &mut acc[panels..]);
+        }
+        return;
+    }
+    accumulate_scalar(xq, w, k, n, 0, acc);
+}
+
+/// Scalar reference kernel, register-blocked four weight rows deep so the
+/// accumulator row is loaded and stored once per four rows instead of once
+/// per row. Operates on the column range `[j0, n)` (`acc` holds just that
+/// range) so it also serves as the tail of the SIMD panel kernel.
+fn accumulate_scalar(xq: &[i8], w: &[i8], k: usize, n: usize, j0: usize, acc: &mut [i32]) {
+    let width = acc.len();
+    let mut p = 0;
+    while p + 4 <= k {
+        let x0 = i32::from(xq[p]);
+        let x1 = i32::from(xq[p + 1]);
+        let x2 = i32::from(xq[p + 2]);
+        let x3 = i32::from(xq[p + 3]);
+        if (x0 | x1 | x2 | x3) != 0 {
+            let w0 = &w[p * n + j0..p * n + j0 + width];
+            let w1 = &w[(p + 1) * n + j0..(p + 1) * n + j0 + width];
+            let w2 = &w[(p + 2) * n + j0..(p + 2) * n + j0 + width];
+            let w3 = &w[(p + 3) * n + j0..(p + 3) * n + j0 + width];
+            for j in 0..width {
+                acc[j] += x0 * i32::from(w0[j])
+                    + x1 * i32::from(w1[j])
+                    + x2 * i32::from(w2[j])
+                    + x3 * i32::from(w3[j]);
+            }
+        }
+        p += 4;
+    }
+    while p < k {
+        let xv = i32::from(xq[p]);
+        if xv != 0 {
+            let wrow = &w[p * n + j0..p * n + j0 + width];
+            for j in 0..width {
+                acc[j] += xv * i32::from(wrow[j]);
+            }
+        }
+        p += 1;
+    }
+}
+
+/// AVX2 panel kernel: 32-column panels whose eight-lane i32 accumulators
+/// live in registers across the entire `k` loop, so each weight byte is
+/// loaded once and widened in vector registers
+/// (`vpmovsxbd` + `vpmulld` + `vpaddd`). Columns `n - n % 32..` are left
+/// untouched for the scalar tail. Bit-identical to the scalar kernel —
+/// i32 arithmetic is exact.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available and that `xq.len() >= k`,
+/// `w.len() >= k * n`, `acc.len() >= n - n % 32`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn accumulate_avx2(xq: &[i8], w: &[i8], k: usize, n: usize, acc: &mut [i32]) {
+    use std::arch::x86_64::{
+        __m128i, _mm256_add_epi32, _mm256_cvtepi8_epi32, _mm256_mullo_epi32, _mm256_set1_epi32,
+        _mm256_setzero_si256, _mm256_storeu_si256, _mm_loadl_epi64,
+    };
+    let mut j = 0;
+    while j + 32 <= n {
+        let mut a0 = _mm256_setzero_si256();
+        let mut a1 = _mm256_setzero_si256();
+        let mut a2 = _mm256_setzero_si256();
+        let mut a3 = _mm256_setzero_si256();
+        for (p, &xv) in xq.iter().enumerate().take(k) {
+            if xv == 0 {
+                continue;
+            }
+            let xb = _mm256_set1_epi32(i32::from(xv));
+            let row = w.as_ptr().add(p * n + j);
+            let w0 = _mm256_cvtepi8_epi32(_mm_loadl_epi64(row.cast::<__m128i>()));
+            let w1 = _mm256_cvtepi8_epi32(_mm_loadl_epi64(row.add(8).cast::<__m128i>()));
+            let w2 = _mm256_cvtepi8_epi32(_mm_loadl_epi64(row.add(16).cast::<__m128i>()));
+            let w3 = _mm256_cvtepi8_epi32(_mm_loadl_epi64(row.add(24).cast::<__m128i>()));
+            a0 = _mm256_add_epi32(a0, _mm256_mullo_epi32(w0, xb));
+            a1 = _mm256_add_epi32(a1, _mm256_mullo_epi32(w1, xb));
+            a2 = _mm256_add_epi32(a2, _mm256_mullo_epi32(w2, xb));
+            a3 = _mm256_add_epi32(a3, _mm256_mullo_epi32(w3, xb));
+        }
+        let dst = acc.as_mut_ptr().add(j);
+        _mm256_storeu_si256(dst.cast(), a0);
+        _mm256_storeu_si256(dst.add(8).cast(), a1);
+        _mm256_storeu_si256(dst.add(16).cast(), a2);
+        _mm256_storeu_si256(dst.add(24).cast(), a3);
+        j += 32;
     }
 }
 
@@ -256,6 +382,27 @@ impl LinearInfer {
         let (k, n) = self.w.dims();
         assert_eq!(x.len(), m * k, "linear stage input size");
         self.w.left_matmul_into(x, m, out, qs);
+        let out = &mut out[..m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[i * n + j] += self.bias[j];
+            }
+        }
+        self.act.apply_slice(out);
+    }
+
+    /// The plan-v2 counterpart of [`LinearInfer::forward_into`]: same
+    /// bias-then-activation epilogue, but the matmul dispatches through
+    /// [`MatRep::left_matmul_into_v2`] (the blocked multi-row GEMM for
+    /// dense weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `out` is shorter than the dimensions imply.
+    pub fn forward_into_v2(&self, x: &[f32], m: usize, out: &mut [f32], qs: &mut QuantScratch) {
+        let (k, n) = self.w.dims();
+        assert_eq!(x.len(), m * k, "linear stage input size");
+        self.w.left_matmul_into_v2(x, m, out, qs);
         let out = &mut out[..m * n];
         for i in 0..m {
             for j in 0..n {
@@ -343,9 +490,22 @@ impl ConvInfer {
         let (ho, wo) = self.conv_out();
         let patch = self.cin * self.k * self.k;
         let spots = ho * wo;
-        let cout = self.bias.len();
-        // im2col
-        let cols = &mut cols[..spots * patch];
+        self.im2col_into(img, &mut cols[..spots * patch]);
+        // The kernel is stored [patch, cout] at compile time, so the plain
+        // left-multiply applies: cols [spots, patch] × W -> [spots, cout].
+        self.w.left_matmul_into(&cols[..spots * patch], spots, flat, qs);
+        self.bias_pool_into(flat, prepool, out);
+        self.out_len()
+    }
+
+    /// Lowers one image into conv patches: `cols` receives the
+    /// `[spots, patch]` matrix the weight multiply consumes. Split out of
+    /// [`ConvInfer::forward_into`] so the batched (plan-v2) path can stack
+    /// many windows' patch matrices into one GEMM; values are identical.
+    pub(crate) fn im2col_into(&self, img: &[f32], cols: &mut [f32]) {
+        let (ho, wo) = self.conv_out();
+        let patch = self.cin * self.k * self.k;
+        let cols = &mut cols[..ho * wo * patch];
         for oy in 0..ho {
             for ox in 0..wo {
                 let spot = oy * wo + ox;
@@ -364,9 +524,15 @@ impl ConvInfer {
                 }
             }
         }
-        // The kernel is stored [patch, cout] at compile time, so the plain
-        // left-multiply applies: cols [spots, patch] × W -> [spots, cout].
-        self.w.left_matmul_into(cols, spots, flat, qs);
+    }
+
+    /// The conv epilogue: bias + fused ReLU (transposing `[spots, cout]`
+    /// to channel-major), then the optional 2×2 pool into `out`. Shared by
+    /// the per-window and batched paths — one window's worth of `flat`.
+    pub(crate) fn bias_pool_into(&self, flat: &[f32], prepool: &mut [f32], out: &mut [f32]) {
+        let (ho, wo) = self.conv_out();
+        let spots = ho * wo;
+        let cout = self.bias.len();
         /// Bias + fused ReLU, transposing [spots, cout] -> channel-major.
         fn bias_relu(flat: &[f32], bias: &[f32], spots: usize, dst: &mut [f32]) {
             let cout = bias.len();
@@ -392,7 +558,6 @@ impl ConvInfer {
         } else {
             bias_relu(flat, &self.bias, spots, &mut out[..cout * spots]);
         }
-        self.out_len()
     }
 
     /// Output dims after conv and pooling.
@@ -1021,6 +1186,41 @@ mod tests {
         let dy = x.matmul(&w);
         for (a, b) in qy.data().iter().zip(dy.data()) {
             assert!((a - b).abs() < 0.1, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn blocked_int8_kernel_matches_reference_bitwise() {
+        // Straight-line i32 reference for the register-blocked kernel:
+        // integer accumulation is associative, so the two must agree
+        // bit-for-bit on every dequantized output.
+        let mut rng = StdRng::seed_from_u64(11);
+        // 37 rows exercises the 4-row blocks plus a 1-row tail.
+        let w = Tensor::uniform(vec![37, 19], 0.5, &mut rng);
+        let mut x = Tensor::uniform(vec![5, 37], 1.0, &mut rng);
+        // Exact zeros exercise the skip paths.
+        for v in x.data_mut().iter_mut().step_by(9) {
+            *v = 0.0;
+        }
+        let q = QuantMatrix::quantize(&w, 0.004, None);
+        let got = q.left_matmul(&x);
+        for i in 0..5 {
+            let xrow = &x.data()[i * 37..(i + 1) * 37];
+            let max = xrow.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let ax = if max == 0.0 { 1.0 } else { max / 127.0 };
+            let xq: Vec<i32> = xrow
+                .iter()
+                .map(|&v| (v / ax).round().clamp(-127.0, 127.0) as i32)
+                .collect();
+            for j in 0..19 {
+                let acc: i32 = (0..37).map(|p| xq[p] * i32::from(q.data[p * 19 + j])).sum();
+                let expect = acc as f32 * (ax * q.scale);
+                let v = got.data()[i * 19 + j];
+                assert!(
+                    v.to_bits() == expect.to_bits(),
+                    "({i},{j}): {v} vs reference {expect}"
+                );
+            }
         }
     }
 

@@ -18,11 +18,55 @@
 //! A plan is only meaningful for the model it was compiled from; the
 //! entry point asserts the cheap structural facts (architecture, input
 //! dims, class count) and the sized buffers bound everything else.
+//!
+//! # Numerics versions
+//!
+//! Plans carry a [`PlanVersion`]:
+//!
+//! * **V1** — the original engine: each window of a batch runs the full
+//!   per-window forward pass, bit-identical to every artifact produced
+//!   since the engine shipped. Frozen; never changes.
+//! * **V2** (runtime default) — true multi-window GEMMs: a batch's
+//!   windows are stacked as matrix rows and every linear stage runs once
+//!   at `m = batch·rows_per_window` through
+//!   [`crate::tensor::matmul_blocked_kernel`], the 4-row-blocked,
+//!   paired-`k` dense kernel. The reassociated `k` loop produces
+//!   *different f32 bits* than v1 (documented tolerance, not drift —
+//!   that's why the version exists), but every v2 kernel is **row-count
+//!   invariant**: window `i` of a batch gets exactly the bits a
+//!   single-window v2 call would produce, so micro-batched serving stays
+//!   bit-identical to solo sessions within the version.
+//!
+//! Select globally with `COGARM_PLAN=1` (or `v1`) in the environment, or
+//! explicitly per plan via [`InferPlan::compile_with`].
 
 use crate::infer::{
     self, CnnInfer, InferModel, LstmInfer, QuantScratch, TfInfer,
 };
 use crate::tensor::{matmul_kernel, matmul_t_kernel};
+
+/// Which numerics generation a compiled plan (or ensemble scratch) runs —
+/// see the module docs for the contract each version carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanVersion {
+    /// Per-window forward passes; bit-identical to all v1-era artifacts.
+    V1,
+    /// Batched multi-window GEMMs; row-count-invariant reassociated math.
+    V2,
+}
+
+impl PlanVersion {
+    /// The version newly compiled plans get: **V2**, unless the
+    /// environment opts the whole process back into the frozen v1
+    /// numerics with `COGARM_PLAN=1` (or `v1`, case-insensitive).
+    #[must_use]
+    pub fn runtime_default() -> Self {
+        match std::env::var("COGARM_PLAN") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("v1") => PlanVersion::V1,
+            _ => PlanVersion::V2,
+        }
+    }
+}
 
 /// A compiled, reusable execution plan for one [`InferModel`] (see the
 /// module docs). Cheap to move, safe to keep for the life of a session;
@@ -32,6 +76,9 @@ pub struct InferPlan {
     channels: usize,
     window: usize,
     classes: usize,
+    version: PlanVersion,
+    /// Largest batch the v2 buffers currently hold (v1 never grows past 1).
+    batch_cap: usize,
     kind: KindPlan,
     qs: QuantScratch,
 }
@@ -91,10 +138,19 @@ struct TfPlan {
 }
 
 impl InferPlan {
-    /// Compiles a plan for `model`: sizes every activation buffer the
+    /// Compiles a plan for `model` at the process-wide
+    /// [`PlanVersion::runtime_default`]: sizes every activation buffer the
     /// forward pass needs (no arithmetic happens here).
     #[must_use]
     pub fn compile(model: &InferModel) -> Self {
+        Self::compile_with(model, PlanVersion::runtime_default())
+    }
+
+    /// [`InferPlan::compile`] pinned to an explicit numerics version —
+    /// the hook tests and fixture generators use to compare v1 and v2
+    /// side by side regardless of the environment.
+    #[must_use]
+    pub fn compile_with(model: &InferModel, version: PlanVersion) -> Self {
         let kind = match model {
             InferModel::Cnn(m) => KindPlan::Cnn(CnnPlan::compile(m)),
             InferModel::Lstm(m) => KindPlan::Lstm(LstmPlan::compile(m)),
@@ -104,6 +160,8 @@ impl InferPlan {
             channels: model.channels(),
             window: model.window(),
             classes: model.classes(),
+            version,
+            batch_cap: 1,
             kind,
             qs: QuantScratch::default(),
         }
@@ -115,10 +173,23 @@ impl InferPlan {
         self.classes
     }
 
+    /// The numerics version this plan runs.
+    #[must_use]
+    pub fn version(&self) -> PlanVersion {
+        self.version
+    }
+
     /// Runs `batch` channel-major windows (concatenated in `windows`)
     /// through the compiled network, writing `batch × classes` logits to
-    /// `out`. Zero heap allocations; per-window numerics identical to
-    /// [`InferModel::predict_logits`].
+    /// `out`. Zero heap allocations once the plan has seen its largest
+    /// batch (v2 buffers grow on first use of a bigger batch; v1 never
+    /// grows).
+    ///
+    /// Under **V1** each window runs the full per-window pass —
+    /// bit-identical to [`InferModel::predict_logits`] on a v1 plan. Under
+    /// **V2** the whole batch runs through stacked multi-window GEMMs;
+    /// row-count invariance makes window `i`'s logits bit-identical to a
+    /// `batch = 1` v2 call.
     ///
     /// # Panics
     ///
@@ -139,20 +210,49 @@ impl InferPlan {
         let per_window = self.channels * self.window;
         assert_eq!(windows.len(), batch * per_window, "window batch size");
         assert_eq!(out.len(), batch * self.classes, "logit buffer size");
-        for b in 0..batch {
-            let window = &windows[b * per_window..(b + 1) * per_window];
-            let logits = &mut out[b * self.classes..(b + 1) * self.classes];
-            match (&mut self.kind, model) {
-                (KindPlan::Cnn(plan), InferModel::Cnn(m)) => {
-                    plan.run(m, window, logits, &mut self.qs);
+        match self.version {
+            PlanVersion::V1 => {
+                for b in 0..batch {
+                    let window = &windows[b * per_window..(b + 1) * per_window];
+                    let logits = &mut out[b * self.classes..(b + 1) * self.classes];
+                    match (&mut self.kind, model) {
+                        (KindPlan::Cnn(plan), InferModel::Cnn(m)) => {
+                            plan.run(m, window, logits, &mut self.qs);
+                        }
+                        (KindPlan::Lstm(plan), InferModel::Lstm(m)) => {
+                            plan.run(m, window, logits, &mut self.qs);
+                        }
+                        (KindPlan::Tf(plan), InferModel::Transformer(m)) => {
+                            plan.run(m, window, logits, &mut self.qs);
+                        }
+                        _ => panic!("plan architecture disagrees with model"),
+                    }
                 }
-                (KindPlan::Lstm(plan), InferModel::Lstm(m)) => {
-                    plan.run(m, window, logits, &mut self.qs);
+            }
+            PlanVersion::V2 => {
+                let grow = batch > self.batch_cap;
+                match (&mut self.kind, model) {
+                    (KindPlan::Cnn(plan), InferModel::Cnn(m)) => {
+                        if grow {
+                            plan.grow(m, batch);
+                        }
+                        plan.run_batch(m, windows, batch, out, &mut self.qs);
+                    }
+                    (KindPlan::Lstm(plan), InferModel::Lstm(m)) => {
+                        if grow {
+                            plan.grow(m, batch);
+                        }
+                        plan.run_batch(m, windows, batch, out, &mut self.qs);
+                    }
+                    (KindPlan::Tf(plan), InferModel::Transformer(m)) => {
+                        if grow {
+                            plan.grow(m, batch);
+                        }
+                        plan.run_batch(m, windows, batch, out, &mut self.qs);
+                    }
+                    _ => panic!("plan architecture disagrees with model"),
                 }
-                (KindPlan::Tf(plan), InferModel::Transformer(m)) => {
-                    plan.run(m, window, logits, &mut self.qs);
-                }
-                _ => panic!("plan architecture disagrees with model"),
+                self.batch_cap = self.batch_cap.max(batch);
             }
         }
     }
@@ -196,6 +296,72 @@ impl CnnPlan {
             std::mem::swap(&mut self.a, &mut self.b);
         }
         m.head.forward_into(&self.a[..len], 1, logits, qs);
+    }
+
+    /// Scales the ping-pong and GEMM staging buffers to hold `batch`
+    /// windows (`prepool` stays per-window — the conv epilogue runs one
+    /// window at a time).
+    fn grow(&mut self, m: &CnnInfer, batch: usize) {
+        let mut act = m.channels * m.window;
+        let (mut cols, mut flat) = (0usize, 0usize);
+        for conv in &m.convs {
+            let (ho, wo) = conv.conv_out();
+            let spots = ho * wo;
+            let patch = conv.cin * conv.k * conv.k;
+            cols = cols.max(spots * patch);
+            flat = flat.max(spots * conv.bias.len());
+            act = act.max(conv.out_len());
+        }
+        self.a.resize(act * batch, 0.0);
+        self.b.resize(act * batch, 0.0);
+        self.cols.resize(cols * batch, 0.0);
+        self.flat.resize(flat * batch, 0.0);
+    }
+
+    /// The v2 forward: every conv stage lowers **all** windows' patches
+    /// into one stacked `[batch·spots, patch]` matrix and multiplies the
+    /// weights once; the bias/ReLU/pool epilogue and the head run
+    /// per-window-row, so each window's activations are bit-identical to
+    /// a `batch = 1` call.
+    fn run_batch(
+        &mut self,
+        m: &CnnInfer,
+        windows: &[f32],
+        batch: usize,
+        logits: &mut [f32],
+        qs: &mut QuantScratch,
+    ) {
+        let mut len = m.channels * m.window;
+        self.a[..batch * len].copy_from_slice(&windows[..batch * len]);
+        for conv in &m.convs {
+            let (ho, wo) = conv.conv_out();
+            let spots = ho * wo;
+            let patch = conv.cin * conv.k * conv.k;
+            let cout = conv.bias.len();
+            let out_len = conv.out_len();
+            for b in 0..batch {
+                conv.im2col_into(
+                    &self.a[b * len..(b + 1) * len],
+                    &mut self.cols[b * spots * patch..(b + 1) * spots * patch],
+                );
+            }
+            conv.w.left_matmul_into_v2(
+                &self.cols[..batch * spots * patch],
+                batch * spots,
+                &mut self.flat,
+                qs,
+            );
+            for b in 0..batch {
+                conv.bias_pool_into(
+                    &self.flat[b * spots * cout..(b + 1) * spots * cout],
+                    &mut self.prepool,
+                    &mut self.b[b * out_len..(b + 1) * out_len],
+                );
+            }
+            len = out_len;
+            std::mem::swap(&mut self.a, &mut self.b);
+        }
+        m.head.forward_into_v2(&self.a[..batch * len], batch, logits, qs);
     }
 }
 
@@ -245,6 +411,83 @@ impl LstmPlan {
         }
         let last = (m.cells.len() - 1) * hid;
         m.head.forward_into(&self.h[last..last + hid], 1, logits, qs);
+    }
+
+    /// Scales the recurrent state and gate staging buffers to hold
+    /// `batch` windows.
+    fn grow(&mut self, m: &LstmInfer, batch: usize) {
+        let cells = m.cells.len();
+        let input = m.channels.max(m.hidden);
+        self.h.resize(cells * m.hidden * batch, 0.0);
+        self.c.resize(cells * m.hidden * batch, 0.0);
+        self.h_new.resize(m.hidden * batch, 0.0);
+        self.input.resize(input * batch, 0.0);
+        self.z_in.resize((input + m.hidden) * batch, 0.0);
+        self.z_out.resize(4 * m.hidden * batch, 0.0);
+    }
+
+    /// The v2 forward: at every timestep each layer's `[x_t, h_{t-1}]`
+    /// rows for **all** windows stack into one `[batch, in+h]` GEMM; the
+    /// gate nonlinearities run per row. Recurrent state is laid out
+    /// `[layer][window][hidden]`, so the final layer's hidden block feeds
+    /// the head as a contiguous `[batch, hidden]` matrix.
+    fn run_batch(
+        &mut self,
+        m: &LstmInfer,
+        windows: &[f32],
+        batch: usize,
+        logits: &mut [f32],
+        qs: &mut QuantScratch,
+    ) {
+        let hid = m.hidden;
+        let iw = m.channels.max(hid);
+        let per_window = m.channels * m.window;
+        let t_len = m.window.div_ceil(m.time_stride);
+        let cells = m.cells.len();
+        self.h[..cells * batch * hid].fill(0.0);
+        self.c[..cells * batch * hid].fill(0.0);
+        for ti in 0..t_len {
+            let t_src = ti * m.time_stride;
+            let mut in_len = m.channels;
+            for b in 0..batch {
+                let window = &windows[b * per_window..(b + 1) * per_window];
+                for ch in 0..m.channels {
+                    self.input[b * iw + ch] = window[ch * m.window + t_src];
+                }
+            }
+            for (li, cell) in m.cells.iter().enumerate() {
+                let z_len = in_len + hid;
+                for b in 0..batch {
+                    let z = &mut self.z_in[b * z_len..(b + 1) * z_len];
+                    z[..in_len].copy_from_slice(&self.input[b * iw..b * iw + in_len]);
+                    z[in_len..].copy_from_slice(
+                        &self.h[(li * batch + b) * hid..(li * batch + b + 1) * hid],
+                    );
+                }
+                cell.forward_into_v2(&self.z_in[..batch * z_len], batch, &mut self.z_out, qs);
+                for b in 0..batch {
+                    let z_out = &self.z_out[b * 4 * hid..(b + 1) * 4 * hid];
+                    for j in 0..hid {
+                        let i_g = infer::sigmoid(z_out[j]);
+                        let f_g = infer::sigmoid(z_out[hid + j]);
+                        let g_g = z_out[2 * hid + j].tanh();
+                        let o_g = infer::sigmoid(z_out[3 * hid + j]);
+                        let c = &mut self.c[(li * batch + b) * hid + j];
+                        *c = f_g * *c + i_g * g_g;
+                        self.h_new[b * hid + j] = o_g * c.tanh();
+                    }
+                    self.h[(li * batch + b) * hid..(li * batch + b + 1) * hid]
+                        .copy_from_slice(&self.h_new[b * hid..(b + 1) * hid]);
+                    self.input[b * iw..b * iw + hid].copy_from_slice(
+                        &self.h[(li * batch + b) * hid..(li * batch + b + 1) * hid],
+                    );
+                }
+                in_len = hid;
+            }
+        }
+        let last = (cells - 1) * batch * hid;
+        m.head
+            .forward_into_v2(&self.h[last..last + batch * hid], batch, logits, qs);
     }
 }
 
@@ -332,11 +575,157 @@ impl TfPlan {
         // Mean pool over time.
         self.pooled.fill(0.0);
         for ti in 0..t {
-            for (j, p) in self.pooled.iter_mut().enumerate() {
+            for (j, p) in self.pooled[..d].iter_mut().enumerate() {
                 *p += self.cur[ti * d + j] / t as f32;
             }
         }
         m.head.forward_into(&self.pooled[..d], 1, logits, qs);
+    }
+
+    /// Scales the sequence-shaped buffers to hold `batch` windows'
+    /// stacked rows (the per-window attention scratch — `head_q/k/v`,
+    /// `scores`, `ho` — is reused across windows and stays single-sized).
+    fn grow(&mut self, m: &TfInfer, batch: usize) {
+        let t = m.window.div_ceil(m.time_stride);
+        let d = m.d_model;
+        let ff = m
+            .blocks
+            .iter()
+            .map(|b| b.ff1.out_width())
+            .max()
+            .unwrap_or(0);
+        self.rows.resize(t * m.channels * batch, 0.0);
+        self.cur.resize(t * d * batch, 0.0);
+        self.q.resize(t * d * batch, 0.0);
+        self.k.resize(t * d * batch, 0.0);
+        self.v.resize(t * d * batch, 0.0);
+        self.merged.resize(t * d * batch, 0.0);
+        self.attn.resize(t * d * batch, 0.0);
+        self.ff_mid.resize(t * ff * batch, 0.0);
+        self.ff_out.resize(t * d * batch, 0.0);
+        self.pooled.resize(d * batch, 0.0);
+    }
+
+    /// The v2 forward: all projections and the feed-forward stages run
+    /// once over the stacked `[batch·t, d]` rows; attention — inherently
+    /// per-window (each window owns a `t × t` score matrix) — loops over
+    /// windows with reused per-window scratch. LayerNorm, softmax and the
+    /// residual adds are all row-local, so every window's rows see
+    /// exactly the arithmetic a `batch = 1` call applies.
+    fn run_batch(
+        &mut self,
+        m: &TfInfer,
+        windows: &[f32],
+        batch: usize,
+        logits: &mut [f32],
+        qs: &mut QuantScratch,
+    ) {
+        let chans = m.channels;
+        let per_window = chans * m.window;
+        let t = m.window.div_ceil(m.time_stride);
+        let d = m.d_model;
+        let dh = d / m.heads;
+        for b in 0..batch {
+            let window = &windows[b * per_window..(b + 1) * per_window];
+            for (ti, t_src) in (0..m.window).step_by(m.time_stride).enumerate() {
+                for ch in 0..chans {
+                    self.rows[(b * t + ti) * chans + ch] = window[ch * m.window + t_src];
+                }
+            }
+        }
+        let rows = batch * t;
+        m.input_proj
+            .forward_into_v2(&self.rows[..rows * chans], rows, &mut self.cur, qs);
+        for b in 0..batch {
+            for (c, &p) in self.cur[b * t * d..(b + 1) * t * d]
+                .iter_mut()
+                .zip(m.pos.data())
+            {
+                *c += p;
+            }
+        }
+        let scale = 1.0 / (dh as f32).sqrt();
+        for block in &m.blocks {
+            block
+                .wq
+                .forward_into_v2(&self.cur[..rows * d], rows, &mut self.q, qs);
+            block
+                .wk
+                .forward_into_v2(&self.cur[..rows * d], rows, &mut self.k, qs);
+            block
+                .wv
+                .forward_into_v2(&self.cur[..rows * d], rows, &mut self.v, qs);
+            for b in 0..batch {
+                let span = b * t * d..(b + 1) * t * d;
+                for hidx in 0..m.heads {
+                    infer::slice_cols_into(
+                        &self.q[span.clone()],
+                        t,
+                        d,
+                        hidx * dh,
+                        dh,
+                        &mut self.head_q,
+                    );
+                    infer::slice_cols_into(
+                        &self.k[span.clone()],
+                        t,
+                        d,
+                        hidx * dh,
+                        dh,
+                        &mut self.head_k,
+                    );
+                    infer::slice_cols_into(
+                        &self.v[span.clone()],
+                        t,
+                        d,
+                        hidx * dh,
+                        dh,
+                        &mut self.head_v,
+                    );
+                    matmul_t_kernel(&self.head_q, &self.head_k, t, dh, t, &mut self.scores);
+                    for s in &mut self.scores[..t * t] {
+                        *s *= scale;
+                    }
+                    infer::softmax_rows_slice(&mut self.scores, t, t);
+                    matmul_kernel(&self.scores, &self.head_v, t, t, dh, &mut self.ho);
+                    for ti in 0..t {
+                        let row = (b * t + ti) * d;
+                        self.merged[row + hidx * dh..row + (hidx + 1) * dh]
+                            .copy_from_slice(&self.ho[ti * dh..(ti + 1) * dh]);
+                    }
+                }
+            }
+            block
+                .wo
+                .forward_into_v2(&self.merged[..rows * d], rows, &mut self.attn, qs);
+            for (c, &a) in self.cur[..rows * d].iter_mut().zip(&self.attn[..rows * d]) {
+                *c += a;
+            }
+            infer::layer_norm_slice(&mut self.cur, rows, d, &block.ln1.0, &block.ln1.1);
+            let ff = block.ff1.out_width();
+            block
+                .ff1
+                .forward_into_v2(&self.cur[..rows * d], rows, &mut self.ff_mid, qs);
+            block
+                .ff2
+                .forward_into_v2(&self.ff_mid[..rows * ff], rows, &mut self.ff_out, qs);
+            for (c, &f) in self.cur[..rows * d].iter_mut().zip(&self.ff_out[..rows * d]) {
+                *c += f;
+            }
+            infer::layer_norm_slice(&mut self.cur, rows, d, &block.ln2.0, &block.ln2.1);
+        }
+        // Mean pool over time, per window.
+        self.pooled[..batch * d].fill(0.0);
+        for b in 0..batch {
+            let pooled = &mut self.pooled[b * d..(b + 1) * d];
+            for ti in 0..t {
+                for (j, p) in pooled.iter_mut().enumerate() {
+                    *p += self.cur[(b * t + ti) * d + j] / t as f32;
+                }
+            }
+        }
+        m.head
+            .forward_into_v2(&self.pooled[..batch * d], batch, logits, qs);
     }
 }
 
@@ -471,7 +860,7 @@ mod tests {
                 if variant == 0 {
                     prune_global(&mut m, 0.5);
                 } else {
-                    quantize(&mut m, QuantMode::Calibrated);
+                    quantize(&mut m, QuantMode::Calibrated).unwrap();
                 }
                 let w = random_window(m.channels(), m.window(), 31);
                 let legacy = m.predict_logits(&w);

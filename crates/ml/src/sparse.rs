@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::MlError;
 use crate::tensor::Tensor;
 
 /// CSR representation of a weight matrix `[rows, cols]`.
@@ -26,6 +27,75 @@ pub struct CsrMatrix {
 }
 
 impl CsrMatrix {
+    /// Builds a CSR matrix from its raw parts, rejecting any structure the
+    /// kernels could index out of bounds with: `row_ptr` must be
+    /// `rows + 1` long, start at 0, be non-decreasing and end at the value
+    /// count; `col_idx` must match `values` in length and every column
+    /// index must be `< cols`. Untrusted sources (e.g. the `.cogm` section
+    /// reader) must come through here or run the same checks.
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::MalformedCsr`] describing the first violated invariant.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<Self, MlError> {
+        let csr = Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        csr.validate()?;
+        Ok(csr)
+    }
+
+    /// Checks the CSR invariants [`CsrMatrix::new`] enforces, for matrices
+    /// assembled field-by-field.
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::MalformedCsr`] describing the first violated invariant.
+    pub fn validate(&self) -> Result<(), MlError> {
+        let bad = |msg: String| Err(MlError::MalformedCsr(msg));
+        if self.row_ptr.len() != self.rows + 1 {
+            return bad(format!(
+                "row_ptr length {} for {} rows",
+                self.row_ptr.len(),
+                self.rows
+            ));
+        }
+        if self.row_ptr[0] != 0 {
+            return bad(format!("row_ptr starts at {}", self.row_ptr[0]));
+        }
+        if self.row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return bad("row_ptr is not non-decreasing".into());
+        }
+        if *self.row_ptr.last().expect("non-empty row_ptr") != self.values.len() {
+            return bad(format!(
+                "row_ptr ends at {} but {} values are stored",
+                self.row_ptr[self.rows],
+                self.values.len()
+            ));
+        }
+        if self.col_idx.len() != self.values.len() {
+            return bad(format!(
+                "{} column indices for {} values",
+                self.col_idx.len(),
+                self.values.len()
+            ));
+        }
+        if let Some(&c) = self.col_idx.iter().find(|&&c| c as usize >= self.cols) {
+            return bad(format!("column index {c} out of range for {} cols", self.cols));
+        }
+        Ok(())
+    }
+
     /// Builds a CSR matrix from a dense one, storing values with magnitude
     /// above zero.
     ///
@@ -89,9 +159,15 @@ impl CsrMatrix {
     }
 
     /// [`CsrMatrix::left_matmul`] over raw slices into a preallocated
-    /// output — the same loops in the same order, shared with the
-    /// allocating path so the compiled inference plan stays bit-identical
-    /// to it. `out` is fully overwritten.
+    /// output. `out` is fully overwritten.
+    ///
+    /// The loops are interchanged relative to the textbook per-row form:
+    /// each stored weight row is streamed **once** and applied to every
+    /// input row, so a batched call reads the CSR arrays one time instead
+    /// of once per window. Per output element the contributions still
+    /// arrive in ascending `(weight row, entry)` order — exactly the
+    /// per-row order — so results are bit-identical at any `m`, including
+    /// `m = 1`.
     ///
     /// # Panics
     ///
@@ -101,17 +177,22 @@ impl CsrMatrix {
         let n = self.cols;
         let out = &mut out[..m * n];
         out.fill(0.0);
-        for i in 0..m {
-            let xrow = &x[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (p, &xv) in xrow.iter().enumerate() {
+        for p in 0..k {
+            let start = self.row_ptr[p];
+            let end = self.row_ptr[p + 1];
+            if start == end {
+                continue;
+            }
+            let cols = &self.col_idx[start..end];
+            let vals = &self.values[start..end];
+            for i in 0..m {
+                let xv = x[i * k + p];
                 if xv == 0.0 {
                     continue;
                 }
-                let start = self.row_ptr[p];
-                let end = self.row_ptr[p + 1];
-                for idx in start..end {
-                    orow[self.col_idx[idx] as usize] += xv * self.values[idx];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (&c, &v) in cols.iter().zip(vals) {
+                    orow[c as usize] += xv * v;
                 }
             }
         }
@@ -176,6 +257,66 @@ mod tests {
         let csr = CsrMatrix::from_dense(&w);
         assert_eq!(csr.nnz(), 1);
         assert!((csr.sparsity() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_spmm_is_bit_identical_to_per_row_calls() {
+        // The loop-interchanged kernel must preserve the per-element
+        // accumulation order, so a batch of m rows equals m solo calls
+        // bit-for-bit.
+        let w = random_sparse(33, 17, 0.4, 5);
+        let csr = CsrMatrix::from_dense(&w);
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = Tensor::uniform(vec![7, 33], 1.0, &mut rng);
+        let batched = csr.left_matmul(&x);
+        for i in 0..7 {
+            let row = Tensor::new(vec![1, 33], x.data()[i * 33..(i + 1) * 33].to_vec());
+            let solo = csr.left_matmul(&row);
+            assert_eq!(
+                batched.data()[i * 17..(i + 1) * 17],
+                *solo.data(),
+                "row {i} differs between batched and solo spmm"
+            );
+        }
+    }
+
+    #[test]
+    fn construction_accepts_valid_parts() {
+        let dense = random_sparse(5, 4, 0.5, 9);
+        let csr = CsrMatrix::from_dense(&dense);
+        let rebuilt = CsrMatrix::new(
+            csr.rows,
+            csr.cols,
+            csr.row_ptr.clone(),
+            csr.col_idx.clone(),
+            csr.values.clone(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, csr);
+    }
+
+    #[test]
+    fn construction_rejects_out_of_range_column() {
+        let err = CsrMatrix::new(1, 3, vec![0, 1], vec![3], vec![1.0]).unwrap_err();
+        assert!(matches!(err, MlError::MalformedCsr(_)), "{err}");
+    }
+
+    #[test]
+    fn construction_rejects_broken_row_pointers() {
+        for row_ptr in [
+            vec![0, 2],          // ends past the stored values
+            vec![1, 1],          // does not start at zero
+            vec![0, 1, 0, 1],    // decreasing (needs rows = 3)
+            vec![0],             // wrong length
+        ] {
+            let rows = row_ptr.len().saturating_sub(1).max(1);
+            let err =
+                CsrMatrix::new(rows, 3, row_ptr.clone(), vec![0], vec![1.0]).unwrap_err();
+            assert!(
+                matches!(err, MlError::MalformedCsr(_)),
+                "row_ptr {row_ptr:?}: {err}"
+            );
+        }
     }
 
     #[test]

@@ -692,7 +692,7 @@ mod tests {
         use ml::models::CnnConfig;
         let model = CnnConfig::paper_best().build(7).unwrap();
         let mut compiled = ml::infer::compile_cnn(&model);
-        quantize(&mut compiled, QuantMode::Calibrated);
+        quantize(&mut compiled, QuantMode::Calibrated).unwrap();
         let ensemble = Ensemble::new(vec![Member::Net(compiled)], Voting::Soft);
         let bytes = to_bytes(&ensemble).unwrap();
         let streamed: Ensemble = from_bytes(&bytes).unwrap();

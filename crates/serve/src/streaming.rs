@@ -35,7 +35,7 @@ use eeg::types::Action;
 use eeg::{CHANNELS, SAMPLE_RATE};
 use exec::ExecPool;
 use stream::clock::SimClock;
-use stream::inlet::Inlet;
+use stream::inlet::{Inlet, ReceivedSample};
 use stream::outlet::{Outlet, StreamInfo};
 use stream::transport::{Transport, TransportParams};
 
@@ -77,6 +77,10 @@ struct FilterStage {
     window: SlidingWindow,
     /// Samples received from the inlet but still ahead of `next_seq`.
     reorder: BTreeMap<u64, Vec<f32>>,
+    /// Reused drain buffer for the inlet pull: the wire's arrival batch
+    /// lands here allocation-free before the dejitter pass moves the
+    /// payloads out.
+    drained: Vec<ReceivedSample>,
     /// Next sequence number to feed the filter chain (dejitter cursor).
     next_seq: u64,
     /// Filtering + windowing cost per label period (the monolithic loop's
@@ -149,7 +153,9 @@ impl FilterStage {
         sink: &mut WindowSink<'_>,
     ) -> Result<f64> {
         let mut spent = 0.0f64;
-        for sample in self.inlet.pull(&mut self.transport, now) {
+        self.drained.clear();
+        self.inlet.pull_into(&mut self.transport, now, &mut self.drained);
+        for sample in self.drained.drain(..) {
             self.reorder.insert(sample.seq, sample.payload);
         }
         while let Some(payload) = self.reorder.remove(&self.next_seq) {
@@ -245,6 +251,7 @@ impl StreamSession {
                 chain,
                 window,
                 reorder: BTreeMap::new(),
+                drained: Vec::new(),
                 next_seq: 0,
                 stats: StageStats::default(),
             },

@@ -30,6 +30,10 @@ pub struct Inlet {
     received: u64,
     last_seq: Option<u64>,
     out_of_order: u64,
+    /// Persistent packet buffer for [`Inlet::pull_into`]: the transport
+    /// drains into it, the samples move out of it — no per-pull allocation
+    /// once warm.
+    pkt_scratch: Vec<Packet>,
 }
 
 impl Inlet {
@@ -42,6 +46,7 @@ impl Inlet {
             received: 0,
             last_seq: None,
             out_of_order: 0,
+            pkt_scratch: Vec::new(),
         }
     }
 
@@ -67,16 +72,31 @@ impl Inlet {
 
     /// Pulls every sample available at global time `now`.
     pub fn pull(&mut self, transport: &mut Transport, now: f64) -> Vec<ReceivedSample> {
+        let mut out = Vec::new();
+        self.pull_into(transport, now, &mut out);
+        out
+    }
+
+    /// [`Inlet::pull`] into a caller-owned buffer: available samples are
+    /// **appended** to `out` in arrival order, payloads moved straight
+    /// from the wire packets. With a reused `out` the steady-state drain —
+    /// transport poll included — performs zero heap allocations.
+    pub fn pull_into(
+        &mut self,
+        transport: &mut Transport,
+        now: f64,
+        out: &mut Vec<ReceivedSample>,
+    ) {
         let receive_time = self.clock.local_time(now);
         let offset = self.sync.offset().ok();
-        let packets = transport.poll(now);
-        let mut out = Vec::with_capacity(packets.len());
+        self.pkt_scratch.clear();
+        transport.poll_into(now, &mut self.pkt_scratch);
         for Packet {
             seq,
             source_timestamp,
             payload,
             ..
-        } in packets
+        } in self.pkt_scratch.drain(..)
         {
             if let Some(last) = self.last_seq {
                 if seq <= last {
@@ -97,7 +117,6 @@ impl Inlet {
                 receive_time,
             });
         }
-        out
     }
 
     /// Samples received so far.
@@ -153,6 +172,36 @@ mod tests {
         outlet.push(&mut transport, vec![0.0; 16], 0.0).unwrap();
         let got = inlet.pull(&mut transport, 1.0);
         assert_eq!(got[0].corrected_timestamp, None);
+    }
+
+    #[test]
+    fn pull_into_matches_pull_exactly() {
+        let run = |into: bool| {
+            let mut transport = Transport::new(TransportParams::udp(), 13);
+            let mut outlet = Outlet::new(StreamInfo::eeg_default(), SimClock::aligned());
+            let mut inlet = Inlet::new(SimClock::aligned());
+            let mut got: Vec<ReceivedSample> = Vec::new();
+            for i in 0..300 {
+                let t = f64::from(i) * 0.008;
+                outlet.push(&mut transport, vec![i as f32; 16], t).unwrap();
+                if i % 40 == 39 {
+                    if into {
+                        inlet.pull_into(&mut transport, t, &mut got);
+                    } else {
+                        got.extend(inlet.pull(&mut transport, t));
+                    }
+                }
+            }
+            // Large but finite: `local_time(∞)` would be NaN, which is
+            // never equal to itself.
+            if into {
+                inlet.pull_into(&mut transport, 1e9, &mut got);
+            } else {
+                got.extend(inlet.pull(&mut transport, 1e9));
+            }
+            (got, inlet.received(), inlet.out_of_order())
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

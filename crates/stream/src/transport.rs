@@ -88,6 +88,10 @@ pub struct Transport {
     params: TransportParams,
     rng: StdRng,
     in_flight: Vec<Packet>,
+    /// Persistent partition scratch for [`Transport::poll_into`]: packets
+    /// not yet arrived move here, then the vectors swap — so a steady-state
+    /// drain never allocates.
+    keep: Vec<Packet>,
     next_seq: u64,
     /// Running statistics.
     sent: u64,
@@ -105,6 +109,7 @@ impl Transport {
             params,
             rng: StdRng::seed_from_u64(seed),
             in_flight: Vec::new(),
+            keep: Vec::new(),
             next_seq: 0,
             sent: 0,
             delivered: 0,
@@ -160,18 +165,48 @@ impl Transport {
     /// arrival order (which for the UDP role may differ from send order).
     pub fn poll(&mut self, now: f64) -> Vec<Packet> {
         let mut ready: Vec<Packet> = Vec::new();
-        let mut keep = Vec::with_capacity(self.in_flight.len());
+        self.poll_into(now, &mut ready);
+        ready
+    }
+
+    /// [`Transport::poll`] into a caller-owned buffer: arrived packets are
+    /// **appended** to `out` in arrival order (payloads are moved, not
+    /// cloned). With a reused `out` the steady-state drain performs zero
+    /// heap allocations: the not-yet-arrived remainder partitions into a
+    /// persistent scratch vector that swaps back into place, and the
+    /// appended packets are ordered with an in-place insertion sort —
+    /// stable, so delivery order is identical to [`Transport::poll`]'s
+    /// stable library sort. Arrivals cluster near their send times, so the
+    /// per-poll batch the quadratic sort sees stays small.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an arrival time is NaN (never produced by `send`).
+    pub fn poll_into(&mut self, now: f64, out: &mut Vec<Packet>) {
+        let start = out.len();
         for p in self.in_flight.drain(..) {
             if p.arrival <= now {
-                ready.push(p);
+                out.push(p);
             } else {
-                keep.push(p);
+                self.keep.push(p);
             }
         }
-        self.in_flight = keep;
-        ready.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite arrival"));
+        std::mem::swap(&mut self.in_flight, &mut self.keep);
+        let ready = &mut out[start..];
+        for i in 1..ready.len() {
+            let mut j = i;
+            while j > 0
+                && ready[j]
+                    .arrival
+                    .partial_cmp(&ready[j - 1].arrival)
+                    .expect("finite arrival")
+                    == std::cmp::Ordering::Less
+            {
+                ready.swap(j, j - 1);
+                j -= 1;
+            }
+        }
         self.delivered += ready.len() as u64;
-        ready
     }
 
     /// Packets sent so far (including ones that were dropped).
@@ -260,6 +295,43 @@ mod tests {
         }
         assert!(udp.bytes_on_wire() < lsl.bytes_on_wire());
         assert_eq!(udp.payload_bytes(), lsl.payload_bytes());
+    }
+
+    #[test]
+    fn poll_into_matches_poll_exactly() {
+        // Two identically-seeded transports, one drained through each API:
+        // the packet streams must be identical (same partition, same
+        // stable ordering), including across partial drains.
+        let mut a = Transport::new(TransportParams::udp(), 11);
+        let mut b = Transport::new(TransportParams::udp(), 11);
+        let mut via_into: Vec<Packet> = Vec::new();
+        for i in 0..400 {
+            let t = f64::from(i) * 0.008;
+            a.send(vec![i as f32, -(i as f32)], t, t);
+            b.send(vec![i as f32, -(i as f32)], t, t);
+            if i % 50 == 49 {
+                via_into.clear();
+                b.poll_into(t, &mut via_into);
+                assert_eq!(a.poll(t), via_into);
+            }
+        }
+        via_into.clear();
+        b.poll_into(f64::INFINITY, &mut via_into);
+        assert_eq!(a.poll(f64::INFINITY), via_into);
+        assert_eq!(a.delivered(), b.delivered());
+    }
+
+    #[test]
+    fn poll_into_appends_after_existing_contents() {
+        let mut t = Transport::new(TransportParams::lsl(), 3);
+        t.send(vec![1.0], 0.0, 0.0);
+        let mut out = Vec::new();
+        t.poll_into(f64::INFINITY, &mut out);
+        t.send(vec![2.0], 1.0, 1.0);
+        t.poll_into(f64::INFINITY, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].payload, vec![1.0]);
+        assert_eq!(out[1].payload, vec![2.0]);
     }
 
     #[test]

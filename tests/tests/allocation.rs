@@ -37,6 +37,9 @@ use exec::ExecPool;
 use integration_tests::quick_trained;
 use ml::ensemble::EnsembleScratch;
 use ml::models::CLASSES;
+use stream::clock::SimClock;
+use stream::inlet::{Inlet, ReceivedSample};
+use stream::transport::{Transport, TransportParams};
 
 /// Counts allocator entries (alloc/realloc/alloc_zeroed) on the current
 /// thread. `try_with` keeps TLS teardown safe.
@@ -168,6 +171,42 @@ fn label_tick_head_is_allocation_free_once_warm() {
         allocs, 0,
         "steady-state label ticks allocated {allocs} times"
     );
+}
+
+#[test]
+fn wire_drain_is_allocation_free_once_warm() {
+    // The receiving half of the wire — transport poll + inlet pull — used
+    // to allocate two fresh vectors per drain. `poll_into`/`pull_into`
+    // partition into persistent scratch and move payloads straight
+    // through, so once the buffers have grown, draining a burst performs
+    // zero heap allocations. (Sending still allocates one payload vector
+    // per packet by design — it models a network — which is why the sends
+    // sit outside the measured region.)
+    let mut transport = Transport::new(TransportParams::lsl(), 9);
+    let mut inlet = Inlet::new(SimClock::aligned());
+    let mut got: Vec<ReceivedSample> = Vec::new();
+    let burst = |transport: &mut Transport, base: f64| {
+        for i in 0..64 {
+            let t = base + f64::from(i) * 0.008;
+            transport.send(vec![0.5; CHANNELS], t, t);
+        }
+    };
+
+    // Two warm rounds: the first grows the drain buffers, the second
+    // exercises the swapped partition scratch too.
+    for round in 0..2 {
+        burst(&mut transport, f64::from(round));
+        got.clear();
+        inlet.pull_into(&mut transport, f64::INFINITY, &mut got);
+    }
+
+    burst(&mut transport, 10.0);
+    let allocs = count_allocs(|| {
+        got.clear();
+        inlet.pull_into(&mut transport, f64::INFINITY, &mut got);
+    });
+    assert!(!got.is_empty(), "measured drain delivered nothing");
+    assert_eq!(allocs, 0, "steady-state wire drain allocated {allocs} times");
 }
 
 #[test]

@@ -70,7 +70,7 @@ fn global_int8_collapses_calibrated_survives() {
     let dense_acc = accuracy(&dense, &val);
 
     let mut calibrated = dense.clone();
-    quantize(&mut calibrated, QuantMode::Calibrated);
+    quantize(&mut calibrated, QuantMode::Calibrated).unwrap();
     let cal_acc = accuracy(&calibrated, &val);
     assert!(
         cal_acc > dense_acc - 0.1,
@@ -78,7 +78,7 @@ fn global_int8_collapses_calibrated_survives() {
     );
 
     let mut faithful = dense.clone();
-    quantize(&mut faithful, QuantMode::GlobalFaithful);
+    quantize(&mut faithful, QuantMode::GlobalFaithful).unwrap();
     let faith_acc = accuracy(&faithful, &val);
     assert!(
         faith_acc <= cal_acc,

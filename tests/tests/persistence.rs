@@ -549,6 +549,40 @@ fn missing_and_empty_files_are_typed_errors() {
     ));
 }
 
+/// A structurally valid, CRC-clean container carrying a CSR matrix whose
+/// `col_idx` points past `cols` must be a typed error at load time: the
+/// sparse kernel trusts those indices, so the reader (and
+/// `CsrMatrix::new`) are the boundary that keeps a hostile fixture from
+/// becoming an out-of-bounds read.
+#[test]
+fn hostile_csr_column_index_is_rejected_at_load_time() {
+    use ml::sparse::CsrMatrix;
+    let encode = |col_idx: Vec<u32>| -> Vec<u8> {
+        let mut payload = Vec::new();
+        2usize.write_to(&mut payload).unwrap(); // rows
+        3usize.write_to(&mut payload).unwrap(); // cols
+        vec![0usize, 1, 2].write_to(&mut payload).unwrap(); // row_ptr
+        col_idx.write_to(&mut payload).unwrap();
+        vec![1.0f32, 2.0].write_to(&mut payload).unwrap(); // values
+        let mut container = Container::new();
+        container.add(*b"RAWB", &payload).unwrap();
+        container.to_file_bytes()
+    };
+    // Control: the same bytes with in-range indices load fine, so the
+    // hostile variant below fails for the right reason.
+    let good = Container::from_file_bytes(&encode(vec![1, 2])).expect("envelope");
+    let raw: Vec<u8> = good.get(*b"RAWB").expect("payload");
+    assert!(from_bytes::<CsrMatrix>(&raw).is_ok(), "control fixture rejected");
+    // Forged: column index 3 in a 3-column matrix.
+    let bad = Container::from_file_bytes(&encode(vec![1, 3])).expect("envelope is valid");
+    let raw: Vec<u8> = bad.get(*b"RAWB").expect("payload");
+    let err = from_bytes::<CsrMatrix>(&raw).unwrap_err();
+    assert!(
+        matches!(err, ModelIoError::Malformed { .. }),
+        "expected Malformed, got {err}"
+    );
+}
+
 /// A structurally valid container whose payload claims absurd lengths must
 /// not over-allocate: the forged section is rejected by the checksummed
 /// envelope, and a forged *inner* length (valid CRC, hostile payload) is

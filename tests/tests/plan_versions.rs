@@ -1,0 +1,224 @@
+//! The numerics-version contract between plan **v1** (the frozen PR 5
+//! per-window path) and plan **v2** (stacked multi-window GEMMs):
+//!
+//! 1. a seeded property sweep pinning how far v2 logits may drift from v1
+//!    across weight representations (dense f32, 70%-pruned CSR, calibrated
+//!    int8) and batch sizes {1, 3, 16, 64};
+//! 2. v1 batched ensemble calls stay **bit-identical** to the legacy
+//!    per-window API at 1 and 4 threads — upgrading the default to v2 must
+//!    not move the fallback by a single bit;
+//! 3. golden label traces for both versions, locked as committed fixtures
+//!    (regenerate deliberately with `COGARM_REGEN_FIXTURES=1 cargo test -q
+//!    --test plan_versions`).
+//!
+//! Version selection everywhere here is explicit (`compile_with` /
+//! `with_version`), never the `COGARM_PLAN` environment variable — tests
+//! run concurrently and must not race on process state.
+
+use std::path::PathBuf;
+
+use cognitive_arm::eval::{quick_cnn_config, train_genome, TrainBudget, TrainedArtifact};
+use eeg::dataset::train_val_split;
+use eeg::CHANNELS;
+use evo::Genome;
+use exec::ExecPool;
+use integration_tests::{quick_data, quick_trained};
+use ml::compress::{prune_global, quantize, QuantMode};
+use ml::ensemble::EnsembleScratch;
+use ml::infer::InferModel;
+use ml::models::CLASSES;
+use ml::optim::OptimizerKind;
+use ml::plan::{InferPlan, PlanVersion};
+
+/// How far a v2 logit may sit from its v1 counterpart, per element:
+/// `|v2 - v1| ≤ ABS_TOL + REL_TOL · |v1|`. The only reassociation v2
+/// performs is the dense blocked kernel's paired-`k` accumulation (CSR and
+/// int8 kernels are shared bit-exactly), so the drift is a handful of
+/// ulps per dot product; 1e-4 absolute + 1e-4 relative is ~two orders of
+/// magnitude of headroom while still catching any real kernel bug.
+const ABS_TOL: f32 = 1e-4;
+const REL_TOL: f32 = 1e-4;
+
+fn trained_cnn() -> InferModel {
+    let data = quick_data(13);
+    let genome = Genome::Cnn {
+        config: quick_cnn_config(),
+        optimizer: OptimizerKind::Adam { lr: 3e-3 },
+    };
+    let all = data.windows(100, 25).expect("windows cut");
+    let (train, val) = train_val_split(all, 0.25, 1);
+    let (artifact, _) =
+        train_genome(&genome, &train, &val, &TrainBudget::quick(), 3).expect("trains");
+    match artifact {
+        TrainedArtifact::Net(m) => m,
+        TrainedArtifact::Forest(_) => unreachable!("cnn genome"),
+    }
+}
+
+/// Deterministic pseudo-EEG windows, seeded per batch so every batch size
+/// sweeps different data.
+fn seeded_windows(per_window: usize, batch: usize, seed: u32) -> Vec<f32> {
+    (0..batch * per_window)
+        .map(|i| {
+            let x = (i as u32).wrapping_mul(2_654_435_761).wrapping_add(seed) >> 8;
+            (x as f32 / 8_388_608.0) - 1.0
+        })
+        .collect()
+}
+
+#[test]
+fn v2_tracks_v1_within_tolerance_across_reps_and_batches() {
+    let dense = trained_cnn();
+    let mut csr = dense.clone();
+    prune_global(&mut csr, 0.7);
+    let mut int8 = dense.clone();
+    quantize(&mut int8, QuantMode::Calibrated).expect("dense model quantizes");
+
+    for (rep, model) in [("dense", &dense), ("csr_70pct", &csr), ("int8", &int8)] {
+        let mut v1 = InferPlan::compile_with(model, PlanVersion::V1);
+        let mut v2 = InferPlan::compile_with(model, PlanVersion::V2);
+        let per_window = CHANNELS * model.window();
+        for (bi, &batch) in [1usize, 3, 16, 64].iter().enumerate() {
+            let windows = seeded_windows(per_window, batch, 0xC0A7 + bi as u32);
+            let mut out1 = vec![0.0f32; batch * CLASSES];
+            let mut out2 = vec![0.0f32; batch * CLASSES];
+            v1.predict_logits_into(model, &windows, batch, &mut out1);
+            v2.predict_logits_into(model, &windows, batch, &mut out2);
+            for (i, (&a, &b)) in out1.iter().zip(&out2).enumerate() {
+                let tol = ABS_TOL + REL_TOL * a.abs();
+                assert!(
+                    (a - b).abs() <= tol,
+                    "{rep} batch {batch} logit {i}: v1 {a} vs v2 {b} (tol {tol})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn v1_is_bit_identical_to_the_per_window_path_at_1_and_4_threads() {
+    // The PR 5 contract, frozen: a v1 batched call must reproduce, bit for
+    // bit, the per-window path it generalized — at any thread count. (The
+    // convenience APIs `predict_proba[_with]` now compile the runtime
+    // default, so the per-window reference is an explicit `batch = 1` v1
+    // scratch.)
+    let artifacts = quick_trained(21, 21);
+    let ensemble = &artifacts.ensemble;
+    let per_window = CHANNELS * ensemble.window();
+    let batch = 6;
+    let windows = seeded_windows(per_window, batch, 0xBEEF);
+
+    let mut per_thread_count: Vec<Vec<f32>> = Vec::new();
+    for threads in [1usize, 4] {
+        let pool = ExecPool::new(threads);
+        let mut scratch = EnsembleScratch::with_version(ensemble, PlanVersion::V1);
+        let mut probas = vec![0.0f32; batch * CLASSES];
+        ensemble.predict_batch_into(&windows, batch, CHANNELS, &pool, &mut scratch, &mut probas);
+
+        let mut solo_scratch = EnsembleScratch::with_version(ensemble, PlanVersion::V1);
+        for b in 0..batch {
+            let mut solo = vec![0.0f32; CLASSES];
+            ensemble.predict_batch_into(
+                &windows[b * per_window..(b + 1) * per_window],
+                1,
+                CHANNELS,
+                &pool,
+                &mut solo_scratch,
+                &mut solo,
+            );
+            assert_eq!(
+                solo,
+                probas[b * CLASSES..(b + 1) * CLASSES].to_vec(),
+                "v1 batched window {b} drifted from the per-window path at {threads} threads"
+            );
+        }
+        per_thread_count.push(probas);
+    }
+    assert_eq!(
+        per_thread_count[0], per_thread_count[1],
+        "thread count changed v1 bits"
+    );
+}
+
+// --- golden label traces ------------------------------------------------------
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+/// Classifies 24 real (synthetic-EEG) windows under one plan version on a
+/// 1-thread pool and renders the trace: one line per window, the argmax
+/// label followed by every combined probability as raw f32 bits.
+fn render_trace(version: PlanVersion) -> String {
+    let artifacts = quick_trained(21, 21);
+    let ensemble = &artifacts.ensemble;
+    let win = ensemble.window();
+    let labeled = artifacts.data.windows(win, 25).expect("windows cut");
+    let take = 24.min(labeled.len());
+    let mut flat = Vec::with_capacity(take * CHANNELS * win);
+    for w in labeled.iter().take(take) {
+        flat.extend_from_slice(&w.data);
+    }
+
+    let pool = ExecPool::new(1);
+    let mut scratch = EnsembleScratch::with_version(ensemble, version);
+    let mut probas = vec![0.0f32; take * CLASSES];
+    ensemble.predict_batch_into(&flat, take, CHANNELS, &pool, &mut scratch, &mut probas);
+
+    let tag = match version {
+        PlanVersion::V1 => "v1",
+        PlanVersion::V2 => "v2",
+    };
+    let mut out = format!(
+        "# golden label trace, plan {tag}: <label> <proba f32 bits, hex, per class>\n"
+    );
+    for b in 0..take {
+        let row = &probas[b * CLASSES..(b + 1) * CLASSES];
+        out.push_str(&ml::ensemble::argmax(row).to_string());
+        for p in row {
+            out.push_str(&format!(" {:08x}", p.to_bits()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn golden_label_trace_fixtures_lock_both_versions() {
+    let v1 = render_trace(PlanVersion::V1);
+    let v2 = render_trace(PlanVersion::V2);
+
+    // v2 is a *real* numerics change (the blocked dense kernel
+    // reassociates float adds), so the probability bits must differ…
+    assert_ne!(v1, v2, "plan v2 produced v1's exact bits — versioning is vacuous");
+    // …while staying classification-invisible on real windows: every
+    // label column agrees.
+    let labels = |t: &str| -> Vec<String> {
+        t.lines()
+            .skip(1)
+            .map(|l| l.split_whitespace().next().expect("label column").to_owned())
+            .collect()
+    };
+    assert_eq!(labels(&v1), labels(&v2), "v2 drift flipped a label");
+
+    let regen = std::env::var_os("COGARM_REGEN_FIXTURES").is_some();
+    for (name, rendered) in [("trace_v1.txt", &v1), ("trace_v2.txt", &v2)] {
+        let path = fixture_path(name);
+        if regen {
+            std::fs::create_dir_all(path.parent().expect("fixtures dir")).expect("mkdir");
+            std::fs::write(&path, rendered).expect("write fixture");
+            continue;
+        }
+        let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("missing fixture {name} ({e}); run with COGARM_REGEN_FIXTURES=1")
+        });
+        assert_eq!(
+            committed, **rendered,
+            "{name}: the {} path no longer reproduces its committed golden trace — \
+             an unversioned numerics change; add a new PlanVersion and regenerate deliberately",
+            name.trim_end_matches(".txt").trim_start_matches("trace_"),
+        );
+    }
+}

@@ -7,9 +7,13 @@
 //! that the bench files compile unchanged against the real crate.
 //!
 //! Like the real criterion, each run is compared against a **baseline**:
-//! the previous run's per-bench mean is persisted under
-//! `target/cogm-bench-baselines/` and the report appends the delta
-//! (`Δ +12.3% vs last`), so regressions are visible without diffing logs.
+//! a per-bench mean persisted under `target/cogm-bench-baselines/`, with
+//! the report appending the delta (`Δ +12.3% vs baseline`), so regressions
+//! are visible without diffing logs. A baseline is **pinned**: it is
+//! written when none exists and then left alone, so consecutive runs keep
+//! comparing against the same reference instead of each run hiding drift
+//! by overwriting it. `COGARM_BENCH_SET_BASELINE=1` refreshes the pins
+//! with this run's numbers (do that after an intentional perf change);
 //! `COGARM_BENCH_NO_BASELINE=1` disables both the comparison and the
 //! store.
 
@@ -150,6 +154,20 @@ fn baseline_dir() -> Option<PathBuf> {
     Some(target_dir()?.join("cogm-bench-baselines"))
 }
 
+/// Whether this run should overwrite baselines that already exist
+/// (`COGARM_BENCH_SET_BASELINE=1`).
+fn baseline_refresh_requested() -> bool {
+    std::env::var_os("COGARM_BENCH_SET_BASELINE").is_some_and(|v| v == "1")
+}
+
+/// The pinning policy: a missing baseline is always recorded (a fresh
+/// checkout gets a reference on its first run); an existing one is
+/// overwritten only on explicit request, so the reference stays put while
+/// you iterate.
+fn should_store_baseline(prev: Option<f64>, refresh: bool) -> bool {
+    refresh || prev.is_none()
+}
+
 /// One file per benchmark; the qualified name must survive as a filename.
 fn sanitize(name: &str) -> String {
     name.chars()
@@ -262,7 +280,7 @@ fn write_json_report(dir: &Path, group: &str, entries: &[JsonEntry]) {
 /// The report suffix comparing this run to the stored baseline.
 fn baseline_note(prev: Option<f64>, now_ns: f64) -> String {
     match prev {
-        Some(prev_ns) => format!("  Δ {:+.1}% vs last", delta_pct(prev_ns, now_ns)),
+        Some(prev_ns) => format!("  Δ {:+.1}% vs baseline", delta_pct(prev_ns, now_ns)),
         None => "  (baseline recorded)".to_owned(),
     }
 }
@@ -272,6 +290,8 @@ pub struct Criterion {
     target_time: Duration,
     baseline_dir: Option<PathBuf>,
     json_dir: Option<PathBuf>,
+    /// Overwrite existing baselines this run (`COGARM_BENCH_SET_BASELINE=1`).
+    refresh_baselines: bool,
 }
 
 impl Default for Criterion {
@@ -280,6 +300,7 @@ impl Default for Criterion {
             target_time: Duration::from_millis(300),
             baseline_dir: baseline_dir(),
             json_dir: json_dir(),
+            refresh_baselines: baseline_refresh_requested(),
         }
     }
 }
@@ -315,7 +336,9 @@ impl Criterion {
                 let prev = load_baseline(dir, key);
                 delta = prev.map(|prev_ns| delta_pct(prev_ns, now_ns));
                 let note = baseline_note(prev, now_ns);
-                store_baseline(dir, key, now_ns);
+                if should_store_baseline(prev, self.refresh_baselines) {
+                    store_baseline(dir, key, now_ns);
+                }
                 note
             }
             None => String::new(),
@@ -596,8 +619,49 @@ mod tests {
         assert!((delta_pct(100.0, 112.3) - 12.3).abs() < 1e-9);
         assert!((delta_pct(200.0, 100.0) + 50.0).abs() < 1e-9);
         assert_eq!(baseline_note(None, 5.0), "  (baseline recorded)");
-        assert_eq!(baseline_note(Some(100.0), 112.3), "  Δ +12.3% vs last");
-        assert_eq!(baseline_note(Some(100.0), 90.0), "  Δ -10.0% vs last");
+        assert_eq!(baseline_note(Some(100.0), 112.3), "  Δ +12.3% vs baseline");
+        assert_eq!(baseline_note(Some(100.0), 90.0), "  Δ -10.0% vs baseline");
+    }
+
+    #[test]
+    fn baselines_are_pinned_until_explicitly_refreshed() {
+        // Missing → always recorded; present → only on explicit refresh.
+        assert!(should_store_baseline(None, false));
+        assert!(should_store_baseline(None, true));
+        assert!(!should_store_baseline(Some(100.0), false));
+        assert!(should_store_baseline(Some(100.0), true));
+
+        // The full disk flow a sequence of runs sees: first run pins,
+        // later runs leave the pin alone, a refresh run re-pins.
+        let dir = std::env::temp_dir().join(format!("criterion-pin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for (now_ns, refresh, expect) in [
+            (100.0, false, 100.0), // first run records
+            (50.0, false, 100.0),  // faster run still compares vs the pin
+            (50.0, true, 50.0),    // explicit refresh moves the pin
+            (80.0, false, 50.0),   // and it sticks again
+        ] {
+            let prev = load_baseline(&dir, "g/bench");
+            if should_store_baseline(prev, refresh) {
+                store_baseline(&dir, "g/bench", now_ns);
+            }
+            assert_eq!(load_baseline(&dir, "g/bench"), Some(expect));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn set_baseline_env_requests_refresh() {
+        // This is the only test touching the variable, so the write is
+        // race-free within this binary.
+        std::env::remove_var("COGARM_BENCH_SET_BASELINE");
+        assert!(!baseline_refresh_requested());
+        std::env::set_var("COGARM_BENCH_SET_BASELINE", "0");
+        assert!(!baseline_refresh_requested());
+        std::env::set_var("COGARM_BENCH_SET_BASELINE", "1");
+        assert!(baseline_refresh_requested());
+        assert!(Criterion::default().refresh_baselines);
+        std::env::remove_var("COGARM_BENCH_SET_BASELINE");
     }
 
     #[test]
@@ -693,6 +757,7 @@ mod tests {
             target_time: Duration::from_millis(2),
             baseline_dir: None,
             json_dir: None,
+            refresh_baselines: false,
         };
         let mut group = c.benchmark_group("g");
         group.bench_function("noop", |b| b.iter(|| 1 + 1));
@@ -709,6 +774,7 @@ mod tests {
             target_time: Duration::from_millis(5),
             baseline_dir: None,
             json_dir: None,
+            refresh_baselines: false,
         };
         let mut ran = false;
         c.bench_function("noop", |b| {
