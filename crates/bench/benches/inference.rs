@@ -135,6 +135,16 @@ fn bench_inference(c: &mut Criterion) {
     group.bench_function("cold_load_zero_copy", |b| {
         b.iter(|| SavedModel::load_zero_copy(&path).expect("loads"));
     });
+    // The fleet-scale path: mmap + validate + arena-view decode (no eager
+    // weight copies). Acceptance: at or under `cold_load_zero_copy`.
+    group.bench_function("cold_load_mmap", |b| {
+        b.iter(|| {
+            model_io::WeightImage::open(&path)
+                .expect("image opens")
+                .decode()
+                .expect("image decodes")
+        });
+    });
     group.finish();
     let _ = std::fs::remove_file(&path);
 }

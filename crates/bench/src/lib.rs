@@ -7,6 +7,21 @@
 //! * `quick` — seconds per harness; orderings hold, absolute numbers rough.
 //! * `default` — a few minutes per harness (what CI would run).
 //! * `full` — the closest to the paper's training regime; slow.
+//!
+//! # Bench baseline policy
+//!
+//! The criterion shim compares every micro-bench against a **pinned**
+//! per-machine baseline under `target/cogm-bench-baselines/` and reports
+//! the delta in `BENCH_<group>.json`. Pins are recorded on first run and
+//! then *never* silently overwritten, so deltas measure against a fixed
+//! reference. That also means pins go stale on purpose-made performance
+//! changes: after an engine-generation change (new kernels, a format
+//! migration, a bench rename), refresh them **once, deliberately** with
+//! `COGARM_BENCH_SET_BASELINE=1 cargo bench`, in the same PR that
+//! changed the performance — a delta against a pre-change pin (e.g. the
+//! +244% `sequential_16` reading from the pre-plan-v2 era) is noise, not
+//! signal. CI never touches pins (`COGARM_BENCH_NO_BASELINE=1`); they
+//! are a local-iteration tool.
 
 use cognitive_arm::eval::{DatasetBuilder, PreparedData, TrainBudget};
 use eeg::dataset::Protocol;

@@ -685,6 +685,35 @@ impl Ensemble {
         let n_members = members.len();
         let parallel = pool.is_some_and(|p| p.threads() > 1);
         if scratch.version == PlanVersion::V2 {
+            if batch == 1 {
+                // Single-window fast path: one lane, one chunk — skip the
+                // lane/chunk bookkeeping entirely so the steady-state
+                // serving tick (and `predict_proba`) pays no batch setup.
+                // The slots run the same per-member kernels with
+                // `start = 0, len = 1`, so numerics are untouched (plan-v2
+                // kernels are row-count invariant).
+                for slot in &mut scratch.member_slots[..n_members] {
+                    slot.start = 0;
+                    slot.len = 1;
+                }
+                if parallel {
+                    let pool = pool.expect("parallel implies a pool");
+                    pool.par_map_mut(&mut scratch.member_slots[..n_members], |slot| {
+                        slot.run(&members[slot.member], windows, channels, win_len);
+                    });
+                } else {
+                    for slot in &mut scratch.member_slots[..n_members] {
+                        slot.run(&members[slot.member], windows, channels, win_len);
+                    }
+                }
+                self.combine_into(
+                    scratch.member_slots[..n_members]
+                        .iter()
+                        .map(|s| &s.out[..CLASSES]),
+                    out,
+                );
+                return;
+            }
             // Fan-out: each member's batch splits into `lanes` contiguous
             // chunks, one stacked-GEMM job per (member, lane) — enough
             // jobs to feed every pool thread even when the ensemble has

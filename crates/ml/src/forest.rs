@@ -7,6 +7,8 @@
 //! reports total node count as the parameter measure (the paper annotates
 //! "72000 total nodes").
 
+use std::sync::Arc;
+
 use exec::ExecPool;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -116,9 +118,13 @@ pub enum TreeNode {
 }
 
 /// One CART tree stored as an arena of nodes.
+///
+/// The arena is behind an `Arc`, so cloning a tree (and hence an ensemble
+/// member that holds forests) shares the fitted nodes instead of copying
+/// them — the forest analogue of the tensors' shared weight arena.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tree {
-    nodes: Vec<TreeNode>,
+    nodes: Arc<Vec<TreeNode>>,
 }
 
 impl Tree {
@@ -151,7 +157,9 @@ impl Tree {
                 }
             }
         }
-        Ok(Self { nodes })
+        Ok(Self {
+            nodes: Arc::new(nodes),
+        })
     }
 
     /// The node arena, root first.
@@ -255,7 +263,7 @@ impl RandomForest {
             };
             builder.build(indices, 0);
             Tree {
-                nodes: builder.nodes,
+                nodes: Arc::new(builder.nodes),
             }
         });
         Ok(Self { config, trees })

@@ -178,7 +178,7 @@ impl Graph {
         let av = self.value(a);
         let bv = self.value(b);
         assert_eq!(av.shape(), bv.shape(), "mul shape mismatch");
-        let data = av
+        let data: Vec<f32> = av
             .data()
             .iter()
             .zip(bv.data())
@@ -190,13 +190,13 @@ impl Graph {
             vec![a, b],
             Some(Box::new(move |gr, g| {
                 let (av, bv) = (gr.value(a), gr.value(b));
-                let da = g
+                let da: Vec<f32> = g
                     .data()
                     .iter()
                     .zip(bv.data())
                     .map(|(gi, y)| gi * y)
                     .collect();
-                let db = g
+                let db: Vec<f32> = g
                     .data()
                     .iter()
                     .zip(av.data())
@@ -261,7 +261,7 @@ impl Graph {
             v,
             vec![a],
             Some(Box::new(move |gr, g| {
-                let data = g
+                let data: Vec<f32> = g
                     .data()
                     .iter()
                     .zip(gr.value(a).data())
@@ -282,7 +282,7 @@ impl Graph {
             v,
             vec![a],
             Some(Box::new(move |gr, g| {
-                let data = g
+                let data: Vec<f32> = g
                     .data()
                     .iter()
                     .zip(gr.value(id).data())
@@ -301,7 +301,7 @@ impl Graph {
             v,
             vec![a],
             Some(Box::new(move |gr, g| {
-                let data = g
+                let data: Vec<f32> = g
                     .data()
                     .iter()
                     .zip(gr.value(id).data())
@@ -361,13 +361,13 @@ impl Graph {
         let mask: Vec<f32> = (0..av.numel())
             .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
             .collect();
-        let data = av.data().iter().zip(&mask).map(|(x, m)| x * m).collect();
+        let data: Vec<f32> = av.data().iter().zip(&mask).map(|(x, m)| x * m).collect();
         let v = Tensor::new(av.shape().to_vec(), data);
         self.push(
             v,
             vec![a],
             Some(Box::new(move |_, g| {
-                let data = g.data().iter().zip(&mask).map(|(gi, m)| gi * m).collect();
+                let data: Vec<f32> = g.data().iter().zip(&mask).map(|(gi, m)| gi * m).collect();
                 vec![Tensor::new(g.shape().to_vec(), data)]
             })),
         )

@@ -14,6 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::arena::ArenaVec;
 use crate::models::{
     CnnModel, LstmModel, Model, PoolKind, TransformerModel,
 };
@@ -127,8 +128,9 @@ pub struct QuantMatrix {
     pub rows: usize,
     /// Column count (output width).
     pub cols: usize,
-    /// Quantized weights, row-major `[rows, cols]`.
-    pub data: Vec<i8>,
+    /// Quantized weights, row-major `[rows, cols]` (owned or borrowed from
+    /// a shared weight arena).
+    pub data: ArenaVec<i8>,
     /// Dequantization scale: `w ≈ q * scale`.
     pub scale: f32,
     /// Fixed activation scale; `None` computes a dynamic per-call scale
@@ -677,6 +679,9 @@ pub struct TfInfer {
 }
 
 /// A compiled, deployable classifier.
+// One value per ensemble member, never stored in bulk, so variant size
+// spread costs nothing; boxing would only add a pointer chase.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum InferModel {
     /// Convolutional network.

@@ -27,6 +27,7 @@
 //! * [`metrics`] — accuracy, confusion matrices, paired t-tests
 //!   (Sec. V-A).
 
+pub mod arena;
 pub mod compress;
 pub mod ensemble;
 pub mod forest;

@@ -8,10 +8,15 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::arena::ArenaVec;
 use crate::error::MlError;
 use crate::tensor::Tensor;
 
 /// CSR representation of a weight matrix `[rows, cols]`.
+///
+/// The three arrays are [`ArenaVec`]s, so a matrix decoded from a shared
+/// weight image borrows (or refcount-shares) its storage instead of
+/// copying it per session; owned matrices behave exactly as before.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CsrMatrix {
     /// Row count.
@@ -19,11 +24,11 @@ pub struct CsrMatrix {
     /// Column count.
     pub cols: usize,
     /// `rows + 1` offsets into `col_idx` / `values`.
-    pub row_ptr: Vec<usize>,
+    pub row_ptr: ArenaVec<usize>,
     /// Column index of each stored value.
-    pub col_idx: Vec<u32>,
+    pub col_idx: ArenaVec<u32>,
     /// The non-zero values.
-    pub values: Vec<f32>,
+    pub values: ArenaVec<f32>,
 }
 
 impl CsrMatrix {
@@ -40,16 +45,16 @@ impl CsrMatrix {
     pub fn new(
         rows: usize,
         cols: usize,
-        row_ptr: Vec<usize>,
-        col_idx: Vec<u32>,
-        values: Vec<f32>,
+        row_ptr: impl Into<ArenaVec<usize>>,
+        col_idx: impl Into<ArenaVec<u32>>,
+        values: impl Into<ArenaVec<f32>>,
     ) -> Result<Self, MlError> {
         let csr = Self {
             rows,
             cols,
-            row_ptr,
-            col_idx,
-            values,
+            row_ptr: row_ptr.into(),
+            col_idx: col_idx.into(),
+            values: values.into(),
         };
         csr.validate()?;
         Ok(csr)
@@ -122,9 +127,9 @@ impl CsrMatrix {
         Self {
             rows,
             cols,
-            row_ptr,
-            col_idx,
-            values,
+            row_ptr: row_ptr.into(),
+            col_idx: col_idx.into(),
+            values: values.into(),
         }
     }
 
@@ -219,7 +224,7 @@ mod tests {
 
     fn random_sparse(rows: usize, cols: usize, density: f64, seed: u64) -> Tensor {
         let mut rng = StdRng::seed_from_u64(seed);
-        let data = (0..rows * cols)
+        let data: Vec<f32> = (0..rows * cols)
             .map(|_| {
                 if rng.gen_bool(density) {
                     rng.gen_range(-1.0..1.0)

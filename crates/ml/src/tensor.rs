@@ -9,21 +9,31 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::arena::ArenaVec;
+
 /// A dense row-major tensor of `f32`.
+///
+/// Storage is an [`ArenaVec`]: either an owned buffer (trained models,
+/// intermediate results — exactly the old `Vec<f32>` semantics) or a
+/// borrowed view into a shared weight arena such as a memory-mapped
+/// `.cogm` image, in which case clones are refcount bumps and mutation is
+/// copy-on-write.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     shape: Vec<usize>,
-    data: Vec<f32>,
+    data: ArenaVec<f32>,
 }
 
 impl Tensor {
-    /// Creates a tensor from shape and data.
+    /// Creates a tensor from shape and data (a `Vec<f32>` or an
+    /// [`ArenaVec`]).
     ///
     /// # Panics
     ///
     /// Panics if `data.len()` does not equal the shape's element count.
     #[must_use]
-    pub fn new(shape: Vec<usize>, data: Vec<f32>) -> Self {
+    pub fn new(shape: Vec<usize>, data: impl Into<ArenaVec<f32>>) -> Self {
+        let data = data.into();
         let numel: usize = shape.iter().product();
         assert_eq!(
             numel,
@@ -40,7 +50,7 @@ impl Tensor {
         let numel = shape.iter().product();
         Self {
             shape,
-            data: vec![0.0; numel],
+            data: vec![0.0; numel].into(),
         }
     }
 
@@ -50,7 +60,7 @@ impl Tensor {
         let numel = shape.iter().product();
         Self {
             shape,
-            data: vec![value; numel],
+            data: vec![value; numel].into(),
         }
     }
 
@@ -61,6 +71,13 @@ impl Tensor {
         let numel: usize = shape.iter().product();
         let data = (0..numel).map(|_| rng.gen_range(-limit..=limit)).collect();
         Self { shape, data }
+    }
+
+    /// Whether the data lives in a shared weight arena (clones are
+    /// refcount bumps, not copies).
+    #[must_use]
+    pub fn is_shared(&self) -> bool {
+        self.data.is_shared()
     }
 
     /// The tensor's shape.
@@ -81,15 +98,17 @@ impl Tensor {
         &self.data
     }
 
-    /// Mutable view of the underlying data.
+    /// Mutable view of the underlying data (copy-on-write when the data is
+    /// arena-shared).
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.data.make_mut()
     }
 
-    /// Consumes the tensor, returning its data buffer.
+    /// Consumes the tensor, returning its data buffer (one copy when
+    /// arena-shared).
     #[must_use]
     pub fn into_data(self) -> Vec<f32> {
-        self.data
+        self.data.into_vec()
     }
 
     /// Reinterprets the data with a new shape of equal element count.
@@ -184,14 +203,14 @@ impl Tensor {
     /// Panics on shape mismatch.
     pub fn add_assign(&mut self, rhs: &Tensor) {
         assert_eq!(self.shape, rhs.shape, "add_assign shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+        for (a, b) in self.data.make_mut().iter_mut().zip(&rhs.data) {
             *a += b;
         }
     }
 
     /// Elementwise in-place scaling.
     pub fn scale_assign(&mut self, k: f32) {
-        for a in &mut self.data {
+        for a in self.data.make_mut() {
             *a *= k;
         }
     }

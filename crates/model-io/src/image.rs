@@ -1,0 +1,185 @@
+//! [`WeightImage`]: one validated, shared, read-only `.cogm` image that
+//! every session of an artifact decodes through.
+//!
+//! Loading used to mean "copy the file into private buffers per model" —
+//! per-session weight memory scaled with session count. A `WeightImage`
+//! inverts that: the artifact's bytes live once (memory-mapped on unix,
+//! an aligned owned buffer otherwise), validation runs once at open, and
+//! every [`WeightImage::decode`] hands out an
+//! [`Ensemble`](ml::ensemble::Ensemble) whose large tensors are
+//! [`ArenaVec`](ml::arena::ArenaVec) views **borrowing the image** —
+//! cloning such a model for another session bumps a refcount instead of
+//! copying weights, so fleet memory is `weights + sessions × scratch`.
+//!
+//! v1 artifacts are upgraded to the aligned v2 layout in memory at open
+//! (payload bytes untouched, decode bit-identical), so the borrowed-view
+//! guarantees hold regardless of the on-disk format. Cold start is
+//! therefore: map (or read) + streaming CRC + table walk — no eager
+//! weight copies.
+
+use std::ops::Range;
+use std::path::Path;
+use std::sync::Arc;
+
+use ml::arena::ArenaOwner;
+use ml::ensemble::Ensemble;
+
+use crate::container::{image_version, parse_sections, upgrade_file_bytes, FORMAT_VERSION};
+use crate::error::{ModelIoError, Result};
+use crate::impl_core::{tags, SavedModel};
+use crate::mmap::{AlignedBytes, ImageBytes};
+
+/// A validated `.cogm` image shared by every session of one artifact.
+///
+/// Cheap to clone (two `Arc` bumps); see the module docs for the
+/// ownership model.
+#[derive(Debug, Clone)]
+pub struct WeightImage {
+    bytes: Arc<ImageBytes>,
+    /// Section table captured by the one validation pass at open:
+    /// `(tag, payload byte range)`. [`WeightImage::decode`] reads through
+    /// this instead of re-walking (and re-checksumming) the whole image.
+    sections: Arc<[([u8; 4], Range<usize>)]>,
+    /// The image's own trailing CRC32 — a content hash suitable for
+    /// interning (identical artifacts collide on purpose; v1 and v2
+    /// encodings of the same sections agree because the hash is taken
+    /// after the canonical v2 upgrade).
+    content_hash: u32,
+    /// Format version found on disk, before any in-memory upgrade.
+    source_version: u16,
+}
+
+impl WeightImage {
+    /// Opens and validates the artifact at `path`, memory-mapping it when
+    /// the platform allows (unix, v2 on disk) and falling back to an
+    /// aligned owned read otherwise. v1 files are upgraded in memory.
+    ///
+    /// # Errors
+    ///
+    /// Typed errors for every malformed input; never panics.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let path = path.as_ref();
+        #[cfg(unix)]
+        {
+            let file = std::fs::File::open(path)?;
+            if let Ok(map) = crate::mmap::Mmap::map(&file) {
+                return Self::from_image_bytes(ImageBytes::Mapped(map));
+            }
+            // Fall through: unmappable (e.g. empty) files still get the
+            // owned path's typed validation errors.
+        }
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Builds an image from in-memory file bytes (network loads, tests).
+    /// The bytes are copied once into an aligned buffer.
+    ///
+    /// # Errors
+    ///
+    /// Typed errors for every malformed input; never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        Self::from_image_bytes(ImageBytes::Owned(AlignedBytes::copy_from(bytes)))
+    }
+
+    fn from_image_bytes(bytes: ImageBytes) -> Result<Self> {
+        let source_version = image_version(&bytes)?;
+        let bytes = if source_version == FORMAT_VERSION {
+            bytes
+        } else {
+            // Legacy layout: re-encode as v2 in memory so the alignment
+            // guarantees hold. `upgrade_file_bytes` validates the input.
+            ImageBytes::Owned(AlignedBytes::copy_from(&upgrade_file_bytes(&bytes)?))
+        };
+        // The one full validation pass (structure + CRC). Payload slices
+        // are converted to byte ranges so `decode` never re-walks the
+        // image — cold start pays for exactly one checksum.
+        let base = bytes.as_ptr() as usize;
+        let sections: Arc<[([u8; 4], Range<usize>)]> = parse_sections(&bytes)?
+            .into_iter()
+            .map(|(tag, payload)| {
+                let start = payload.as_ptr() as usize - base;
+                (tag, start..start + payload.len())
+            })
+            .collect();
+        let tail = bytes.len() - 4;
+        let content_hash = u32::from_le_bytes(bytes[tail..].try_into().expect("crc checked"));
+        Ok(Self {
+            bytes: Arc::new(bytes),
+            sections,
+            content_hash,
+            source_version,
+        })
+    }
+
+    /// Decodes the full model. The returned ensemble's tensors borrow
+    /// this image (refcounted), so cloning the model per session shares
+    /// the weights; config and normalization are tiny and owned.
+    ///
+    /// # Errors
+    ///
+    /// Typed errors for every malformed input; never panics.
+    pub fn decode(&self) -> Result<SavedModel> {
+        let find = |tag: [u8; 4]| {
+            self.sections
+                .iter()
+                .find(|(t, _)| *t == tag)
+                .map(|(_, r)| &self.bytes[r.clone()])
+        };
+        let pipeline = crate::from_bytes(
+            find(tags::PIPELINE).ok_or(ModelIoError::MissingSection {
+                tag: tags::PIPELINE,
+            })?,
+        )?;
+        let ensemble = self.decode_ensemble_payload(find(tags::ENSEMBLE).ok_or(
+            ModelIoError::MissingSection {
+                tag: tags::ENSEMBLE,
+            },
+        )?)?;
+        let normalization = find(tags::NORMALIZATION)
+            .map(crate::from_bytes)
+            .transpose()?;
+        SavedModel::from_parts(pipeline, ensemble, normalization)
+    }
+
+    fn decode_ensemble_payload(&self, payload: &[u8]) -> Result<Ensemble> {
+        let owner: ArenaOwner = self.bytes.clone();
+        // SAFETY: `payload` borrows from `self.bytes`, and `owner` is a
+        // clone of that same Arc — the bytes outlive every ArenaVec that
+        // captures the owner.
+        unsafe { crate::view::decode_ensemble_with(payload, owner) }
+    }
+
+    /// The image's content hash (its trailing CRC32, post-upgrade) —
+    /// stable across processes, suitable as an interning key.
+    #[must_use]
+    pub fn content_hash(&self) -> u32 {
+        self.content_hash
+    }
+
+    /// Whether the bytes are a file mapping (false: owned aligned buffer,
+    /// e.g. after a v1 upgrade or on non-unix platforms).
+    #[must_use]
+    pub fn is_mapped(&self) -> bool {
+        self.bytes.is_mapped()
+    }
+
+    /// The format version the source carried before any in-memory
+    /// upgrade (1 or 2).
+    #[must_use]
+    pub fn source_version(&self) -> u16 {
+        self.source_version
+    }
+
+    /// Total image size in bytes (header + table + payloads + checksum).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the image is empty (it never is: validation requires the
+    /// envelope; present for clippy's `len`-without-`is_empty` lint).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}

@@ -205,8 +205,9 @@ impl SavedModel {
         )
     }
 
-    /// The shared validation gate both load paths funnel through.
-    fn from_parts(
+    /// The shared validation gate every load path funnels through
+    /// (including [`crate::WeightImage::decode`]).
+    pub(crate) fn from_parts(
         pipeline: PipelineConfig,
         ensemble: Ensemble,
         normalization: Option<Zscore>,

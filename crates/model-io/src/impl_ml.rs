@@ -61,9 +61,9 @@ impl Persist for CsrMatrix {
     fn write_to<W: Write>(&self, w: &mut W) -> Result<()> {
         self.rows.write_to(w)?;
         self.cols.write_to(w)?;
-        self.row_ptr.write_to(w)?;
-        self.col_idx.write_to(w)?;
-        self.values.write_to(w)
+        write_slice(&self.row_ptr, w)?;
+        write_slice(&self.col_idx, w)?;
+        write_slice(&self.values, w)
     }
 
     fn read_from<R: Read>(r: &mut R) -> Result<Self> {
@@ -89,9 +89,9 @@ impl Persist for CsrMatrix {
         Ok(CsrMatrix {
             rows,
             cols,
-            row_ptr,
-            col_idx,
-            values,
+            row_ptr: row_ptr.into(),
+            col_idx: col_idx.into(),
+            values: values.into(),
         })
     }
 }
@@ -100,7 +100,7 @@ impl Persist for QuantMatrix {
     fn write_to<W: Write>(&self, w: &mut W) -> Result<()> {
         self.rows.write_to(w)?;
         self.cols.write_to(w)?;
-        self.data.write_to(w)?;
+        write_slice(&self.data, w)?;
         self.scale.write_to(w)?;
         self.act_scale.write_to(w)
     }
@@ -118,7 +118,7 @@ impl Persist for QuantMatrix {
         Ok(QuantMatrix {
             rows,
             cols,
-            data,
+            data: data.into(),
             scale,
             act_scale,
         })

@@ -18,7 +18,9 @@ use std::fs::File;
 use std::io::{BufReader, Read, Seek, SeekFrom};
 use std::path::Path;
 
-use crate::container::{FORMAT_VERSION, MAGIC, MAX_SECTIONS};
+use crate::container::{
+    pad_after, table_entry_size, FORMAT_VERSION, FORMAT_VERSION_V1, MAGIC, MAX_SECTIONS,
+};
 use crate::crc32::Crc32;
 use crate::error::{ModelIoError, Result};
 use crate::rw::Persist;
@@ -67,7 +69,7 @@ impl LazyContainer {
             return Err(ModelIoError::BadMagic { found });
         }
         let version = u16::from_le_bytes(header[4..6].try_into().expect("length checked"));
-        if version != FORMAT_VERSION {
+        if version != FORMAT_VERSION && version != FORMAT_VERSION_V1 {
             return Err(ModelIoError::UnsupportedVersion { found: version });
         }
         if file_len < 12 {
@@ -83,15 +85,16 @@ impl LazyContainer {
             });
         }
 
-        // The table is at most MAX_SECTIONS × 12 bytes — safe to buffer.
-        let table_len = (count * 12) as u64;
+        // The table is at most MAX_SECTIONS × 16 bytes — safe to buffer.
+        let entry_size = table_entry_size(version);
+        let table_len = (count * entry_size) as u64;
         let body_len = file_len - 4;
         if body_len < 8 + table_len {
             return Err(ModelIoError::Truncated {
                 context: "section table",
             });
         }
-        let mut table = vec![0u8; count * 12];
+        let mut table = vec![0u8; count * entry_size];
         file.read_exact(&mut table).map_err(|e| {
             if e.kind() == std::io::ErrorKind::UnexpectedEof {
                 ModelIoError::Truncated {
@@ -104,20 +107,38 @@ impl LazyContainer {
 
         let mut sections = Vec::with_capacity(count);
         let mut offset = 8 + table_len;
-        for entry in table.chunks_exact(12) {
+        for (i, entry) in table.chunks_exact(entry_size).enumerate() {
             let tag: [u8; 4] = entry[0..4].try_into().expect("length checked");
-            let len = u64::from_le_bytes(entry[4..12].try_into().expect("length checked"));
+            let len = if version == FORMAT_VERSION_V1 {
+                u64::from_le_bytes(entry[4..12].try_into().expect("length checked"))
+            } else {
+                if entry[4..8] != [0u8; 4] {
+                    return Err(ModelIoError::malformed(format!(
+                        "nonzero reserved bytes in table entry {i}"
+                    )));
+                }
+                u64::from_le_bytes(entry[8..16].try_into().expect("length checked"))
+            };
+            let pad = if version == FORMAT_VERSION_V1 {
+                0
+            } else {
+                pad_after(len)
+            };
             let end = offset.checked_add(len).ok_or(ModelIoError::LengthOverflow {
                 context: "section length",
                 len,
             })?;
-            if end > body_len {
+            let next = end.checked_add(pad).ok_or(ModelIoError::LengthOverflow {
+                context: "section length",
+                len,
+            })?;
+            if next > body_len {
                 return Err(ModelIoError::Truncated {
                     context: "section payload",
                 });
             }
             sections.push(SectionEntry { tag, offset, len });
-            offset = end;
+            offset = next;
         }
         if offset != body_len {
             return Err(ModelIoError::malformed(format!(

@@ -66,14 +66,20 @@
 pub mod container;
 pub mod crc32;
 pub mod error;
+pub mod image;
 mod impl_core;
 mod impl_evo;
 mod impl_ml;
 pub mod lazy;
+pub mod mmap;
 pub mod rw;
 pub mod view;
 
-pub use container::{load_section, save_section, Container, FORMAT_VERSION, MAGIC};
+pub use container::{
+    image_version, load_section, save_section, upgrade_file_bytes, Container, FORMAT_VERSION,
+    FORMAT_VERSION_V1, MAGIC,
+};
+pub use image::WeightImage;
 pub use lazy::LazyContainer;
 pub use error::{ModelIoError, Result};
 pub use impl_core::{tags, ArmPersist, SavedModel, SearchCheckpoint};

@@ -28,6 +28,7 @@
 //! the streaming reader's behaviour, and the golden fixtures lock its
 //! numerics bit-for-bit.
 
+use ml::arena::{ArenaOwner, ArenaVec};
 use ml::ensemble::{Classifier, Ensemble, ForestClassifier, Member, Voting};
 use ml::forest::{ForestConfig, RandomForest, Tree, TreeNode};
 use ml::infer::{
@@ -111,6 +112,24 @@ impl<'a> TensorView<'a> {
         Tensor::new(self.shape, self.data.into_vec())
     }
 
+    /// Materializes a tensor whose data stays *in* the shared arena when
+    /// possible: a borrowed view over arena-owned bytes becomes an
+    /// arena-backed [`Tensor`] (no copy, clones are refcount bumps); the
+    /// copying-fallback case is promoted into a fresh shared arena so
+    /// clones stay cheap. With no arena this is [`TensorView::into_tensor`].
+    fn into_tensor_in(self, arena: Option<&ArenaOwner>) -> Tensor {
+        match (self.data, arena) {
+            // SAFETY: the cursor's arena owner keeps the image bytes —
+            // which `s` points into — alive and immutable (the
+            // `ViewCursor::with_arena` contract).
+            (FloatView::Borrowed(s), Some(owner)) => {
+                Tensor::new(self.shape, unsafe { ArenaVec::from_owner(owner.clone(), s) })
+            }
+            (FloatView::Owned(v), Some(_)) => Tensor::new(self.shape, ArenaVec::shared_copy(&v)),
+            (data, None) => Tensor::new(self.shape, data.into_vec()),
+        }
+    }
+
     /// Decodes a tensor view from a cursor positioned at a serialized
     /// [`Tensor`] (the same validation as the streaming reader).
     ///
@@ -131,16 +150,53 @@ impl<'a> TensorView<'a> {
 }
 
 /// A bounds-checked cursor over an in-memory little-endian image.
-#[derive(Debug)]
+///
+/// With [`ViewCursor::with_arena`] the cursor additionally carries a
+/// reference-counted owner of the underlying bytes, and bulk payloads
+/// decode as arena-backed [`ArenaVec`]s that borrow the image instead of
+/// copying it — the shared-weight fast path.
 pub struct ViewCursor<'a> {
     buf: &'a [u8],
+    arena: Option<ArenaOwner>,
 }
 
 impl<'a> ViewCursor<'a> {
-    /// A cursor over `buf`.
+    /// A cursor over `buf`; bulk payloads decode as owned copies.
     #[must_use]
     pub fn new(buf: &'a [u8]) -> Self {
-        Self { buf }
+        Self { buf, arena: None }
+    }
+
+    /// A cursor over `buf` whose bulk payloads borrow from `owner`'s
+    /// memory where alignment permits.
+    ///
+    /// # Safety
+    ///
+    /// `buf` must point into memory that `owner` keeps alive and
+    /// unmodified for as long as `owner` has any strong reference —
+    /// decoded values hold clones of `owner` and read those bytes for
+    /// their whole lifetime.
+    #[must_use]
+    pub unsafe fn with_arena(buf: &'a [u8], owner: ArenaOwner) -> Self {
+        Self {
+            buf,
+            arena: Some(owner),
+        }
+    }
+
+    fn arena(&self) -> Option<&ArenaOwner> {
+        self.arena.as_ref()
+    }
+
+    /// Wraps an element-wise decoded vector: promoted into a fresh shared
+    /// arena when decoding against one (clones become refcount bumps),
+    /// plain owned storage otherwise.
+    fn share<T: Clone + Send + Sync + 'static>(&self, v: Vec<T>) -> ArenaVec<T> {
+        if self.arena.is_some() {
+            ArenaVec::shared_copy(&v)
+        } else {
+            v.into()
+        }
     }
 
     /// Bytes not yet consumed.
@@ -233,6 +289,21 @@ impl<'a> ViewCursor<'a> {
         Ok(self.f32_slice(n, context)?.into_vec())
     }
 
+    /// `n` little-endian `f32`s as arena-backed storage: a borrowed view
+    /// over arena-owned bytes costs nothing; the copying fallback (or a
+    /// cursor with no arena) materializes owned/shared storage.
+    fn f32_arena(&mut self, n: usize, context: &'static str) -> Result<ArenaVec<f32>> {
+        match (self.f32_slice(n, context)?, &self.arena) {
+            // SAFETY: the `with_arena` contract — `owner` keeps the image
+            // bytes `s` points into alive and immutable.
+            (FloatView::Borrowed(s), Some(owner)) => {
+                Ok(unsafe { ArenaVec::from_owner(owner.clone(), s) })
+            }
+            (FloatView::Owned(v), Some(_)) => Ok(ArenaVec::shared_copy(&v)),
+            (view, None) => Ok(view.into_vec().into()),
+        }
+    }
+
     /// `n` `i8`s, always borrowed (alignment 1; sign reinterpretation of
     /// a byte is value-preserving two's complement).
     fn i8_slice(&mut self, n: usize, context: &'static str) -> Result<&'a [i8]> {
@@ -242,6 +313,18 @@ impl<'a> ViewCursor<'a> {
         let (head, mid, tail) = unsafe { bytes.align_to::<i8>() };
         debug_assert!(head.is_empty() && tail.is_empty());
         Ok(mid)
+    }
+
+    /// `n` `i8`s as arena-backed storage (borrowed whenever the cursor
+    /// carries an arena — `i8` has alignment 1, so it always can be).
+    fn i8_arena(&mut self, n: usize, context: &'static str) -> Result<ArenaVec<i8>> {
+        let s = self.i8_slice(n, context)?;
+        match &self.arena {
+            // SAFETY: the `with_arena` contract — `owner` keeps the image
+            // bytes `s` points into alive and immutable.
+            Some(owner) => Ok(unsafe { ArenaVec::from_owner(owner.clone(), s) }),
+            None => Ok(s.to_vec().into()),
+        }
     }
 
     fn usize_vec(&mut self, context: &'static str) -> Result<Vec<usize>> {
@@ -275,7 +358,7 @@ fn decode_csr(cur: &mut ViewCursor<'_>) -> Result<CsrMatrix> {
     let row_ptr = cur.usize_vec("csr row_ptr")?;
     let col_idx = cur.u32_vec("csr col_idx")?;
     let n_values = cur.len_prefix("csr values")?;
-    let values = cur.f32_slice(n_values, "csr values")?.into_vec();
+    let values = cur.f32_arena(n_values, "csr values")?;
     ensure(
         rows.checked_add(1) == Some(row_ptr.len()),
         "csr row_ptr length",
@@ -291,8 +374,8 @@ fn decode_csr(cur: &mut ViewCursor<'_>) -> Result<CsrMatrix> {
     Ok(CsrMatrix {
         rows,
         cols,
-        row_ptr,
-        col_idx,
+        row_ptr: cur.share(row_ptr),
+        col_idx: cur.share(col_idx),
         values,
     })
 }
@@ -301,7 +384,7 @@ fn decode_quant(cur: &mut ViewCursor<'_>) -> Result<QuantMatrix> {
     let rows = cur.usize("quant rows")?;
     let cols = cur.usize("quant cols")?;
     let n = cur.len_prefix("quant data")?;
-    let data = cur.i8_slice(n, "quant data")?.to_vec();
+    let data = cur.i8_arena(n, "quant data")?;
     let scale = cur.f32("quant scale")?;
     let act_scale = if cur.option_tag("quant act_scale")? {
         Some(cur.f32("quant act_scale")?)
@@ -326,7 +409,8 @@ fn decode_matrep(cur: &mut ViewCursor<'_>) -> Result<MatRep> {
         0 => {
             let t = TensorView::decode(cur)?;
             ensure(t.shape().len() == 2, "dense weight must be 2-D")?;
-            Ok(MatRep::Dense(t.into_tensor()))
+            let arena = cur.arena().cloned();
+            Ok(MatRep::Dense(t.into_tensor_in(arena.as_ref())))
         }
         1 => Ok(MatRep::Sparse(decode_csr(cur)?)),
         2 => Ok(MatRep::Int8(decode_quant(cur)?)),
@@ -477,7 +561,9 @@ fn decode_tf(cur: &mut ViewCursor<'_>) -> Result<TfInfer> {
         .map(|_| decode_tf_block(cur))
         .collect::<Result<Vec<_>>>()?;
     let head = decode_linear(cur)?;
-    let pos = TensorView::decode(cur)?.into_tensor();
+    let pos_view = TensorView::decode(cur)?;
+    let arena = cur.arena().cloned();
+    let pos = pos_view.into_tensor_in(arena.as_ref());
     let heads = cur.usize("tf heads")?;
     let d_model = cur.usize("tf d_model")?;
     let channels = cur.usize("tf channels")?;
@@ -600,7 +686,27 @@ fn decode_member(cur: &mut ViewCursor<'_>) -> Result<Member> {
 ///
 /// Typed errors for every malformed input; never panics.
 pub fn decode_ensemble(payload: &[u8]) -> Result<Ensemble> {
-    let mut cur = ViewCursor::new(payload);
+    decode_ensemble_cursor(ViewCursor::new(payload))
+}
+
+/// [`decode_ensemble`] against a shared weight arena: bulk payloads
+/// (dense `f32` runs, `i8` matrices) *borrow* `owner`'s memory instead of
+/// copying, so the decoded ensemble's weight clones are refcount bumps.
+///
+/// # Errors
+///
+/// Typed errors for every malformed input; never panics.
+///
+/// # Safety
+///
+/// `payload` must point into memory that `owner` keeps alive and
+/// unmodified for as long as `owner` has any strong reference (the
+/// [`ViewCursor::with_arena`] contract).
+pub unsafe fn decode_ensemble_with(payload: &[u8], owner: ArenaOwner) -> Result<Ensemble> {
+    decode_ensemble_cursor(ViewCursor::with_arena(payload, owner))
+}
+
+fn decode_ensemble_cursor(mut cur: ViewCursor<'_>) -> Result<Ensemble> {
     let voting = match cur.u8("Voting tag")? {
         0 => Voting::Soft,
         1 => Voting::Hard,

@@ -12,8 +12,12 @@ pub enum ServeError {
     Stream(stream::StreamError),
     /// Actuation failure inside a session.
     Arm(arm::ArmError),
+    /// A weight-image open or decode failure while interning an artifact.
+    Artifact(model_io::ModelIoError),
     /// A session id that the manager does not know.
     UnknownSession(usize),
+    /// An artifact id that the manager does not know.
+    UnknownArtifact(usize),
     /// A request the manager cannot honour as posed.
     BadRequest(String),
     /// One pipeline stage hung up while its peer was still mid-segment
@@ -28,7 +32,9 @@ impl fmt::Display for ServeError {
             ServeError::Eeg(e) => write!(f, "session acquisition: {e}"),
             ServeError::Stream(e) => write!(f, "session stream: {e}"),
             ServeError::Arm(e) => write!(f, "session actuation: {e}"),
+            ServeError::Artifact(e) => write!(f, "artifact: {e}"),
             ServeError::UnknownSession(id) => write!(f, "unknown session id {id}"),
+            ServeError::UnknownArtifact(id) => write!(f, "unknown artifact id {id}"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::StageDisconnected => write!(f, "pipeline stage disconnected"),
         }
@@ -42,6 +48,7 @@ impl std::error::Error for ServeError {
             ServeError::Eeg(e) => Some(e),
             ServeError::Stream(e) => Some(e),
             ServeError::Arm(e) => Some(e),
+            ServeError::Artifact(e) => Some(e),
             _ => None,
         }
     }
@@ -61,3 +68,4 @@ from_err!(Core, cognitive_arm::CoreError);
 from_err!(Eeg, eeg::EegError);
 from_err!(Stream, stream::StreamError);
 from_err!(Arm, arm::ArmError);
+from_err!(Artifact, model_io::ModelIoError);

@@ -13,7 +13,7 @@ use eeg::{CHANNELS, SAMPLE_RATE};
 use exec::ExecPool;
 use ml::ensemble::{argmax, Ensemble, EnsembleScratch};
 use ml::models::CLASSES;
-use model_io::SavedModel;
+use model_io::{SavedModel, WeightImage};
 
 use crate::streaming::{StreamSession, DEFAULT_CHANNEL_CAPACITY};
 use crate::{Result, ServeError};
@@ -103,6 +103,28 @@ impl SessionId {
     pub fn index(self) -> usize {
         self.0
     }
+}
+
+/// Handle to an interned artifact owned by a [`SessionManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArtifactId(usize);
+
+impl ArtifactId {
+    /// The manager-local index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One interned artifact: the shared weight image plus the model decoded
+/// through it **once**. Every session admitted against this entry clones
+/// `model.ensemble` — with arena-backed tensors that clone is a refcount
+/// bump on the image, not a weight copy, so N sessions of one artifact
+/// cost `weights + N × scratch`.
+struct ArtifactEntry {
+    image: WeightImage,
+    model: SavedModel,
 }
 
 /// One managed session: either the monolithic batch loop or the two-stage
@@ -335,6 +357,9 @@ pub struct SessionManager {
     /// Micro-batch groups over the batch-shaped sessions (streaming
     /// sessions run their own two-stage pipelines and are not grouped).
     groups: Vec<BatchGroup>,
+    /// Interned artifacts, keyed by weight-image content hash: one shared
+    /// image per distinct artifact no matter how many times it is opened.
+    artifacts: Vec<ArtifactEntry>,
 }
 
 impl std::fmt::Debug for SessionManager {
@@ -354,6 +379,7 @@ impl SessionManager {
             pool,
             sessions: Vec::new(),
             groups: Vec::new(),
+            artifacts: Vec::new(),
         }
     }
 
@@ -429,6 +455,85 @@ impl SessionManager {
             poisoned: false,
         });
         Ok(SessionId(slot_index))
+    }
+
+    /// Interns the artifact at `path` as one shared [`WeightImage`]:
+    /// mmap (or aligned read) + validate + decode **once**, keyed by the
+    /// image's content hash. Re-opening an identical artifact — same
+    /// path, a copy, or the same model saved as v1 and v2 — returns the
+    /// existing entry without touching its weights again.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Artifact`] for open, validation or decode failures.
+    pub fn open_artifact<P: AsRef<std::path::Path>>(&mut self, path: P) -> Result<ArtifactId> {
+        let image = WeightImage::open(path).map_err(ServeError::Artifact)?;
+        if let Some(i) = self
+            .artifacts
+            .iter()
+            .position(|e| e.image.content_hash() == image.content_hash())
+        {
+            return Ok(ArtifactId(i));
+        }
+        let model = image.decode().map_err(ServeError::Artifact)?;
+        self.artifacts.push(ArtifactEntry { image, model });
+        Ok(ArtifactId(self.artifacts.len() - 1))
+    }
+
+    /// Number of distinct interned artifacts.
+    #[must_use]
+    pub fn artifact_count(&self) -> usize {
+        self.artifacts.len()
+    }
+
+    /// The shared weight image behind an interned artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownArtifact`] for a foreign id.
+    pub fn artifact_image(&self, id: ArtifactId) -> Result<&WeightImage> {
+        self.artifacts
+            .get(id.0)
+            .map(|e| &e.image)
+            .ok_or(ServeError::UnknownArtifact(id.0))
+    }
+
+    /// The model decoded (once) through an interned artifact's image.
+    /// Cloning it is the per-session weight handoff: arena-backed tensors
+    /// make the clone a refcount bump, not a weight copy.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownArtifact`] for a foreign id.
+    pub fn artifact_model(&self, id: ArtifactId) -> Result<&SavedModel> {
+        self.artifacts
+            .get(id.0)
+            .map(|e| &e.model)
+            .ok_or(ServeError::UnknownArtifact(id.0))
+    }
+
+    /// Admits a batch session reading the interned artifact `id` — the
+    /// fleet-scale admission path. The session's ensemble is a clone of
+    /// the artifact's decoded model, whose weight tensors share the
+    /// [`WeightImage`] (refcount bumps, no weight copies), and every
+    /// session of one artifact lands in the same micro-batch group
+    /// (clones are structurally equal).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownArtifact`] for a foreign id;
+    /// [`ServeError::BadRequest`] for a spec the pipeline rejects.
+    pub fn add_session_from_artifact(
+        &mut self,
+        id: ArtifactId,
+        subject_seed: u64,
+    ) -> Result<SessionId> {
+        let entry = self
+            .artifacts
+            .get(id.0)
+            .ok_or(ServeError::UnknownArtifact(id.0))?;
+        let spec = SessionSpec::from_saved(entry.model.clone(), subject_seed);
+        self.add_session(spec)
     }
 
     /// Admits a streaming session (filter stage ∥ inference stage over a
@@ -526,6 +631,7 @@ impl SessionManager {
             pool,
             sessions,
             groups,
+            ..
         } = self;
 
         // Route every slot to its micro-batch group or the streaming set

@@ -7,9 +7,18 @@
 //! bit-identical to the retrained one — the end-to-end proof that cold
 //! starts can skip training entirely.
 //!
+//! `save-v1` writes the same artifact in the frozen legacy format, and
+//! `mmap-verify` loads any artifact through the mmap-backed
+//! `WeightImage` (v1 files take the in-memory upgrade path) before
+//! running the same bit-identity check — together they prove, across a
+//! process boundary, that a pre-v2 artifact in the field serves
+//! identically through the shared-image path.
+//!
 //! ```text
 //! cargo run --release --bin model_roundtrip -- save /tmp/model.cogm 21
 //! cargo run --release --bin model_roundtrip -- verify /tmp/model.cogm 21
+//! cargo run --release --bin model_roundtrip -- save-v1 /tmp/model-v1.cogm 21
+//! cargo run --release --bin model_roundtrip -- mmap-verify /tmp/model-v1.cogm 21
 //! ```
 
 use std::process::ExitCode;
@@ -22,7 +31,7 @@ use eeg::types::Action;
 use model_io::{ArmPersist, SavedModel};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: model_roundtrip <save|verify|roundtrip> <path.cogm> [seed]");
+    eprintln!("usage: model_roundtrip <save|save-v1|verify|mmap-verify|roundtrip> <path.cogm> [seed]");
     ExitCode::from(2)
 }
 
@@ -75,6 +84,55 @@ fn main() -> ExitCode {
                 system.ensemble().param_count()
             );
             ExitCode::SUCCESS
+        }
+        "save-v1" => {
+            let t0 = Instant::now();
+            let system = train_system(seed);
+            let train_s = t0.elapsed().as_secs_f64();
+            let saved = SavedModel {
+                pipeline: system.config().clone(),
+                ensemble: system.ensemble().clone(),
+                normalization: system.normalization().cloned(),
+            };
+            saved
+                .to_container()
+                .expect("artifact is persistable")
+                .save_v1(path)
+                .expect("v1 artifact saves");
+            let bytes = std::fs::metadata(path).expect("artifact exists").len();
+            println!(
+                "saved {path} (format v1): {bytes} bytes, ensemble {} ({} params), \
+                 trained in {train_s:.1} s",
+                system.ensemble().name(),
+                system.ensemble().param_count()
+            );
+            ExitCode::SUCCESS
+        }
+        "mmap-verify" => {
+            let t0 = Instant::now();
+            let image = model_io::WeightImage::open(path).expect("weight image opens");
+            let model = image.decode().expect("weight image decodes");
+            let load_s = t0.elapsed().as_secs_f64();
+            println!(
+                "mapped {path} in {load_s:.3} s: format v{} on disk, mapped={}, \
+                 ensemble {} ({} params)",
+                image.source_version(),
+                image.is_mapped(),
+                model.ensemble.name(),
+                model.ensemble.param_count()
+            );
+            let loaded_trace = trace_of(model.into_system(seed));
+            let retrained_trace = trace_of(train_system(seed));
+            if traces_identical(&loaded_trace, &retrained_trace) {
+                println!(
+                    "OK: {} labels bit-identical between image-decoded and retrained systems",
+                    loaded_trace.labels.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("FAIL: image-decoded trace diverges from retrained trace");
+                ExitCode::FAILURE
+            }
         }
         "verify" => {
             let t0 = Instant::now();

@@ -11,10 +11,14 @@
 //!    reproduce the committed bytes exactly and today's reader must accept
 //!    them, locking the format against silent drift. Regenerate
 //!    deliberately with `COGARM_REGEN_FIXTURES=1 cargo test -q --test
-//!    persistence` after an intentional format-version bump.
+//!    persistence` after an intentional format-version bump. The `_v1`
+//!    fixtures are **permanent**: they pin the frozen v1 writer and the
+//!    total reader's promise to load every format version ever shipped
+//!    (plus the canonical v1 → v2 upgrade, byte-for-byte).
 //! 3. **Corruption sweeps**: every prefix truncation and every
 //!    single-byte flip of a valid artifact must yield a typed
-//!    `ModelIoError` — never a panic, never a wrong-but-`Ok` model.
+//!    `ModelIoError` — never a panic, never a wrong-but-`Ok` model —
+//!    over both the current (v2, aligned) and legacy (v1) layouts.
 
 use std::path::PathBuf;
 
@@ -284,6 +288,54 @@ fn zero_copy_loaded_model_reproduces_traces_bitwise() {
     assert_traces_identical(&reference, &run(loaded), "zero-copy loaded");
 }
 
+/// The mmap-backed weight image is held to the same trace-level bar as
+/// every other loader: a model decoded through the shared image — from a
+/// v2 file directly and from a v1 file via the in-memory upgrade — must
+/// reproduce the in-memory system's label trace bit-for-bit at 1 and 4
+/// worker threads.
+#[test]
+fn weight_image_models_reproduce_traces_across_thread_counts() {
+    let artifacts = quick_trained(33, 33);
+    let v2_path = temp_path("image-trace.cogm");
+    let v1_path = temp_path("image-trace-v1.cogm");
+    let run = |mut system: CognitiveArm| -> SessionTrace {
+        system.set_normalization(artifacts.data.zscores[0].clone());
+        system.set_subject_action(Action::Right);
+        system.run_for(2.0).expect("runs")
+    };
+    let config = PipelineConfig {
+        threads: Some(1),
+        ..PipelineConfig::default()
+    };
+    let system = CognitiveArm::new(config, artifacts.ensemble.clone(), 33);
+    system.save_model(&v2_path).expect("saves");
+    let reference = run(system);
+    assert!(!reference.labels.is_empty(), "reference run emitted labels");
+
+    let saved = SavedModel::load(&v2_path).expect("loads");
+    saved
+        .to_container()
+        .expect("persistable")
+        .save_v1(&v1_path)
+        .expect("saves v1");
+
+    for (path, label) in [(&v2_path, "v2 image"), (&v1_path, "v1-upgraded image")] {
+        let image = model_io::WeightImage::open(path).expect("image opens");
+        let mut model = image.decode().expect("image decodes");
+        assert_traces_identical(
+            &reference,
+            &run(model.clone().into_system(33)),
+            &format!("{label} @1 thread"),
+        );
+        model.pipeline.threads = Some(4);
+        assert_traces_identical(
+            &reference,
+            &run(model.into_system(33)),
+            &format!("{label} @4 threads"),
+        );
+    }
+}
+
 /// The zero-copy loader is held to the same total-reader bar as the
 /// container parser: every truncation and every byte flip of a saved
 /// model is a typed error, never a panic or a wrong-but-`Ok` model.
@@ -359,6 +411,24 @@ fn golden_artifacts() -> Vec<(&'static str, Vec<u8>)> {
     ]
 }
 
+/// Permanent v1-format fixtures: the frozen v1 writer
+/// (`to_file_bytes_v1`) must keep producing these bytes, and the total
+/// reader must keep accepting them, forever — they are the contract that
+/// pre-v2 artifacts in the field never need re-saving.
+fn golden_v1_artifacts() -> Vec<(&'static str, Vec<u8>)> {
+    let forest = toy_forest(11, 3, Some(4));
+    let forest_v1 = {
+        let mut c = Container::new();
+        c.add(*b"FRST", &forest).expect("fixture serializes");
+        c.to_file_bytes_v1()
+    };
+    let model_v1 = small_saved_model()
+        .to_container()
+        .expect("persistable")
+        .to_file_bytes_v1();
+    vec![("forest_v1.cogm", forest_v1), ("model_v1.cogm", model_v1)]
+}
+
 /// Tiny object-safe shim so `golden_artifacts` can treat heterogeneous
 /// `Persist` values uniformly.
 mod erased {
@@ -378,7 +448,7 @@ mod erased {
 #[test]
 fn golden_fixtures_are_reproduced_byte_for_byte() {
     let regen = std::env::var_os("COGARM_REGEN_FIXTURES").is_some();
-    for (name, bytes) in golden_artifacts() {
+    for (name, bytes) in golden_artifacts().into_iter().chain(golden_v1_artifacts()) {
         let path = fixture_path(name);
         if regen {
             std::fs::create_dir_all(path.parent().expect("fixtures dir")).expect("mkdir");
@@ -425,6 +495,40 @@ fn golden_fixtures_are_accepted_by_the_reader() {
     let zero_copy =
         SavedModel::load_zero_copy(fixture_path("model.cogm")).expect("zero-copy decodes");
     assert_eq!(zero_copy, model);
+}
+
+/// The permanent v1 fixtures must load through every reader, decode to
+/// the same model as the v2 fixture, and upgrade **byte-identically** to
+/// the committed v2 encoding — the upgrade is canonical, so a v1 file
+/// upgraded in memory and the same model saved as v2 are the same image.
+#[test]
+fn v1_fixtures_load_and_upgrade_bit_identically() {
+    let v1 = std::fs::read(fixture_path("model_v1.cogm")).expect("v1 fixture present");
+    let v2 = std::fs::read(fixture_path("model.cogm")).expect("v2 fixture present");
+    assert_eq!(model_io::image_version(&v1).expect("v1 envelope"), 1);
+    assert_eq!(model_io::image_version(&v2).expect("v2 envelope"), 2);
+
+    // The streaming reader accepts the legacy layout directly.
+    let model =
+        SavedModel::from_container(&Container::from_file_bytes(&v1).expect("v1 parses"))
+            .expect("v1 decodes");
+    assert_eq!(model, small_saved_model());
+
+    // Canonical upgrade: re-encoding the v1 bytes as v2 reproduces the
+    // committed v2 fixture exactly (and v2 is a fixed point).
+    let upgraded = model_io::upgrade_file_bytes(&v1).expect("upgrades");
+    assert_eq!(upgraded, v2, "v1 upgrade is not canonical");
+    assert_eq!(model_io::upgrade_file_bytes(&v2).expect("re-encodes"), v2);
+
+    // The weight image runs the same upgrade internally: both fixtures
+    // intern to one content hash and decode to the same model.
+    let from_v1 = model_io::WeightImage::from_bytes(&v1).expect("v1 image");
+    let from_v2 = model_io::WeightImage::from_bytes(&v2).expect("v2 image");
+    assert_eq!(from_v1.source_version(), 1);
+    assert_eq!(from_v2.source_version(), 2);
+    assert_eq!(from_v1.content_hash(), from_v2.content_hash());
+    assert_eq!(from_v1.decode().expect("v1 image decodes"), model);
+    assert_eq!(from_v2.decode().expect("v2 image decodes"), model);
 }
 
 // --- corruption and truncation sweeps ----------------------------------------
@@ -496,24 +600,36 @@ fn flipped_payloads_never_produce_a_wrong_but_ok_model() {
     }
 }
 
-/// Truncations and flips on the committed golden fixture, so the sweep also
-/// covers bytes written by *past* versions of the writer.
+/// Truncations and flips on the committed golden fixtures — both format
+/// generations — so the sweep also covers bytes written by *past*
+/// versions of the writer, and the v1-upgrading [`model_io::WeightImage`]
+/// path is held to the same total-reader bar as the container parser.
 #[test]
 fn fixture_corruption_sweep() {
-    let bytes = std::fs::read(fixture_path("forest.cogm")).expect("fixture present");
-    for cut in 0..bytes.len() {
-        assert!(
-            Container::from_file_bytes(&bytes[..cut]).is_err(),
-            "fixture truncation to {cut} accepted"
-        );
-    }
-    for i in 0..bytes.len() {
-        let mut flipped = bytes.clone();
-        flipped[i] ^= 0xFF;
-        assert!(
-            Container::from_file_bytes(&flipped).is_err(),
-            "fixture flip at {i} accepted"
-        );
+    for name in ["forest.cogm", "forest_v1.cogm"] {
+        let bytes = std::fs::read(fixture_path(name)).expect("fixture present");
+        for cut in 0..bytes.len() {
+            assert!(
+                Container::from_file_bytes(&bytes[..cut]).is_err(),
+                "{name} truncation to {cut} accepted"
+            );
+            assert!(
+                model_io::WeightImage::from_bytes(&bytes[..cut]).is_err(),
+                "{name} truncation to {cut} accepted as a weight image"
+            );
+        }
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0xFF;
+            assert!(
+                Container::from_file_bytes(&flipped).is_err(),
+                "{name} flip at {i} accepted"
+            );
+            assert!(
+                model_io::WeightImage::from_bytes(&flipped).is_err(),
+                "{name} flip at {i} accepted as a weight image"
+            );
+        }
     }
 }
 

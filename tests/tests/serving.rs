@@ -344,3 +344,91 @@ fn streaming_wire_reordering_is_label_invisible() {
         session.out_of_order()
     );
 }
+
+/// The artifact registry's contract: one interned `WeightImage` per
+/// distinct artifact no matter how many times — or through which format
+/// version — it is opened, and sessions admitted through the shared
+/// image trace bit-identically to sessions built from their own eagerly
+/// loaded copy, at 1 and 4 threads.
+#[test]
+fn interned_artifact_sessions_match_eager_sessions_bitwise() {
+    let artifacts = quick_trained(21, 21);
+    let dir = std::env::temp_dir().join(format!("serve-intern-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let v2 = dir.join("artifact.cogm");
+    let v1 = dir.join("artifact-v1.cogm");
+    let saved = model_io::SavedModel {
+        pipeline: PipelineConfig::default(),
+        ensemble: artifacts.ensemble.clone(),
+        normalization: Some(artifacts.data.zscores[0].clone()),
+    };
+    saved.save(&v2).expect("saves v2");
+    saved
+        .to_container()
+        .expect("persistable")
+        .save_v1(&v1)
+        .expect("saves v1");
+
+    for threads in [1usize, 4] {
+        // Shared path: every session reads through one interned image.
+        let mut manager = SessionManager::new(Arc::new(ExecPool::new(threads)));
+        let artifact = manager.open_artifact(&v2).expect("artifact interns");
+        // Re-opens dedup — same path, and the same model saved in the
+        // legacy format (content hashes agree post-upgrade).
+        assert_eq!(manager.open_artifact(&v2).expect("reopen"), artifact);
+        assert_eq!(manager.open_artifact(&v1).expect("v1 open"), artifact);
+        assert_eq!(manager.artifact_count(), 1, "dedup failed");
+        for &subject in &SUBJECTS {
+            manager
+                .add_session_from_artifact(artifact, subject)
+                .expect("admits from artifact");
+        }
+        let shared = manager.run_for(2.0).expect("shared-image fleet runs");
+
+        // Eager path: each session decodes a private copy from disk.
+        let mut manager = SessionManager::new(Arc::new(ExecPool::new(threads)));
+        for &subject in &SUBJECTS {
+            let model = model_io::SavedModel::load_zero_copy(&v2).expect("loads");
+            manager
+                .add_session(SessionSpec::from_saved(model, subject))
+                .expect("admits eager");
+        }
+        let eager = manager.run_for(2.0).expect("eager fleet runs");
+
+        assert!(shared.iter().all(|t| !t.labels.is_empty()), "no labels");
+        for (i, (a, b)) in eager.iter().zip(&shared).enumerate() {
+            assert_identical(&format!("interned threads={threads} session={i}"), a, b);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// CI hook: when `COGARM_MODEL` points at an artifact saved by another
+/// process — any format version; v1 takes the in-memory upgrade — intern
+/// it through the mmap-backed registry and prove a fleet serves it with
+/// identical traces at 1 and 4 worker threads.
+#[test]
+fn env_model_artifact_serves_through_the_interned_image() {
+    let Some(path) = std::env::var_os("COGARM_MODEL") else {
+        return; // not running under the CI v1-upgrade step
+    };
+    let run = |threads: usize| -> Vec<SessionTrace> {
+        let mut manager = SessionManager::new(Arc::new(ExecPool::new(threads)));
+        let artifact = manager.open_artifact(&path).expect("COGARM_MODEL interns");
+        for &subject in &SUBJECTS {
+            manager
+                .add_session_from_artifact(artifact, subject)
+                .expect("admits from artifact");
+        }
+        manager.run_for(2.0).expect("fleet runs")
+    };
+    let single = run(1);
+    assert!(
+        single.iter().all(|t| !t.labels.is_empty()),
+        "env artifact fleet emitted no labels"
+    );
+    let quad = run(4);
+    for (i, (a, b)) in single.iter().zip(&quad).enumerate() {
+        assert_identical(&format!("env artifact session={i}"), a, b);
+    }
+}
