@@ -202,10 +202,14 @@ pub struct InferenceHead {
     ensemble: Ensemble,
     controller: Controller,
     mcu: Mcu,
-    /// Preallocated inference lanes (one per ensemble member × batch
-    /// slot); every activation of every member lives here, so a label
-    /// tick allocates nothing.
-    scratch: EnsembleScratch,
+    /// Inference lanes (one per ensemble member × batch slot); every
+    /// activation of every member lives here, so a warm label tick
+    /// allocates nothing. Built lazily on the first classification: a
+    /// session whose classifications run through a serving group's shared
+    /// batch scratch never classifies through its own head, and skipping
+    /// the arena build there removes the dominant share of per-session
+    /// scratch memory.
+    scratch: Option<EnsembleScratch>,
     /// Combined class probabilities of the last classification.
     probas: Vec<f32>,
     /// Reused serial-command buffer (largest emission: three 7-byte
@@ -224,19 +228,37 @@ impl std::fmt::Debug for InferenceHead {
 
 impl InferenceHead {
     /// Assembles the head from a trained ensemble and a configured
-    /// controller, with a fresh MCU. All inference scratch (compiled
-    /// plans, activation arenas, command buffers) is allocated here, once.
+    /// controller, with a fresh MCU. The inference scratch arena is built
+    /// on the first classification through this head (see the field doc);
+    /// the rest of the reusable state is allocated here, once.
     #[must_use]
     pub fn new(ensemble: Ensemble, controller: Controller) -> Self {
-        let scratch = EnsembleScratch::new(&ensemble);
         Self {
             ensemble,
             controller,
             mcu: Mcu::new(),
-            scratch,
+            scratch: None,
             probas: vec![0.0; CLASSES],
             cmd_buf: Vec::with_capacity(32),
         }
+    }
+
+    /// Builds the head's own scratch arena now instead of on the first
+    /// classification — the warm-up hook for latency-sensitive callers
+    /// that want the first label tick to be as allocation-free as the
+    /// rest.
+    pub fn warm_scratch(&mut self) {
+        if self.scratch.is_none() {
+            self.scratch = Some(EnsembleScratch::new(&self.ensemble));
+        }
+    }
+
+    /// Whether this head has built its own scratch arena (false for
+    /// sessions served exclusively through a group's shared batch
+    /// scratch).
+    #[must_use]
+    pub fn has_scratch(&self) -> bool {
+        self.scratch.is_some()
     }
 
     /// The classifying ensemble.
@@ -292,6 +314,8 @@ impl InferenceHead {
     /// argmax. Bit-identical to `Ensemble::predict_with`; zero heap
     /// allocations once warm.
     pub fn classify(&mut self, window: &[f32], pool: &ExecPool) -> usize {
+        self.warm_scratch();
+        let scratch = self.scratch.as_mut().expect("warmed above");
         // Slice rather than pass the whole buffer: a prior
         // `classify_batch_into` may have grown `probas` past one window.
         self.ensemble.predict_batch_into(
@@ -299,7 +323,7 @@ impl InferenceHead {
             1,
             CHANNELS,
             pool,
-            &mut self.scratch,
+            scratch,
             &mut self.probas[..CLASSES],
         );
         ml::ensemble::argmax(&self.probas[..CLASSES])
@@ -325,9 +349,11 @@ impl InferenceHead {
         pool: &ExecPool,
         labels: &mut Vec<usize>,
     ) {
+        self.warm_scratch();
+        let scratch = self.scratch.as_mut().expect("warmed above");
         self.probas.resize(batch * CLASSES, 0.0);
         self.ensemble
-            .predict_batch_into(windows, batch, CHANNELS, pool, &mut self.scratch, &mut self.probas);
+            .predict_batch_into(windows, batch, CHANNELS, pool, scratch, &mut self.probas);
         for b in 0..batch {
             labels.push(ml::ensemble::argmax(
                 &self.probas[b * CLASSES..(b + 1) * CLASSES],
@@ -431,7 +457,13 @@ impl CognitiveArm {
         pool: Arc<ExecPool>,
     ) -> Self {
         let params = SubjectParams::sampled(subject_seed);
-        let mut board = SimulatedBoard::new(params, subject_seed ^ 0xB0A7D);
+        // The loop drains the board every label period, so the ring never
+        // holds more than one period (plus slack up to the window length);
+        // sizing it to the consumption window instead of the hardware
+        // default's 6 minutes cuts per-session scratch ~450× with
+        // bit-identical frames.
+        let ring = ensemble.window().max(config.label_every).max(64);
+        let mut board = SimulatedBoard::with_buffer_capacity(params, subject_seed ^ 0xB0A7D, ring);
         board.start_stream().expect("fresh board starts");
         let chain = StreamingChain::new(&config.filter).expect("default filter spec is valid");
         let controller = Controller::new(config.controller, SafetyGate::new(config.safety));
@@ -615,8 +647,29 @@ impl CognitiveArm {
         inference_seconds: f64,
         trace: &mut SessionTrace,
     ) -> Result<usize> {
-        self.latency.inference.record(inference_seconds);
         let t = self.elapsed_s();
+        self.apply_label_at(label, t, period_samples, inference_seconds, trace)
+    }
+
+    /// [`CognitiveArm::apply_label`] with the label's timestamp supplied by
+    /// the caller. A ready-set scheduler may actuate a window one tick
+    /// after gathering it (the session's clock has advanced by then); it
+    /// captures `elapsed_s()` at gather time and passes it here so the
+    /// trace records the time the window *became due* — exactly what the
+    /// barrier scheduler writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates actuation failures.
+    pub fn apply_label_at(
+        &mut self,
+        label: usize,
+        t: f64,
+        period_samples: usize,
+        inference_seconds: f64,
+        trace: &mut SessionTrace,
+    ) -> Result<usize> {
+        self.latency.inference.record(inference_seconds);
         self.head
             .apply(label, t, period_samples, trace, &mut self.latency)
     }

@@ -146,10 +146,25 @@ pub struct SimulatedBoard {
 }
 
 impl SimulatedBoard {
-    /// Creates a board simulating the given subject.
+    /// Creates a board simulating the given subject, with the stock
+    /// Cyton+Daisy 6-minute ring (45 000 frames, ~2.9 MB).
     #[must_use]
     pub fn new(params: SubjectParams, seed: u64) -> Self {
-        let descriptor = BoardDescriptor::cyton_daisy();
+        Self::with_buffer_capacity(params, seed, BoardDescriptor::cyton_daisy().buffer_size)
+    }
+
+    /// Creates a board whose ring holds `frames` samples. A pipeline that
+    /// drains the board every period only ever needs a period's worth of
+    /// frames buffered; serving fleets size the ring to the consumption
+    /// window instead of the 6-minute hardware default, cutting per-session
+    /// scratch from ~2.9 MB to a few KB. Data semantics are unchanged as
+    /// long as the consumer drains before `frames` samples accumulate
+    /// (beyond that the ring overwrites oldest, exactly like the hardware
+    /// buffer would).
+    #[must_use]
+    pub fn with_buffer_capacity(params: SubjectParams, seed: u64, frames: usize) -> Self {
+        let mut descriptor = BoardDescriptor::cyton_daisy();
+        descriptor.buffer_size = frames.max(1);
         let buffer = RingBuffer::new(descriptor.buffer_size);
         Self {
             descriptor,
@@ -318,6 +333,25 @@ mod tests {
         assert_eq!(c.samples, 4);
         // Oldest two were dropped.
         assert_eq!(c.channel(0), &[2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn window_sized_ring_produces_identical_frames() {
+        // As long as the consumer drains before the ring wraps, a small
+        // ring delivers exactly the frames the 6-minute default would.
+        let mut big = SimulatedBoard::new(SubjectParams::sampled(3), 7);
+        let mut small = SimulatedBoard::with_buffer_capacity(SubjectParams::sampled(3), 7, 25);
+        big.start_stream().unwrap();
+        small.start_stream().unwrap();
+        for _ in 0..40 {
+            big.advance(25).unwrap();
+            small.advance(25).unwrap();
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            big.drain_frames(|f| a.extend_from_slice(f)).unwrap();
+            small.drain_frames(|f| b.extend_from_slice(f)).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(small.descriptor().buffer_size, 25);
     }
 
     #[test]

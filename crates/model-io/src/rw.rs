@@ -40,6 +40,25 @@ pub trait Persist: Sized {
     ///
     /// Every malformed input yields a typed [`ModelIoError`].
     fn read_from<R: Read>(r: &mut R) -> Result<Self>;
+
+    /// Reads `len` consecutive values — the body of `Vec<T>::read_from`,
+    /// split out so fixed-width types can decode in bulk. The default is
+    /// the obvious per-element loop; the little-endian primitives
+    /// override it to read whole chunks of bytes at a time, which is
+    /// what makes the lazy streaming loader's weight decode competitive
+    /// with the zero-copy path (a paper-scale ensemble is tens of
+    /// thousands of `f32`s — one buffered read each adds up).
+    ///
+    /// # Errors
+    ///
+    /// Every malformed input yields a typed [`ModelIoError`].
+    fn read_many<R: Read>(r: &mut R, len: usize) -> Result<Vec<Self>> {
+        let mut out = Vec::with_capacity(len.min(CAP_HINT));
+        for _ in 0..len {
+            out.push(Self::read_from(r)?);
+        }
+        Ok(out)
+    }
 }
 
 /// Reads exactly `N` bytes, mapping EOF to a contextual truncation error.
@@ -77,6 +96,34 @@ macro_rules! persist_le_bytes {
 
             fn read_from<R: Read>(r: &mut R) -> Result<Self> {
                 Ok(<$ty>::from_le_bytes(read_array(r, stringify!($ty))?))
+            }
+
+            /// Bulk decode: one `read_exact` per 16 KiB chunk instead of
+            /// one per element. Capacity stays bounded by [`CAP_HINT`]
+            /// (forged lengths run the stream dry and error before any
+            /// length-proportional allocation).
+            fn read_many<R: Read>(r: &mut R, len: usize) -> Result<Vec<Self>> {
+                const SIZE: usize = std::mem::size_of::<$ty>();
+                const CHUNK: usize = (16 * 1024) / SIZE;
+                let mut out = Vec::with_capacity(len.min(CAP_HINT));
+                let mut buf = [0u8; 16 * 1024];
+                let mut remaining = len;
+                while remaining > 0 {
+                    let n = remaining.min(CHUNK);
+                    let bytes = &mut buf[..n * SIZE];
+                    r.read_exact(bytes).map_err(|e| {
+                        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                            ModelIoError::Truncated { context: concat!(stringify!($ty), " sequence") }
+                        } else {
+                            ModelIoError::Io(e)
+                        }
+                    })?;
+                    out.extend(bytes.chunks_exact(SIZE).map(|c| {
+                        <$ty>::from_le_bytes(c.try_into().expect("chunk size"))
+                    }));
+                    remaining -= n;
+                }
+                Ok(out)
             }
         }
     )+};
@@ -156,11 +203,7 @@ impl<T: Persist> Persist for Vec<T> {
 
     fn read_from<R: Read>(r: &mut R) -> Result<Self> {
         let len = read_len(r, "Vec length")?;
-        let mut out = Vec::with_capacity(len.min(CAP_HINT));
-        for _ in 0..len {
-            out.push(T::read_from(r)?);
-        }
-        Ok(out)
+        T::read_many(r, len)
     }
 }
 

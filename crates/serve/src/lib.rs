@@ -56,7 +56,7 @@ pub mod streaming;
 mod error;
 
 pub use error::ServeError;
-pub use manager::{ArtifactId, SessionId, SessionManager, SessionSpec};
+pub use manager::{ArtifactId, Scheduling, SessionId, SessionManager, SessionSpec};
 pub use streaming::{StreamSession, DEFAULT_CHANNEL_CAPACITY};
 
 /// Result alias used across the crate.

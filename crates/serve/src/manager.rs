@@ -14,6 +14,7 @@ use exec::ExecPool;
 use ml::ensemble::{argmax, Ensemble, EnsembleScratch};
 use ml::models::CLASSES;
 use model_io::{SavedModel, WeightImage};
+use stream::transport::TransportParams;
 
 use crate::streaming::{StreamSession, DEFAULT_CHANNEL_CAPACITY};
 use crate::{Result, ServeError};
@@ -32,6 +33,9 @@ pub struct SessionSpec {
     pub subject_seed: u64,
     /// The mental task the subject starts with.
     pub action: Action,
+    /// Wire behaviour for streaming sessions (`None` = the LSL role).
+    /// Ignored by batch sessions, which have no wire.
+    pub wire: Option<TransportParams>,
 }
 
 impl SessionSpec {
@@ -44,6 +48,7 @@ impl SessionSpec {
             normalization: None,
             subject_seed,
             action: Action::Idle,
+            wire: None,
         }
     }
 
@@ -57,6 +62,7 @@ impl SessionSpec {
             normalization: model.normalization,
             subject_seed,
             action: Action::Idle,
+            wire: None,
         }
     }
 
@@ -74,18 +80,37 @@ impl SessionSpec {
         self
     }
 
+    /// Sets an explicit wire for streaming sessions (jitter, loss,
+    /// overhead — see [`TransportParams`]). Lossy wires must retransmit:
+    /// a silent drop would park the dejitter cursor on the missing
+    /// sequence number forever, so [`SessionSpec::validate`] rejects that
+    /// combination.
+    #[must_use]
+    pub fn with_wire(mut self, wire: TransportParams) -> Self {
+        self.wire = Some(wire);
+        self
+    }
+
     /// Rejects specs the pipeline constructors would panic on, so session
     /// admission is a typed error instead of a crash.
     ///
     /// # Errors
     ///
-    /// [`ServeError::BadRequest`] for an undesignable filter or a zero
-    /// `label_every`.
+    /// [`ServeError::BadRequest`] for an undesignable filter, a zero
+    /// `label_every`, or a silently lossy wire.
     pub fn validate(&self) -> Result<()> {
         if self.config.label_every == 0 {
             return Err(ServeError::BadRequest(
                 "label_every must be positive".into(),
             ));
+        }
+        if let Some(wire) = &self.wire {
+            if wire.loss_prob > 0.0 && !wire.retransmit {
+                return Err(ServeError::BadRequest(
+                    "streaming sessions need a reliable wire: lossy transports must retransmit"
+                        .into(),
+                ));
+            }
         }
         StreamingChain::new(&self.config.filter)
             .map_err(|e| ServeError::BadRequest(format!("filter spec rejected: {e}")))?;
@@ -189,6 +214,27 @@ impl Slot {
     }
 }
 
+/// How a [`SessionManager`] schedules its micro-batch groups each tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduling {
+    /// Ready-set (the default): each tick classifies the windows gathered
+    /// on the *previous* tick while every member's filter stage advances
+    /// concurrently — one-tick software pipelining. A member whose filter
+    /// is still running never stalls the batched ensemble call; it simply
+    /// joins the next tick's batch. Per-session traces are bit-identical
+    /// to [`Scheduling::Barrier`]: plan v2's row-count invariance makes
+    /// batch composition invisible, timestamps are captured when the
+    /// window comes due, and actuation per session happens in the same
+    /// order with the same labels.
+    #[default]
+    ReadySet,
+    /// The pre-pipelined scheduler: each tick advances every member, then
+    /// classifies that tick's due windows before the next tick may start —
+    /// the whole group stalls on its slowest member. Kept as the reference
+    /// the equivalence tests compare against.
+    Barrier,
+}
+
 /// A micro-batch group: batch sessions admitted with a structurally equal
 /// ensemble and label cadence. Each serving tick, every member advances
 /// one label period and the windows that come due are classified in **one
@@ -211,8 +257,16 @@ struct BatchGroup {
     windows: Vec<f32>,
     /// Batched combined probabilities.
     probas: Vec<f32>,
-    /// Member positions (indices into `members`) due this tick.
+    /// Member positions (indices into `members`) due this tick (barrier)
+    /// or gathered last tick and pending classification (ready-set).
     due: Vec<usize>,
+    /// Label timestamps captured when each `due` window was gathered —
+    /// the ready-set scheduler actuates one tick later, after the
+    /// session's clock has advanced, so the gather-time stamp is what
+    /// keeps its traces bit-identical to the barrier scheduler's.
+    due_ts: Vec<f64>,
+    /// Predicted labels for the pending `due` windows (ready-set).
+    labels: Vec<usize>,
 }
 
 impl BatchGroup {
@@ -226,6 +280,8 @@ impl BatchGroup {
             windows: Vec::new(),
             probas: Vec::new(),
             due: Vec::new(),
+            due_ts: Vec::new(),
+            labels: Vec::new(),
         }
     }
 
@@ -331,6 +387,175 @@ impl BatchGroup {
             })
             .collect()
     }
+
+    /// [`BatchGroup::run`] with one-tick software pipelining (see
+    /// [`Scheduling::ReadySet`]): the batched ensemble call over tick
+    /// `t`'s due windows runs **concurrently** with tick `t+1`'s filter
+    /// advances, so the ready set of each tick never waits on a straggling
+    /// filter stage. Labels actuate one tick after their window came due,
+    /// stamped with the gather-time timestamp
+    /// ([`CognitiveArm::apply_label_at`]) — per-session traces are
+    /// bit-identical to the barrier scheduler's at any thread count.
+    fn run_ready_set(
+        &mut self,
+        members: &mut [(usize, &mut Slot)],
+        pool: &ExecPool,
+        seconds: f64,
+    ) -> Vec<(usize, Result<SessionTrace>)> {
+        let total = (seconds * SAMPLE_RATE) as usize;
+        let step = self.label_every;
+        let mut traces: Vec<SessionTrace> =
+            members.iter().map(|_| SessionTrace::default()).collect();
+        let mut errors: Vec<Option<ServeError>> = members
+            .iter()
+            .map(|(_, slot)| {
+                slot.poisoned
+                    .then(|| ServeError::BadRequest(POISONED.into()))
+            })
+            .collect();
+
+        let Self {
+            ensemble,
+            scratch,
+            windows,
+            probas,
+            due,
+            due_ts,
+            labels,
+            ..
+        } = self;
+        due.clear();
+        due_ts.clear();
+        windows.clear();
+        labels.clear();
+        // The label period the pending `due` windows were gathered with
+        // (their actuation integrates the MCU over exactly this span).
+        let mut pending_period = 0usize;
+
+        let mut done = 0usize;
+        while done < total {
+            let n = step.min(total - done);
+            // The pipelined pair: classify last tick's ready set while
+            // every member's filter stage advances this tick. Both halves
+            // nest their own parallelism on the same pool.
+            let (inference_s, advanced) = pool.join(
+                || {
+                    if due.is_empty() {
+                        return 0.0;
+                    }
+                    let k = due.len();
+                    probas.clear();
+                    probas.resize(k * CLASSES, 0.0);
+                    let t1 = Instant::now();
+                    ensemble.predict_batch_into(windows, k, CHANNELS, pool, scratch, probas);
+                    labels.clear();
+                    for j in 0..k {
+                        labels.push(argmax(&probas[j * CLASSES..(j + 1) * CLASSES]));
+                    }
+                    t1.elapsed().as_secs_f64()
+                },
+                || {
+                    pool.par_map_mut(members, |(_, slot)| {
+                        if slot.poisoned {
+                            return None;
+                        }
+                        Some(
+                            slot.batch_arm_mut()
+                                .advance_period(n)
+                                .map_err(ServeError::from),
+                        )
+                    })
+                },
+            );
+
+            // Actuate last tick's labels in admission order, before this
+            // tick's advance outcomes are looked at: a failure this tick
+            // cannot retract a label that was already due — exactly the
+            // barrier scheduler's event order per session.
+            for (j, &mi) in due.iter().enumerate() {
+                if errors[mi].is_some() {
+                    continue;
+                }
+                let arm = members[mi].1.batch_arm_mut();
+                if let Err(e) = arm.apply_label_at(
+                    labels[j],
+                    due_ts[j],
+                    pending_period,
+                    inference_s,
+                    &mut traces[mi],
+                ) {
+                    members[mi].1.poisoned = true;
+                    errors[mi] = Some(ServeError::from(e));
+                }
+            }
+            due.clear();
+            due_ts.clear();
+            windows.clear();
+
+            // Gather this tick's ready set; the next tick classifies it.
+            for (mi, outcome) in advanced.into_iter().enumerate() {
+                if errors[mi].is_some() {
+                    continue;
+                }
+                match outcome {
+                    Some(Ok(true)) => {
+                        let arm = members[mi].1.batch_arm_mut();
+                        arm.append_window_to(windows);
+                        due.push(mi);
+                        due_ts.push(arm.elapsed_s());
+                    }
+                    Some(Ok(false)) | None => {}
+                    Some(Err(e)) => {
+                        members[mi].1.poisoned = true;
+                        errors[mi] = Some(e);
+                    }
+                }
+            }
+            pending_period = n;
+            done += n;
+        }
+
+        // Drain the pipeline: the final tick's ready set still needs its
+        // classification and actuation.
+        if !due.is_empty() {
+            let k = due.len();
+            probas.clear();
+            probas.resize(k * CLASSES, 0.0);
+            let t1 = Instant::now();
+            ensemble.predict_batch_into(windows, k, CHANNELS, pool, scratch, probas);
+            let inference_s = t1.elapsed().as_secs_f64();
+            for (j, &mi) in due.iter().enumerate() {
+                if errors[mi].is_some() {
+                    continue;
+                }
+                let label = argmax(&probas[j * CLASSES..(j + 1) * CLASSES]);
+                let arm = members[mi].1.batch_arm_mut();
+                if let Err(e) = arm.apply_label_at(
+                    label,
+                    due_ts[j],
+                    pending_period,
+                    inference_s,
+                    &mut traces[mi],
+                ) {
+                    members[mi].1.poisoned = true;
+                    errors[mi] = Some(ServeError::from(e));
+                }
+            }
+            due.clear();
+            due_ts.clear();
+            windows.clear();
+        }
+
+        members
+            .iter()
+            .zip(errors)
+            .zip(traces)
+            .map(|((&(si, _), error), trace)| match error {
+                Some(e) => (si, Err(e)),
+                None => (si, Ok(trace)),
+            })
+            .collect()
+    }
 }
 
 /// One work item of a serving segment: a streaming session running its
@@ -353,20 +578,26 @@ enum Work<'a> {
 /// session alone, sequentially, at any thread count.
 pub struct SessionManager {
     pool: Arc<ExecPool>,
-    sessions: Vec<Slot>,
+    /// Admitted sessions by id; a removed session leaves a tombstone so
+    /// ids stay stable under churn (`None` slots cost one pointer-sized
+    /// entry and are skipped everywhere).
+    sessions: Vec<Option<Slot>>,
     /// Micro-batch groups over the batch-shaped sessions (streaming
     /// sessions run their own two-stage pipelines and are not grouped).
     groups: Vec<BatchGroup>,
     /// Interned artifacts, keyed by weight-image content hash: one shared
     /// image per distinct artifact no matter how many times it is opened.
     artifacts: Vec<ArtifactEntry>,
+    /// How micro-batch groups schedule their ticks.
+    scheduling: Scheduling,
 }
 
 impl std::fmt::Debug for SessionManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SessionManager")
-            .field("sessions", &self.sessions.len())
+            .field("sessions", &self.len())
             .field("threads", &self.pool.threads())
+            .field("scheduling", &self.scheduling)
             .finish()
     }
 }
@@ -380,6 +611,7 @@ impl SessionManager {
             sessions: Vec::new(),
             groups: Vec::new(),
             artifacts: Vec::new(),
+            scheduling: Scheduling::default(),
         }
     }
 
@@ -396,16 +628,63 @@ impl SessionManager {
         &self.pool
     }
 
-    /// Number of admitted sessions.
+    /// Number of live (admitted and not removed) sessions.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.sessions.len()
+        self.sessions.iter().filter(|s| s.is_some()).count()
     }
 
-    /// Whether no session has been admitted yet.
+    /// Whether no live session remains.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.sessions.is_empty()
+        self.len() == 0
+    }
+
+    /// The ids of every live session, in admission order — the order
+    /// [`SessionManager::run_for_each`] reports results in.
+    #[must_use]
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        self.sessions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| SessionId(i)))
+            .collect()
+    }
+
+    /// The micro-batch scheduling policy in force.
+    #[must_use]
+    pub fn scheduling(&self) -> Scheduling {
+        self.scheduling
+    }
+
+    /// Switches the micro-batch scheduling policy. Safe to change between
+    /// segments: both policies produce bit-identical per-session traces
+    /// (ready-set is the default; barrier is the reference scheduler).
+    pub fn set_scheduling(&mut self, scheduling: Scheduling) {
+        self.scheduling = scheduling;
+    }
+
+    /// Disconnects a session: its slot becomes a tombstone (ids of other
+    /// sessions are unaffected), it leaves its micro-batch group, and a
+    /// group left empty is dropped. The churn path — thousands of
+    /// connect/disconnect cycles leave nothing behind but the
+    /// pointer-sized tombstones.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] for a foreign or already-removed id.
+    pub fn remove_session(&mut self, id: SessionId) -> Result<()> {
+        match self.sessions.get_mut(id.0) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+            }
+            _ => return Err(ServeError::UnknownSession(id.0)),
+        }
+        for group in &mut self.groups {
+            group.members.retain(|&si| si != id.0);
+        }
+        self.groups.retain(|g| !g.members.is_empty());
+        Ok(())
     }
 
     /// Sizes of the micro-batch groups, in creation order — how many
@@ -450,10 +729,10 @@ impl SessionManager {
             arm.set_normalization(z);
         }
         arm.set_subject_action(spec.action);
-        self.sessions.push(Slot {
+        self.sessions.push(Some(Slot {
             session: ManagedSession::Batch(Box::new(arm)),
             poisoned: false,
-        });
+        }));
         Ok(SessionId(slot_index))
     }
 
@@ -559,10 +838,10 @@ impl SessionManager {
         capacity: usize,
     ) -> Result<SessionId> {
         let session = StreamSession::new(spec, Arc::clone(&self.pool), capacity)?;
-        self.sessions.push(Slot {
+        self.sessions.push(Some(Slot {
             session: ManagedSession::Streaming(Box::new(session)),
             poisoned: false,
-        });
+        }));
         Ok(SessionId(self.sessions.len() - 1))
     }
 
@@ -589,6 +868,7 @@ impl SessionManager {
     fn session_mut(&mut self, id: SessionId) -> Result<&mut Slot> {
         self.sessions
             .get_mut(id.0)
+            .and_then(Option::as_mut)
             .ok_or(ServeError::UnknownSession(id.0))
     }
 
@@ -601,32 +881,37 @@ impl SessionManager {
     pub fn is_poisoned(&self, id: SessionId) -> Result<bool> {
         self.sessions
             .get(id.0)
+            .and_then(Option::as_ref)
             .map(|slot| slot.poisoned)
             .ok_or(ServeError::UnknownSession(id.0))
     }
 
-    /// Advances every session by `seconds` of simulated time, returning
-    /// each session's segment result in admission order. Streaming
-    /// sessions run their two-stage pipelines as parallel work items;
-    /// batch sessions run through their micro-batch groups in lockstep,
-    /// each tick's due windows classified in **one batched ensemble call**
-    /// (filter stages advance in parallel; the batched call itself fans
+    /// Advances every live session by `seconds` of simulated time,
+    /// returning each session's segment result in admission order (one
+    /// entry per live session; [`SessionManager::session_ids`] gives the
+    /// matching ids). Streaming sessions run their two-stage pipelines as
+    /// parallel work items; batch sessions run through their micro-batch
+    /// groups under the active [`Scheduling`] policy, each tick's ready
+    /// windows classified in **one batched ensemble call** (filter stages
+    /// advance in parallel; the batched call itself fans
     /// `members × windows` across the pool). Everything stays
     /// bit-identical to running each session alone, sequentially, at any
-    /// thread count. A failing session is **poisoned** (it will not run
-    /// again) but never takes its neighbours' traces with it.
+    /// thread count and under either scheduler. A failing session is
+    /// **poisoned** (it will not run again) but never takes its
+    /// neighbours' traces with it.
     ///
     /// # Errors
     ///
     /// The outer `Err` only for an empty manager or a non-positive
     /// duration; per-session failures are the inner results.
     pub fn run_for_each(&mut self, seconds: f64) -> Result<Vec<Result<SessionTrace>>> {
-        if self.sessions.is_empty() {
+        if self.is_empty() {
             return Err(ServeError::BadRequest("no sessions admitted".into()));
         }
         if seconds <= 0.0 {
             return Err(ServeError::BadRequest("non-positive run duration".into()));
         }
+        let scheduling = self.scheduling;
         let Self {
             pool,
             sessions,
@@ -634,10 +919,10 @@ impl SessionManager {
             ..
         } = self;
 
-        // Route every slot to its micro-batch group or the streaming set
-        // (one pass of mutable borrows, so groups and streaming sessions
-        // can then run as *concurrent* pool work items — no shape waits
-        // on the other).
+        // Route every live slot to its micro-batch group or the streaming
+        // set (one pass of mutable borrows, so groups and streaming
+        // sessions can then run as *concurrent* pool work items — no
+        // shape waits on the other).
         let mut slot_group: Vec<Option<usize>> = vec![None; sessions.len()];
         for (gi, group) in groups.iter().enumerate() {
             for &si in &group.members {
@@ -648,6 +933,7 @@ impl SessionManager {
             groups.iter().map(|_| Vec::new()).collect();
         let mut work: Vec<Work<'_>> = Vec::new();
         for (i, slot) in sessions.iter_mut().enumerate() {
+            let Some(slot) = slot.as_mut() else { continue };
             match slot_group[i] {
                 Some(gi) => buckets[gi].push((i, slot)),
                 None => work.push(Work::Stream(i, slot)),
@@ -663,18 +949,25 @@ impl SessionManager {
         // caller-participates design keeps deadlock-free.
         let outcomes = pool.par_map_mut(&mut work, |item| match item {
             Work::Stream(i, slot) => vec![(*i, slot.run_streaming_for(seconds))],
-            Work::Group(group, slots) => group.run(slots, pool, seconds),
+            Work::Group(group, slots) => match scheduling {
+                Scheduling::ReadySet => group.run_ready_set(slots, pool, seconds),
+                Scheduling::Barrier => group.run(slots, pool, seconds),
+            },
         });
 
         let mut results: Vec<Option<Result<SessionTrace>>> =
             (0..sessions.len()).map(|_| None).collect();
+        let mut filled = 0usize;
         for (si, result) in outcomes.into_iter().flatten() {
             results[si] = Some(result);
+            filled += 1;
         }
-        Ok(results
-            .into_iter()
-            .map(|r| r.expect("every session belongs to a group or the streaming set"))
-            .collect())
+        debug_assert_eq!(
+            filled,
+            sessions.iter().filter(|s| s.is_some()).count(),
+            "every live session belongs to a group or the streaming set"
+        );
+        Ok(results.into_iter().flatten().collect())
     }
 
     /// [`SessionManager::run_for_each`] flattened to the all-success case:

@@ -20,7 +20,7 @@
 //! bit-identical to `CognitiveArm::run_for` over the same spec, at any
 //! pool size (`tests/tests/serving.rs` locks exactly that equivalence).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::Arc;
 
@@ -35,8 +35,10 @@ use eeg::types::Action;
 use eeg::{CHANNELS, SAMPLE_RATE};
 use exec::ExecPool;
 use stream::clock::SimClock;
+use stream::dejitter::ReorderRing;
 use stream::inlet::{Inlet, ReceivedSample};
 use stream::outlet::{Outlet, StreamInfo};
+use stream::pool::PacketPool;
 use stream::transport::{Transport, TransportParams};
 
 use crate::manager::SessionSpec;
@@ -75,14 +77,21 @@ struct FilterStage {
     inlet: Inlet,
     chain: StreamingChain,
     window: SlidingWindow,
-    /// Samples received from the inlet but still ahead of `next_seq`.
-    reorder: BTreeMap<u64, Vec<f32>>,
+    /// Payload buffers recycled through outlet → transport → inlet →
+    /// filter and back: the sender takes from here, the consumer puts
+    /// back after filtering, and the transport returns silently dropped
+    /// payloads at the drop site. Once warm, the wire allocates nothing.
+    pool: Arc<PacketPool>,
+    /// Sequence-order restoration for out-of-order arrivals (O(1)
+    /// amortized per packet; replaces a node-allocating `BTreeMap`).
+    reorder: ReorderRing,
     /// Reused drain buffer for the inlet pull: the wire's arrival batch
     /// lands here allocation-free before the dejitter pass moves the
     /// payloads out.
     drained: Vec<ReceivedSample>,
-    /// Next sequence number to feed the filter chain (dejitter cursor).
-    next_seq: u64,
+    /// Reused label-period boundary queue for [`FilterStage::run_segment`]
+    /// as (cumulative end, period length) pairs.
+    bounds: VecDeque<(usize, usize)>,
     /// Filtering + windowing cost per label period (the monolithic loop's
     /// `latency.filter` counterpart; sink/inference time excluded).
     stats: StageStats,
@@ -99,16 +108,16 @@ impl FilterStage {
         start_elapsed: u64,
         sink: &mut WindowSink<'_>,
     ) -> Result<()> {
-        // Label-period boundaries within this segment, as (cumulative end,
-        // period length) — the last period may be partial, exactly like the
-        // monolithic loop's `step.min(total - done)`.
-        let mut bounds: VecDeque<(usize, usize)> = VecDeque::new();
+        // Label-period boundaries within this segment — the last period may
+        // be partial, exactly like the monolithic loop's
+        // `step.min(total - done)`.
+        self.bounds.clear();
         {
             let mut c = 0usize;
             while c < total {
                 let n = label_every.min(total - c);
                 c += n;
-                bounds.push_back((c, n));
+                self.bounds.push_back((c, n));
             }
         }
         let base = start_elapsed as f64 / SAMPLE_RATE;
@@ -117,22 +126,40 @@ impl FilterStage {
         while done < total {
             let n = label_every.min(total - done);
             self.board.advance(n)?;
-            let chunk = self.board.drain()?;
-            for i in 0..chunk.samples {
-                let mut payload = Vec::with_capacity(CHANNELS);
-                for ch in 0..CHANNELS {
-                    payload.push(chunk.data[ch * chunk.samples + i]);
+            // Frame-wise drain straight into pooled payloads: no
+            // transposed Chunk is materialized and no payload Vec is
+            // allocated once the pool has warmed to the wire's in-flight
+            // depth. Values and push order are identical to the previous
+            // chunk-transpose path.
+            {
+                let outlet = &mut self.outlet;
+                let transport = &mut self.transport;
+                let pool = &self.pool;
+                let mut push_err: Option<ServeError> = None;
+                let mut i = 0usize;
+                self.board.drain_frames(|frame| {
+                    if push_err.is_some() {
+                        return;
+                    }
+                    let mut payload = pool.take(CHANNELS);
+                    payload.extend_from_slice(frame);
+                    let t_push = base + (done + i + 1) as f64 / SAMPLE_RATE;
+                    if let Err(e) = outlet.push(transport, payload, t_push) {
+                        push_err = Some(e.into());
+                    }
+                    i += 1;
+                })?;
+                if let Some(e) = push_err {
+                    return Err(e);
                 }
-                let t_push = base + (done + i + 1) as f64 / SAMPLE_RATE;
-                self.outlet.push(&mut self.transport, payload, t_push)?;
             }
             done += n;
             let now = base + done as f64 / SAMPLE_RATE;
-            let spent = self.ingest(now, &mut bounds, &mut processed, start_elapsed, sink)?;
+            let spent = self.ingest(now, &mut processed, start_elapsed, sink)?;
             self.stats.record(spent);
         }
         // Drain packets still in flight (retransmissions land late).
-        let spent = self.ingest(f64::INFINITY, &mut bounds, &mut processed, start_elapsed, sink)?;
+        let spent = self.ingest(f64::INFINITY, &mut processed, start_elapsed, sink)?;
         if spent > 0.0 {
             self.stats.record(spent);
         }
@@ -147,7 +174,6 @@ impl FilterStage {
     fn ingest(
         &mut self,
         now: f64,
-        bounds: &mut VecDeque<(usize, usize)>,
         processed: &mut usize,
         start_elapsed: u64,
         sink: &mut WindowSink<'_>,
@@ -156,22 +182,26 @@ impl FilterStage {
         self.drained.clear();
         self.inlet.pull_into(&mut self.transport, now, &mut self.drained);
         for sample in self.drained.drain(..) {
-            self.reorder.insert(sample.seq, sample.payload);
+            if let Some(stale) = self.reorder.insert(sample.seq, sample.payload) {
+                // Duplicate delivery: the displaced copy goes back to the
+                // pool instead of leaking out of the recycle cycle.
+                self.pool.put(stale);
+            }
         }
-        while let Some(payload) = self.reorder.remove(&self.next_seq) {
-            self.next_seq += 1;
+        while let Some(payload) = self.reorder.pop_ready() {
             let t0 = std::time::Instant::now();
             let mut s = [0.0f32; CHANNELS];
             for (ch, v) in s.iter_mut().enumerate() {
                 *v = payload[ch];
             }
+            self.pool.put(payload);
             self.chain.step(&mut s);
             self.window.push(&s);
             spent += t0.elapsed().as_secs_f64();
             *processed += 1;
 
-            if bounds.front().is_some_and(|&(end, _)| end == *processed) {
-                let (end, period) = bounds.pop_front().expect("front checked");
+            if self.bounds.front().is_some_and(|&(end, _)| end == *processed) {
+                let (end, period) = self.bounds.pop_front().expect("front checked");
                 if self.window.is_full() {
                     let t = (start_elapsed + end as u64) as f64 / SAMPLE_RATE;
                     sink(t, period, &self.window)?;
@@ -227,9 +257,36 @@ impl StreamSession {
     pub fn new(spec: SessionSpec, pool: Arc<ExecPool>, channel_capacity: usize) -> Result<Self> {
         spec.validate()?;
         let params = SubjectParams::sampled(spec.subject_seed);
-        let mut board = SimulatedBoard::new(params, spec.subject_seed ^ 0xB0A7D);
+        // The filter stage drains the board every label period, so the
+        // ring only ever holds one period (plus window-length slack) —
+        // size it to consumption instead of the hardware default's six
+        // minutes (~2.9 MB per session).
+        let ring = spec
+            .ensemble
+            .window()
+            .max(spec.config.label_every)
+            .max(64);
+        let mut board =
+            SimulatedBoard::with_buffer_capacity(params, spec.subject_seed ^ 0xB0A7D, ring);
         board.start_stream().expect("fresh board starts");
         board.set_action(spec.action);
+
+        // The serving wire defaults to the LSL role: reliable and ordered
+        // after the dejitter buffer, so no sample is ever lost to the
+        // classifier. An explicit wire may be jittery and lossy, but must
+        // retransmit: on a silently lossy wire the dejitter cursor would
+        // wait forever on a dropped sequence number.
+        let wire = spec.wire.unwrap_or_else(TransportParams::lsl);
+        if wire.loss_prob > 0.0 && !wire.retransmit {
+            return Err(ServeError::BadRequest(
+                "streaming sessions need a reliable wire: lossy transports must retransmit".into(),
+            ));
+        }
+        // Seeded per subject so concurrent sessions see independent (but
+        // reproducible) networks.
+        let mut transport = Transport::new(wire, spec.subject_seed ^ 0x0057_EA11);
+        let packet_pool = Arc::new(PacketPool::new());
+        transport.set_pool(Arc::clone(&packet_pool));
 
         let mut chain = StreamingChain::new(&spec.config.filter)?;
         if let Some(z) = spec.normalization {
@@ -242,17 +299,14 @@ impl StreamSession {
             filter: FilterStage {
                 board,
                 outlet: Outlet::new(StreamInfo::eeg_default(), SimClock::aligned()),
-                // The serving wire is the LSL role: reliable and ordered
-                // after the dejitter buffer, so no sample is ever lost to
-                // the classifier. Seeded per subject so concurrent
-                // sessions see independent (but reproducible) networks.
-                transport: Transport::new(TransportParams::lsl(), spec.subject_seed ^ 0x0057_EA11),
+                transport,
                 inlet: Inlet::new(SimClock::aligned()),
                 chain,
                 window,
-                reorder: BTreeMap::new(),
+                pool: packet_pool,
+                reorder: ReorderRing::new(),
                 drained: Vec::new(),
-                next_seq: 0,
+                bounds: VecDeque::new(),
                 stats: StageStats::default(),
             },
             flat_buf: Vec::with_capacity(CHANNELS * spec.ensemble.window()),
@@ -264,6 +318,14 @@ impl StreamSession {
             latency: LatencyReport::default(),
             poisoned: false,
         })
+    }
+
+    /// Wire-pool recycling statistics `(allocated, reused)`: buffers the
+    /// packet pool had to allocate fresh vs. takes served from the free
+    /// list. At steady state `reused` grows and `allocated` does not.
+    #[must_use]
+    pub fn pool_stats(&self) -> (u64, u64) {
+        (self.filter.pool.allocated(), self.filter.pool.reused())
     }
 
     /// Sets the mental task the simulated subject performs.

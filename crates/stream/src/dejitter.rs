@@ -1,0 +1,142 @@
+//! Sequence-order restoration: the receiver-side dejitter ring.
+//!
+//! A reliable-but-jittery wire can deliver packets out of sequence order;
+//! the consumer (a causal filter chain) needs them back **in** order. The
+//! previous implementation parked early packets in a `BTreeMap<u64, Vec>`,
+//! which allocates a tree node per out-of-order packet — on the hottest
+//! per-sample path. [`ReorderRing`] replaces it with a ring of payload
+//! slots indexed by `seq - next_seq`: inserts and pops are O(1) amortized,
+//! and once the ring has grown to the wire's worst observed reorder
+//! distance it never allocates again.
+
+use std::collections::VecDeque;
+
+/// A ring of pending payloads, indexed by distance from the next expected
+/// sequence number.
+#[derive(Debug, Default)]
+pub struct ReorderRing {
+    /// Slot `i` holds the payload for sequence number `next_seq + i`.
+    slots: VecDeque<Option<Vec<f32>>>,
+    next_seq: u64,
+    /// Packets that had to wait in the ring (arrived ahead of a gap).
+    held: u64,
+}
+
+impl ReorderRing {
+    /// An empty ring expecting sequence number 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The next sequence number the consumer will receive.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Packets that arrived ahead of a sequence gap and waited in the ring.
+    #[must_use]
+    pub fn held(&self) -> u64 {
+        self.held
+    }
+
+    /// Files one received payload under its sequence number. Returns a
+    /// payload to recycle when this insert displaced one: a stale or
+    /// duplicate `seq` hands `payload` straight back, and a re-delivery of
+    /// a waiting slot hands back the older copy.
+    pub fn insert(&mut self, seq: u64, payload: Vec<f32>) -> Option<Vec<f32>> {
+        if seq < self.next_seq {
+            return Some(payload); // stale duplicate: already consumed
+        }
+        let idx = usize::try_from(seq - self.next_seq).expect("reorder distance fits usize");
+        while self.slots.len() <= idx {
+            self.slots.push_back(None);
+        }
+        if idx > 0 || self.slots[0].is_some() {
+            self.held += 1;
+        }
+        self.slots[idx].replace(payload)
+    }
+
+    /// Removes and returns the next in-sequence payload, if it has arrived.
+    /// Drain with `while let Some(p) = ring.pop_ready()`.
+    pub fn pop_ready(&mut self) -> Option<Vec<f32>> {
+        match self.slots.front_mut() {
+            Some(slot @ Some(_)) => {
+                let payload = slot.take();
+                self.slots.pop_front();
+                self.next_seq += 1;
+                payload
+            }
+            _ => None,
+        }
+    }
+
+    /// Payloads currently parked in the ring (waiting on a gap).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: f32) -> Vec<f32> {
+        vec![v]
+    }
+
+    #[test]
+    fn in_order_passes_straight_through() {
+        let mut ring = ReorderRing::new();
+        for seq in 0..5u64 {
+            assert!(ring.insert(seq, p(seq as f32)).is_none());
+            assert_eq!(ring.pop_ready().unwrap(), p(seq as f32));
+        }
+        assert_eq!(ring.next_seq(), 5);
+        assert_eq!(ring.held(), 0);
+    }
+
+    #[test]
+    fn out_of_order_is_restored() {
+        let mut ring = ReorderRing::new();
+        ring.insert(2, p(2.0));
+        ring.insert(0, p(0.0));
+        ring.insert(1, p(1.0));
+        let mut got = Vec::new();
+        while let Some(payload) = ring.pop_ready() {
+            got.push(payload[0]);
+        }
+        assert_eq!(got, vec![0.0, 1.0, 2.0]);
+        assert!(ring.held() >= 1);
+    }
+
+    #[test]
+    fn gap_blocks_until_filled() {
+        let mut ring = ReorderRing::new();
+        ring.insert(1, p(1.0));
+        assert!(ring.pop_ready().is_none());
+        assert_eq!(ring.pending(), 1);
+        ring.insert(0, p(0.0));
+        assert_eq!(ring.pop_ready().unwrap(), p(0.0));
+        assert_eq!(ring.pop_ready().unwrap(), p(1.0));
+        assert!(ring.pop_ready().is_none());
+    }
+
+    #[test]
+    fn stale_and_duplicate_payloads_are_returned_for_recycling() {
+        let mut ring = ReorderRing::new();
+        ring.insert(0, p(0.0));
+        assert_eq!(ring.pop_ready().unwrap(), p(0.0));
+        // Stale: seq 0 already consumed.
+        assert_eq!(ring.insert(0, p(9.0)).unwrap(), p(9.0));
+        // Duplicate of a waiting slot: the displaced copy comes back.
+        ring.insert(2, p(2.0));
+        assert_eq!(ring.insert(2, p(2.5)).unwrap(), p(2.0));
+        ring.insert(1, p(1.0));
+        assert_eq!(ring.pop_ready().unwrap(), p(1.0));
+        assert_eq!(ring.pop_ready().unwrap(), p(2.5));
+    }
+}

@@ -22,8 +22,10 @@
 
 pub mod clock;
 pub mod compare;
+pub mod dejitter;
 pub mod inlet;
 pub mod outlet;
+pub mod pool;
 pub mod transport;
 
 mod error;

@@ -1,0 +1,147 @@
+//! The packet-buffer pool: payload `Vec<f32>`s recycled through the wire.
+//!
+//! The streaming loop used to allocate one fresh payload vector per sample
+//! pushed into an [`crate::outlet::Outlet`] and drop it after the dejitter
+//! pass consumed it — at 125 Hz per session that is the last steady-state
+//! allocation between acquisition and classification. A [`PacketPool`]
+//! closes the cycle: the sender **takes** a cleared buffer, the payload
+//! moves through [`crate::transport::Transport`] and
+//! [`crate::inlet::Inlet`] by ownership (never copied), and the consumer
+//! **puts** it back once the sample has been filtered. Packets a lossy
+//! transport drops on the floor are recycled at the drop site (see
+//! [`crate::transport::Transport::set_pool`]), so the cycle loses no
+//! buffers to simulated packet loss either.
+//!
+//! Once the pool has grown to the wire's peak in-flight depth, a steady
+//! streaming tick performs **zero** payload allocations
+//! (`tests/tests/allocation.rs` locks this with a counting allocator).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A free-list of payload buffers shared by the sender and receiver halves
+/// of a wire. Cheap to share via `Arc`; the lock is uncontended in the
+/// per-session streaming shape (both halves run on one thread).
+#[derive(Debug, Default)]
+pub struct PacketPool {
+    free: Mutex<Vec<Vec<f32>>>,
+    /// Buffers handed out that the free list could not serve (each is one
+    /// true heap allocation).
+    allocated: AtomicU64,
+    /// Buffers handed out from the free list (zero-allocation takes).
+    reused: AtomicU64,
+    /// Buffers returned to the free list.
+    recycled: AtomicU64,
+}
+
+impl PacketPool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands out an empty buffer with room for at least `capacity` values:
+    /// a recycled one when the free list has any (growing it if a smaller
+    /// buffer comes back first), a fresh allocation otherwise.
+    #[must_use]
+    pub fn take(&self, capacity: usize) -> Vec<f32> {
+        let recycled = self.free.lock().expect("pool lock").pop();
+        match recycled {
+            Some(mut buf) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                if buf.capacity() < capacity {
+                    buf.reserve(capacity - buf.len());
+                }
+                buf
+            }
+            None => {
+                self.allocated.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(capacity)
+            }
+        }
+    }
+
+    /// Returns a consumed payload to the free list (cleared, capacity
+    /// kept).
+    pub fn put(&self, mut buf: Vec<f32>) {
+        buf.clear();
+        self.recycled.fetch_add(1, Ordering::Relaxed);
+        self.free.lock().expect("pool lock").push(buf);
+    }
+
+    /// Buffers currently on the free list.
+    #[must_use]
+    pub fn free_len(&self) -> usize {
+        self.free.lock().expect("pool lock").len()
+    }
+
+    /// Takes served by a fresh heap allocation (pool misses).
+    #[must_use]
+    pub fn allocated(&self) -> u64 {
+        self.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Takes served from the free list (pool hits).
+    #[must_use]
+    pub fn reused(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
+
+    /// Buffers returned via [`PacketPool::put`].
+    #[must_use]
+    pub fn recycled(&self) -> u64 {
+        self.recycled.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_prefers_recycled_buffers() {
+        let pool = PacketPool::new();
+        let a = pool.take(16);
+        assert_eq!(pool.allocated(), 1);
+        pool.put(a);
+        let b = pool.take(16);
+        assert_eq!(pool.allocated(), 1, "second take must reuse");
+        assert_eq!(pool.reused(), 1);
+        assert!(b.is_empty() && b.capacity() >= 16);
+    }
+
+    #[test]
+    fn put_clears_contents_but_keeps_capacity() {
+        let pool = PacketPool::new();
+        let mut buf = pool.take(4);
+        buf.extend_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        pool.put(buf);
+        let again = pool.take(4);
+        assert!(again.is_empty());
+        assert!(again.capacity() >= 4);
+    }
+
+    #[test]
+    fn undersized_recycled_buffer_is_grown() {
+        let pool = PacketPool::new();
+        pool.put(Vec::with_capacity(2));
+        let buf = pool.take(64);
+        assert!(buf.capacity() >= 64);
+    }
+
+    #[test]
+    fn stats_track_the_cycle() {
+        let pool = PacketPool::new();
+        let bufs: Vec<_> = (0..3).map(|_| pool.take(8)).collect();
+        for b in bufs {
+            pool.put(b);
+        }
+        assert_eq!(pool.allocated(), 3);
+        assert_eq!(pool.recycled(), 3);
+        assert_eq!(pool.free_len(), 3);
+        let _ = pool.take(8);
+        assert_eq!(pool.reused(), 1);
+        assert_eq!(pool.free_len(), 2);
+    }
+}

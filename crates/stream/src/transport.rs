@@ -11,9 +11,13 @@
 //! | timestamps          | per-sample source timestamps    | none              |
 //! | per-packet overhead | higher (framing + timestamps)   | minimal           |
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+use crate::pool::PacketPool;
 
 /// A packet carrying one multichannel sample.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -82,6 +86,55 @@ impl TransportParams {
     }
 }
 
+/// A snapshot of a transport's wire accounting. Every transmission the
+/// sender pays for is in exactly one of three states — delivered, lost, or
+/// still in flight — so the counters **reconcile** by construction:
+///
+/// * `sent == delivered + lost + in_flight` (packets), and
+/// * `bytes_on_wire == bytes_delivered + bytes_lost + bytes_in_flight`.
+///
+/// A lost-then-retransmitted packet contributes one lost transmission and
+/// one delivered (or in-flight) transmission; a silently dropped packet
+/// contributes one lost transmission and counts in `lost`.
+/// [`WireStats::reconciles`] states the invariant;
+/// `transport::tests::stats_reconcile_under_loss_and_retransmission`
+/// enforces it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStats {
+    /// Packets offered by the application.
+    pub sent: u64,
+    /// Packets handed to the receiver.
+    pub delivered: u64,
+    /// Packets permanently lost (silent drops; never with retransmission).
+    pub lost: u64,
+    /// Packets queued but not yet polled out.
+    pub in_flight: u64,
+    /// Extra transmissions paid to recover first-transmission losses.
+    pub retransmissions: u64,
+    /// Total bytes put on the wire, including lost transmissions,
+    /// retransmissions and protocol headers.
+    pub bytes_on_wire: u64,
+    /// Wire bytes of transmissions that reached the receiver.
+    pub bytes_delivered: u64,
+    /// Wire bytes of transmissions the network dropped (the first
+    /// transmission of every lost packet, retransmitted or not).
+    pub bytes_lost: u64,
+    /// Wire bytes of transmissions still queued for delivery.
+    pub bytes_in_flight: u64,
+    /// Useful payload bytes offered by the application.
+    pub payload_bytes: u64,
+}
+
+impl WireStats {
+    /// Whether every transmission and every byte is accounted for.
+    #[must_use]
+    pub fn reconciles(&self) -> bool {
+        self.sent == self.delivered + self.lost + self.in_flight
+            && self.bytes_on_wire
+                == self.bytes_delivered + self.bytes_lost + self.bytes_in_flight
+    }
+}
+
 /// An in-flight packet queue with protocol semantics applied at send time.
 #[derive(Debug)]
 pub struct Transport {
@@ -92,12 +145,11 @@ pub struct Transport {
     /// not yet arrived move here, then the vectors swap — so a steady-state
     /// drain never allocates.
     keep: Vec<Packet>,
+    /// Recycles payload buffers of silently dropped packets, closing the
+    /// sender→wire→receiver buffer cycle under loss.
+    pool: Option<Arc<PacketPool>>,
     next_seq: u64,
-    /// Running statistics.
-    sent: u64,
-    delivered: u64,
-    bytes_on_wire: u64,
-    payload_bytes: u64,
+    stats: WireStats,
 }
 
 impl Transport {
@@ -110,11 +162,9 @@ impl Transport {
             rng: StdRng::seed_from_u64(seed),
             in_flight: Vec::new(),
             keep: Vec::new(),
+            pool: None,
             next_seq: 0,
-            sent: 0,
-            delivered: 0,
-            bytes_on_wire: 0,
-            payload_bytes: 0,
+            stats: WireStats::default(),
         }
     }
 
@@ -124,32 +174,52 @@ impl Transport {
         &self.params
     }
 
+    /// Attaches a packet-buffer pool. From here on, payloads of silently
+    /// dropped packets go back to the pool at the drop site instead of
+    /// being freed — without a pool, simulated loss leaks one buffer per
+    /// dropped packet out of the recycle cycle.
+    pub fn set_pool(&mut self, pool: Arc<PacketPool>) {
+        self.pool = Some(pool);
+    }
+
     /// Sends one sample at global time `now`, stamping it with the sender's
     /// local clock time `sender_ts` when the protocol carries timestamps.
+    ///
+    /// Accounting: every transmission (including the failed first try of a
+    /// retransmitted packet) lands in exactly one of `bytes_delivered`,
+    /// `bytes_lost`, or `bytes_in_flight` — see [`WireStats`].
     pub fn send(&mut self, payload: Vec<f32>, now: f64, sender_ts: f64) {
         let payload_bytes = payload.len() * std::mem::size_of::<f32>();
+        let wire = (payload_bytes + self.params.overhead_bytes) as u64;
         let lost = self.rng.gen_bool(self.params.loss_prob);
         let latency = self.params.base_latency + self.rng.gen_range(0.0..=self.params.jitter);
 
-        let (arrival, transmissions) = if lost {
+        self.stats.sent += 1;
+        self.stats.payload_bytes += payload_bytes as u64;
+
+        let arrival = if lost {
+            // The first transmission hit the wire and was dropped there.
+            self.stats.bytes_on_wire += wire;
+            self.stats.bytes_lost += wire;
             if self.params.retransmit {
                 // One full extra round trip to detect + resend.
                 let retry = self.params.base_latency * 2.0
                     + self.rng.gen_range(0.0..=self.params.jitter);
-                (Some(now + latency + retry), 2)
+                self.stats.retransmissions += 1;
+                Some(now + latency + retry)
             } else {
-                (None, 1)
+                self.stats.lost += 1;
+                None
             }
         } else {
-            (Some(now + latency), 1)
+            Some(now + latency)
         };
 
-        self.sent += 1;
-        self.bytes_on_wire +=
-            (transmissions * (payload_bytes + self.params.overhead_bytes)) as u64;
-        self.payload_bytes += payload_bytes as u64;
-
         if let Some(arrival) = arrival {
+            // The (re)transmission that will actually reach the receiver.
+            self.stats.bytes_on_wire += wire;
+            self.stats.bytes_in_flight += wire;
+            self.stats.in_flight += 1;
             self.in_flight.push(Packet {
                 seq: self.next_seq,
                 source_timestamp: self.params.timestamps.then_some(sender_ts),
@@ -157,6 +227,8 @@ impl Transport {
                 arrival,
                 wire_bytes: payload_bytes + self.params.overhead_bytes,
             });
+        } else if let Some(pool) = &self.pool {
+            pool.put(payload);
         }
         self.next_seq += 1;
     }
@@ -174,10 +246,17 @@ impl Transport {
     /// cloned). With a reused `out` the steady-state drain performs zero
     /// heap allocations: the not-yet-arrived remainder partitions into a
     /// persistent scratch vector that swaps back into place, and the
-    /// appended packets are ordered with an in-place insertion sort —
-    /// stable, so delivery order is identical to [`Transport::poll`]'s
-    /// stable library sort. Arrivals cluster near their send times, so the
-    /// per-poll batch the quadratic sort sees stays small.
+    /// appended packets are ordered with an in-place unstable sort keyed
+    /// on `(arrival, seq)` — O(n log n) worst case, so an adversarial
+    /// jitter burst that lands hundreds of packets in one poll no longer
+    /// degrades quadratically (the previous insertion sort did).
+    ///
+    /// Delivery order is bit-identical to the old stable sort by arrival:
+    /// `in_flight` always holds packets in ascending `seq` (send appends in
+    /// seq order and the drain/keep partition preserves relative order), so
+    /// equal-arrival packets enter the sort already in seq order, and the
+    /// `seq` tiebreak makes the unstable sort reproduce exactly the
+    /// ordering a stable arrival-only sort would.
     ///
     /// # Panics
     ///
@@ -193,44 +272,62 @@ impl Transport {
         }
         std::mem::swap(&mut self.in_flight, &mut self.keep);
         let ready = &mut out[start..];
-        for i in 1..ready.len() {
-            let mut j = i;
-            while j > 0
-                && ready[j]
-                    .arrival
-                    .partial_cmp(&ready[j - 1].arrival)
-                    .expect("finite arrival")
-                    == std::cmp::Ordering::Less
-            {
-                ready.swap(j, j - 1);
-                j -= 1;
-            }
+        ready.sort_unstable_by(|a, b| {
+            a.arrival
+                .partial_cmp(&b.arrival)
+                .expect("finite arrival")
+                .then_with(|| a.seq.cmp(&b.seq))
+        });
+        self.stats.delivered += ready.len() as u64;
+        self.stats.in_flight -= ready.len() as u64;
+        for p in ready {
+            let wire = p.wire_bytes as u64;
+            self.stats.bytes_delivered += wire;
+            self.stats.bytes_in_flight -= wire;
         }
-        self.delivered += ready.len() as u64;
+    }
+
+    /// A snapshot of the reconciling wire counters.
+    #[must_use]
+    pub fn stats(&self) -> WireStats {
+        self.stats
     }
 
     /// Packets sent so far (including ones that were dropped).
     #[must_use]
     pub fn sent(&self) -> u64 {
-        self.sent
+        self.stats.sent
     }
 
     /// Packets delivered to the receiver so far.
     #[must_use]
     pub fn delivered(&self) -> u64 {
-        self.delivered
+        self.stats.delivered
+    }
+
+    /// Packets permanently lost (silent drops on a non-retransmitting
+    /// wire).
+    #[must_use]
+    pub fn lost(&self) -> u64 {
+        self.stats.lost
+    }
+
+    /// Packets currently queued for delivery.
+    #[must_use]
+    pub fn in_flight_len(&self) -> u64 {
+        self.stats.in_flight
     }
 
     /// Total bytes put on the wire, including retransmissions and headers.
     #[must_use]
     pub fn bytes_on_wire(&self) -> u64 {
-        self.bytes_on_wire
+        self.stats.bytes_on_wire
     }
 
     /// Total useful payload bytes offered by the application.
     #[must_use]
     pub fn payload_bytes(&self) -> u64 {
-        self.payload_bytes
+        self.stats.payload_bytes
     }
 }
 
@@ -344,5 +441,115 @@ mod tests {
             drain_all(&mut t).len()
         };
         assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn stats_reconcile_under_loss_and_retransmission() {
+        for params in [TransportParams::lsl(), TransportParams::udp()] {
+            let mut t = Transport::new(params, 42);
+            let mut out = Vec::new();
+            for i in 0..3000 {
+                let now = f64::from(i) * 0.008;
+                t.send(vec![i as f32; 8], now, now);
+                if i % 7 == 6 {
+                    // Mid-run: packets still in flight must be accounted.
+                    t.poll_into(now, &mut out);
+                    assert!(t.stats().reconciles(), "mid-run: {:?}", t.stats());
+                }
+            }
+            t.poll_into(f64::INFINITY, &mut out);
+            let s = t.stats();
+            assert!(s.reconciles(), "after full drain: {s:?}");
+            assert_eq!(s.in_flight, 0);
+            assert_eq!(s.bytes_in_flight, 0);
+            assert_eq!(s.delivered, out.len() as u64);
+            if params.retransmit {
+                assert_eq!(s.lost, 0, "reliable wire never loses packets");
+                assert!(s.retransmissions > 0, "1% loss over 3000 sends");
+                assert!(s.bytes_lost > 0, "failed first transmissions cost bytes");
+            } else {
+                assert!(s.lost > 0, "1% silent loss over 3000 sends");
+                assert_eq!(s.retransmissions, 0);
+                // A silently lost packet costs wire bytes but never arrives.
+                assert_eq!(s.bytes_on_wire - s.bytes_delivered, s.bytes_lost);
+            }
+        }
+    }
+
+    #[test]
+    fn unstable_sort_matches_stable_reference_under_adversarial_jitter() {
+        // Worst case for the old insertion sort: huge jitter relative to
+        // the polling cadence, so each poll sees a large reversed-ish
+        // batch. The (arrival, seq) unstable sort must reproduce the
+        // stable-by-arrival order exactly, including ties.
+        let params = TransportParams {
+            base_latency: 0.001,
+            jitter: 0.5,
+            loss_prob: 0.05,
+            retransmit: false,
+            timestamps: false,
+            overhead_bytes: 28,
+        };
+        let mut t = Transport::new(params, 99);
+        let mut got = Vec::new();
+        for i in 0..2000 {
+            let now = f64::from(i) * 0.008;
+            t.send(vec![i as f32], now, now);
+            if i % 400 == 399 {
+                t.poll_into(now, &mut got);
+            }
+        }
+        t.poll_into(f64::INFINITY, &mut got);
+
+        // Stable reference: sort a copy by arrival only.
+        let mut reference = got.clone();
+        reference.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite"));
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn equal_arrival_ties_deliver_in_seq_order() {
+        // jitter = 0 and a shared send time force exactly equal arrivals;
+        // the stable reference keeps insertion (= seq) order, and the
+        // tiebreak must match it.
+        let params = TransportParams {
+            base_latency: 0.004,
+            jitter: 0.0,
+            loss_prob: 0.0,
+            retransmit: false,
+            timestamps: false,
+            overhead_bytes: 28,
+        };
+        let mut t = Transport::new(params, 5);
+        for i in 0..64 {
+            t.send(vec![i as f32], 0.0, 0.0);
+        }
+        let got = drain_all(&mut t);
+        let seqs: Vec<u64> = got.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn lost_payloads_are_recycled_into_the_pool() {
+        let pool = Arc::new(PacketPool::new());
+        let mut t = Transport::new(TransportParams::udp(), 42);
+        t.set_pool(Arc::clone(&pool));
+        for i in 0..2000 {
+            t.send(pool.take(4), f64::from(i) * 0.008, 0.0);
+        }
+        let s = t.stats();
+        assert!(s.lost > 0, "1% loss over 2000 sends");
+        assert_eq!(
+            pool.recycled(),
+            s.lost,
+            "every silently dropped payload must return to the pool"
+        );
+        // Delivered payloads are the receiver's to recycle.
+        let got = drain_all(&mut t);
+        for p in got {
+            pool.put(p.payload);
+        }
+        let s = t.stats();
+        assert_eq!(pool.recycled(), s.lost + s.delivered);
     }
 }

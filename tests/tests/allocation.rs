@@ -16,11 +16,11 @@
 //! allocation *contract* is stated at one thread).
 //!
 //! The streaming session's wire stage (outlet → transport → inlet →
-//! dejitter) allocates per packet by design — it models a network — so
-//! the streaming guarantee is scoped to the label tick itself, which is
-//! `InferenceHead::step`, shared *verbatim* by the monolithic loop and
-//! the streaming inference stage (that sharing is locked by the serving
-//! bit-identity suite).
+//! dejitter) recycles payload buffers through a packet pool, so the
+//! zero-allocation contract now covers the **full** streaming tick:
+//! board drain → pooled outlet push → transport → inlet pull → dejitter
+//! ring → filter → window → classify → actuate
+//! (`full_streaming_tick_is_allocation_free_once_warm` below).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -37,6 +37,7 @@ use exec::ExecPool;
 use integration_tests::quick_trained;
 use ml::ensemble::EnsembleScratch;
 use ml::models::CLASSES;
+use serve::{SessionSpec, StreamSession};
 use stream::clock::SimClock;
 use stream::inlet::{Inlet, ReceivedSample};
 use stream::transport::{Transport, TransportParams};
@@ -171,6 +172,54 @@ fn label_tick_head_is_allocation_free_once_warm() {
         allocs, 0,
         "steady-state label ticks allocated {allocs} times"
     );
+}
+
+#[test]
+fn full_streaming_tick_is_allocation_free_once_warm() {
+    // The tentpole contract: an entire steady-state streaming tick —
+    // board drain → pooled payload → outlet push → transport → inlet
+    // pull → dejitter ring → causal filter → sliding window → batched
+    // classify → actuate → trace — performs zero heap allocations on a
+    // 1-thread pool. The packet pool recycles payload vectors through
+    // the wire, the dejitter ring has grown to the wire's worst observed
+    // reorder distance, and everything downstream was already
+    // allocation-free.
+    let artifacts = quick_trained(21, 21);
+    let spec = SessionSpec::new(PipelineConfig::default(), artifacts.ensemble.clone(), 21)
+        .with_normalization(artifacts.data.zscores[0].clone())
+        .with_action(Action::Right);
+    let mut session =
+        StreamSession::new(spec, Arc::new(ExecPool::new(1)), 4).expect("session assembles");
+
+    let mut trace = SessionTrace::default();
+    trace.labels.reserve(4096);
+    trace.joints.reserve(4096);
+
+    // Warm-up: grows the packet pool to the wire's in-flight depth, the
+    // dejitter ring to its worst reorder distance, and every downstream
+    // buffer to steady-state capacity. Longer than the measured segment
+    // so per-segment scratch (label-period bounds) is covered too.
+    session.run_into(3.0, &mut trace).expect("warm-up runs");
+    let (allocated_warm, _) = session.pool_stats();
+    assert!(allocated_warm > 0, "pool never filled during warm-up");
+
+    let allocs = count_allocs(|| {
+        session.run_into(2.0, &mut trace).expect("measured run");
+    });
+    assert!(
+        !trace.labels.is_empty(),
+        "measured segment produced no labels"
+    );
+    assert_eq!(
+        allocs, 0,
+        "steady-state full streaming ticks allocated {allocs} times"
+    );
+    let (allocated_after, reused) = session.pool_stats();
+    assert_eq!(
+        allocated_after, allocated_warm,
+        "measured segment allocated fresh payload buffers"
+    );
+    assert!(reused > 0, "pool was never exercised");
 }
 
 #[test]

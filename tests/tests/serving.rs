@@ -23,7 +23,8 @@ use cognitive_arm::pipeline::{CognitiveArm, PipelineConfig, SessionTrace};
 use eeg::types::Action;
 use exec::ExecPool;
 use integration_tests::{quick_data, quick_trained};
-use serve::{SessionManager, SessionSpec, StreamSession};
+use serve::{Scheduling, SessionManager, SessionSpec, StreamSession};
+use stream::transport::TransportParams;
 
 /// Subject seeds for the concurrent-session fleet. All sessions share one
 /// trained ensemble (the deployment shape: one artifact, many users); the
@@ -169,6 +170,160 @@ fn sixteen_session_micro_batch_matches_sequential_bitwise() {
         for (i, (a, b)) in solo.iter().zip(&batched).enumerate() {
             assert_identical(&format!("micro-batch threads={threads} session={i}"), a, b);
         }
+    }
+}
+
+#[test]
+fn ready_set_scheduler_matches_barrier_scheduler_bitwise() {
+    // The ready-set scheduler pipelines each tick's batched ensemble call
+    // with the next tick's filter advances; per-session traces must be
+    // bit-identical to the barrier scheduler's at 1 and 4 threads (and to
+    // the solo reference, transitively via the barrier suite above).
+    let artifacts = quick_trained(21, 21);
+    let subjects: Vec<u64> = (70..82).collect();
+    let run = |threads: usize, scheduling: Scheduling| -> Vec<SessionTrace> {
+        let mut manager = SessionManager::new(Arc::new(ExecPool::new(threads)));
+        manager.set_scheduling(scheduling);
+        for &subject in &subjects {
+            let spec = SessionSpec::new(
+                PipelineConfig::default(),
+                artifacts.ensemble.clone(),
+                subject,
+            )
+            .with_normalization(artifacts.data.zscores[0].clone())
+            .with_action(Action::Right);
+            manager.add_session(spec).expect("admit");
+        }
+        manager.run_for(2.0).expect("fleet runs")
+    };
+    let barrier = run(1, Scheduling::Barrier);
+    assert!(barrier.iter().all(|t| !t.labels.is_empty()));
+    for threads in [1, 4] {
+        let ready = run(threads, Scheduling::ReadySet);
+        for (i, (a, b)) in barrier.iter().zip(&ready).enumerate() {
+            assert_identical(&format!("ready-set threads={threads} session={i}"), a, b);
+        }
+    }
+    // Barrier itself is thread-invariant too (so the two schedulers are
+    // interchangeable at any pool size).
+    let barrier4 = run(4, Scheduling::Barrier);
+    for (i, (a, b)) in barrier.iter().zip(&barrier4).enumerate() {
+        assert_identical(&format!("barrier threads=4 session={i}"), a, b);
+    }
+}
+
+#[test]
+fn adversarial_wire_streaming_matches_the_monolithic_loop_bitwise() {
+    // Burst jitter far above the sample cadence, 5% loss with
+    // retransmission, heavy reordering: the pooled wire must deliver a
+    // label trace bit-identical to the wire-free monolithic loop (the
+    // allocating reference path), because the dejitter ring restores
+    // sequence order no matter how packets arrive.
+    let adversarial = TransportParams {
+        base_latency: 0.004,
+        jitter: 0.050, // > 6 sample periods of reorder
+        loss_prob: 0.05,
+        retransmit: true,
+        timestamps: true,
+        overhead_bytes: 66,
+    };
+    let reference = sequential_reference(3.0);
+    for threads in [1usize, 4] {
+        let pool = Arc::new(ExecPool::new(threads));
+        for (i, &subject) in SUBJECTS.iter().enumerate() {
+            let spec = spec_for(subject).with_wire(adversarial);
+            let mut session =
+                StreamSession::new(spec, Arc::clone(&pool), 4).expect("session assembles");
+            let trace = session.run_for(3.0).expect("adversarial run");
+            assert_identical(
+                &format!("adversarial threads={threads} session={i}"),
+                &reference[i],
+                &trace,
+            );
+            assert!(
+                session.out_of_order() > 0,
+                "wire never reordered — the adversarial path went untested"
+            );
+        }
+    }
+}
+
+#[test]
+fn silently_lossy_wires_are_rejected_at_admission() {
+    // A lossy wire without retransmission would park the dejitter cursor
+    // on the first dropped sequence number forever; admission must refuse
+    // it with a typed error instead.
+    let mut manager = SessionManager::new(Arc::new(ExecPool::new(1)));
+    let spec = spec_for(21).with_wire(TransportParams::udp());
+    assert!(
+        manager.add_streaming_session(spec).is_err(),
+        "silently lossy wire must be refused"
+    );
+    // Lossless non-retransmitting wires are fine.
+    let mut quiet = TransportParams::udp();
+    quiet.loss_prob = 0.0;
+    let spec = spec_for(21).with_wire(quiet);
+    assert!(manager.add_streaming_session(spec).is_ok());
+}
+
+#[test]
+fn session_churn_keeps_survivors_bitwise_identical() {
+    // Connect/disconnect churn: sessions leave mid-flight, the group
+    // re-batches around the survivors (row-count invariance makes the
+    // shrinking batch invisible), ids stay stable, and every survivor's
+    // concatenated trace is bit-identical to running that subject alone.
+    //
+    // Segment lengths are whole label periods (1.024 s = 128 samples =
+    // 16 ticks of 8) so the segmented tick grid lines up with the
+    // continuous reference — a partial trailing chunk would legitimately
+    // emit an extra boundary label.
+    let solo = sequential_reference(2.048);
+
+    for threads in [1usize, 4] {
+        let mut manager = SessionManager::new(Arc::new(ExecPool::new(threads)));
+        let ids: Vec<_> = SUBJECTS
+            .iter()
+            .map(|&subject| manager.add_session(spec_for(subject)).expect("admit"))
+            .collect();
+        assert_eq!(manager.len(), 4);
+
+        // Segment 1: everyone runs.
+        let first = manager.run_for(1.024).expect("segment 1");
+
+        // Subject 22 (index 1) disconnects.
+        manager.remove_session(ids[1]).expect("remove");
+        assert_eq!(manager.len(), 3);
+        assert!(
+            manager.remove_session(ids[1]).is_err(),
+            "double remove must refuse"
+        );
+        assert!(manager.set_action(ids[1], Action::Idle).is_err());
+        assert_eq!(
+            manager.session_ids(),
+            vec![ids[0], ids[2], ids[3]],
+            "survivor ids in admission order"
+        );
+
+        // Segment 2: survivors continue from their segment-1 state.
+        let second = manager.run_for(1.024).expect("segment 2");
+        assert_eq!(second.len(), 3);
+
+        let survivors = [0usize, 2, 3];
+        for (k, &i) in survivors.iter().enumerate() {
+            let mut joined = first[i].clone();
+            joined.labels.extend(second[k].labels.iter().copied());
+            joined.joints.extend(second[k].joints.iter().copied());
+            assert_identical(
+                &format!("churn threads={threads} subject={}", SUBJECTS[i]),
+                &solo[i],
+                &joined,
+            );
+        }
+
+        // Reconnects are fresh sessions with fresh ids.
+        let re = manager.add_session(spec_for(22)).expect("re-admit");
+        assert_ne!(re, ids[1]);
+        assert_eq!(manager.len(), 4);
     }
 }
 
