@@ -2,7 +2,7 @@
 //! filters, the FFT, and the compiled per-architecture forward passes
 //! (the dense/CSR/int8 matvec group lives in `benches/matvec.rs`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use dsp::butterworth::Butterworth;
@@ -11,6 +11,7 @@ use dsp::notch::notch_filter;
 use ml::compress::{prune_global, quantize, QuantMode};
 use ml::infer::{compile_cnn, compile_lstm, compile_transformer, MatRep};
 use ml::models::{CnnConfig, LstmConfig, TransformerConfig};
+use ml::plan::InferPlan;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -64,28 +65,11 @@ fn forward_passes(c: &mut Criterion) {
     });
     g.finish();
 
-    // Compression variants of the CNN (Fig. 12 mechanism).
-    let mut g = c.benchmark_group("cnn_compressed");
-    g.bench_function("dense", |b| b.iter(|| black_box(cnn.predict_logits(&window))));
-    g.bench_function("pruned_70", |b| {
-        b.iter_batched(
-            || {
-                let mut m = cnn.clone();
-                prune_global(&mut m, 0.7);
-                m
-            },
-            |m| black_box(m.predict_logits(&window)),
-            BatchSize::LargeInput,
-        )
-    });
-    let mut quantized = cnn.clone();
-    quantize(&mut quantized, QuantMode::GlobalFaithful).unwrap();
-    g.bench_function("int8_global", |b| {
-        b.iter(|| black_box(quantized.predict_logits(&window)))
-    });
-    g.finish();
-
-    // Representation sanity: sparse dims preserved.
+    // Compression variants of the CNN (Fig. 12 mechanism), measured the
+    // way serving runs them: compress once, compile the plan once, then
+    // steady-state label ticks through the preallocated plan. This is the
+    // configuration the paper's deployment claim stands on, so the bench
+    // *asserts* that compression pays instead of merely recording it.
     let mut pruned = cnn.clone();
     prune_global(&mut pruned, 0.7);
     pruned.visit_weights(|w| {
@@ -93,6 +77,50 @@ fn forward_passes(c: &mut Criterion) {
             assert!(s.sparsity() > 0.0);
         }
     });
+    let mut quantized = cnn.clone();
+    quantize(&mut quantized, QuantMode::GlobalFaithful).unwrap();
+
+    let mut g = c.benchmark_group("cnn_compressed");
+    for (name, model) in [
+        ("dense", &cnn),
+        ("pruned_70", &pruned),
+        ("int8_global", &quantized),
+    ] {
+        let mut plan = InferPlan::compile(model);
+        let mut logits = vec![0.0f32; plan.classes()];
+        // Warm once so scratch growth happens outside the timed region.
+        plan.predict_logits_into(model, &window, 1, &mut logits);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                plan.predict_logits_into(model, &window, 1, &mut logits);
+                black_box(logits[0])
+            })
+        });
+    }
+
+    // Acceptance (ISSUE 9): with real execution kernels, compression must
+    // pay — int8 clearly faster than dense, pruning at worst neutral.
+    let dense_ns = g.mean_ns("dense").expect("dense measured");
+    let pruned_ns = g.mean_ns("pruned_70").expect("pruned measured");
+    let int8_ns = g.mean_ns("int8_global").expect("int8 measured");
+    assert!(
+        int8_ns <= 0.9 * dense_ns,
+        "int8_global must run at ≤0.9× dense: {int8_ns:.0} ns vs dense {dense_ns:.0} ns \
+         ({:.2}×)",
+        int8_ns / dense_ns
+    );
+    assert!(
+        pruned_ns <= 1.1 * dense_ns,
+        "pruned_70 must run at ≤1.1× dense: {pruned_ns:.0} ns vs dense {dense_ns:.0} ns \
+         ({:.2}×)",
+        pruned_ns / dense_ns
+    );
+    println!(
+        "cnn_compressed acceptance: int8 {:.2}× dense, pruned {:.2}× dense",
+        int8_ns / dense_ns,
+        pruned_ns / dense_ns
+    );
+    g.finish();
 }
 
 criterion_group!(benches, filter_kernels, fft_kernels, forward_passes);

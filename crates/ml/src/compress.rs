@@ -19,15 +19,21 @@ pub const PAPER_PRUNE_LEVELS: [f64; 5] = [0.0, 0.3, 0.5, 0.7, 0.9];
 /// Densest matrix (fraction of non-zero entries) still stored as CSR
 /// after pruning; anything denser keeps dense storage.
 ///
-/// Skip-zero math only wins while there are enough zeros to skip: the
-/// CSR kernel trades the dense GEMM's contiguous streaming for per-entry
-/// indirection, so `benches/kernels.rs` measures the dense path ahead of
-/// CSR at 70% density (`dense_f32` ≈ 55 µs vs `csr_70pct` ≈ 70 µs) while
-/// CSR wins clearly at 30% density. The crossover sits near half-dense;
-/// 0.5 keeps both bench regimes on their faster representation
-/// (`csr_density_threshold_picks_the_faster_representation` locks the
-/// choice).
-pub const CSR_MAX_DENSITY: f64 = 0.5;
+/// Re-derived in PR 9 from the `BENCH_matvec-density.json` sweep. Speed
+/// no longer gates this choice: CSR storage compiles to a shape- and
+/// batch-aware execution format at plan build
+/// ([`crate::matexec::SparseExec`]), which wins or ties dense at every
+/// density below [`crate::matexec::SPARSE_DENSIFY_MIN_DENSITY`] — the
+/// old 0.5 cutoff dated from the scatter-add storage kernel, which lost
+/// to dense well below it. What remains is a size/compile-cost argument:
+/// a CSR entry costs 8 bytes against dense's 4 per cell, so by 45%
+/// density the payload alone reaches 0.9× dense before row-pointer
+/// overhead, and in the hybrid execution band the compiler materializes
+/// a densified copy at plan build anyway. Above 0.45, CSR buys nothing
+/// on any axis; below it, bytes shrink and the compiled exec wins.
+/// `csr_cutoff_is_grounded_in_exec_and_size_crossovers` locks the value
+/// against the matexec selection bands.
+pub const CSR_MAX_DENSITY: f64 = 0.45;
 
 /// Applies **global** magnitude pruning at the given ratio (0 = keep all,
 /// 0.7 = drop the 70% smallest-magnitude weights across the whole network)
@@ -291,6 +297,33 @@ mod tests {
         // The dense-kept model really was pruned.
         let s = measured_sparsity(&light);
         assert!((s - 0.3).abs() < 0.05, "measured sparsity {s}");
+    }
+
+    #[test]
+    // Asserting on constants is the point: this test exists to fail the
+    // build when someone moves a cutoff without re-deriving the others.
+    #[allow(clippy::assertions_on_constants)]
+    fn csr_cutoff_is_grounded_in_exec_and_size_crossovers() {
+        // Locks the PR 9 re-derivation. The cutoff must sit strictly
+        // inside the hybrid execution band: above the density where pure
+        // CSC stops winning single-row serving (matexec then pairs CSC
+        // with a densified copy), and below the density where even the
+        // execution compiler gives up on sparsity altogether. Outside
+        // that ordering the storage choice and the execution selection
+        // would contradict each other.
+        assert!(crate::matexec::SPARSE_HYBRID_MIN_DENSITY < CSR_MAX_DENSITY);
+        assert!(CSR_MAX_DENSITY < crate::matexec::SPARSE_DENSIFY_MIN_DENSITY);
+        // The size argument that pins 0.45 specifically: an 8-byte CSR
+        // entry against a 4-byte dense cell means the payload hits 0.9×
+        // dense at the cutoff (row pointers push it past 1.0× for narrow
+        // matrices), while the old 0.5 cutoff stored matrices *larger*
+        // than their dense form for zero execution gain.
+        let payload_ratio = CSR_MAX_DENSITY * 8.0 / 4.0;
+        assert!((payload_ratio - 0.9).abs() < 1e-9, "ratio {payload_ratio}");
+        assert!(
+            (CSR_MAX_DENSITY - 0.45).abs() < 1e-12,
+            "re-derive from BENCH_matvec-density.json before moving the cutoff"
+        );
     }
 
     #[test]

@@ -577,6 +577,32 @@ impl Ensemble {
         self.voting
     }
 
+    /// Visits every compiled network member mutably — the entry point the
+    /// compression passes (`ml::compress`) use to prune or quantize a
+    /// trained ensemble in place. Forests and custom members are skipped;
+    /// they have no weight matrices to transform.
+    pub fn visit_net_models_mut(&mut self, mut f: impl FnMut(&mut InferModel)) {
+        for m in &mut self.members {
+            if let Member::Net(net) = m {
+                f(net);
+            }
+        }
+    }
+
+    /// Compiles every network member's weight matrices into their
+    /// execution formats (CSC / densified sparse plans, transposed int8
+    /// panels) ahead of first inference. The compiled forms live in
+    /// per-matrix shared caches, so cloning the ensemble afterwards — the
+    /// per-session handoff in `serve` — shares one compiled set across
+    /// all sessions of an artifact instead of recompiling per session.
+    pub fn precompile_exec(&self) {
+        for m in &self.members {
+            if let Member::Net(net) = m {
+                net.visit_weights(crate::infer::MatRep::precompile);
+            }
+        }
+    }
+
     /// Longest member window — the buffer length the ensemble needs.
     #[must_use]
     pub fn window(&self) -> usize {

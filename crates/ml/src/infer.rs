@@ -15,6 +15,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::arena::ArenaVec;
+use crate::matexec::{ExecCache, Int8Exec};
 use crate::models::{
     CnnModel, LstmModel, Model, PoolKind, TransformerModel,
 };
@@ -32,13 +33,23 @@ pub enum MatRep {
     Int8(QuantMatrix),
 }
 
-/// Reusable integer buffers for the int8 kernels (activation quantization
-/// and i32 accumulation). One instance per inference lane; the compiled
-/// plan owns one so the quantized path allocates nothing per window.
+/// Reusable buffers for the compressed-weight execution kernels: int8
+/// activation quantization and i32 accumulation, plus the transpose
+/// staging the batched CSC kernel uses. One instance per inference lane;
+/// the compiled plan owns one, and every buffer grows monotonically, so
+/// the compressed paths allocate nothing per warm tick.
 #[derive(Debug, Clone, Default)]
-pub struct QuantScratch {
+pub struct ExecScratch {
+    /// Quantized activations, all batch rows (`[m, k]`).
     xq: Vec<i8>,
+    /// i32 accumulators (scalar int8 fallback).
     acc: Vec<i32>,
+    /// Per-batch-row dequantization scales.
+    deq: Vec<f32>,
+    /// Transposed activations for the batched CSC kernel (`[k, m]`).
+    xt: Vec<f32>,
+    /// Transposed outputs for the batched CSC kernel (`[n, m]`).
+    yt: Vec<f32>,
 }
 
 impl MatRep {
@@ -53,19 +64,24 @@ impl MatRep {
     }
 
     /// [`MatRep::left_matmul`] over raw slices into a preallocated output
-    /// (`out` is fully overwritten) — every representation routes through
-    /// the *same* kernel its allocating path uses, which is what keeps the
-    /// compiled plan bit-identical to the legacy path.
+    /// (`out` is fully overwritten). Compressed representations execute
+    /// through their compiled execution format
+    /// ([`crate::matexec::SparseExec`] / [`crate::matexec::Int8Exec`]),
+    /// which is bit-identical to the storage kernel it replaces, so the
+    /// compiled plan stays bit-identical to the legacy path.
     ///
     /// # Panics
     ///
     /// Panics if `x` or `out` is shorter than the dimensions imply.
-    pub fn left_matmul_into(&self, x: &[f32], m: usize, out: &mut [f32], qs: &mut QuantScratch) {
+    pub fn left_matmul_into(&self, x: &[f32], m: usize, out: &mut [f32], qs: &mut ExecScratch) {
         match self {
             MatRep::Dense(w) => {
                 crate::tensor::matmul_kernel(x, w.data(), m, w.rows(), w.cols(), out);
             }
-            MatRep::Sparse(w) => w.left_matmul_into(x, m, out),
+            MatRep::Sparse(w) => {
+                w.exec()
+                    .left_matmul_into(x, m, out, &mut qs.xt, &mut qs.yt);
+            }
             MatRep::Int8(w) => w.left_matmul_into(x, m, out, qs),
         }
     }
@@ -80,13 +96,42 @@ impl MatRep {
     /// # Panics
     ///
     /// Panics if `x` or `out` is shorter than the dimensions imply.
-    pub fn left_matmul_into_v2(&self, x: &[f32], m: usize, out: &mut [f32], qs: &mut QuantScratch) {
+    pub fn left_matmul_into_v2(&self, x: &[f32], m: usize, out: &mut [f32], qs: &mut ExecScratch) {
         match self {
             MatRep::Dense(w) => {
                 crate::tensor::matmul_blocked_kernel(x, w.data(), m, w.rows(), w.cols(), out);
             }
-            MatRep::Sparse(w) => w.left_matmul_into(x, m, out),
+            MatRep::Sparse(w) => {
+                w.exec()
+                    .left_matmul_into(x, m, out, &mut qs.xt, &mut qs.yt);
+            }
             MatRep::Int8(w) => w.left_matmul_into(x, m, out, qs),
+        }
+    }
+
+    /// Forces this matrix's execution format to compile now (plan build /
+    /// artifact open) instead of lazily on the first inference call.
+    /// Dense matrices execute in place and have nothing to compile.
+    pub fn precompile(&self) {
+        match self {
+            MatRep::Dense(_) => {}
+            MatRep::Sparse(w) => {
+                w.exec();
+            }
+            MatRep::Int8(w) => {
+                w.exec();
+            }
+        }
+    }
+
+    /// Whether the execution format has been compiled (dense matrices
+    /// execute in place and always count as compiled).
+    #[must_use]
+    pub fn exec_compiled(&self) -> bool {
+        match self {
+            MatRep::Dense(_) => true,
+            MatRep::Sparse(w) => w.exec.is_compiled(),
+            MatRep::Int8(w) => w.exec.is_compiled(),
         }
     }
 
@@ -137,6 +182,9 @@ pub struct QuantMatrix {
     /// (calibrated mode), `Some(s)` clips activations at `±127 s`
     /// (the paper-faithful global mode that collapses accuracy).
     pub act_scale: Option<f32>,
+    /// Memoized execution format (see [`QuantMatrix::exec`]). Derived
+    /// data: skipped by comparison and serialization, shared by clones.
+    pub exec: ExecCache<Int8Exec>,
 }
 
 impl QuantMatrix {
@@ -158,7 +206,15 @@ impl QuantMatrix {
             data,
             scale,
             act_scale,
+            exec: ExecCache::default(),
         }
+    }
+
+    /// The compiled execution format for this matrix, built on first use
+    /// (or eagerly via [`MatRep::precompile`]) and shared by every clone.
+    pub fn exec(&self) -> &std::sync::Arc<Int8Exec> {
+        self.exec
+            .get_or_compile(|| Int8Exec::compile(self.rows, self.cols, &self.data))
     }
 
     /// Integer matmul `x [m, rows] × W -> [m, cols]` with i32 accumulation.
@@ -168,31 +224,35 @@ impl QuantMatrix {
         assert_eq!(k, self.rows, "quant matmul dims {k} vs {}", self.rows);
         let n = self.cols;
         let mut out = vec![0.0f32; m * n];
-        self.left_matmul_into(x.data(), m, &mut out, &mut QuantScratch::default());
+        self.left_matmul_into(x.data(), m, &mut out, &mut ExecScratch::default());
         Tensor::new(vec![m, n], out)
     }
 
     /// [`QuantMatrix::left_matmul`] over raw slices into a preallocated
-    /// output, reusing the caller's integer scratch.
+    /// output, reusing the caller's scratch.
     ///
-    /// The accumulation kernel is register-blocked (see
-    /// [`accumulate_scalar`]) and, on x86-64 hosts with AVX2, dispatches
-    /// to an explicit SIMD panel kernel ([`accumulate_avx2`]). i32
-    /// accumulation is exact and associative, so every kernel variant is
-    /// **bit-identical** to the straightforward row-at-a-time loop: a
-    /// skipped zero contributes exactly 0, and the worst-case sum
-    /// `127·127·rows` stays far below `i32::MAX` for any realistic layer
-    /// width. Hardware dispatch can therefore never change outputs.
+    /// All `m` activation rows are quantized up front
+    /// ([`crate::matexec::quantize_row`], SIMD with exact
+    /// round-half-away semantics), then a single quantized GEMM runs
+    /// through the compiled execution format ([`Int8Exec`]) with
+    /// dequantization fused into the store. i32 accumulation is exact and
+    /// associative, so every kernel variant — column-major `vpmaddwd`
+    /// dots, row-major panels, scalar fallback — is **bit-identical** to
+    /// the straightforward row-at-a-time loop: a skipped zero contributes
+    /// exactly 0, and the worst-case sum `127·127·rows` stays far below
+    /// `i32::MAX` for any realistic layer width. Hardware dispatch can
+    /// therefore never change outputs.
     ///
     /// # Panics
     ///
     /// Panics if `x` or `out` is shorter than the dimensions imply.
-    pub fn left_matmul_into(&self, x: &[f32], m: usize, out: &mut [f32], qs: &mut QuantScratch) {
+    pub fn left_matmul_into(&self, x: &[f32], m: usize, out: &mut [f32], qs: &mut ExecScratch) {
         let k = self.rows;
         let n = self.cols;
+        qs.xq.resize(m * k, 0);
+        qs.deq.resize(m, 0.0);
         for i in 0..m {
             let xrow = &x[i * k..(i + 1) * k];
-            // Quantize the activation row.
             let ax = self.act_scale.unwrap_or_else(|| {
                 let max = xrow.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
                 if max == 0.0 {
@@ -201,124 +261,11 @@ impl QuantMatrix {
                     max / 127.0
                 }
             });
-            qs.xq.clear();
-            qs.xq
-                .extend(xrow.iter().map(|&v| (v / ax).round().clamp(-127.0, 127.0) as i8));
-            let orow = &mut out[i * n..(i + 1) * n];
-            qs.acc.clear();
-            qs.acc.resize(n, 0);
-            accumulate(&qs.xq, &self.data, k, n, &mut qs.acc[..n]);
-            let deq = ax * self.scale;
-            for (o, a) in orow.iter_mut().zip(&qs.acc) {
-                *o = *a as f32 * deq;
-            }
+            crate::matexec::quantize_row(xrow, ax, &mut qs.xq[i * k..(i + 1) * k]);
+            qs.deq[i] = ax * self.scale;
         }
-    }
-}
-
-/// `acc[j] += Σ_p xq[p] · w[p, j]` — the int8 accumulation kernel,
-/// dispatching to the AVX2 panel kernel when the host supports it. All
-/// variants compute the exact same i32 sums (integer addition is
-/// associative), so dispatch never changes outputs.
-fn accumulate(xq: &[i8], w: &[i8], k: usize, n: usize, acc: &mut [i32]) {
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") && n >= 32 {
-        let panels = n - n % 32;
-        // SAFETY: AVX2 support was just detected, and the kernel only
-        // reads `xq[..k]`, `w[..k * n]` and writes `acc[..panels]`, all of
-        // which the callers size exactly.
-        unsafe { accumulate_avx2(xq, w, k, n, acc) };
-        if panels < n {
-            accumulate_scalar(xq, w, k, n, panels, &mut acc[panels..]);
-        }
-        return;
-    }
-    accumulate_scalar(xq, w, k, n, 0, acc);
-}
-
-/// Scalar reference kernel, register-blocked four weight rows deep so the
-/// accumulator row is loaded and stored once per four rows instead of once
-/// per row. Operates on the column range `[j0, n)` (`acc` holds just that
-/// range) so it also serves as the tail of the SIMD panel kernel.
-fn accumulate_scalar(xq: &[i8], w: &[i8], k: usize, n: usize, j0: usize, acc: &mut [i32]) {
-    let width = acc.len();
-    let mut p = 0;
-    while p + 4 <= k {
-        let x0 = i32::from(xq[p]);
-        let x1 = i32::from(xq[p + 1]);
-        let x2 = i32::from(xq[p + 2]);
-        let x3 = i32::from(xq[p + 3]);
-        if (x0 | x1 | x2 | x3) != 0 {
-            let w0 = &w[p * n + j0..p * n + j0 + width];
-            let w1 = &w[(p + 1) * n + j0..(p + 1) * n + j0 + width];
-            let w2 = &w[(p + 2) * n + j0..(p + 2) * n + j0 + width];
-            let w3 = &w[(p + 3) * n + j0..(p + 3) * n + j0 + width];
-            for j in 0..width {
-                acc[j] += x0 * i32::from(w0[j])
-                    + x1 * i32::from(w1[j])
-                    + x2 * i32::from(w2[j])
-                    + x3 * i32::from(w3[j]);
-            }
-        }
-        p += 4;
-    }
-    while p < k {
-        let xv = i32::from(xq[p]);
-        if xv != 0 {
-            let wrow = &w[p * n + j0..p * n + j0 + width];
-            for j in 0..width {
-                acc[j] += xv * i32::from(wrow[j]);
-            }
-        }
-        p += 1;
-    }
-}
-
-/// AVX2 panel kernel: 32-column panels whose eight-lane i32 accumulators
-/// live in registers across the entire `k` loop, so each weight byte is
-/// loaded once and widened in vector registers
-/// (`vpmovsxbd` + `vpmulld` + `vpaddd`). Columns `n - n % 32..` are left
-/// untouched for the scalar tail. Bit-identical to the scalar kernel —
-/// i32 arithmetic is exact.
-///
-/// # Safety
-///
-/// Caller must ensure AVX2 is available and that `xq.len() >= k`,
-/// `w.len() >= k * n`, `acc.len() >= n - n % 32`.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-unsafe fn accumulate_avx2(xq: &[i8], w: &[i8], k: usize, n: usize, acc: &mut [i32]) {
-    use std::arch::x86_64::{
-        __m128i, _mm256_add_epi32, _mm256_cvtepi8_epi32, _mm256_mullo_epi32, _mm256_set1_epi32,
-        _mm256_setzero_si256, _mm256_storeu_si256, _mm_loadl_epi64,
-    };
-    let mut j = 0;
-    while j + 32 <= n {
-        let mut a0 = _mm256_setzero_si256();
-        let mut a1 = _mm256_setzero_si256();
-        let mut a2 = _mm256_setzero_si256();
-        let mut a3 = _mm256_setzero_si256();
-        for (p, &xv) in xq.iter().enumerate().take(k) {
-            if xv == 0 {
-                continue;
-            }
-            let xb = _mm256_set1_epi32(i32::from(xv));
-            let row = w.as_ptr().add(p * n + j);
-            let w0 = _mm256_cvtepi8_epi32(_mm_loadl_epi64(row.cast::<__m128i>()));
-            let w1 = _mm256_cvtepi8_epi32(_mm_loadl_epi64(row.add(8).cast::<__m128i>()));
-            let w2 = _mm256_cvtepi8_epi32(_mm_loadl_epi64(row.add(16).cast::<__m128i>()));
-            let w3 = _mm256_cvtepi8_epi32(_mm_loadl_epi64(row.add(24).cast::<__m128i>()));
-            a0 = _mm256_add_epi32(a0, _mm256_mullo_epi32(w0, xb));
-            a1 = _mm256_add_epi32(a1, _mm256_mullo_epi32(w1, xb));
-            a2 = _mm256_add_epi32(a2, _mm256_mullo_epi32(w2, xb));
-            a3 = _mm256_add_epi32(a3, _mm256_mullo_epi32(w3, xb));
-        }
-        let dst = acc.as_mut_ptr().add(j);
-        _mm256_storeu_si256(dst.cast(), a0);
-        _mm256_storeu_si256(dst.add(8).cast(), a1);
-        _mm256_storeu_si256(dst.add(16).cast(), a2);
-        _mm256_storeu_si256(dst.add(24).cast(), a3);
-        j += 32;
+        self.exec()
+            .left_matmul_into(&qs.xq, m, k, n, &self.data, &qs.deq, out, &mut qs.acc);
     }
 }
 
@@ -369,7 +316,7 @@ impl LinearInfer {
     pub fn forward(&self, x: &Tensor) -> Tensor {
         let (m, n) = (x.rows(), self.w.dims().1);
         let mut out = vec![0.0f32; m * n];
-        self.forward_into(x.data(), m, &mut out, &mut QuantScratch::default());
+        self.forward_into(x.data(), m, &mut out, &mut ExecScratch::default());
         Tensor::new(vec![m, n], out)
     }
 
@@ -380,7 +327,7 @@ impl LinearInfer {
     /// # Panics
     ///
     /// Panics if `x` or `out` is shorter than the dimensions imply.
-    pub fn forward_into(&self, x: &[f32], m: usize, out: &mut [f32], qs: &mut QuantScratch) {
+    pub fn forward_into(&self, x: &[f32], m: usize, out: &mut [f32], qs: &mut ExecScratch) {
         let (k, n) = self.w.dims();
         assert_eq!(x.len(), m * k, "linear stage input size");
         self.w.left_matmul_into(x, m, out, qs);
@@ -401,7 +348,7 @@ impl LinearInfer {
     /// # Panics
     ///
     /// Panics if `x` or `out` is shorter than the dimensions imply.
-    pub fn forward_into_v2(&self, x: &[f32], m: usize, out: &mut [f32], qs: &mut QuantScratch) {
+    pub fn forward_into_v2(&self, x: &[f32], m: usize, out: &mut [f32], qs: &mut ExecScratch) {
         let (k, n) = self.w.dims();
         assert_eq!(x.len(), m * k, "linear stage input size");
         self.w.left_matmul_into_v2(x, m, out, qs);
@@ -466,7 +413,7 @@ impl ConvInfer {
             &mut flat,
             &mut prepool,
             &mut out,
-            &mut QuantScratch::default(),
+            &mut ExecScratch::default(),
         );
         out.truncate(written);
         out
@@ -487,7 +434,7 @@ impl ConvInfer {
         flat: &mut [f32],
         prepool: &mut [f32],
         out: &mut [f32],
-        qs: &mut QuantScratch,
+        qs: &mut ExecScratch,
     ) -> usize {
         let (ho, wo) = self.conv_out();
         let patch = self.cin * self.k * self.k;

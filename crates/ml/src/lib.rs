@@ -21,6 +21,9 @@
 //!   whose weight matrices can be dense, pruned-sparse (CSR) or int8
 //!   quantized; this is where Fig. 12's latency/accuracy trade-off is
 //!   produced with real kernels.
+//! * [`matexec`] — compiled execution formats for compressed weights:
+//!   CSC/densified sparse kernels and SIMD int8 GEMMs, selected per layer
+//!   at plan build and bit-identical to the storage kernels they replace.
 //! * [`compress`] — global magnitude pruning and post-training
 //!   quantization transforms from trained models into [`infer`] networks.
 //! * [`ensemble`] — soft/hard-voting ensembles (Fig. 11).
@@ -34,6 +37,7 @@ pub mod forest;
 pub mod graph;
 pub mod infer;
 pub mod layers;
+pub mod matexec;
 pub mod metrics;
 pub mod models;
 pub mod optim;

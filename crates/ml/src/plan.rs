@@ -41,7 +41,7 @@
 //! explicitly per plan via [`InferPlan::compile_with`].
 
 use crate::infer::{
-    self, CnnInfer, InferModel, LstmInfer, QuantScratch, TfInfer,
+    self, CnnInfer, InferModel, LstmInfer, ExecScratch, TfInfer,
 };
 use crate::tensor::{matmul_kernel, matmul_t_kernel};
 
@@ -80,7 +80,7 @@ pub struct InferPlan {
     /// Largest batch the v2 buffers currently hold (v1 never grows past 1).
     batch_cap: usize,
     kind: KindPlan,
-    qs: QuantScratch,
+    qs: ExecScratch,
 }
 
 // One plan exists per inference lane and lives for a session; the variant
@@ -151,6 +151,11 @@ impl InferPlan {
     /// side by side regardless of the environment.
     #[must_use]
     pub fn compile_with(model: &InferModel, version: PlanVersion) -> Self {
+        // Compressed weights compile their execution formats now (CSC /
+        // densified sparse, int8 layout selection) rather than on the
+        // first inference call — plan build is the declared compile point,
+        // and the memoized forms are shared by every clone of the model.
+        model.visit_weights(infer::MatRep::precompile);
         let kind = match model {
             InferModel::Cnn(m) => KindPlan::Cnn(CnnPlan::compile(m)),
             InferModel::Lstm(m) => KindPlan::Lstm(LstmPlan::compile(m)),
@@ -163,7 +168,7 @@ impl InferPlan {
             version,
             batch_cap: 1,
             kind,
-            qs: QuantScratch::default(),
+            qs: ExecScratch::default(),
         }
     }
 
@@ -281,7 +286,7 @@ impl CnnPlan {
         }
     }
 
-    fn run(&mut self, m: &CnnInfer, window: &[f32], logits: &mut [f32], qs: &mut QuantScratch) {
+    fn run(&mut self, m: &CnnInfer, window: &[f32], logits: &mut [f32], qs: &mut ExecScratch) {
         let mut len = window.len();
         self.a[..len].copy_from_slice(window);
         for conv in &m.convs {
@@ -329,7 +334,7 @@ impl CnnPlan {
         windows: &[f32],
         batch: usize,
         logits: &mut [f32],
-        qs: &mut QuantScratch,
+        qs: &mut ExecScratch,
     ) {
         let mut len = m.channels * m.window;
         self.a[..batch * len].copy_from_slice(&windows[..batch * len]);
@@ -379,7 +384,7 @@ impl LstmPlan {
         }
     }
 
-    fn run(&mut self, m: &LstmInfer, window: &[f32], logits: &mut [f32], qs: &mut QuantScratch) {
+    fn run(&mut self, m: &LstmInfer, window: &[f32], logits: &mut [f32], qs: &mut ExecScratch) {
         let hid = m.hidden;
         let t_len = m.window.div_ceil(m.time_stride);
         self.h.fill(0.0);
@@ -437,7 +442,7 @@ impl LstmPlan {
         windows: &[f32],
         batch: usize,
         logits: &mut [f32],
-        qs: &mut QuantScratch,
+        qs: &mut ExecScratch,
     ) {
         let hid = m.hidden;
         let iw = m.channels.max(hid);
@@ -521,7 +526,7 @@ impl TfPlan {
         }
     }
 
-    fn run(&mut self, m: &TfInfer, window: &[f32], logits: &mut [f32], qs: &mut QuantScratch) {
+    fn run(&mut self, m: &TfInfer, window: &[f32], logits: &mut [f32], qs: &mut ExecScratch) {
         let chans = m.channels;
         let t = m.window.div_ceil(m.time_stride);
         let d = m.d_model;
@@ -618,7 +623,7 @@ impl TfPlan {
         windows: &[f32],
         batch: usize,
         logits: &mut [f32],
-        qs: &mut QuantScratch,
+        qs: &mut ExecScratch,
     ) {
         let chans = m.channels;
         let per_window = chans * m.window;

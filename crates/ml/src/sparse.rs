@@ -6,10 +6,13 @@
 //! after pruning (0.075 s → 0.071 s), which implies a sparse execution
 //! path — this module is that path.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::arena::ArenaVec;
 use crate::error::MlError;
+use crate::matexec::{ExecCache, SparseExec};
 use crate::tensor::Tensor;
 
 /// CSR representation of a weight matrix `[rows, cols]`.
@@ -29,6 +32,11 @@ pub struct CsrMatrix {
     pub col_idx: ArenaVec<u32>,
     /// The non-zero values.
     pub values: ArenaVec<f32>,
+    /// Memoized execution format (see [`CsrMatrix::exec`]). Derived data:
+    /// skipped by comparison and serialization, shared by clones. Mutating
+    /// the storage fields above after the first inference call is
+    /// unsupported — compression transforms build fresh matrices.
+    pub exec: ExecCache<SparseExec>,
 }
 
 impl CsrMatrix {
@@ -55,6 +63,7 @@ impl CsrMatrix {
             row_ptr: row_ptr.into(),
             col_idx: col_idx.into(),
             values: values.into(),
+            exec: ExecCache::default(),
         };
         csr.validate()?;
         Ok(csr)
@@ -130,7 +139,16 @@ impl CsrMatrix {
             row_ptr: row_ptr.into(),
             col_idx: col_idx.into(),
             values: values.into(),
+            exec: ExecCache::default(),
         }
+    }
+
+    /// The compiled execution format for this matrix, built on first use
+    /// (or eagerly via [`crate::infer::MatRep::precompile`]) and shared by
+    /// every clone — sessions stamped out from one artifact model all run
+    /// the same compiled image while the CSR arrays stay storage-only.
+    pub fn exec(&self) -> &Arc<SparseExec> {
+        self.exec.get_or_compile(|| SparseExec::compile(self))
     }
 
     /// Number of stored non-zeros.

@@ -265,12 +265,37 @@ impl Tensor {
 ///
 /// `out` is fully overwritten (accumulation starts from zero).
 ///
+/// On x86-64 hosts with AVX2 the kernel dispatches to an explicit SIMD
+/// variant ([`matmul_v1_avx2`]). Dispatch is **bit-invisible**: per output
+/// element both variants apply one `multiply, add` per non-zero `a` term
+/// in ascending `k` order (no FMA contraction, no reassociation) — column
+/// lanes are independent, so vectorizing across them cannot reorder any
+/// element's accumulation. The frozen v1 golden fixtures therefore stay
+/// valid on every host.
+///
 /// # Panics
 ///
 /// Panics if any slice is shorter than its `m`/`k`/`n` dimensions imply.
 pub fn matmul_kernel(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert!(a.len() >= m * k, "lhs shorter than m*k");
+    assert!(b.len() >= k * n, "rhs shorter than k*n");
     let out = &mut out[..m * n];
     out.fill(0.0);
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && n >= 8 {
+        // SAFETY: AVX2 support was just detected, and the slice lengths
+        // were asserted above; the kernel reads `a[..m*k]`, `b[..k*n]` and
+        // writes `out[..m*n]` only.
+        unsafe { matmul_v1_avx2(a, b, m, k, n, out) };
+        return;
+    }
+    matmul_v1_scalar(a, b, m, k, n, 0, out);
+}
+
+/// The scalar reference body of [`matmul_kernel`], restricted to the
+/// column range `[j0, n)` so it also serves as the SIMD variant's column
+/// tail. Accumulation starts from the (pre-zeroed) buffer contents.
+fn matmul_v1_scalar(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, j0: usize, out: &mut [f32]) {
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let orow = &mut out[i * n..(i + 1) * n];
@@ -279,10 +304,50 @@ pub fn matmul_kernel(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &m
                 continue;
             }
             let brow = &b[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
+            for (o, &bv) in orow[j0..].iter_mut().zip(&brow[j0..]) {
                 *o += av * bv;
             }
         }
+    }
+}
+
+/// AVX2 variant of the v1 kernel: eight-column panels whose accumulators
+/// live in registers across the entire `k` loop. Per output element the
+/// operation sequence is *identical* to [`matmul_v1_scalar`] — skip
+/// `a == 0`, broadcast, multiply, single add (`vmulps`/`vaddps`, never
+/// `vfmadd`) in ascending `k` order — so the variants agree bit for bit.
+/// Columns `n - n % 8..` are handled by the scalar tail.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available and that `a.len() >= m*k`,
+/// `b.len() >= k*n`, `out.len() >= m*n`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_v1_avx2(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps,
+    };
+    let panels = n - n % 8;
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let mut j = 0;
+        while j + 8 <= n {
+            let mut acc = _mm256_setzero_ps();
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = _mm256_loadu_ps(b.as_ptr().add(p * n + j));
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(av), brow));
+            }
+            _mm256_storeu_ps(out.as_mut_ptr().add(i * n + j), acc);
+            j += 8;
+        }
+    }
+    if panels < n {
+        matmul_v1_scalar(a, b, m, k, n, panels, out);
     }
 }
 

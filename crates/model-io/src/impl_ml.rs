@@ -18,6 +18,7 @@ use ml::infer::{
 };
 use ml::models::{CnnConfig, ConvSpec, LstmConfig, PoolKind, TransformerConfig};
 use ml::optim::OptimizerKind;
+use ml::matexec::ExecCache;
 use ml::sparse::CsrMatrix;
 use ml::tensor::Tensor;
 
@@ -92,6 +93,7 @@ impl Persist for CsrMatrix {
             row_ptr: row_ptr.into(),
             col_idx: col_idx.into(),
             values: values.into(),
+            exec: ExecCache::default(),
         })
     }
 }
@@ -121,6 +123,7 @@ impl Persist for QuantMatrix {
             data: data.into(),
             scale,
             act_scale,
+            exec: ExecCache::default(),
         })
     }
 }

@@ -35,6 +35,7 @@ use ml::infer::{
     Activation, CnnInfer, ConvInfer, InferModel, LinearInfer, LstmInfer, MatRep, QuantMatrix,
     TfBlockInfer, TfInfer,
 };
+use ml::matexec::ExecCache;
 use ml::sparse::CsrMatrix;
 use ml::tensor::Tensor;
 
@@ -377,6 +378,7 @@ fn decode_csr(cur: &mut ViewCursor<'_>) -> Result<CsrMatrix> {
         row_ptr: cur.share(row_ptr),
         col_idx: cur.share(col_idx),
         values,
+        exec: ExecCache::default(),
     })
 }
 
@@ -401,6 +403,7 @@ fn decode_quant(cur: &mut ViewCursor<'_>) -> Result<QuantMatrix> {
         data,
         scale,
         act_scale,
+        exec: ExecCache::default(),
     })
 }
 

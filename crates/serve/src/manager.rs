@@ -755,6 +755,11 @@ impl SessionManager {
             return Ok(ArtifactId(i));
         }
         let model = image.decode().map_err(ServeError::Artifact)?;
+        // Compile compressed-weight execution formats (CSC/int8 layouts)
+        // once, here: sessions admitted from this artifact clone the model,
+        // and clones share the memoized compiled forms, so a fleet of
+        // sessions runs one compiled image on top of one weight image.
+        model.ensemble.precompile_exec();
         self.artifacts.push(ArtifactEntry { image, model });
         Ok(ArtifactId(self.artifacts.len() - 1))
     }

@@ -14,11 +14,21 @@
 //! process boundary, that a pre-v2 artifact in the field serves
 //! identically through the shared-image path.
 //!
+//! `save-compressed` writes an artifact whose ensemble carries *both*
+//! compressed weight representations (first net member pruned to CSR,
+//! second quantized to int8), and `verify-compressed` (fresh process)
+//! reloads it through the mmap-backed image and asserts its serving
+//! trace is bit-identical to an in-memory retrain-and-compress — the
+//! proof that the compressed execution kernels behave identically
+//! whether their storage lives on a private heap or a shared mapping.
+//!
 //! ```text
 //! cargo run --release --bin model_roundtrip -- save /tmp/model.cogm 21
 //! cargo run --release --bin model_roundtrip -- verify /tmp/model.cogm 21
 //! cargo run --release --bin model_roundtrip -- save-v1 /tmp/model-v1.cogm 21
 //! cargo run --release --bin model_roundtrip -- mmap-verify /tmp/model-v1.cogm 21
+//! cargo run --release --bin model_roundtrip -- save-compressed /tmp/model-c.cogm 21
+//! cargo run --release --bin model_roundtrip -- verify-compressed /tmp/model-c.cogm 21
 //! ```
 
 use std::process::ExitCode;
@@ -28,24 +38,46 @@ use cognitive_arm::eval::{train_default_ensemble, DatasetBuilder, TrainBudget};
 use cognitive_arm::pipeline::{CognitiveArm, PipelineConfig, SessionTrace};
 use eeg::dataset::Protocol;
 use eeg::types::Action;
+use ml::compress::{prune_global, quantize, QuantMode};
 use model_io::{ArmPersist, SavedModel};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: model_roundtrip <save|save-v1|verify|mmap-verify|roundtrip> <path.cogm> [seed]");
+    eprintln!(
+        "usage: model_roundtrip \
+         <save|save-v1|save-compressed|verify|mmap-verify|verify-compressed|roundtrip> \
+         <path.cogm> [seed]"
+    );
     ExitCode::from(2)
 }
 
 /// Builds the fully trained closed-loop system for `seed` (the expensive
-/// path an artifact lets later processes skip).
-fn train_system(seed: u64) -> CognitiveArm {
+/// path an artifact lets later processes skip). With `compress`, the
+/// ensemble leaves carrying both compressed representations: the first
+/// net member pruned to CSR storage, the second quantized to int8.
+fn train_system_with(seed: u64, compress: bool) -> CognitiveArm {
     let data = DatasetBuilder::new(Protocol::quick(), 1, seed)
         .build()
         .expect("quick dataset builds");
-    let ensemble = train_default_ensemble(&data, &TrainBudget::quick(), seed)
+    let mut ensemble = train_default_ensemble(&data, &TrainBudget::quick(), seed)
         .expect("quick ensemble trains");
+    if compress {
+        let mut member = 0usize;
+        ensemble.visit_net_models_mut(|m| {
+            if member == 0 {
+                prune_global(m, 0.7);
+            } else {
+                quantize(m, QuantMode::Calibrated).expect("dense model quantizes");
+            }
+            member += 1;
+        });
+    }
     let mut system = CognitiveArm::new(PipelineConfig::default(), ensemble, seed);
     system.set_normalization(data.zscores[0].clone());
     system
+}
+
+fn train_system(seed: u64) -> CognitiveArm {
+    train_system_with(seed, false)
 }
 
 fn trace_of(mut system: CognitiveArm) -> SessionTrace {
@@ -107,6 +139,50 @@ fn main() -> ExitCode {
                 system.ensemble().param_count()
             );
             ExitCode::SUCCESS
+        }
+        "save-compressed" => {
+            let t0 = Instant::now();
+            let system = train_system_with(seed, true);
+            let train_s = t0.elapsed().as_secs_f64();
+            system.save_model(path).expect("compressed artifact saves");
+            let bytes = std::fs::metadata(path).expect("artifact exists").len();
+            println!(
+                "saved {path} (pruned CSR + int8 members): {bytes} bytes, ensemble {} \
+                 ({} params), trained in {train_s:.1} s",
+                system.ensemble().name(),
+                system.ensemble().param_count()
+            );
+            ExitCode::SUCCESS
+        }
+        "verify-compressed" => {
+            let t0 = Instant::now();
+            let image = model_io::WeightImage::open(path).expect("weight image opens");
+            let model = image.decode().expect("weight image decodes");
+            let load_s = t0.elapsed().as_secs_f64();
+            println!(
+                "mapped compressed {path} in {load_s:.3} s: format v{} on disk, mapped={}, \
+                 ensemble {} ({} params)",
+                image.source_version(),
+                image.is_mapped(),
+                model.ensemble.name(),
+                model.ensemble.param_count()
+            );
+            let loaded_trace = trace_of(model.into_system(seed));
+            let retrained_trace = trace_of(train_system_with(seed, true));
+            if traces_identical(&loaded_trace, &retrained_trace) {
+                println!(
+                    "OK: {} labels bit-identical between mmap-loaded and in-memory \
+                     compressed systems",
+                    loaded_trace.labels.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "FAIL: mmap-loaded compressed trace diverges from in-memory \
+                     compressed trace"
+                );
+                ExitCode::FAILURE
+            }
         }
         "mmap-verify" => {
             let t0 = Instant::now();

@@ -175,6 +175,65 @@ fn label_tick_head_is_allocation_free_once_warm() {
 }
 
 #[test]
+fn compressed_label_tick_is_allocation_free_once_warm() {
+    // PR 9: compressed models run real execution kernels (CSC/hybrid
+    // sparse streaming, batch-stacked int8 GEMM) and those paths keep the
+    // zero-allocation contract. Execution formats compile once during
+    // warm-up (shared per-matrix caches), and the quantization/transpose
+    // scratch in `ExecScratch` is grow-only — so warm compressed label
+    // ticks allocate exactly as much as dense ones: nothing.
+    for variant in ["pruned_70", "int8_calibrated"] {
+        let artifacts = quick_trained(21, 21);
+        let mut ensemble = artifacts.ensemble.clone();
+        match variant {
+            "pruned_70" => {
+                ensemble.visit_net_models_mut(|m| ml::compress::prune_global(m, 0.7));
+            }
+            _ => ensemble.visit_net_models_mut(|m| {
+                ml::compress::quantize(m, ml::compress::QuantMode::Calibrated)
+                    .expect("dense model quantizes");
+            }),
+        }
+        ensemble.precompile_exec();
+
+        let pool = ExecPool::new(1);
+        let controller = Controller::new(
+            ControllerConfig::default(),
+            SafetyGate::new(SafetyConfig::default()),
+        );
+        let mut head = InferenceHead::new(ensemble, controller);
+        let mut trace = SessionTrace::default();
+        trace.labels.reserve(512);
+        trace.joints.reserve(512);
+        let mut latency = LatencyReport::default();
+
+        let window_len = CHANNELS * head.ensemble().window();
+        let windows: Vec<Vec<f32>> = (0..4)
+            .map(|k| {
+                (0..window_len)
+                    .map(|i| ((i + k * 37) as f32 * 0.43).sin())
+                    .collect()
+            })
+            .collect();
+
+        for (i, w) in windows.iter().cycle().take(16).enumerate() {
+            head.step(w, &pool, i as f64, 8, &mut trace, &mut latency)
+                .expect("warm step");
+        }
+        let allocs = count_allocs(|| {
+            for (i, w) in windows.iter().cycle().take(16).enumerate() {
+                head.step(w, &pool, 100.0 + i as f64, 8, &mut trace, &mut latency)
+                    .expect("measured step");
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "steady-state {variant} label ticks allocated {allocs} times"
+        );
+    }
+}
+
+#[test]
 fn full_streaming_tick_is_allocation_free_once_warm() {
     // The tentpole contract: an entire steady-state streaming tick —
     // board drain → pooled payload → outlet push → transport → inlet

@@ -388,6 +388,17 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Mean of an already-run benchmark in this group, in nanoseconds.
+    /// Lets a bench assert acceptance ratios between its own entries
+    /// (e.g. "compressed must beat dense") before the group closes.
+    #[must_use]
+    pub fn mean_ns(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.mean_ns)
+    }
+
     /// Ends the group (the JSON report is written on drop either way).
     pub fn finish(self) {}
 }
