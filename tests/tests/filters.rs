@@ -1,0 +1,188 @@
+//! The filter-engine bit-identity contract.
+//!
+//! PR 10 replaces the per-channel scalar filter walk (`StreamingFilter`
+//! per channel, one sample at a time) with `dsp::filterbank::FilterBank`,
+//! a compiled channel-interleaved execution form advanced by SIMD lanes.
+//! The swap must be **bit-invisible**: no label, joint angle, or filtered
+//! sample may move by a single bit when the engine underneath changes, at
+//! any thread count and with SIMD dispatch forced off
+//! (`COGARM_NO_SIMD=1`). This suite locks that four ways:
+//!
+//! 1. golden label traces for the monolithic loop and the two-stage
+//!    streaming session, committed as fixtures *before* the engine swap
+//!    (regenerate deliberately with `COGARM_REGEN_FIXTURES=1 cargo test
+//!    -q --test filters`);
+//! 2. a golden filtered-sample trace straight off the causal chain — the
+//!    rawest view of the filter bits, before windowing or inference can
+//!    coarsen a discrepancy into an unchanged label;
+//! 3. a golden zero-phase (filtfilt) trace off the offline chain, at 1
+//!    and 4 threads;
+//! 4. thread-count invariance in-test: a 4-thread pool must reproduce the
+//!    1-thread bits exactly (CI additionally runs the whole file at
+//!    `COGARM_THREADS=1` and `=4`, and once with `COGARM_NO_SIMD=1`).
+//!
+//! Pools are explicit (`ExecPool::new`), never `COGARM_THREADS` — tests
+//! run concurrently and must not race on process state.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use cognitive_arm::pipeline::{CognitiveArm, PipelineConfig, SessionTrace};
+use cognitive_arm::preprocess::{FilterSpec, OfflineChain, StreamingChain};
+use eeg::signal::{SignalGenerator, SubjectParams};
+use eeg::types::Action;
+use eeg::CHANNELS;
+use exec::ExecPool;
+use integration_tests::quick_trained;
+use serve::{SessionSpec, StreamSession};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+/// Compares `rendered` against the committed fixture `name`, or rewrites
+/// the fixture when `COGARM_REGEN_FIXTURES` is set.
+fn check_fixture(name: &str, rendered: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("COGARM_REGEN_FIXTURES").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixtures dir")).expect("mkdir");
+        std::fs::write(&path, rendered).expect("write fixture");
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {name} ({e}); run with COGARM_REGEN_FIXTURES=1")
+    });
+    assert_eq!(
+        committed, rendered,
+        "{name}: the filter path no longer reproduces its committed golden trace — \
+         the engine swap moved bits; the compiled filter bank must be bit-identical \
+         to the scalar per-channel runners it replaces"
+    );
+}
+
+/// Renders a session trace: one line per label with the timestamp and the
+/// three joint angles as raw f64 bits (hex) plus the label index.
+fn render_session_trace(header: &str, trace: &SessionTrace) -> String {
+    let mut out = format!("# {header}: <t f64 bits> <label> <lift wrist grip f64 bits>\n");
+    for (l, j) in trace.labels.iter().zip(&trace.joints) {
+        out.push_str(&format!(
+            "{:016x} {} {:016x} {:016x} {:016x}\n",
+            l.t.to_bits(),
+            l.label,
+            j.1.to_bits(),
+            j.2.to_bits(),
+            j.3.to_bits()
+        ));
+    }
+    out
+}
+
+/// The monolithic closed-loop label trace over `threads` (explicit pool).
+fn mono_trace(threads: usize) -> SessionTrace {
+    let artifacts = quick_trained(21, 21);
+    let mut sys = CognitiveArm::with_pool(
+        PipelineConfig::default(),
+        artifacts.ensemble.clone(),
+        21,
+        Arc::new(ExecPool::new(threads)),
+    );
+    sys.set_normalization(artifacts.data.zscores[0].clone());
+    sys.set_subject_action(Action::Right);
+    sys.run_for(2.0).expect("monolithic run")
+}
+
+/// The two-stage streaming session's label trace over `threads`.
+fn stream_trace(threads: usize) -> SessionTrace {
+    let artifacts = quick_trained(21, 21);
+    let spec = SessionSpec::new(PipelineConfig::default(), artifacts.ensemble.clone(), 22)
+        .with_normalization(artifacts.data.zscores[0].clone())
+        .with_action(Action::Right);
+    let mut session =
+        StreamSession::new(spec, Arc::new(ExecPool::new(threads)), 4).expect("session assembles");
+    session.run_for(2.0).expect("streaming run")
+}
+
+#[test]
+fn golden_label_traces_survive_the_filter_swap() {
+    for (tag, run) in [
+        ("mono", mono_trace as fn(usize) -> SessionTrace),
+        ("stream", stream_trace as fn(usize) -> SessionTrace),
+    ] {
+        let trace = run(1);
+        // Thread-count invariance, in-test: the filter stage is causal
+        // per-channel state advanced in sample order; the pool size can
+        // never reach its numerics.
+        let on_four = run(4);
+        assert_eq!(trace, on_four, "{tag}: thread count changed label bits");
+        assert!(!trace.labels.is_empty(), "{tag}: trace is non-trivial");
+        check_fixture(
+            &format!("trace_filter_{tag}.txt"),
+            &render_session_trace(&format!("golden {tag} label trace"), &trace),
+        );
+    }
+}
+
+#[test]
+fn golden_causal_chain_samples_survive_the_filter_swap() {
+    // The rawest lock: every filtered sample off the causal chain, as raw
+    // f32 bits, over a seeded synthetic recording. 256 samples × 16
+    // channels, one line per sample instant.
+    let mut g = SignalGenerator::new(SubjectParams::sampled(7), 11);
+    let chunk = g.generate_action(Action::Left, 256);
+    let per = chunk.samples;
+    let mut chain = StreamingChain::new(&FilterSpec::default()).expect("default spec designs");
+    let mut out = String::from("# golden causal chain trace: <16 channel f32 bits per sample>\n");
+    for i in 0..per {
+        let mut s = [0.0f32; CHANNELS];
+        for (ch, v) in s.iter_mut().enumerate() {
+            *v = chunk.data[ch * per + i];
+        }
+        chain.step(&mut s);
+        for (ch, &v) in s.iter().enumerate() {
+            if ch > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{:08x}", v.to_bits()));
+        }
+        out.push('\n');
+    }
+    check_fixture("trace_filter_chain.txt", &out);
+}
+
+#[test]
+fn golden_offline_chain_survives_the_filter_swap() {
+    // The zero-phase (filtfilt) path, locked at 1 and 4 threads: channels
+    // are independent work items, so the pool size must be invisible.
+    let mut g = SignalGenerator::new(SubjectParams::sampled(7), 13);
+    let chunk = g.generate_action(Action::Idle, 256);
+    let per = chunk.samples;
+    let mut filtered = chunk.clone();
+    OfflineChain::with_pool(&FilterSpec::default(), Arc::new(ExecPool::new(1)))
+        .expect("default spec designs")
+        .apply(&mut filtered)
+        .expect("offline chain applies");
+    let mut on_four = chunk.clone();
+    OfflineChain::with_pool(&FilterSpec::default(), Arc::new(ExecPool::new(4)))
+        .expect("default spec designs")
+        .apply(&mut on_four)
+        .expect("offline chain applies");
+    assert_eq!(
+        filtered.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        on_four.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "thread count changed offline chain bits"
+    );
+
+    let mut out = String::from("# golden offline chain trace: <16 channel f32 bits per sample>\n");
+    for i in 0..per {
+        for ch in 0..CHANNELS {
+            if ch > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{:08x}", filtered.data[ch * per + i].to_bits()));
+        }
+        out.push('\n');
+    }
+    check_fixture("trace_filter_offline.txt", &out);
+}
