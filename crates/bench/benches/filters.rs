@@ -1,0 +1,191 @@
+//! The streaming filter engine under serving-shaped load.
+//!
+//! PR 10's claim is that compiling per-channel causal chains into the
+//! channel-interleaved [`FilterBank`] buys real per-tick time, not just a
+//! prettier inner loop. This bench prices one scheduling quantum (8
+//! samples — one label period at 125 Hz) three ways:
+//!
+//! * `filters_streaming` — a single session's tick at 8 and 64 channels:
+//!   the scalar per-channel `StreamingFilter` pair the bank replaced,
+//!   the bank's scalar body, and the bank's compiled (SIMD) body.
+//! * `filters_fleet` — the deployment shape: 64 sessions × 16 channels,
+//!   every session advanced one tick, scalar chains vs compiled banks.
+//!
+//! On AVX2 hosts the compiled bank must be **measurably** faster — the
+//! group asserts `bank ≤ 0.6 × scalar` at 8+ channels, so a regression
+//! that erases the win fails the bench run instead of merely recording
+//! it. Scalar-only hosts (or `COGARM_NO_SIMD=1`) still run everything
+//! and skip the ratio assertion: there is no vector body to defend.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dsp::biquad::StreamingFilter;
+use dsp::butterworth::Butterworth;
+use dsp::filterbank::FilterBank;
+use dsp::notch::notch_filter;
+
+/// One label period at 125 Hz: 8 samples per scheduling tick.
+const TICK_FRAMES: usize = 8;
+/// The deployment fleet shape (matches `serving_load`'s default).
+const FLEET_SESSIONS: usize = 64;
+/// EEG montage width per session.
+const FLEET_CHANNELS: usize = 16;
+
+/// The paper's causal cascade: 9th-order band-pass + 50 Hz notch.
+fn stages() -> (dsp::biquad::SosFilter, dsp::biquad::SosFilter) {
+    let bp = Butterworth::bandpass(9, 0.5, 45.0, 125.0).expect("bandpass designs");
+    let nt = notch_filter(50.0, 30.0, 125.0).expect("notch designs");
+    (bp, nt)
+}
+
+/// A deterministic interleaved signal block: `frames` frames of
+/// `channels` samples, amplitude-varied so no lane settles to zero.
+fn signal(frames: usize, channels: usize) -> Vec<f32> {
+    (0..frames * channels)
+        .map(|i| ((i as f32) * 0.173).sin() * 30.0 + ((i as f32) * 0.0411).cos() * 5.0)
+        .collect()
+}
+
+/// Advances `channels` scalar chain pairs through one tick of `input`.
+fn scalar_tick(
+    bp: &mut [StreamingFilter],
+    nt: &mut [StreamingFilter],
+    input: &[f32],
+    out: &mut [f32],
+) {
+    let channels = bp.len();
+    for (i, (&x, y)) in input.iter().zip(out.iter_mut()).enumerate() {
+        let ch = i % channels;
+        *y = nt[ch].step(bp[ch].step(x));
+    }
+}
+
+fn streaming_tick(c: &mut Criterion) {
+    let (bp, nt) = stages();
+    let mut g = c.benchmark_group("filters_streaming");
+    for channels in [8usize, 64] {
+        let input = signal(TICK_FRAMES, channels);
+
+        let mut scalar_bp: Vec<StreamingFilter> = (0..channels)
+            .map(|_| StreamingFilter::new(bp.clone()))
+            .collect();
+        let mut scalar_nt: Vec<StreamingFilter> = (0..channels)
+            .map(|_| StreamingFilter::new(nt.clone()))
+            .collect();
+        let mut out = vec![0.0f32; input.len()];
+        g.bench_function(&format!("scalar_chains_{channels}ch"), |b| {
+            b.iter(|| {
+                scalar_tick(&mut scalar_bp, &mut scalar_nt, &input, &mut out);
+                black_box(out[0])
+            })
+        });
+
+        let mut bank_scalar = FilterBank::with_simd(channels, &[&bp, &nt], false);
+        let mut buf = input.clone();
+        g.bench_function(&format!("bank_scalar_{channels}ch"), |b| {
+            b.iter(|| {
+                buf.copy_from_slice(&input);
+                bank_scalar.process_frames(&mut buf);
+                black_box(buf[0])
+            })
+        });
+
+        let mut bank = FilterBank::new(channels, &[&bp, &nt]);
+        g.bench_function(&format!("bank_{channels}ch"), |b| {
+            b.iter(|| {
+                buf.copy_from_slice(&input);
+                bank.process_frames(&mut buf);
+                black_box(buf[0])
+            })
+        });
+    }
+
+    // The perf bar, asserted in-bench on hosts where the vector body is
+    // live: the compiled bank must come in at ≤ 0.6× the scalar chains
+    // it replaced, already at 8 channels (2 AVX2 lane blocks).
+    if dsp::simd::enabled() {
+        for channels in [8usize, 64] {
+            let scalar = g
+                .mean_ns(&format!("scalar_chains_{channels}ch"))
+                .expect("scalar measured");
+            let bank = g
+                .mean_ns(&format!("bank_{channels}ch"))
+                .expect("bank measured");
+            assert!(
+                bank <= 0.6 * scalar,
+                "{channels}ch: compiled bank {bank:.0} ns/tick not ≤ 0.6× scalar \
+                 chains {scalar:.0} ns/tick — the vectorized engine lost its win"
+            );
+            println!(
+                "filters_streaming/{channels}ch: bank {:.2}x scalar ({bank:.0} vs {scalar:.0} ns/tick)",
+                bank / scalar
+            );
+        }
+    } else {
+        println!("filters_streaming: SIMD off (host or COGARM_NO_SIMD); ratio bar skipped");
+    }
+    g.finish();
+}
+
+fn fleet_tick(c: &mut Criterion) {
+    let (bp, nt) = stages();
+    let input = signal(TICK_FRAMES, FLEET_CHANNELS);
+    let mut g = c.benchmark_group("filters_fleet");
+
+    let mut scalar_bp: Vec<Vec<StreamingFilter>> = (0..FLEET_SESSIONS)
+        .map(|_| {
+            (0..FLEET_CHANNELS)
+                .map(|_| StreamingFilter::new(bp.clone()))
+                .collect()
+        })
+        .collect();
+    let mut scalar_nt: Vec<Vec<StreamingFilter>> = (0..FLEET_SESSIONS)
+        .map(|_| {
+            (0..FLEET_CHANNELS)
+                .map(|_| StreamingFilter::new(nt.clone()))
+                .collect()
+        })
+        .collect();
+    let mut out = vec![0.0f32; input.len()];
+    g.bench_function("scalar_chains_64x16ch", |b| {
+        b.iter(|| {
+            for s in 0..FLEET_SESSIONS {
+                scalar_tick(&mut scalar_bp[s], &mut scalar_nt[s], &input, &mut out);
+            }
+            black_box(out[0])
+        })
+    });
+
+    let mut banks: Vec<FilterBank> = (0..FLEET_SESSIONS)
+        .map(|_| FilterBank::new(FLEET_CHANNELS, &[&bp, &nt]))
+        .collect();
+    let mut buf = input.clone();
+    g.bench_function("bank_64x16ch", |b| {
+        b.iter(|| {
+            for bank in &mut banks {
+                buf.copy_from_slice(&input);
+                bank.process_frames(&mut buf);
+            }
+            black_box(buf[0])
+        })
+    });
+
+    if dsp::simd::enabled() {
+        let scalar = g.mean_ns("scalar_chains_64x16ch").expect("scalar measured");
+        let bank = g.mean_ns("bank_64x16ch").expect("bank measured");
+        assert!(
+            bank <= 0.6 * scalar,
+            "fleet: compiled banks {bank:.0} ns/tick not ≤ 0.6× scalar chains \
+             {scalar:.0} ns/tick — the vectorized engine lost its win at fleet scale"
+        );
+        println!(
+            "filters_fleet: bank {:.2}x scalar ({bank:.0} vs {scalar:.0} ns/tick)",
+            bank / scalar
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, streaming_tick, fleet_tick);
+criterion_main!(benches);

@@ -9,11 +9,11 @@
 //! Both are followed by the per-subject z-score normalization of Sec. V-A,
 //! whose statistics are fitted on training data and frozen.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use dsp::biquad::StreamingFilter;
 use dsp::butterworth::Butterworth;
-use dsp::filtfilt::filtfilt;
+use dsp::filterbank::FilterBank;
+use dsp::filtfilt::ZeroPhaseBank;
 use dsp::normalize::Zscore;
 use dsp::notch::notch_filter;
 use eeg::types::Chunk;
@@ -50,14 +50,48 @@ impl Default for FilterSpec {
 }
 
 /// Offline zero-phase preprocessing for dataset preparation. Channels are
-/// filtered in parallel on an [`ExecPool`]; each channel is an independent
-/// work item and results land back in channel order, so the output is
-/// bit-identical for any thread count.
-#[derive(Debug, Clone)]
+/// filtered in blocks of [`dsp::filterbank::LANES`] through compiled
+/// [`ZeroPhaseBank`]s, blocks in parallel on an [`ExecPool`]; each block
+/// is an independent work item, lanes within a block are independent
+/// channels, and results land back in channel order — so the output is
+/// bit-identical to the scalar per-channel `filtfilt` at any thread
+/// count (locked by `tests/tests/filters.rs` golden traces).
 pub struct OfflineChain {
     bandpass: dsp::biquad::SosFilter,
     notch: dsp::biquad::SosFilter,
     pool: Arc<ExecPool>,
+    /// Checked-out-and-returned zero-phase scratch, one entry per
+    /// concurrently running work item — re-running the chain re-uses
+    /// these instead of compiling fresh banks per call.
+    scratch: Mutex<Vec<OfflineScratch>>,
+}
+
+/// One work item's compiled zero-phase banks (band-pass, then notch).
+#[derive(Debug, Clone)]
+struct OfflineScratch {
+    bandpass: ZeroPhaseBank,
+    notch: ZeroPhaseBank,
+}
+
+impl std::fmt::Debug for OfflineChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OfflineChain")
+            .field("bandpass_order", &self.bandpass.order())
+            .field("notch_order", &self.notch.order())
+            .field("threads", &self.pool.threads())
+            .finish()
+    }
+}
+
+impl Clone for OfflineChain {
+    fn clone(&self) -> Self {
+        Self {
+            bandpass: self.bandpass.clone(),
+            notch: self.notch.clone(),
+            pool: Arc::clone(&self.pool),
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl OfflineChain {
@@ -80,43 +114,69 @@ impl OfflineChain {
             bandpass: Butterworth::bandpass(spec.order, spec.low_hz, spec.high_hz, SAMPLE_RATE)?,
             notch: notch_filter(spec.notch_hz, spec.notch_q, SAMPLE_RATE)?,
             pool,
+            scratch: Mutex::new(Vec::new()),
         })
     }
 
-    /// Filters a whole multichannel recording zero-phase, in place,
-    /// one channel per parallel work item.
+    /// Filters a whole multichannel recording zero-phase, in place, one
+    /// channel *block* (a bank's worth of SIMD lanes) per parallel work
+    /// item. Zero-phase composition matches the scalar path exactly:
+    /// band-pass `filtfilt`, then notch `filtfilt`, per channel.
     ///
     /// # Errors
     ///
     /// Returns an error for recordings shorter than the filtfilt pad.
     pub fn apply(&self, chunk: &mut Chunk) -> Result<()> {
         let per = chunk.samples;
-        let rows: Vec<Result<Vec<f32>>> = {
-            let shared: &Chunk = chunk;
-            self.pool.par_map_range(0..shared.channels, |ch| {
-                let f1 = filtfilt(&self.bandpass, shared.channel(ch))?;
-                Ok(filtfilt(&self.notch, &f1)?)
-            })
-        };
-        for (ch, row) in rows.into_iter().enumerate() {
-            let row = row?;
-            chunk.data[ch * per..(ch + 1) * per].copy_from_slice(&row);
+        if per == 0 || chunk.channels == 0 {
+            return Ok(());
+        }
+        let mut blocks: Vec<&mut [f32]> = chunk
+            .data
+            .chunks_mut(per * dsp::filterbank::LANES)
+            .collect();
+        let results: Vec<dsp::Result<()>> = self.pool.par_map_mut(&mut blocks, |block| {
+            let mut scratch = self
+                .scratch
+                .lock()
+                .expect("offline scratch lock")
+                .pop()
+                .unwrap_or_else(|| OfflineScratch {
+                    bandpass: ZeroPhaseBank::new(&self.bandpass, dsp::filterbank::LANES),
+                    notch: ZeroPhaseBank::new(&self.notch, dsp::filterbank::LANES),
+                });
+            let out = scratch
+                .bandpass
+                .apply_channel_major(block, per)
+                .and_then(|()| scratch.notch.apply_channel_major(block, per));
+            self.scratch
+                .lock()
+                .expect("offline scratch lock")
+                .push(scratch);
+            out
+        });
+        for r in results {
+            r?;
         }
         Ok(())
     }
 }
 
-/// Causal streaming preprocessing for the real-time loop: one band-pass +
-/// notch filter pair per channel, with persistent state.
+/// Causal streaming preprocessing for the real-time loop: the band-pass +
+/// notch cascade for all channels, compiled into one channel-interleaved
+/// [`FilterBank`] with persistent state. Per channel, each step is
+/// bit-identical to the per-channel `StreamingFilter` pair it replaced
+/// (band-pass, f32 narrowing, notch) — the bank only changes how many
+/// channels one instruction advances.
 #[derive(Debug, Clone)]
 pub struct StreamingChain {
-    bandpass: Vec<StreamingFilter>,
-    notch: Vec<StreamingFilter>,
+    bank: FilterBank,
     zscore: Option<Zscore>,
 }
 
 impl StreamingChain {
-    /// Designs the chain for all 16 channels.
+    /// Designs the chain for all 16 channels and compiles the execution
+    /// form (scalar or AVX2, resolved by [`dsp::simd`]).
     ///
     /// # Errors
     ///
@@ -125,8 +185,7 @@ impl StreamingChain {
         let bp = Butterworth::bandpass(spec.order, spec.low_hz, spec.high_hz, SAMPLE_RATE)?;
         let nt = notch_filter(spec.notch_hz, spec.notch_q, SAMPLE_RATE)?;
         Ok(Self {
-            bandpass: (0..CHANNELS).map(|_| StreamingFilter::new(bp.clone())).collect(),
-            notch: (0..CHANNELS).map(|_| StreamingFilter::new(nt.clone())).collect(),
+            bank: FilterBank::new(CHANNELS, &[&bp, &nt]),
             zscore: None,
         })
     }
@@ -144,20 +203,17 @@ impl StreamingChain {
 
     /// Processes one multichannel sample in place.
     pub fn step(&mut self, sample: &mut [f32; CHANNELS]) {
-        for (ch, v) in sample.iter_mut().enumerate() {
-            let f = self.notch[ch].step(self.bandpass[ch].step(*v));
-            *v = match &self.zscore {
-                Some(z) => (f - z.means()[ch]) / z.stds()[ch],
-                None => f,
-            };
+        self.bank.step_frame(sample);
+        if let Some(z) = &self.zscore {
+            for (ch, v) in sample.iter_mut().enumerate() {
+                *v = (*v - z.means()[ch]) / z.stds()[ch];
+            }
         }
     }
 
     /// Resets all filter state (new session).
     pub fn reset(&mut self) {
-        for f in self.bandpass.iter_mut().chain(self.notch.iter_mut()) {
-            f.reset();
-        }
+        self.bank.reset();
     }
 }
 

@@ -155,11 +155,32 @@ impl SosFilter {
     /// Causally filters a signal, returning a new vector of the same length.
     ///
     /// The filter starts from zero state; for streaming use across chunk
-    /// boundaries use [`SosFilter::runner`] which preserves state.
+    /// boundaries use [`SosFilter::runner`] which preserves state. Hot
+    /// callers that re-run cascades should use [`SosFilter::filter_into`]
+    /// with reused buffers instead.
     #[must_use]
     pub fn filter(&self, signal: &[f32]) -> Vec<f32> {
-        let mut runner = self.runner();
-        signal.iter().map(|&x| runner.step(x)).collect()
+        let mut out = Vec::new();
+        self.filter_into(signal, &mut out, &mut SosScratch::default());
+        out
+    }
+
+    /// [`SosFilter::filter`] into a reused output buffer (cleared first)
+    /// with reused section state — identical values, zero steady-state
+    /// allocations once `out` and `scratch` have warmed to the signal
+    /// length and cascade depth.
+    pub fn filter_into(&self, signal: &[f32], out: &mut Vec<f32>, scratch: &mut SosScratch) {
+        scratch.state.clear();
+        scratch.state.resize(self.sections.len(), BiquadState::default());
+        out.clear();
+        out.reserve(signal.len());
+        for &x in signal {
+            let mut acc = f64::from(x);
+            for (coeff, state) in self.sections.iter().zip(scratch.state.iter_mut()) {
+                acc = state.step(coeff, acc);
+            }
+            out.push(acc as f32);
+        }
     }
 
     /// Creates a stateful runner for sample-by-sample streaming.
@@ -170,6 +191,14 @@ impl SosFilter {
             state: vec![BiquadState::default(); self.sections.len()],
         }
     }
+}
+
+/// Reusable delay-state scratch for [`SosFilter::filter_into`] — lets a
+/// caller re-run cascades of any depth without per-call allocation once
+/// the scratch has warmed to the deepest cascade it has seen.
+#[derive(Debug, Clone, Default)]
+pub struct SosScratch {
+    state: Vec<BiquadState>,
 }
 
 /// Stateful executor for an [`SosFilter`], suitable for real-time streaming.

@@ -11,8 +11,14 @@
 //!
 //! [`SosRunner`]: crate::biquad::SosRunner
 
-use crate::biquad::SosFilter;
+use crate::biquad::{SosFilter, SosScratch};
+use crate::filterbank::FilterBank;
 use crate::{DspError, Result};
+
+/// The odd-reflection pad length for `filter`.
+fn reflection_pad(filter: &SosFilter) -> usize {
+    3 * (filter.order() + 1)
+}
 
 /// Applies `filter` with zero phase distortion.
 ///
@@ -24,7 +30,35 @@ use crate::{DspError, Result};
 /// Returns [`DspError::SignalTooShort`] when the signal is shorter than the
 /// reflection pad (3 × filter order + 3 samples).
 pub fn filtfilt(filter: &SosFilter, signal: &[f32]) -> Result<Vec<f32>> {
-    let pad = 3 * (filter.order() + 1);
+    let mut out = Vec::new();
+    filtfilt_into(filter, signal, &mut out, &mut FiltfiltScratch::default())?;
+    Ok(out)
+}
+
+/// Reusable working memory for [`filtfilt_into`]: the odd-reflection
+/// extended signal, the intermediate pass, and the cascade delay state.
+/// Re-running chains of the same shape through one scratch performs zero
+/// steady-state allocations.
+#[derive(Debug, Clone, Default)]
+pub struct FiltfiltScratch {
+    extended: Vec<f32>,
+    filtered: Vec<f32>,
+    sos: SosScratch,
+}
+
+/// [`filtfilt`] into a reused output buffer (cleared first), with all
+/// working memory drawn from `scratch`. Identical values.
+///
+/// # Errors
+///
+/// As [`filtfilt`].
+pub fn filtfilt_into(
+    filter: &SosFilter,
+    signal: &[f32],
+    out: &mut Vec<f32>,
+    scratch: &mut FiltfiltScratch,
+) -> Result<()> {
+    let pad = reflection_pad(filter);
     if signal.len() <= pad {
         return Err(DspError::SignalTooShort {
             required: pad + 1,
@@ -32,8 +66,15 @@ pub fn filtfilt(filter: &SosFilter, signal: &[f32]) -> Result<Vec<f32>> {
         });
     }
 
+    let FiltfiltScratch {
+        extended,
+        filtered,
+        sos,
+    } = scratch;
+
     // Odd reflection about the first/last sample: 2*edge - x.
-    let mut extended = Vec::with_capacity(signal.len() + 2 * pad);
+    extended.clear();
+    extended.reserve(signal.len() + 2 * pad);
     let first = signal[0];
     let last = signal[signal.len() - 1];
     for i in (1..=pad).rev() {
@@ -44,12 +85,121 @@ pub fn filtfilt(filter: &SosFilter, signal: &[f32]) -> Result<Vec<f32>> {
         extended.push(2.0 * last - signal[i]);
     }
 
-    let mut fwd = filter.filter(&extended);
-    fwd.reverse();
-    let mut back = filter.filter(&fwd);
-    back.reverse();
+    filter.filter_into(extended, filtered, sos);
+    filtered.reverse();
+    filter.filter_into(filtered, extended, sos);
+    extended.reverse();
 
-    Ok(back[pad..pad + signal.len()].to_vec())
+    out.clear();
+    out.extend_from_slice(&extended[pad..pad + signal.len()]);
+    Ok(())
+}
+
+/// Zero-phase filtering over a block of channels through a compiled
+/// [`FilterBank`] — the offline fast path. One forward and one reverse
+/// pass advance every channel in SIMD lanes; per channel the output is
+/// bit-identical to [`filtfilt`] on that channel alone, because lanes are
+/// independent and each evaluates the scalar operation sequence.
+#[derive(Debug, Clone)]
+pub struct ZeroPhaseBank {
+    bank: FilterBank,
+    pad: usize,
+    /// Frame-major interleaved extended block (reused across calls).
+    ext: Vec<f32>,
+}
+
+impl ZeroPhaseBank {
+    /// Compiles `filter` into a bank over `channels` parallel lanes.
+    #[must_use]
+    pub fn new(filter: &SosFilter, channels: usize) -> Self {
+        Self {
+            bank: FilterBank::new(channels, &[filter]),
+            pad: reflection_pad(filter),
+            ext: Vec::new(),
+        }
+    }
+
+    /// Lanes compiled into the bank — the widest block one
+    /// [`ZeroPhaseBank::apply_channel_major`] call can filter.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.bank.channels()
+    }
+
+    /// Zero-phase filters a channel-major block in place: `block` holds
+    /// up to [`ZeroPhaseBank::channels`] rows of `per` samples each.
+    /// Unused lanes carry zeros. Zero steady-state allocations once the
+    /// scratch has warmed to the block shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::SignalTooShort`] when rows are shorter than
+    /// the reflection pad.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not a whole number of rows or holds more
+    /// rows than the bank has lanes.
+    pub fn apply_channel_major(&mut self, block: &mut [f32], per: usize) -> Result<()> {
+        assert_eq!(block.len() % per.max(1), 0, "block is not whole rows");
+        let width = block.len().checked_div(per).unwrap_or(0);
+        assert!(width <= self.bank.channels(), "block wider than the bank");
+        let pad = self.pad;
+        if per <= pad {
+            return Err(DspError::SignalTooShort {
+                required: pad + 1,
+                actual: per,
+            });
+        }
+        let lanes = self.bank.channels();
+        let frames = per + 2 * pad;
+        self.ext.clear();
+        self.ext.resize(frames * lanes, 0.0);
+
+        // Gather: odd reflection per lane, interleaved frame-major.
+        for (c, row) in block.chunks_exact(per).enumerate() {
+            let first = row[0];
+            let last = row[per - 1];
+            for j in 0..pad {
+                self.ext[j * lanes + c] = 2.0 * first - row[pad - j];
+            }
+            for (j, &v) in row.iter().enumerate() {
+                self.ext[(pad + j) * lanes + c] = v;
+            }
+            for j in 0..pad {
+                self.ext[(pad + per + j) * lanes + c] = 2.0 * last - row[per - 2 - j];
+            }
+        }
+
+        // Forward, reverse, forward, reverse — the filtfilt sequence,
+        // with frame reversal standing in for per-channel reversal.
+        self.bank.reset();
+        self.bank.process_frames(&mut self.ext);
+        reverse_frames(&mut self.ext, lanes);
+        self.bank.reset();
+        self.bank.process_frames(&mut self.ext);
+        reverse_frames(&mut self.ext, lanes);
+
+        // Scatter the unpadded span back.
+        for (c, row) in block.chunks_exact_mut(per).enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = self.ext[(pad + j) * lanes + c];
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reverses the frame order of an interleaved block in place (each
+/// lane's sequence reverses; lanes stay put).
+fn reverse_frames(data: &mut [f32], lanes: usize) {
+    let frames = data.len() / lanes;
+    for i in 0..frames / 2 {
+        let j = frames - 1 - i;
+        for l in 0..lanes {
+            data.swap(i * lanes + l, j * lanes + l);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +271,52 @@ mod tests {
         let x = vec![0.0_f32; 20];
         assert!(matches!(
             filtfilt(&f, &x),
+            Err(DspError::SignalTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn filtfilt_into_reuses_buffers_with_identical_values() {
+        let f = Butterworth::bandpass(4, 0.5, 45.0, FS).unwrap();
+        let mut out = Vec::new();
+        let mut scratch = FiltfiltScratch::default();
+        for freq in [5.0, 12.0, 30.0] {
+            let x = tone(freq, 400);
+            let want = filtfilt(&f, &x).unwrap();
+            filtfilt_into(&f, &x, &mut out, &mut scratch).unwrap();
+            let same = want.iter().zip(&out).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "freq {freq} diverged");
+        }
+    }
+
+    #[test]
+    fn zero_phase_bank_matches_filtfilt_bit_for_bit() {
+        let f = Butterworth::bandpass(5, 1.0, 40.0, FS).unwrap();
+        for width in [1usize, 2, 4] {
+            let per = 300;
+            let mut block: Vec<f32> = (0..width * per)
+                .map(|i| ((i * 29 + 7) % 101) as f32 * 0.04 - 2.0)
+                .collect();
+            let want: Vec<Vec<f32>> = block
+                .chunks_exact(per)
+                .map(|row| filtfilt(&f, row).unwrap())
+                .collect();
+            let mut zp = ZeroPhaseBank::new(&f, 4);
+            zp.apply_channel_major(&mut block, per).unwrap();
+            for (c, row) in block.chunks_exact(per).enumerate() {
+                let same = want[c].iter().zip(row).all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "width {width} channel {c} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_phase_bank_rejects_short_rows() {
+        let f = Butterworth::bandpass(9, 0.5, 45.0, FS).unwrap();
+        let mut block = vec![0.0f32; 4 * 20];
+        let mut zp = ZeroPhaseBank::new(&f, 4);
+        assert!(matches!(
+            zp.apply_channel_major(&mut block, 20),
             Err(DspError::SignalTooShort { .. })
         ));
     }

@@ -8,6 +8,10 @@
 //! * [`notch`] — the 50 Hz powerline notch filter (quality factor 30).
 //! * [`biquad`] — the direct-form-II-transposed second-order section used to
 //!   run any designed filter, causally or zero-phase ([`filtfilt`]).
+//! * [`filterbank`] — the compiled channel-interleaved execution form for
+//!   per-channel causal chains: SIMD lanes advance several channels
+//!   through a biquad section per instruction, bit-identical to the
+//!   scalar runners ([`simd`] holds the crate-wide dispatch policy).
 //! * [`fft`] — an iterative radix-2 complex FFT plus real-signal helpers.
 //! * [`welch`] — Welch power-spectral-density estimation.
 //! * [`features`] — statistical and band-power feature extraction.
@@ -40,7 +44,9 @@ pub mod biquad;
 pub mod butterworth;
 pub mod features;
 pub mod fft;
+pub mod filterbank;
 pub mod filtfilt;
+pub mod simd;
 pub mod normalize;
 pub mod notch;
 pub mod welch;

@@ -1,0 +1,38 @@
+//! Runtime SIMD dispatch policy for the DSP execution kernels.
+//!
+//! Every vectorized kernel in this crate keeps a scalar reference body
+//! that computes bit-identical results, so dispatch is a pure performance
+//! decision. Selection happens once per process:
+//!
+//! * hosts without AVX2 always take the scalar bodies;
+//! * `COGARM_NO_SIMD=1` pins the process to the scalar bodies even on
+//!   AVX2 hosts — the escape hatch CI uses to lock scalar/vector parity
+//!   on every runner (`ml` honors the same variable at its dispatch
+//!   points).
+
+use std::sync::OnceLock;
+
+/// Whether the `COGARM_NO_SIMD` escape hatch is set. Read once per
+/// process: dispatch must not flip while compiled banks are live.
+#[must_use]
+pub fn force_disabled() -> bool {
+    static OFF: OnceLock<bool> = OnceLock::new();
+    *OFF.get_or_init(|| {
+        std::env::var("COGARM_NO_SIMD").is_ok_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
+/// Whether vectorized kernel bodies run on this host: AVX2 detected and
+/// the escape hatch off. Public so benches can gate speedup assertions on
+/// the dispatch actually taken.
+#[must_use]
+pub fn enabled() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        !force_disabled() && std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}

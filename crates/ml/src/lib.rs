@@ -42,6 +42,7 @@ pub mod metrics;
 pub mod models;
 pub mod optim;
 pub mod plan;
+pub mod simd;
 pub mod sparse;
 pub mod tensor;
 pub mod train;

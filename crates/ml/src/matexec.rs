@@ -341,7 +341,7 @@ impl CscExec {
         }
         yt.resize(n * m, 0.0);
         #[cfg(target_arch = "x86_64")]
-        let tail_start = if std::arch::is_x86_feature_detected!("avx2") && m >= 8 {
+        let tail_start = if crate::simd::enabled() && m >= 8 {
             // SAFETY: AVX2 was just detected; `xt` is `k*m` long, `yt` is
             // `n*m` long, and the kernel stays within both.
             unsafe { self.batch_panels_avx2(xt, m, yt) }
@@ -534,7 +534,7 @@ impl Int8Exec {
         match self {
             Int8Exec::ColMajor { wt } => {
                 #[cfg(target_arch = "x86_64")]
-                if std::arch::is_x86_feature_detected!("avx2") && k >= 16 {
+                if crate::simd::enabled() && k >= 16 {
                     // SAFETY: AVX2 was just detected; the kernel reads
                     // `xq[..m*k]`, `wt[..n*k]` and writes `out[..m*n]`.
                     unsafe { col_major_avx2(xq, wt, m, k, n, deq, out) };
@@ -545,7 +545,7 @@ impl Int8Exec {
             Int8Exec::RowMajor => {
                 assert!(w.len() >= k * n, "weights shorter than k*n");
                 #[cfg(target_arch = "x86_64")]
-                if std::arch::is_x86_feature_detected!("avx2") && n >= 16 {
+                if crate::simd::enabled() && n >= 16 {
                     // SAFETY: as above, with `w[..k*n]` row-major.
                     unsafe { row_major_avx2(xq, w, m, k, n, deq, out) };
                     return;
@@ -772,7 +772,7 @@ unsafe fn row_major_avx2(xq: &[i8], w: &[i8], m: usize, k: usize, n: usize, deq:
 pub fn quantize_row(x: &[f32], ax: f32, out: &mut [i8]) {
     debug_assert!(out.len() >= x.len());
     #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") && x.len() >= 8 {
+    if crate::simd::enabled() && x.len() >= 8 {
         // SAFETY: AVX2 was just detected; reads `x`, writes `out[..x.len()]`.
         unsafe { quantize_row_avx2(x, ax, out) };
         return;

@@ -1,0 +1,31 @@
+//! Runtime SIMD dispatch policy for the ml execution kernels.
+//!
+//! Every vectorized kernel in [`crate::tensor`] and [`crate::matexec`]
+//! keeps a scalar reference body that computes bit-identical results, so
+//! dispatch is a pure performance decision. `COGARM_NO_SIMD=1` pins the
+//! process to the scalar bodies — the escape hatch CI uses to lock
+//! scalar/vector parity on every runner (`dsp` honors the same variable
+//! at its filter-bank dispatch).
+
+use std::sync::OnceLock;
+
+/// Whether vectorized kernel bodies run on this host: AVX2 detected and
+/// the `COGARM_NO_SIMD` escape hatch off. Read once per process —
+/// dispatch must not flip while compiled plans are live.
+#[must_use]
+pub fn enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        let forced_off =
+            std::env::var("COGARM_NO_SIMD").is_ok_and(|v| !v.is_empty() && v != "0");
+        #[cfg(target_arch = "x86_64")]
+        {
+            !forced_off && std::arch::is_x86_feature_detected!("avx2")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = forced_off;
+            false
+        }
+    })
+}

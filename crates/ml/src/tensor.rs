@@ -282,7 +282,7 @@ pub fn matmul_kernel(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &m
     let out = &mut out[..m * n];
     out.fill(0.0);
     #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") && n >= 8 {
+    if crate::simd::enabled() && n >= 8 {
         // SAFETY: AVX2 support was just detected, and the slice lengths
         // were asserted above; the kernel reads `a[..m*k]`, `b[..k*n]` and
         // writes `out[..m*n]` only.
@@ -393,7 +393,7 @@ pub fn matmul_blocked_kernel(a: &[f32], b: &[f32], m: usize, k: usize, n: usize,
     let out = &mut out[..m * n];
     out.fill(0.0);
     #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") && n >= 8 {
+    if crate::simd::enabled() && n >= 8 {
         // SAFETY: AVX2 support was just detected, and the slice lengths
         // were asserted above; the kernel reads `a[..m*k]`, `b[..k*n]` and
         // writes `out[..m*n]` only.

@@ -343,3 +343,49 @@ fn batched_ensemble_call_is_allocation_free_once_warm() {
         "warm batched inference allocated {allocs} times"
     );
 }
+
+#[test]
+fn filter_bank_tick_is_allocation_free() {
+    // The compiled filter bank advances a full label period (8 frames ×
+    // 16 channels) through the band-pass + notch cascade without a
+    // single allocation — the bank is compiled at build, state is fixed
+    // at `sections × lanes`, and dispatch was resolved up front. No
+    // warm-up needed: even the first frame must be clean.
+    let bp = dsp::butterworth::Butterworth::bandpass(9, 0.5, 45.0, 125.0).expect("bandpass");
+    let nt = dsp::notch::notch_filter(50.0, 30.0, 125.0).expect("notch");
+    let mut bank = dsp::filterbank::FilterBank::new(CHANNELS, &[&bp, &nt]);
+    let mut frame = [0.25f32; CHANNELS];
+    let allocs = count_allocs(|| {
+        for i in 0..8 {
+            frame[i % CHANNELS] = i as f32 * 0.5 - 1.0;
+            bank.step_frame(&mut frame);
+        }
+    });
+    assert_eq!(allocs, 0, "filter bank tick allocated {allocs} times");
+}
+
+#[test]
+fn zero_phase_rerun_is_allocation_free_once_warm() {
+    // Re-running offline chains over same-shape recordings must not
+    // allocate: `filtfilt_into` draws all working memory from its
+    // scratch, and the bank-backed `ZeroPhaseBank` reuses its
+    // interleaved extended block.
+    let bp = dsp::butterworth::Butterworth::bandpass(9, 0.5, 45.0, 125.0).expect("bandpass");
+    let signal: Vec<f32> = (0..400).map(|i| (i as f32 * 0.17).sin() * 12.0).collect();
+
+    let mut out = Vec::new();
+    let mut scratch = dsp::filtfilt::FiltfiltScratch::default();
+    dsp::filtfilt::filtfilt_into(&bp, &signal, &mut out, &mut scratch).expect("warm-up");
+    let allocs = count_allocs(|| {
+        dsp::filtfilt::filtfilt_into(&bp, &signal, &mut out, &mut scratch).expect("re-run");
+    });
+    assert_eq!(allocs, 0, "warm filtfilt_into allocated {allocs} times");
+
+    let mut block: Vec<f32> = (0..4 * 400).map(|i| (i as f32 * 0.07).cos() * 9.0).collect();
+    let mut zp = dsp::filtfilt::ZeroPhaseBank::new(&bp, 4);
+    zp.apply_channel_major(&mut block, 400).expect("warm-up");
+    let allocs = count_allocs(|| {
+        zp.apply_channel_major(&mut block, 400).expect("re-run");
+    });
+    assert_eq!(allocs, 0, "warm zero-phase bank allocated {allocs} times");
+}

@@ -29,11 +29,17 @@ use std::sync::Arc;
 
 use cognitive_arm::pipeline::{CognitiveArm, PipelineConfig, SessionTrace};
 use cognitive_arm::preprocess::{FilterSpec, OfflineChain, StreamingChain};
+use dsp::biquad::StreamingFilter;
+use dsp::butterworth::Butterworth;
+use dsp::filterbank::FilterBank;
+use dsp::notch::notch_filter;
 use eeg::signal::{SignalGenerator, SubjectParams};
 use eeg::types::Action;
-use eeg::CHANNELS;
+use eeg::{CHANNELS, SAMPLE_RATE};
 use exec::ExecPool;
 use integration_tests::quick_trained;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serve::{SessionSpec, StreamSession};
 
 fn fixture_path(name: &str) -> PathBuf {
@@ -149,6 +155,81 @@ fn golden_causal_chain_samples_survive_the_filter_swap() {
         out.push('\n');
     }
     check_fixture("trace_filter_chain.txt", &out);
+}
+
+/// One property-sweep case: `channels` parallel chains of a
+/// `order`-prototype band-pass followed by the 50 Hz notch, driven with
+/// seeded noise laced with adversarial values — denormals, ±0.0, and NaN
+/// (which must poison exactly the lanes it entered, bit-for-bit).
+/// Returns the bank's output bits after asserting them identical to the
+/// scalar per-channel `StreamingFilter` composition.
+fn sweep_case(order: usize, channels: usize, seed: u64) -> Vec<u32> {
+    let bp = Butterworth::bandpass(order, 0.5, 45.0, SAMPLE_RATE).expect("bandpass designs");
+    let nt = notch_filter(50.0, 30.0, SAMPLE_RATE).expect("notch designs");
+
+    let frames = 160;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data: Vec<f32> = (0..frames * channels)
+        .map(|_| rng.gen_range(-40.0f32..40.0))
+        .collect();
+    let specials = [
+        0.0f32,
+        -0.0,
+        f32::from_bits(1),              // smallest positive denormal
+        f32::from_bits(0x8000_0001),    // smallest negative denormal
+        f32::MIN_POSITIVE / 2.0,        // mid-range denormal
+        f32::NAN,
+    ];
+    // Sprinkle specials over the back half so every lane first builds up
+    // real state, then meets each adversarial value.
+    for (k, v) in data.iter_mut().skip(frames * channels / 2).step_by(11).enumerate() {
+        *v = specials[k % specials.len()];
+    }
+
+    let mut scalar_bp: Vec<StreamingFilter> =
+        (0..channels).map(|_| StreamingFilter::new(bp.clone())).collect();
+    let mut scalar_nt: Vec<StreamingFilter> =
+        (0..channels).map(|_| StreamingFilter::new(nt.clone())).collect();
+    let want: Vec<u32> = data
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let ch = i % channels;
+            scalar_nt[ch].step(scalar_bp[ch].step(x)).to_bits()
+        })
+        .collect();
+
+    let mut bank = FilterBank::new(channels, &[&bp, &nt]);
+    bank.process_frames(&mut data);
+    let got: Vec<u32> = data.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(
+        want, got,
+        "order {order} channels {channels} seed {seed} simd {}: \
+         bank diverged from the scalar streaming chains",
+        bank.is_simd()
+    );
+    got
+}
+
+#[test]
+fn bank_matches_scalar_chains_across_shapes_and_adversarial_inputs() {
+    let orders = [1usize, 2, 5, 9];
+    let channel_counts = [1usize, 3, 7, 8, 9, 16, 33];
+    let cases: Vec<(usize, usize, u64)> = orders
+        .iter()
+        .flat_map(|&o| channel_counts.iter().map(move |&c| (o, c, 1000 + o as u64 * 64 + c as u64)))
+        .collect();
+    // The sweep itself runs per-case; fanning cases over 1- and 4-thread
+    // pools additionally locks that concurrent bank execution cannot
+    // couple work items.
+    let on_one = ExecPool::new(1).par_map(&cases, |&(o, c, s)| sweep_case(o, c, s));
+    let on_four = ExecPool::new(4).par_map(&cases, |&(o, c, s)| sweep_case(o, c, s));
+    assert_eq!(on_one, on_four, "thread count changed sweep bits");
+    // NaN actually reached the filters (the poisoning is non-trivial).
+    let saw_nan = on_one
+        .iter()
+        .any(|bits| bits.iter().any(|&b| f32::from_bits(b).is_nan()));
+    assert!(saw_nan, "sweep never produced a NaN output");
 }
 
 #[test]
